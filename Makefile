@@ -1,0 +1,32 @@
+# Convenience targets for the fast-address-calculation reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-full experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+bench:              ## representative 6-program slice (~5 min)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:         ## the full 19-program reproduction (~25 min)
+	REPRO_SUITE=all $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:        ## print every table/figure on the full suite
+	for which in fig1 fig5 table1 fig3 table3 table4 fig2 fig6 table6; do \
+		$(PYTHON) -m repro experiment $$which; echo; \
+	done
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

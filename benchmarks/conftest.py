@@ -1,0 +1,37 @@
+"""Benchmark-harness configuration.
+
+Each ``benchmarks/test_*.py`` regenerates one paper table or figure and
+prints it (run with ``-s`` to see the output). The suite defaults to a
+representative 6-program slice so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; set ``REPRO_SUITE`` to a comma-separated benchmark
+list, or ``REPRO_SUITE=all`` for the full 19-program reproduction used
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import BENCHMARKS
+
+DEFAULT_SLICE = ("compress", "grep", "xlisp", "alvinn", "spice", "tomcatv")
+
+
+def harness_suite() -> tuple[str, ...]:
+    env = os.environ.get("REPRO_SUITE", "").strip()
+    if env.lower() == "all":
+        return tuple(BENCHMARKS)
+    if env:
+        return tuple(n.strip() for n in env.split(",") if n.strip())
+    return DEFAULT_SLICE
+
+
+@pytest.fixture(scope="session")
+def suite() -> tuple[str, ...]:
+    names = harness_suite()
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise pytest.UsageError(f"unknown benchmarks in REPRO_SUITE: {unknown}")
+    return names

@@ -1,0 +1,44 @@
+"""Characterization: predictor failure rate vs base alignment.
+
+The quantitative core of the paper's Section 4: carry-free addition is
+exact once the base is aligned beyond the offset width. This sweep puts
+a number on every intermediate point using the synthetic stream
+generators (no compiler in the loop).
+"""
+
+from repro.analysis.reporting import format_series
+from repro.workloads.synth import StreamSpec, alignment_sweep, failure_rate
+
+
+def test_alignment_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: alignment_sweep(max_offset_bits=8, align_range=range(0, 13)),
+        rounds=1, iterations=1)
+    print()
+    bits = [b for b, __ in sweep]
+    rates = [r for __, r in sweep]
+    print(format_series("failure rate vs base-alignment bits (8-bit offsets)",
+                        bits, rates))
+    assert rates[0] > 0.3          # unaligned bases fail often
+    assert rates[-1] == 0.0        # alignment past the offsets: exact
+    for before, after in zip(rates, rates[1:]):
+        assert after <= before + 0.02
+
+
+def test_offset_magnitude_sweep(benchmark):
+    def run():
+        return [
+            (bits, failure_rate(StreamSpec(base_align_bits=5,
+                                           max_offset_bits=bits,
+                                           zero_offset_pct=0,
+                                           seed=0xBEEF + bits)))
+            for bits in range(1, 13)
+        ]
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("failure rate vs offset bits (32-byte-aligned bases)",
+                        [b for b, __ in sweep], [r for __, r in sweep]))
+    # small offsets (within the block) almost never fail; large ones do
+    assert sweep[0][1] < 0.05
+    assert sweep[-1][1] > 0.4

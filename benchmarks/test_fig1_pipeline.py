@@ -1,0 +1,12 @@
+"""Regenerate Figure 1: the untolerated load-use stall, and its removal
+by fast address calculation."""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.baseline_stall == 1
+    assert result.fac_stall == 0

@@ -1,0 +1,18 @@
+"""Regenerate Figure 3: cumulative load-offset distributions for the
+paper's four representative programs."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for program, curves in result.curves.items():
+        for values in curves.values():
+            assert values[-1] in (0.0, 1.0) or abs(values[-1] - 1.0) < 1e-9
+    # shape: general-pointer offsets concentrate low; zero offsets are a
+    # visible fraction for every program with general traffic
+    for program in result.curves:
+        general = result.curves[program]["general"]
+        assert general[1] > 0.0  # some zero-offset loads exist

@@ -1,0 +1,13 @@
+"""Regenerate Figure 5: the four worked prediction examples."""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.predictions["a"].success
+    assert result.predictions["b"].success
+    assert result.predictions["c"].success
+    assert not result.predictions["d"].success

@@ -1,0 +1,34 @@
+"""Regenerate Figure 6: FAC speedups across design points.
+
+Expected shape (paper Section 5.5): every single program speeds up;
+hardware+software beats hardware-only on average; block size changes
+matter little (< a few percent).
+"""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6(benchmark, suite):
+    result = benchmark.pedantic(run_fig6, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for name in suite:
+        for label, speedup in result.speedups[name].items():
+            assert speedup >= 0.999, (name, label, speedup)
+    if result.int_avg:
+        assert result.int_avg["hw+sw32"] >= result.int_avg["hw32"] - 0.01
+    for name in suite:
+        block_effect = abs(result.speedups[name]["hw32"]
+                           - result.speedups[name]["hw16"])
+        assert block_effect < 0.06  # "overall difference less than 3%"
+
+
+def test_fig6_no_rr_speculation(benchmark, suite):
+    result = benchmark.pedantic(run_fig6, args=(suite,),
+                                kwargs={"reg_reg_speculation": False},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for name in suite:
+        for label, speedup in result.speedups[name].items():
+            assert speedup >= 0.999, (name, label, speedup)

@@ -1,0 +1,15 @@
+"""Diagnostic harness: failure-signal mix across the suite."""
+
+from repro.experiments import run_signals
+
+
+def test_signals(benchmark, suite):
+    result = benchmark.pedantic(run_signals, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for name in suite:
+        rates = result.rates[name]
+        # the paper's Section 2.2 observation: negative offsets are rare,
+        # so carry-based signals dominate the failure mix
+        assert rates["gen_carry"] + rates["overflow"] >= \
+            rates["large_neg_const"] + rates["neg_index_reg"]

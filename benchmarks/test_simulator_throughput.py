@@ -1,0 +1,49 @@
+"""Simulator-throughput micro-benchmarks (pytest-benchmark's natural
+mode): how fast the functional and timing simulators retire
+instructions, and how fast the predictor circuit evaluates."""
+
+from repro.cpu import CPU
+from repro.fac import FacConfig, FastAddressCalculator
+from repro.pipeline import MachineConfig, PipelineSimulator
+from repro.workloads import build_benchmark
+
+
+def test_functional_simulator_throughput(benchmark):
+    program = build_benchmark("yacr2")
+
+    def run():
+        cpu = CPU(program)
+        cpu.run(10_000_000)
+        return cpu.instructions_retired
+
+    retired = benchmark(run)
+    assert retired > 10_000
+
+
+def test_timing_simulator_throughput(benchmark):
+    program = build_benchmark("yacr2")
+
+    def run():
+        cpu = CPU(program)
+        pipe = PipelineSimulator(MachineConfig(fac=FacConfig()))
+        while not cpu.halted:
+            pipe.feed(cpu.step())
+        return pipe.finalize().instructions
+
+    instructions = benchmark(run)
+    assert instructions > 10_000
+
+
+def test_predictor_throughput(benchmark):
+    fac = FastAddressCalculator(FacConfig())
+    cases = [(0x10000000 + i * 52, (i * 37) % 4096 - 64, i % 3 == 0)
+             for i in range(1000)]
+
+    def run():
+        hits = 0
+        for base, offset, is_reg in cases:
+            hits += fac.predict(base, offset, is_reg).success
+        return hits
+
+    hits = benchmark(run)
+    assert 0 < hits <= 1000

@@ -1,0 +1,14 @@
+"""Regenerate Table 1: program reference behaviour."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, suite):
+    result = benchmark.pedantic(run_table1, args=(suite,),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # every program actually loads and stores through all three classes
+    for row in result.rows:
+        assert row.refs > 0
+        assert row.load_pct > 0

@@ -1,0 +1,18 @@
+"""Regenerate Table 3: program statistics without software support.
+
+Expected shape: prediction failure percentages are high and variable
+(the paper reports success rates between ~30% and ~98%), and 32-byte
+blocks (5 bits of full addition) fail no more often than 16-byte blocks.
+"""
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, suite):
+    result = benchmark.pedantic(run_table3, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert any(row.fail_load_32 > 25.0 for row in result.rows)
+    for row in result.rows:
+        assert row.fail_load_32 <= row.fail_load_16 + 1e-9
+        assert row.cycles >= row.instructions / 4  # 4-wide issue bound

@@ -1,0 +1,20 @@
+"""Regenerate Table 4: program statistics with software support.
+
+Expected shape: failure rates drop sharply versus Table 3; excluding
+register+register accesses they approach zero; program size/cycle
+changes stay modest; TLB behaviour is essentially unchanged.
+"""
+
+from repro.experiments import run_table3, run_table4
+
+
+def test_table4(benchmark, suite):
+    result = benchmark.pedantic(run_table4, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    before = {row.name: row for row in run_table3(suite).rows}
+    for row in result.rows:
+        assert row.fail_load_all <= before[row.name].fail_load_32 + 1e-9
+        assert row.fail_load_norr <= row.fail_load_all + 1e-9
+        assert abs(row.insts_change) < 25.0
+        assert abs(row.tlb_miss_delta) < 0.01  # paper: < 0.1% absolute

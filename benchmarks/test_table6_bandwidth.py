@@ -1,0 +1,28 @@
+"""Regenerate Table 6: cache-bandwidth overhead of address speculation.
+
+Expected shape: without compiler support a large fraction of speculative
+accesses are wrong (the paper reports up to ~45% extra accesses);
+software support cuts the overhead dramatically; disabling
+register+register speculation bounds it near 1%.
+"""
+
+from repro.experiments import run_table6
+
+# Known exceptions to the "<= ~1% without R+R" claim, each rooted in a
+# paper-documented mechanism the alignment support cannot fix:
+#   gcc     -- its own packed storage allocator (Section 5.4),
+#   mdljsp2 -- array-of-structures with a 72-byte element: the 16-byte
+#              struct-padding cap (Section 5.1) leaves the stride at 72,
+#              so far-field constant offsets keep crossing blocks.
+RESIDUE_EXCEPTIONS = {"gcc": 3.0, "mdljsp2": 30.0}
+
+
+def test_table6(benchmark, suite):
+    result = benchmark.pedantic(run_table6, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for name in suite:
+        overhead = result.overhead[name]
+        assert overhead["sw/rr"] <= overhead["hw/rr"] + 1e-9
+        assert overhead["sw/norr"] <= RESIDUE_EXCEPTIONS.get(name, 1.5)
+        assert overhead["hw/norr"] <= overhead["hw/rr"] + 1e-9

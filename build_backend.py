@@ -1,0 +1,167 @@
+"""A minimal, dependency-free PEP 517/660 build backend.
+
+Why this exists: the target environment is fully offline and has no
+``wheel`` package, so pip's standard setuptools path cannot build the
+PEP 660 editable wheel that ``pip install -e .`` requires. This backend
+has **zero build requirements** (``requires = []`` in pyproject.toml,
+imported via ``backend-path``), so pip's isolated build environment
+needs nothing from the network, and it writes the two artifacts pip
+asks for directly with the standard library:
+
+* ``build_editable`` -- a wheel containing a ``.pth`` file pointing at
+  ``src/`` (the classic editable-install mechanism),
+* ``build_wheel`` -- a regular wheel with the package contents,
+* ``build_sdist`` -- a tar.gz of the repository sources.
+
+Metadata is read from ``setup.cfg`` so it lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import base64
+import configparser
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+
+def _metadata() -> dict:
+    parser = configparser.ConfigParser()
+    parser.read(os.path.join(_ROOT, "setup.cfg"))
+    name = parser.get("metadata", "name")
+    version = parser.get("metadata", "version")
+    description = parser.get("metadata", "description", fallback="")
+    requires = [
+        line.strip()
+        for line in parser.get("options", "install_requires", fallback="").splitlines()
+        if line.strip()
+    ]
+    return {"name": name, "version": version, "description": description,
+            "requires": requires}
+
+
+def _metadata_text(meta: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {meta['name']}",
+        f"Version: {meta['version']}",
+        f"Summary: {meta['description']}",
+        "Requires-Python: >=3.10",
+    ]
+    lines += [f"Requires-Dist: {req}" for req in meta["requires"]]
+    return "\n".join(lines) + "\n"
+
+
+_WHEEL_TEXT = (
+    "Wheel-Version: 1.0\n"
+    "Generator: repro-build-backend\n"
+    "Root-Is-Purelib: true\n"
+    "Tag: py3-none-any\n"
+)
+
+
+def _record_entry(path: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{path},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, meta: dict,
+                 files: dict[str, bytes]) -> str:
+    dist = f"{meta['name']}-{meta['version']}"
+    info = f"{dist}.dist-info"
+    wheel_name = f"{dist}-py3-none-any.whl"
+    files = dict(files)
+    files[f"{info}/METADATA"] = _metadata_text(meta).encode()
+    files[f"{info}/WHEEL"] = _WHEEL_TEXT.encode()
+    files[f"{info}/top_level.txt"] = b"repro\n"
+    record_lines = [_record_entry(path, data) for path, data in files.items()]
+    record_lines.append(f"{info}/RECORD,,")
+    files[f"{info}/RECORD"] = ("\n".join(record_lines) + "\n").encode()
+    path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for arcname, data in files.items():
+            archive.writestr(arcname, data)
+    return wheel_name
+
+
+def _package_files() -> dict[str, bytes]:
+    files: dict[str, bytes] = {}
+    src = os.path.join(_ROOT, "src")
+    for dirpath, dirnames, filenames in os.walk(os.path.join(src, "repro")):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith((".py", ".mc")):
+                full = os.path.join(dirpath, filename)
+                arcname = os.path.relpath(full, src).replace(os.sep, "/")
+                with open(full, "rb") as handle:
+                    files[arcname] = handle.read()
+    return files
+
+
+# --------------------------------------------------------------------- #
+# PEP 517 / PEP 660 hooks
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _write_wheel(wheel_directory, _metadata(), _package_files())
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    meta = _metadata()
+    src = os.path.join(_ROOT, "src")
+    pth = f"{meta['name']}-editable.pth"
+    return _write_wheel(wheel_directory, meta, {pth: (src + "\n").encode()})
+
+
+def _write_dist_info(metadata_directory: str, meta: dict) -> str:
+    info = f"{meta['name']}-{meta['version']}.dist-info"
+    target = os.path.join(metadata_directory, info)
+    os.makedirs(target, exist_ok=True)
+    with open(os.path.join(target, "METADATA"), "w") as handle:
+        handle.write(_metadata_text(meta))
+    with open(os.path.join(target, "WHEEL"), "w") as handle:
+        handle.write(_WHEEL_TEXT)
+    with open(os.path.join(target, "top_level.txt"), "w") as handle:
+        handle.write("repro\n")
+    return info
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    return _write_dist_info(metadata_directory, _metadata())
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return _write_dist_info(metadata_directory, _metadata())
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    meta = _metadata()
+    base = f"{meta['name']}-{meta['version']}"
+    sdist_name = f"{base}.tar.gz"
+    wanted_roots = ("src", "tests", "benchmarks", "examples", "docs")
+    wanted_files = ("setup.cfg", "setup.py", "pyproject.toml", "pytest.ini",
+                    "build_backend.py", "README.md", "DESIGN.md",
+                    "EXPERIMENTS.md", "Makefile")
+    path = os.path.join(sdist_directory, sdist_name)
+    with tarfile.open(path, "w:gz") as archive:
+        for name in wanted_files:
+            full = os.path.join(_ROOT, name)
+            if os.path.exists(full):
+                archive.add(full, arcname=f"{base}/{name}")
+        for root in wanted_roots:
+            full = os.path.join(_ROOT, root)
+            if os.path.isdir(full):
+                archive.add(full, arcname=f"{base}/{root}",
+                            filter=_exclude_pycache)
+    return sdist_name
+
+
+def _exclude_pycache(tarinfo):
+    if "__pycache__" in tarinfo.name or tarinfo.name.endswith(".pyc"):
+        return None
+    return tarinfo

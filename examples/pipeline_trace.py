@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Pipeline tracing: watch fast address calculation remove stalls.
+
+Prints the paper's Figure 1 (the load-use stall and its removal), then
+traces a real pointer-chasing loop on both machines so you can see the
+cycle structure of speculative cache access at work.
+"""
+
+from repro.compiler import CompilerOptions, compile_and_link
+from repro.experiments import run_fig1
+from repro.fac import FacConfig
+from repro.pipeline import MachineConfig
+from repro.pipeline.tracer import trace_program
+
+LIST_WALK = """
+struct node { int value; struct node *next; };
+
+struct node pool[16];
+
+int main() {
+    int i, s = 0;
+    struct node *head = (struct node *)0;
+    struct node *p;
+    for (i = 0; i < 16; i++) {
+        pool[i].value = i;
+        pool[i].next = head;
+        head = &pool[i];
+    }
+    p = head;
+    while (p != (struct node *)0) {
+        s += p->value;
+        p = p->next;
+    }
+    return s & 127;
+}
+"""
+
+
+def main() -> None:
+    print(run_fig1().render())
+    print()
+
+    program = compile_and_link(LIST_WALK, CompilerOptions())
+    baseline = trace_program(program, MachineConfig())
+    fac = trace_program(program, MachineConfig(fac=FacConfig()))
+
+    # find the list-walk loop: the first load through a non-sp pointer
+    # late in the trace (after the build loop)
+    start = max(0, len(baseline.entries) - 24)
+    print("list-walk loop, baseline machine:")
+    print(baseline.render(first=start, count=10))
+    print()
+    print("list-walk loop, fast address calculation:")
+    print(fac.render(first=start, count=10))
+    print()
+    print(f"baseline: {baseline.cycles} cycles; FAC: {fac.cycles} cycles "
+          f"(speedup {baseline.cycles / fac.cycles:.3f})")
+    print("the dependent loads of the pointer chase finish one cycle "
+          "earlier under FAC, which is exactly the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a MiniC program, run it, and see what fast
+address calculation does to it.
+
+This walks the whole stack in one page:
+
+1. compile + link a small program (two compiler flavours),
+2. run it on the functional simulator,
+3. time it on the Table 5 superscalar model with and without FAC,
+4. inspect the predictor on one of the program's own loads.
+"""
+
+from repro import (
+    CPU,
+    CompilerOptions,
+    FacConfig,
+    FacSoftwareOptions,
+    FastAddressCalculator,
+    MachineConfig,
+    compile_and_link,
+)
+from repro.pipeline import simulate_program
+
+SOURCE = """
+int table[256];
+
+int main() {
+    int i, hash;
+    hash = 0;
+    for (i = 0; i < 256; i++) {
+        table[i] = i * 2654435761;
+    }
+    for (i = 0; i < 256; i++) {
+        hash = (hash ^ table[i]) + (hash >> 3);
+    }
+    print_str("hash=");
+    print_int(hash & 65535);
+    print_char(10);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # -- 1. compile, two ways -------------------------------------------
+    baseline_program = compile_and_link(SOURCE, CompilerOptions())
+    supported_program = compile_and_link(
+        SOURCE, CompilerOptions(fac=FacSoftwareOptions.enabled()))
+
+    # -- 2. run functionally --------------------------------------------
+    cpu = CPU(baseline_program)
+    cpu.run()
+    print(f"program output : {cpu.stdout()!r}")
+    print(f"instructions   : {cpu.instructions_retired}")
+
+    # -- 3. time on the Table 5 machine ---------------------------------
+    base = simulate_program(baseline_program, MachineConfig())
+    fac = simulate_program(baseline_program, MachineConfig(fac=FacConfig()))
+    fac_sw = simulate_program(supported_program, MachineConfig(fac=FacConfig()))
+    print(f"baseline       : {base.cycles} cycles (IPC {base.ipc:.3f})")
+    print(f"FAC hw-only    : {fac.cycles} cycles "
+          f"(speedup {base.cycles / fac.cycles:.3f}, "
+          f"{fac.fac_mispredicted} mispredicts)")
+    print(f"FAC hw+sw      : {fac_sw.cycles} cycles "
+          f"(speedup {base.cycles / fac_sw.cycles:.3f}, "
+          f"{fac_sw.fac_mispredicted} mispredicts)")
+
+    # -- 4. poke the predictor circuit directly --------------------------
+    predictor = FastAddressCalculator(FacConfig())
+    table_base = baseline_program.symbol_address("table")
+    prediction = predictor.predict(table_base, 128, offset_is_reg=False)
+    print(f"predict table+128: base=0x{table_base:08x} "
+          f"predicted=0x{prediction.predicted:08x} "
+          f"success={prediction.success}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+# Kept as a fallback for `python setup.py develop` in environments where
+# even the in-repo PEP 517 backend path is unavailable. Normal installs
+# go through pyproject.toml -> build_backend.py.
+from setuptools import setup
+
+setup()

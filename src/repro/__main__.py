@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE.mc``      -- compile and run a MiniC program
+* ``asm FILE.s``       -- assemble, link, and run raw assembly
+* ``suite``            -- list the benchmark registry
+* ``bench NAME``       -- run one benchmark and report timing/prediction
+* ``experiment WHICH`` -- regenerate a paper table/figure
+                          (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.prediction import analyze_program
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
+from repro.cpu import CPU
+from repro.fac import FacConfig
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+from repro.pipeline import MachineConfig, simulate_program
+
+
+def _options(args) -> CompilerOptions:
+    if getattr(args, "software_support", False):
+        return CompilerOptions(fac=FacSoftwareOptions.enabled())
+    return CompilerOptions()
+
+
+def cmd_run(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_and_link(source, _options(args))
+    cpu = CPU(program)
+    cpu.run(args.max_instructions)
+    sys.stdout.write(cpu.stdout())
+    if args.stats:
+        print(f"\n[{cpu.instructions_retired} instructions, "
+              f"exit code {cpu.exit_code}]", file=sys.stderr)
+    return cpu.exit_code
+
+
+def cmd_asm(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = link([assemble(source, args.file)], LinkOptions())
+    cpu = CPU(program)
+    cpu.run(args.max_instructions)
+    sys.stdout.write(cpu.stdout())
+    return cpu.exit_code
+
+
+def cmd_suite(args) -> int:
+    from repro.workloads import BENCHMARKS
+
+    for name, bench in BENCHMARKS.items():
+        print(f"{name:10s} [{bench.category}] {bench.description}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.workloads import BENCHMARKS, build_benchmark
+
+    if args.name not in BENCHMARKS:
+        print(f"unknown benchmark {args.name!r}; try 'python -m repro suite'",
+              file=sys.stderr)
+        return 2
+    program = build_benchmark(args.name, software_support=args.software_support)
+    analysis = analyze_program(program)
+    base = simulate_program(program, MachineConfig())
+    fac = simulate_program(program, MachineConfig(fac=FacConfig()))
+    stats = analysis.predictions[32]
+    print(f"benchmark        : {args.name} "
+          f"({'with' if args.software_support else 'no'} software support)")
+    print(f"output           : {analysis.stdout!r}")
+    print(f"instructions     : {analysis.instructions}")
+    print(f"baseline cycles  : {base.cycles} (IPC {base.ipc:.3f})")
+    print(f"FAC cycles       : {fac.cycles} (speedup {base.cycles / fac.cycles:.3f})")
+    print(f"prediction fail  : loads {100 * stats.load_failure_rate:.1f}%  "
+          f"stores {100 * stats.store_failure_rate:.1f}%")
+    print(f"extra bandwidth  : {100 * fac.bandwidth_overhead:.2f}% of refs")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro import experiments
+
+    runners = {
+        "fig1": experiments.run_fig1,
+        "table1": experiments.run_table1,
+        "table3": experiments.run_table3,
+        "table4": experiments.run_table4,
+        "table6": experiments.run_table6,
+        "fig2": experiments.run_fig2,
+        "fig3": lambda: experiments.run_fig3(),
+        "fig5": experiments.run_fig5,
+        "fig6": experiments.run_fig6,
+        "signals": experiments.run_signals,
+    }
+    runner = runners.get(args.which)
+    if runner is None:
+        print(f"unknown experiment {args.which!r}; choose from "
+              f"{sorted(runners)}", file=sys.stderr)
+        return 2
+    print(runner().render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast Address Calculation (ISCA 1995) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and run a MiniC file")
+    p_run.add_argument("file")
+    p_run.add_argument("--software-support", action="store_true",
+                       help="compile with the paper's Section 4 support")
+    p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--max-instructions", type=int, default=100_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_asm = sub.add_parser("asm", help="assemble and run an assembly file")
+    p_asm.add_argument("file")
+    p_asm.add_argument("--max-instructions", type=int, default=100_000_000)
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_suite = sub.add_parser("suite", help="list the benchmark suite")
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = sub.add_parser("bench", help="run one benchmark with timing")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--software-support", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("which")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

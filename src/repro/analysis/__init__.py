@@ -1,0 +1,18 @@
+"""Trace analyses: reference behaviour (Section 2) and prediction rates."""
+
+from repro.analysis.refclass import (
+    OFFSET_BUCKETS,
+    ReferenceProfile,
+    classify_base,
+    offset_bucket,
+)
+from repro.analysis.prediction import PredictionStats, TraceAnalyzer
+
+__all__ = [
+    "OFFSET_BUCKETS",
+    "ReferenceProfile",
+    "classify_base",
+    "offset_bucket",
+    "PredictionStats",
+    "TraceAnalyzer",
+]

@@ -1,0 +1,184 @@
+"""Trace-level prediction-failure accounting (Tables 3 and 4).
+
+One functional pass per program collects, simultaneously:
+
+* Table 1 reference behaviour (via :class:`ReferenceProfile`),
+* prediction failure rates for loads and stores at 16- and 32-byte block
+  sizes ("the prediction circuitry performs 4 or 5 bits of full addition
+  in the block offset portion"),
+* the same rates excluding register+register-mode accesses (Table 4's
+  "No R+R" columns),
+* I- and D-cache miss ratios and TLB behaviour for the Table 3/4 columns.
+
+This is much faster than the full timing model and is exactly what the
+paper's Tables 3 and 4 report (the timing-dependent columns -- cycles --
+come from :mod:`repro.pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.refclass import ReferenceProfile
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.tlb import TLB
+from repro.cpu.executor import CPU, TraceRecord
+from repro.fac.config import FacConfig
+from repro.fac.predictor import FastAddressCalculator
+from repro.isa.opcodes import OP_INFO
+from repro.isa.program import Program
+from repro.utils.bits import to_signed32
+
+
+@dataclass
+class PredictionStats:
+    """Failure counts for one predictor geometry."""
+
+    block_size: int = 32
+    loads: int = 0
+    stores: int = 0
+    load_failures: int = 0
+    store_failures: int = 0
+    # excluding register+register mode accesses
+    norr_loads: int = 0
+    norr_stores: int = 0
+    norr_load_failures: int = 0
+    norr_store_failures: int = 0
+    # which verification signal fired (a failure can raise several)
+    signal_counts: dict = field(default_factory=lambda: {
+        "overflow": 0, "gen_carry": 0, "large_neg_const": 0,
+        "neg_index_reg": 0, "tag_mismatch": 0,
+    })
+
+    @property
+    def load_failure_rate(self) -> float:
+        return self.load_failures / self.loads if self.loads else 0.0
+
+    @property
+    def store_failure_rate(self) -> float:
+        return self.store_failures / self.stores if self.stores else 0.0
+
+    @property
+    def norr_load_failure_rate(self) -> float:
+        return self.norr_load_failures / self.norr_loads if self.norr_loads else 0.0
+
+    @property
+    def norr_store_failure_rate(self) -> float:
+        return self.norr_store_failures / self.norr_stores if self.norr_stores else 0.0
+
+    @property
+    def overall_failure_rate(self) -> float:
+        total = self.loads + self.stores
+        failed = self.load_failures + self.store_failures
+        return failed / total if total else 0.0
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything one functional pass produces."""
+
+    profile: ReferenceProfile
+    predictions: dict[int, PredictionStats]  # keyed by block size
+    icache_miss_ratio: float = 0.0
+    dcache_miss_ratio: float = 0.0
+    tlb_miss_ratio: float = 0.0
+    memory_usage: int = 0
+    instructions: int = 0
+    stdout: str = ""
+
+
+class TraceAnalyzer:
+    """Single-pass trace analyzer."""
+
+    def __init__(self, block_sizes: tuple[int, ...] = (16, 32),
+                 cache_size: int = 16 * 1024, full_tag_add: bool = True):
+        self.profile = ReferenceProfile()
+        self.predictors = {
+            bs: FastAddressCalculator(
+                FacConfig(cache_size=cache_size, block_size=bs,
+                          full_tag_add=full_tag_add)
+            )
+            for bs in block_sizes
+        }
+        self.stats = {bs: PredictionStats(block_size=bs) for bs in block_sizes}
+        self.icache = Cache(CacheConfig(size=16 * 1024, block_size=32,
+                                        name="icache"))
+        self.dcache = Cache(CacheConfig(size=16 * 1024, block_size=32,
+                                        name="dcache"))
+        self.tlb = TLB()
+        self._last_iblock = -1
+
+    def observe(self, rec: TraceRecord) -> None:
+        self.profile.observe(rec)
+        iblock = rec.pc >> 5
+        if iblock != self._last_iblock:
+            self._last_iblock = iblock
+            self.icache.access(rec.pc)
+        inst = rec.inst
+        info = OP_INFO[inst.op]
+        if not info.mem_width:
+            return
+        self.dcache.access(rec.ea, info.is_store)
+        self.tlb.access(rec.ea)
+        mode = info.mem_mode
+        if mode == "p":
+            failed = False  # address needs no addition: always correct
+            offset = 0
+        else:
+            offset = rec.offset_value if mode == "c" \
+                else to_signed32(rec.offset_value)
+        for block_size, predictor in self.predictors.items():
+            stats = self.stats[block_size]
+            if mode == "p":
+                failed = False
+            else:
+                prediction = predictor.predict(
+                    rec.base_value, offset, mode == "x"
+                )
+                failed = not prediction.success
+                if failed:
+                    signals = prediction.signals
+                    counts = stats.signal_counts
+                    counts["overflow"] += signals.overflow
+                    counts["gen_carry"] += signals.gen_carry
+                    counts["large_neg_const"] += signals.large_neg_const
+                    counts["neg_index_reg"] += signals.neg_index_reg
+                    counts["tag_mismatch"] += signals.tag_mismatch
+            if info.is_load:
+                stats.loads += 1
+                stats.load_failures += failed
+                if mode != "x":
+                    stats.norr_loads += 1
+                    stats.norr_load_failures += failed
+            else:
+                stats.stores += 1
+                stats.store_failures += failed
+                if mode != "x":
+                    stats.norr_stores += 1
+                    stats.norr_store_failures += failed
+
+    def finish(self, cpu: CPU) -> TraceAnalysis:
+        return TraceAnalysis(
+            profile=self.profile,
+            predictions=self.stats,
+            icache_miss_ratio=self.icache.miss_ratio,
+            dcache_miss_ratio=self.dcache.miss_ratio,
+            tlb_miss_ratio=self.tlb.miss_ratio,
+            memory_usage=cpu.memory_usage,
+            instructions=cpu.instructions_retired,
+            stdout=cpu.stdout(),
+        )
+
+
+def analyze_program(program: Program, block_sizes: tuple[int, ...] = (16, 32),
+                    max_instructions: int = 50_000_000) -> TraceAnalysis:
+    """Run ``program`` functionally and collect the full analysis."""
+    cpu = CPU(program)
+    analyzer = TraceAnalyzer(block_sizes)
+    observe = analyzer.observe
+    step = cpu.step
+    budget = max_instructions
+    while not cpu.halted and budget > 0:
+        observe(step())
+        budget -= 1
+    return analyzer.finish(cpu)

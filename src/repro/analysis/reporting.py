@@ -1,0 +1,48 @@
+"""Plain-text table and series rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(
+            cell.rjust(widths[i]) if _is_numeric(cell) else cell.ljust(widths[i])
+            for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """Render one figure series as ``name: x=y x=y ...``."""
+    pairs = " ".join(f"{x}={y_format.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%"))
+        return True
+    except ValueError:
+        return False

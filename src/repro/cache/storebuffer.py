@@ -1,0 +1,70 @@
+"""The 16-entry non-merging store buffer of Table 5.
+
+Stores are serviced in two cycles: the first probes the tags, and the
+stored data retires to the data cache later, during cycles in which the
+cache is otherwise unused. If a store executes while the buffer is full,
+the pipeline stalls and the oldest entry is forcibly retired.
+
+With fast address calculation, a store enters the buffer with its
+*speculative* address; if the prediction was wrong the entry's address is
+simply updated in the following cycle (Section 3.1: "the store buffer
+entry can simply be reclaimed or invalidated if the effective address is
+incorrect").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class StoreBufferEntry:
+    __slots__ = ("address", "ready_cycle")
+
+    def __init__(self, address: int, ready_cycle: int):
+        self.address = address
+        self.ready_cycle = ready_cycle
+
+
+class StoreBuffer:
+    """FIFO of pending stores awaiting a free cache cycle."""
+
+    def __init__(self, capacity: int = 16):
+        self.capacity = capacity
+        self.entries: deque[StoreBufferEntry] = deque()
+        self.inserts = 0
+        self.full_stalls = 0
+        self.retires = 0
+        self.address_fixups = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, address: int, cycle: int) -> StoreBufferEntry:
+        """Add a store; caller must have ensured space (or stalled)."""
+        entry = StoreBufferEntry(address, cycle + 1)
+        self.entries.append(entry)
+        self.inserts += 1
+        return entry
+
+    def fixup_address(self, entry: StoreBufferEntry, address: int) -> None:
+        """Replace a misspeculated address (FAC replay path)."""
+        entry.address = address
+        self.address_fixups += 1
+
+    def retire_one(self, cycle: int) -> StoreBufferEntry | None:
+        """Retire the oldest ready entry, if any; returns it."""
+        if self.entries and self.entries[0].ready_cycle <= cycle:
+            self.retires += 1
+            return self.entries.popleft()
+        return None
+
+    def note_full_stall(self) -> None:
+        self.full_stalls += 1
+
+    def drain_pending(self) -> int:
+        """Number of entries still buffered (end-of-run accounting)."""
+        return len(self.entries)

@@ -1,0 +1,31 @@
+"""MiniC: a small optimizing C compiler for the extended-MIPS target.
+
+MiniC covers the C subset the paper's benchmarks need -- ints, chars,
+unsigned ints, doubles, pointers, arrays, structs, functions, the usual
+statements and operators -- and implements the paper's *software support
+for fast address calculation* (Section 4):
+
+* global-pointer region alignment (via the linker),
+* stack-frame size rounding and stack-pointer alignment,
+* scalars-first stack frame layout,
+* static variable alignment to the next power of two (capped),
+* structure size rounding to the next power of two (capped),
+* heap allocation alignment (via the runtime allocator),
+* loop strength reduction, which converts register+register array
+  accesses into zero-offset induction-pointer accesses.
+"""
+
+from repro.compiler.driver import (
+    compile_and_link,
+    compile_source,
+    compile_units,
+)
+from repro.compiler.options import CompilerOptions, FacSoftwareOptions
+
+__all__ = [
+    "CompilerOptions",
+    "FacSoftwareOptions",
+    "compile_and_link",
+    "compile_source",
+    "compile_units",
+]

@@ -1,0 +1,325 @@
+"""MiniC abstract syntax tree.
+
+Nodes are plain mutable classes; the semantic analyzer annotates
+expressions with ``ctype`` and variable references with their resolved
+``symbol``. The strength-reduction optimizer rewrites subtrees in place.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.typesys import Type
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# --------------------------------------------------------------------- #
+# expressions
+
+
+class Expr(Node):
+    __slots__ = ("ctype",)
+
+    def __init__(self, line: int = 0):
+        super().__init__(line)
+        self.ctype: Type | None = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Expr):
+    __slots__ = ("value", "label")
+
+    def __init__(self, value: str, line: int = 0):
+        super().__init__(line)
+        self.value = value
+        self.label: str | None = None  # assigned by sema
+
+
+class VarRef(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # VarSymbol, set by sema
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Expr):
+    """Unary operators: - ! ~ * (deref) & (address-of)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Assign(Expr):
+    """Assignment; ``op`` is None for plain ``=`` or the arithmetic
+    operator for compound assignments (``+=`` stores op ``+``)."""
+
+    __slots__ = ("target", "value", "op")
+
+    def __init__(self, target: Expr, value: Expr, op: str | None = None, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class IncDec(Expr):
+    """++/-- in prefix or postfix position."""
+
+    __slots__ = ("op", "target", "is_prefix")
+
+    def __init__(self, op: str, target: Expr, is_prefix: bool, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.is_prefix = is_prefix
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "func")
+
+    def __init__(self, name: str, args: list[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.func = None  # FuncSymbol, set by sema
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    __slots__ = ("base", "field", "arrow")
+
+    def __init__(self, base: Expr, field: str, arrow: bool, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "expr")
+
+    def __init__(self, target_type: Type, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.target_type = target_type
+        self.expr = expr
+
+
+class SizeofType(Expr):
+    __slots__ = ("query_type",)
+
+    def __init__(self, query_type: Type, line: int = 0):
+        super().__init__(line)
+        self.query_type = query_type
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond: Expr, then_expr: Expr, else_expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+# --------------------------------------------------------------------- #
+# statements
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class LocalDecl(Stmt):
+    __slots__ = ("name", "var_type", "init", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init: Expr | None, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+        self.symbol = None
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_stmt", "else_stmt")
+
+    def __init__(self, cond: Expr, then_stmt: Stmt, else_stmt: Stmt | None, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then_stmt = then_stmt
+        self.else_stmt = else_stmt
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(
+        self,
+        init: Stmt | None,
+        cond: Expr | None,
+        step: Expr | None,
+        body: Stmt,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class CaseBlock(Node):
+    """One ``case C:`` (or ``default:``) arm of a switch."""
+
+    __slots__ = ("value", "stmts")
+
+    def __init__(self, value: int | None, stmts: list, line: int = 0):
+        super().__init__(line)
+        self.value = value  # None for default
+        self.stmts = stmts
+
+
+class Switch(Stmt):
+    __slots__ = ("expr", "cases")
+
+    def __init__(self, expr: Expr, cases: list, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+        self.cases = cases
+
+
+class Return(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr | None, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------- #
+# top level
+
+
+class GlobalVar(Node):
+    __slots__ = ("name", "var_type", "init", "symbol")
+
+    def __init__(self, name: str, var_type: Type, init, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.var_type = var_type
+        self.init = init  # None | Expr | list (array/struct initializer)
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "ret_type", "params", "body", "symbol")
+
+    def __init__(
+        self,
+        name: str,
+        ret_type: Type,
+        params: list[tuple[Type, str]],
+        body: Block | None,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params
+        self.body = body  # None for a declaration/prototype
+        self.symbol = None
+
+
+class TranslationUnit(Node):
+    __slots__ = ("decls", "name")
+
+    def __init__(self, decls: list[Node], name: str = "unit"):
+        super().__init__(0)
+        self.decls = decls
+        self.name = name

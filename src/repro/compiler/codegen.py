@@ -1,0 +1,1621 @@
+"""MiniC code generation: annotated AST -> extended-MIPS assembly text.
+
+Design notes
+------------
+
+* Tree-walking codegen with a small temp-register pool (``$t0``..``$t9``
+  for ints, ``$f4``..``$f18`` for doubles). Results are produced into
+  fresh temps; variable home registers are read in place.
+* Hot scalar locals are allocated to callee-saved registers by use count
+  (GCC's "aggressive priority-based register allocation" stand-in).
+* Addressing is represented by a small :class:`Addr` sum type so loads
+  and stores can pick the best addressing mode: gp-relative for named
+  globals in the global region, sp-relative for frame residents,
+  register+constant for pointer dereferences, register+register
+  (``lwx``) for unreduced variable subscripts.
+* Stack frames implement the paper's Section 4 layout rules: sizes are
+  rounded to ``frame_align``; frames larger than ``frame_align`` get
+  their stack pointer explicitly aligned (up to ``max_frame_align``)
+  with the previous ``$sp`` saved in the frame; scalar slots are sorted
+  closest to ``$sp`` when ``sort_scalars_first`` is set.
+
+Calling convention: first four int/pointer args in ``$a0``..``$a3``,
+first two double args in ``$f12``/``$f14``, the rest on the stack below
+the caller's frame; results in ``$v0`` / ``$f0``. ``$k0``/``$k1`` are
+scratch for the variable-frame prologue, ``$at`` for pseudo expansion.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.options import CompilerOptions
+from repro.compiler.sema import Sema
+from repro.compiler.symbols import FuncSymbol, VarSymbol
+from repro.compiler.typesys import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    DoubleType,
+    INT,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    decay,
+)
+from repro.errors import CompileError
+from repro.utils.bits import is_pow2, log2_exact, next_pow2
+
+INT_TEMPS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9"]
+FP_TEMPS = ["$f4", "$f6", "$f8", "$f10", "$f16", "$f18"]
+INT_SAVED = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7"]
+FP_SAVED = ["$f20", "$f22", "$f24", "$f26", "$f28", "$f30"]
+INT_ARGS = ["$a0", "$a1", "$a2", "$a3"]
+FP_ARGS = ["$f12", "$f14"]
+
+
+def _is_double(ctype: Type) -> bool:
+    return isinstance(ctype, DoubleType)
+
+
+class Addr:
+    """An lvalue location, tagged by addressing mode."""
+
+    __slots__ = ("kind", "reg", "index", "offset", "symbol")
+
+    def __init__(self, kind: str, reg: str | None = None, index: str | None = None,
+                 offset: int = 0, symbol: str | None = None):
+        self.kind = kind      # 'gp' | 'abs' | 'frame' | 'reg' | 'regreg'
+        self.reg = reg
+        self.index = index
+        self.offset = offset
+        self.symbol = symbol
+
+
+class TempPool:
+    """Free-list allocator over a fixed register set with spill support."""
+
+    def __init__(self, names: list[str]):
+        self.names = names
+        self.free = list(reversed(names))
+        self.live: list[str] = []
+
+    def alloc(self) -> str:
+        if not self.free:
+            raise CompileError("expression too complex: temp registers exhausted")
+        reg = self.free.pop()
+        self.live.append(reg)
+        return reg
+
+    def release(self, reg: str) -> None:
+        if reg in self.live:
+            self.live.remove(reg)
+            self.free.append(reg)
+
+    def live_regs(self) -> list[str]:
+        return list(self.live)
+
+
+class CodeGenerator:
+    """Whole-program code generator."""
+
+    def __init__(self, sema: Sema, options: CompilerOptions):
+        self.sema = sema
+        self.options = options
+        self.lines: list[str] = []
+        self.label_counter = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(text)
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}{self.label_counter}"
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, units: list[ast.TranslationUnit]) -> str:
+        self.emit(".text")
+        for unit in units:
+            for decl in unit.decls:
+                if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                    FunctionCompiler(self, decl).compile()
+        self._emit_data(units)
+        return "\n".join(self.lines) + "\n"
+
+    # ------------------------------------------------------------------ #
+    # data segment
+
+    def _static_align(self, ctype: Type) -> int:
+        natural = max(ctype.align, 4)
+        fac = self.options.fac
+        if fac.align_large_arrays and isinstance(ctype, ArrayType) \
+                and ctype.size > fac.static_align_cap:
+            # future-work extension: align big arrays to their own size so
+            # register+register index addition never carries into the tag
+            return max(natural, next_pow2(max(ctype.size, 1)))
+        if fac.static_align_cap:
+            boosted = min(next_pow2(max(ctype.size, 1)), fac.static_align_cap)
+            return max(natural, boosted)
+        return natural
+
+    def _emit_data(self, units: list[ast.TranslationUnit]) -> None:
+        for unit in units:
+            for decl in unit.decls:
+                if isinstance(decl, ast.GlobalVar):
+                    self._emit_global(decl)
+        if self.sema.string_literals:
+            self.emit(".data")
+            for label, value in self.sema.string_literals:
+                escaped = (
+                    value.replace("\\", "\\\\")
+                    .replace('"', '\\"')
+                    .replace("\n", "\\n")
+                    .replace("\t", "\\t")
+                )
+                self.emit(f"{label}: .asciiz \"{escaped}\"")
+
+    def _emit_global(self, decl: ast.GlobalVar) -> None:
+        symbol = decl.symbol
+        section = ".sdata" if symbol.gp_addressable else ".data"
+        self.emit(section)
+        align = self._static_align(decl.var_type)
+        self.emit(f".align {log2_exact(next_pow2(align))}")
+        self.emit(f"{decl.name}:")
+        self._emit_init(decl.var_type, decl.init)
+
+    def _emit_init(self, ctype: Type, init) -> None:
+        size = ctype.size
+        if init is None:
+            self.emit(f".space {max(size, 1)}")
+            return
+        if isinstance(init, ast.StrLit):
+            escaped = init.value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n").replace("\t", "\\t")
+            self.emit(f'.asciiz "{escaped}"')
+            pad = size - (len(init.value) + 1)
+            if pad > 0:
+                self.emit(f".space {pad}")
+            return
+        if isinstance(init, list):
+            element = ctype.element if isinstance(ctype, ArrayType) else INT
+            for item in init:
+                self._emit_scalar_init(element, item)
+            remaining = size - len(init) * element.size
+            if remaining > 0:
+                self.emit(f".space {remaining}")
+            return
+        self._emit_scalar_init(ctype, init)
+
+    def _emit_scalar_init(self, ctype: Type, item: ast.Expr) -> None:
+        if _is_double(ctype):
+            value = item.value if isinstance(item, (ast.FloatLit, ast.IntLit)) else 0
+            self.emit(f".double {float(value)}")
+        elif ctype.size == 1:
+            self.emit(f".byte {item.value & 0xFF}")
+        else:
+            self.emit(f".word {item.value}")
+
+
+class FunctionCompiler:
+    """Compiles a single function definition."""
+
+    def __init__(self, gen: CodeGenerator, func: ast.FuncDef):
+        self.gen = gen
+        self.options = gen.options
+        self.func = func
+        self.temps = TempPool(INT_TEMPS)
+        self.ftemps = TempPool(FP_TEMPS)
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self.epilogue_label = gen.new_label(f"ret_{func.name}_")
+        self.used_saved: list[str] = []
+        self.used_fsaved: list[str] = []
+        self.has_calls = False
+        self.uses_fp = False
+        self.frame_size = 0
+        self.variable_frame = False
+        self.oldsp_offset = 0
+        self.spill_base = 0
+        self.fspill_base = 0
+        self._param_stack_offsets: dict[str, int] = {}
+
+    def emit(self, text: str) -> None:
+        self.gen.emit("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.gen.emit(f"{label}:")
+
+    # ------------------------------------------------------------------ #
+    # frame construction
+
+    def compile(self) -> None:
+        locals_list = self._collect_locals()
+        self._assign_homes(locals_list)
+        self._layout_frame(locals_list)
+        self.gen.emit(f".globl {self.func.name}")
+        self.gen.emit(f"{self.func.name}:")
+        self._prologue()
+        self._gen_block(self.func.body)
+        self.emit_label(self.epilogue_label)
+        self._epilogue()
+
+    def _collect_locals(self) -> list[VarSymbol]:
+        symbols: list[VarSymbol] = []
+        seen: set[int] = set()
+
+        def visit(node):
+            if isinstance(node, ast.LocalDecl) and node.symbol is not None:
+                if id(node.symbol) not in seen:
+                    seen.add(id(node.symbol))
+                    symbols.append(node.symbol)
+            if isinstance(node, ast.Call):
+                self.has_calls = True
+            if getattr(node, "ctype", None) is not None and _is_double(node.ctype):
+                self.uses_fp = True
+            for child in _ast_children(node):
+                visit(child)
+
+        visit(self.func.body)
+        for param_type, __ in self.func.params:
+            if _is_double(decay(param_type)):
+                self.uses_fp = True
+        if _is_double(self.func.ret_type):
+            self.uses_fp = True
+        return symbols
+
+    def _assign_homes(self, locals_list: list[VarSymbol]) -> None:
+        for sym in locals_list:
+            sym.home = None  # the same AST may be compiled more than once
+        # parameters are resolved by walking the body for their VarRefs
+        # (sema does not expose function scopes).
+        self.param_symbols: dict[str, VarSymbol] = {}
+
+        def visit(node):
+            if isinstance(node, ast.VarRef) and node.symbol is not None \
+                    and node.symbol.storage == "param":
+                self.param_symbols.setdefault(node.symbol.name, node.symbol)
+            for child in _ast_children(node):
+                visit(child)
+
+        visit(self.func.body)
+        # params that are never referenced still need a symbol for the
+        # prologue's slot accounting.
+        for param_type, param_name in self.func.params:
+            if param_name not in self.param_symbols:
+                sym = VarSymbol(param_name, decay(param_type), "param")
+                self.param_symbols[param_name] = sym
+        for sym in self.param_symbols.values():
+            sym.home = None
+
+        candidates = [s for s in locals_list if s.ctype.is_scalar
+                      and not _is_double(s.ctype) and not s.addr_taken]
+        candidates += [s for s in self.param_symbols.values()
+                       if s.ctype.is_scalar and not _is_double(s.ctype)
+                       and not s.addr_taken]
+        fp_candidates = [s for s in locals_list if _is_double(s.ctype)
+                         and not s.addr_taken]
+        fp_candidates += [s for s in self.param_symbols.values()
+                          if _is_double(s.ctype) and not s.addr_taken]
+
+        if self.options.register_allocate:
+            for reg, sym in zip(INT_SAVED,
+                                sorted(candidates, key=lambda s: -s.use_count)):
+                sym.home = ("sreg", reg)
+                self.used_saved.append(reg)
+            for reg, sym in zip(FP_SAVED,
+                                sorted(fp_candidates, key=lambda s: -s.use_count)):
+                sym.home = ("freg", reg)
+                self.used_fsaved.append(reg)
+
+    def _layout_frame(self, locals_list: list[VarSymbol]) -> None:
+        fac = self.options.fac
+        offset = 0
+        # 1. outgoing argument area
+        offset += self._max_outgoing_args()
+        # 2. spill areas: fixed slots, one per temp register, reserved
+        #    only when a call can force live temps to memory
+        self.spill_base = offset
+        if self.has_calls:
+            offset += 4 * len(INT_TEMPS)
+        offset = (offset + 7) & ~7
+        self.fspill_base = offset
+        if self.has_calls and self.uses_fp:
+            offset += 8 * len(FP_TEMPS)
+        # 3. frame-resident locals and params
+        frame_residents = [s for s in locals_list if s.home is None]
+        frame_residents += [s for s in self.param_symbols.values() if s.home is None]
+        if fac.sort_scalars_first:
+            frame_residents.sort(key=lambda s: (not s.ctype.is_scalar, -s.use_count))
+        for sym in frame_residents:
+            align = max(sym.ctype.align, 4)
+            if fac.static_align_cap and not sym.ctype.is_scalar:
+                align = max(align, min(next_pow2(max(sym.ctype.size, 1)),
+                                       fac.static_align_cap))
+            offset = (offset + align - 1) & ~(align - 1)
+            sym.home = ("frame", offset)
+            offset += max(sym.ctype.size, 4)
+        # 4. callee-saved FP registers, then integer registers, then $ra
+        offset = (offset + 7) & ~7
+        self.fsave_base = offset
+        offset += 8 * len(self.used_fsaved)
+        self.save_base = offset
+        offset += 4 * len(self.used_saved)
+        self.ra_offset = offset
+        if self.has_calls:
+            offset += 4
+        # 5. old-$sp slot for variable frames
+        self.oldsp_offset = offset
+        offset += 4
+
+        frame = (offset + fac.frame_align - 1) & ~(fac.frame_align - 1)
+        self.frame_size = frame
+        if fac.max_frame_align > fac.frame_align and frame > fac.frame_align:
+            self.variable_frame = True
+            self.frame_align_target = min(next_pow2(frame), fac.max_frame_align)
+
+        # parameter incoming slot assignment (mirrors the caller)
+        int_slot = 0
+        fp_slot = 0
+        stack_off = 0
+        self.param_incoming: list[tuple[VarSymbol, str | None, int]] = []
+        for param_type, param_name in self.func.params:
+            sym = self.param_symbols[param_name]
+            if _is_double(sym.ctype):
+                if fp_slot < len(FP_ARGS):
+                    self.param_incoming.append((sym, FP_ARGS[fp_slot], -1))
+                    fp_slot += 1
+                else:
+                    stack_off = (stack_off + 7) & ~7
+                    self.param_incoming.append((sym, None, stack_off))
+                    stack_off += 8
+            else:
+                if int_slot < len(INT_ARGS):
+                    self.param_incoming.append((sym, INT_ARGS[int_slot], -1))
+                    int_slot += 1
+                else:
+                    self.param_incoming.append((sym, None, stack_off))
+                    stack_off += 4
+
+    def _max_outgoing_args(self) -> int:
+        worst = 0
+
+        def visit(node):
+            nonlocal worst
+            if isinstance(node, ast.Call) and node.func is not None \
+                    and not node.func.builtin:
+                worst = max(worst, _stack_arg_bytes(node.func))
+            for child in _ast_children(node):
+                visit(child)
+
+        visit(self.func.body)
+        return (worst + 7) & ~7
+
+    # ------------------------------------------------------------------ #
+    # prologue / epilogue
+
+    def _prologue(self) -> None:
+        if self.variable_frame:
+            self.emit("move $k0, $sp")
+            self.emit(f"subiu $sp, $sp, {self.frame_size}")
+            self.emit(f"addiu $k1, $zero, -{self.frame_align_target}")
+            self.emit("and $sp, $sp, $k1")
+            self.emit(f"sw $k0, {self.oldsp_offset}($sp)")
+        elif self.frame_size:
+            self.emit(f"subiu $sp, $sp, {self.frame_size}")
+        if self.has_calls:
+            self.emit(f"sw $ra, {self.ra_offset}($sp)")
+        for position, reg in enumerate(self.used_saved):
+            self.emit(f"sw {reg}, {self.save_base + 4 * position}($sp)")
+        for position, reg in enumerate(self.used_fsaved):
+            self.emit(f"s.d {reg}, {self.fsave_base + 8 * position}($sp)")
+        # move incoming parameters to their homes
+        for sym, reg, stack_off in self.param_incoming:
+            if sym.home is None:
+                continue
+            kind, where = sym.home
+            if reg is not None:
+                if kind == "sreg":
+                    self.emit(f"move {where}, {reg}")
+                elif kind == "freg":
+                    self.emit(f"mov.d {where}, {reg}")
+                elif kind == "frame":
+                    if _is_double(sym.ctype):
+                        self.emit(f"s.d {reg}, {where}($sp)")
+                    else:
+                        self.emit(f"sw {reg}, {where}($sp)")
+            else:
+                # incoming stack argument: load from the caller's frame
+                base = self._incoming_base()
+                if _is_double(sym.ctype):
+                    target = where if kind == "freg" else None
+                    temp = target or self.ftemps.alloc()
+                    self.emit(f"l.d {temp}, {stack_off}({base})")
+                    if kind == "frame":
+                        self.emit(f"s.d {temp}, {where}($sp)")
+                    if target is None:
+                        self.ftemps.release(temp)
+                else:
+                    target = where if kind == "sreg" else None
+                    temp = target or self.temps.alloc()
+                    self.emit(f"lw {temp}, {stack_off}({base})")
+                    if kind == "frame":
+                        self.emit(f"sw {temp}, {where}($sp)")
+                    if target is None:
+                        self.temps.release(temp)
+
+    def _incoming_base(self) -> str:
+        """Register holding the caller's $sp (for stack args)."""
+        if self.variable_frame:
+            self.emit(f"lw $k0, {self.oldsp_offset}($sp)")
+            return "$k0"
+        # fixed frame: caller sp = our sp + frame_size; fold statically by
+        # materializing into $k0 to keep offsets small.
+        self.emit(f"addiu $k0, $sp, {self.frame_size}")
+        return "$k0"
+
+    def _epilogue(self) -> None:
+        for position, reg in enumerate(self.used_fsaved):
+            self.emit(f"l.d {reg}, {self.fsave_base + 8 * position}($sp)")
+        for position, reg in enumerate(self.used_saved):
+            self.emit(f"lw {reg}, {self.save_base + 4 * position}($sp)")
+        if self.has_calls:
+            self.emit(f"lw $ra, {self.ra_offset}($sp)")
+        if self.variable_frame:
+            self.emit(f"lw $sp, {self.oldsp_offset}($sp)")
+        elif self.frame_size:
+            self.emit(f"addiu $sp, $sp, {self.frame_size}")
+        self.emit("jr $ra")
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def _gen_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self._gen_stmt(stmt)
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._discard(stmt.expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            if stmt.init is not None:
+                self._store_to_symbol(stmt.symbol, stmt.init)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_dowhile(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"b {self.break_labels[-1]}")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(f"b {self.continue_labels[-1]}")
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled statement {stmt!r}", stmt.line)
+
+    def _discard(self, expr: ast.Expr) -> None:
+        if _is_double(expr.ctype):
+            reg, owned = self._gen_expr_d(expr)
+            if owned:
+                self.ftemps.release(reg)
+        else:
+            reg, owned = self._gen_expr(expr)
+            if owned and reg is not None:
+                self.temps.release(reg)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        else_label = self.gen.new_label("else")
+        end_label = self.gen.new_label("endif") if stmt.else_stmt else else_label
+        self._gen_cond_false(stmt.cond, else_label)
+        self._gen_stmt(stmt.then_stmt)
+        if stmt.else_stmt is not None:
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self._gen_stmt(stmt.else_stmt)
+        self.emit_label(end_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        top = self.gen.new_label("while")
+        end = self.gen.new_label("endwhile")
+        self.emit_label(top)
+        self._gen_cond_false(stmt.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(f"b {top}")
+        self.emit_label(end)
+
+    def _gen_dowhile(self, stmt: ast.DoWhile) -> None:
+        top = self.gen.new_label("do")
+        cond_label = self.gen.new_label("docond")
+        end = self.gen.new_label("enddo")
+        self.emit_label(top)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond_label)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(cond_label)
+        self._gen_cond_true(stmt.cond, top)
+        self.emit_label(end)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        top = self.gen.new_label("for")
+        step_label = self.gen.new_label("forstep")
+        end = self.gen.new_label("endfor")
+        self.emit_label(top)
+        if stmt.cond is not None:
+            self._gen_cond_false(stmt.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(step_label)
+        self._gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self._discard(stmt.step)
+        self.emit(f"b {top}")
+        self.emit_label(end)
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        """Compare-chain lowering (MiniC does not build jump tables)."""
+        end = self.gen.new_label("endswitch")
+        selector, owned = self._gen_expr(stmt.expr)
+        selector = self._own(selector, owned)
+        case_labels = [self.gen.new_label("case") for __ in stmt.cases]
+        default_label = end
+        for case, label in zip(stmt.cases, case_labels):
+            if case.value is None:
+                default_label = label
+                continue
+            scratch = self.temps.alloc()
+            if -32768 <= case.value < 32768:
+                self.emit(f"addiu {scratch}, {selector}, {-case.value}")
+            else:
+                self.emit(f"li {scratch}, {case.value}")
+                self.emit(f"subu {scratch}, {selector}, {scratch}")
+            self.emit(f"beq {scratch}, $zero, {label}")
+            self.temps.release(scratch)
+        self.emit(f"b {default_label}")
+        self.temps.release(selector)
+        self.break_labels.append(end)
+        for case, label in zip(stmt.cases, case_labels):
+            self.emit_label(label)
+            for inner in case.stmts:
+                self._gen_stmt(inner)
+        self.break_labels.pop()
+        self.emit_label(end)
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if stmt.expr is not None:
+            if _is_double(stmt.expr.ctype):
+                reg, owned = self._gen_expr_d(stmt.expr)
+                self.emit(f"mov.d $f0, {reg}")
+                if owned:
+                    self.ftemps.release(reg)
+            else:
+                reg, owned = self._gen_expr(stmt.expr)
+                self.emit(f"move $v0, {reg}")
+                if owned:
+                    self.temps.release(reg)
+        self.emit(f"b {self.epilogue_label}")
+
+    # ------------------------------------------------------------------ #
+    # conditions
+
+    def _gen_cond_false(self, cond: ast.Expr, false_label: str) -> None:
+        """Branch to ``false_label`` when ``cond`` is false."""
+        self._gen_cond(cond, false_label, False)
+
+    def _gen_cond_true(self, cond: ast.Expr, true_label: str) -> None:
+        """Branch to ``true_label`` when ``cond`` is true."""
+        self._gen_cond(cond, true_label, True)
+
+    _REL_SWAP = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+    _REL_NEGATE = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}
+
+    def _gen_cond(self, cond: ast.Expr, label: str, jump_if_true: bool) -> None:
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._gen_cond(cond.operand, label, not jump_if_true)
+            return
+        if isinstance(cond, ast.IntLit):
+            truth = cond.value != 0
+            if truth == jump_if_true:
+                self.emit(f"b {label}")
+            return
+        if isinstance(cond, ast.Binary):
+            if cond.op == "&&":
+                if jump_if_true:
+                    skip = self.gen.new_label("and")
+                    self._gen_cond(cond.left, skip, False)
+                    self._gen_cond(cond.right, label, True)
+                    self.emit_label(skip)
+                else:
+                    self._gen_cond(cond.left, label, False)
+                    self._gen_cond(cond.right, label, False)
+                return
+            if cond.op == "||":
+                if jump_if_true:
+                    self._gen_cond(cond.left, label, True)
+                    self._gen_cond(cond.right, label, True)
+                else:
+                    skip = self.gen.new_label("or")
+                    self._gen_cond(cond.left, skip, True)
+                    self._gen_cond(cond.right, label, False)
+                    self.emit_label(skip)
+                return
+            if cond.op in ("==", "!=", "<", ">", "<=", ">="):
+                self._gen_relational_branch(cond, label, jump_if_true)
+                return
+        reg, owned = self._gen_expr(cond)
+        branch = "bne" if jump_if_true else "beq"
+        self.emit(f"{branch} {reg}, $zero, {label}")
+        if owned:
+            self.temps.release(reg)
+
+    def _gen_relational_branch(self, cond: ast.Binary, label: str,
+                               jump_if_true: bool) -> None:
+        op = cond.op if jump_if_true else self._REL_NEGATE[cond.op]
+        if _is_double(cond.left.ctype):
+            self._gen_fp_branch(cond, op, label)
+            return
+        left, lowned = self._gen_expr(cond.left)
+        right, rowned = self._gen_expr(cond.right)
+        slt = "sltu" if _unsigned_compare(cond) else "slt"
+        if op == "==":
+            self.emit(f"beq {left}, {right}, {label}")
+        elif op == "!=":
+            self.emit(f"bne {left}, {right}, {label}")
+        else:
+            scratch = self.temps.alloc()
+            if op == "<":
+                self.emit(f"{slt} {scratch}, {left}, {right}")
+                self.emit(f"bne {scratch}, $zero, {label}")
+            elif op == ">":
+                self.emit(f"{slt} {scratch}, {right}, {left}")
+                self.emit(f"bne {scratch}, $zero, {label}")
+            elif op == ">=":
+                self.emit(f"{slt} {scratch}, {left}, {right}")
+                self.emit(f"beq {scratch}, $zero, {label}")
+            else:  # <=
+                self.emit(f"{slt} {scratch}, {right}, {left}")
+                self.emit(f"beq {scratch}, $zero, {label}")
+            self.temps.release(scratch)
+        if lowned:
+            self.temps.release(left)
+        if rowned:
+            self.temps.release(right)
+
+    def _gen_fp_branch(self, cond: ast.Binary, op: str, label: str) -> None:
+        left, lowned = self._gen_expr_d(cond.left)
+        right, rowned = self._gen_expr_d(cond.right)
+        table = {
+            "==": ("c.eq.d", left, right, "bc1t"),
+            "!=": ("c.eq.d", left, right, "bc1f"),
+            "<": ("c.lt.d", left, right, "bc1t"),
+            ">=": ("c.lt.d", left, right, "bc1f"),
+            "<=": ("c.le.d", left, right, "bc1t"),
+            ">": ("c.le.d", left, right, "bc1f"),
+        }
+        compare, a, b, branch = table[op]
+        self.emit(f"{compare} {a}, {b}")
+        self.emit(f"{branch} {label}")
+        if lowned:
+            self.ftemps.release(left)
+        if rowned:
+            self.ftemps.release(right)
+
+    # ------------------------------------------------------------------ #
+    # addressing
+
+    def _gen_addr(self, expr: ast.Expr) -> Addr:
+        """Compute the location of an lvalue (or array value)."""
+        if isinstance(expr, ast.VarRef):
+            sym = expr.symbol
+            if sym.storage == "global":
+                kind = "gp" if sym.gp_addressable else "abs"
+                return Addr(kind, symbol=sym.asm_name, offset=0)
+            if sym.home is None:
+                raise CompileError(f"no home for {sym.name}", expr.line)
+            home_kind, where = sym.home
+            if home_kind == "frame":
+                return Addr("frame", offset=where)
+            raise CompileError(
+                f"address of register variable {sym.name}", expr.line
+            )
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            # the base register is read, never written, before the access,
+            # so a non-owned home register can be used directly.
+            reg, _owned = self._gen_expr(expr.operand)
+            return Addr("reg", reg=reg, offset=0)
+        if isinstance(expr, ast.Index):
+            return self._gen_index_addr(expr)
+        if isinstance(expr, ast.Member):
+            return self._gen_member_addr(expr)
+        raise CompileError("cannot take the address of this expression", expr.line)
+
+    def _gen_index_addr(self, expr: ast.Index) -> Addr:
+        base_type = expr.base.ctype
+        if isinstance(base_type, ArrayType):
+            base_addr = self._gen_addr(expr.base)
+            element = base_type.element
+        else:
+            reg, _owned = self._gen_expr(expr.base)
+            base_addr = Addr("reg", reg=reg, offset=0)
+            element = decay(base_type).target
+        size = max(element.size, 1)
+        if isinstance(expr.index, ast.IntLit):
+            return self._addr_add_const(base_addr, expr.index.value * size)
+        index_reg, index_owned = self._gen_expr(expr.index)
+        scaled = self.temps.alloc()
+        if size == 1:
+            self.emit(f"move {scaled}, {index_reg}")
+        elif is_pow2(size):
+            self.emit(f"sll {scaled}, {index_reg}, {log2_exact(size)}")
+        else:
+            self.emit(f"li $at, {size}")
+            self.emit(f"mult {index_reg}, $at")
+            self.emit(f"mflo {scaled}")
+        if index_owned:
+            self.temps.release(index_reg)
+        base_reg = self._materialize(base_addr)
+        if self.options.use_reg_reg:
+            return Addr("regreg", reg=base_reg, index=scaled)
+        combined = self.temps.alloc()
+        self.emit(f"addu {combined}, {base_reg}, {scaled}")
+        self.temps.release(base_reg)
+        self.temps.release(scaled)
+        return Addr("reg", reg=combined, offset=0)
+
+    def _gen_member_addr(self, expr: ast.Member) -> Addr:
+        if expr.arrow:
+            reg, _owned = self._gen_expr(expr.base)
+            base_addr = Addr("reg", reg=reg, offset=0)
+            struct = decay(expr.base.ctype).target
+        else:
+            base_addr = self._gen_addr(expr.base)
+            struct = expr.base.ctype
+        if not isinstance(struct, StructType):
+            raise CompileError("member access on non-struct", expr.line)
+        return self._addr_add_const(base_addr, struct.offsets[expr.field])
+
+    def _addr_add_const(self, addr: Addr, delta: int) -> Addr:
+        if delta == 0:
+            return addr
+        if addr.kind == "regreg":
+            base = self._materialize(addr)
+            return Addr("reg", reg=base, offset=delta)
+        return Addr(addr.kind, reg=addr.reg, index=addr.index,
+                    offset=addr.offset + delta, symbol=addr.symbol)
+
+    def _materialize(self, addr: Addr) -> str:
+        """Force an address into a register (returned reg is owned)."""
+        if addr.kind == "reg" and addr.offset == 0:
+            return addr.reg
+        reg = self.temps.alloc()
+        if addr.kind == "gp":
+            self.emit(f"addiu {reg}, $gp, %gprel({self._sym(addr)})")
+        elif addr.kind == "abs":
+            self.emit(f"la {reg}, {self._sym(addr)}")
+        elif addr.kind == "frame":
+            self.emit(f"addiu {reg}, $sp, {addr.offset}")
+        elif addr.kind == "reg":
+            self.emit(f"addiu {reg}, {addr.reg}, {addr.offset}")
+            self.temps.release(addr.reg)
+        elif addr.kind == "regreg":
+            self.emit(f"addu {reg}, {addr.reg}, {addr.index}")
+            self.temps.release(addr.reg)
+            self.temps.release(addr.index)
+        return reg
+
+    @staticmethod
+    def _sym(addr: Addr) -> str:
+        if addr.offset:
+            return f"{addr.symbol}+{addr.offset}" if addr.offset > 0 \
+                else f"{addr.symbol}-{-addr.offset}"
+        return addr.symbol
+
+    def _release_addr(self, addr: Addr) -> None:
+        if addr.reg and addr.reg in INT_TEMPS:
+            self.temps.release(addr.reg)
+        if addr.index and addr.index in INT_TEMPS:
+            self.temps.release(addr.index)
+
+    # load/store opcode selection -------------------------------------- #
+
+    @staticmethod
+    def _load_op(ctype: Type, indexed: bool) -> str:
+        if _is_double(ctype):
+            return "ldxc1" if indexed else "l.d"
+        if ctype.size == 1:
+            return "lbux" if indexed else "lbu"
+        return "lwx" if indexed else "lw"
+
+    @staticmethod
+    def _store_op(ctype: Type, indexed: bool) -> str:
+        if _is_double(ctype):
+            return "sdxc1" if indexed else "s.d"
+        if ctype.size == 1:
+            return "sbx" if indexed else "sb"
+        return "swx" if indexed else "sw"
+
+    def _emit_load(self, target: str, addr: Addr, ctype: Type) -> None:
+        indexed = addr.kind == "regreg"
+        op = self._load_op(ctype, indexed)
+        if addr.kind == "gp":
+            self.emit(f"{op} {target}, %gprel({self._sym(addr)})($gp)")
+        elif addr.kind == "abs":
+            scratch = self.temps.alloc()
+            self.emit(f"lui {scratch}, %hi({self._sym(addr)})")
+            self.emit(f"{op} {target}, %lo({self._sym(addr)})({scratch})")
+            self.temps.release(scratch)
+        elif addr.kind == "frame":
+            self.emit(f"{op} {target}, {addr.offset}($sp)")
+        elif addr.kind == "reg":
+            self.emit(f"{op} {target}, {addr.offset}({addr.reg})")
+        else:  # regreg
+            self.emit(f"{op} {target}, {addr.index}({addr.reg})")
+
+    def _emit_store(self, source: str, addr: Addr, ctype: Type) -> None:
+        indexed = addr.kind == "regreg"
+        op = self._store_op(ctype, indexed)
+        if addr.kind == "gp":
+            self.emit(f"{op} {source}, %gprel({self._sym(addr)})($gp)")
+        elif addr.kind == "abs":
+            scratch = self.temps.alloc()
+            self.emit(f"lui {scratch}, %hi({self._sym(addr)})")
+            self.emit(f"{op} {source}, %lo({self._sym(addr)})({scratch})")
+            self.temps.release(scratch)
+        elif addr.kind == "frame":
+            self.emit(f"{op} {source}, {addr.offset}($sp)")
+        elif addr.kind == "reg":
+            self.emit(f"{op} {source}, {addr.offset}({addr.reg})")
+        else:
+            self.emit(f"{op} {source}, {addr.index}({addr.reg})")
+
+    # ------------------------------------------------------------------ #
+    # expressions (integer/pointer)
+
+    def _own(self, reg: str, owned: bool) -> str:
+        """Ensure the value is in an owned temp (copy if needed)."""
+        if owned:
+            return reg
+        temp = self.temps.alloc()
+        self.emit(f"move {temp}, {reg}")
+        return temp
+
+    def _gen_expr(self, expr: ast.Expr) -> tuple[str, bool]:
+        """Generate an int/pointer value; returns (reg, owned)."""
+        if _is_double(expr.ctype):
+            raise CompileError("internal: double in int context", expr.line)
+        method = getattr(self, "_gi_" + type(expr).__name__, None)
+        if method is None:  # pragma: no cover
+            raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line)
+        return method(expr)
+
+    def _gi_IntLit(self, expr: ast.IntLit) -> tuple[str, bool]:
+        reg = self.temps.alloc()
+        self.emit(f"li {reg}, {expr.value}")
+        return reg, True
+
+    def _gi_StrLit(self, expr: ast.StrLit) -> tuple[str, bool]:
+        reg = self.temps.alloc()
+        self.emit(f"la {reg}, {expr.label}")
+        return reg, True
+
+    def _gi_SizeofType(self, expr: ast.SizeofType) -> tuple[str, bool]:
+        reg = self.temps.alloc()
+        self.emit(f"li {reg}, {expr.query_type.size}")
+        return reg, True
+
+    def _gi_VarRef(self, expr: ast.VarRef) -> tuple[str, bool]:
+        sym = expr.symbol
+        if isinstance(sym.ctype, ArrayType):
+            addr = self._gen_addr(expr)
+            return self._materialize(addr), True
+        if sym.home is not None and sym.home[0] == "sreg":
+            return sym.home[1], False
+        addr = self._gen_addr(expr)
+        reg = self.temps.alloc()
+        self._emit_load(reg, addr, sym.ctype)
+        self._release_addr(addr)
+        return reg, True
+
+    def _gi_Unary(self, expr: ast.Unary) -> tuple[str, bool]:
+        op = expr.op
+        if op == "&":
+            addr = self._gen_addr(expr.operand)
+            return self._materialize(addr), True
+        if op == "*":
+            fused = self._try_postinc_access(expr, store_value=None)
+            if fused is not None:
+                return fused, True
+            addr = self._gen_addr(expr)
+            reg = self.temps.alloc()
+            self._emit_load(reg, addr, expr.ctype)
+            self._release_addr(addr)
+            return reg, True
+        source, owned = self._gen_expr(expr.operand)
+        reg = self.temps.alloc()
+        if op == "-":
+            self.emit(f"subu {reg}, $zero, {source}")
+        elif op == "!":
+            self.emit(f"sltiu {reg}, {source}, 1")
+        elif op == "~":
+            self.emit(f"nor {reg}, {source}, $zero")
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled unary {op}", expr.line)
+        if owned:
+            self.temps.release(source)
+        return reg, True
+
+    def _try_postinc_access(self, expr: ast.Unary, store_value: str | None):
+        """Fuse ``*p++`` / ``*p--`` into the extended post-increment
+        addressing mode (``lwpi``/``swpi``) when the pointer lives in a
+        register and points at word-sized scalars. The access uses the
+        raw base register value, so it always predicts correctly under
+        fast address calculation -- the mode's whole purpose."""
+        inner = expr.operand
+        if not (isinstance(inner, ast.IncDec) and not inner.is_prefix):
+            return None
+        target = inner.target
+        if not (isinstance(target, ast.VarRef) and target.symbol is not None
+                and target.symbol.home and target.symbol.home[0] == "sreg"):
+            return None
+        pointer_type = decay(target.ctype)
+        if not pointer_type.is_pointer:
+            return None
+        element = pointer_type.target
+        if _is_double(element) or element.size != 4:
+            return None  # lwpi/swpi are word-only
+        step = element.size if inner.op == "++" else -element.size
+        home = target.symbol.home[1]
+        if store_value is not None:
+            self.emit(f"swpi {store_value}, ({home})+{step}")
+            return "stored"
+        reg = self.temps.alloc()
+        self.emit(f"lwpi {reg}, ({home})+{step}")
+        return reg
+
+    def _gi_Index(self, expr: ast.Index) -> tuple[str, bool]:
+        if isinstance(expr.ctype, ArrayType):
+            addr = self._gen_index_addr(expr)
+            return self._materialize(addr), True
+        addr = self._gen_index_addr(expr)
+        reg = self.temps.alloc()
+        self._emit_load(reg, addr, expr.ctype)
+        self._release_addr(addr)
+        return reg, True
+
+    def _gi_Member(self, expr: ast.Member) -> tuple[str, bool]:
+        addr = self._gen_member_addr(expr)
+        if isinstance(expr.ctype, ArrayType):
+            return self._materialize(addr), True
+        reg = self.temps.alloc()
+        self._emit_load(reg, addr, expr.ctype)
+        self._release_addr(addr)
+        return reg, True
+
+    def _gi_Cast(self, expr: ast.Cast) -> tuple[str, bool]:
+        if _is_double(expr.expr.ctype):
+            # double -> integer: truncate (then mask for char targets)
+            freg, owned = self._gen_expr_d(expr.expr)
+            scratch = self.ftemps.alloc()
+            self.emit(f"trunc.w.d {scratch}, {freg}")
+            reg = self.temps.alloc()
+            self.emit(f"mfc1 {reg}, {scratch}")
+            self.ftemps.release(scratch)
+            if owned:
+                self.ftemps.release(freg)
+            if expr.target_type == CHAR:
+                self.emit(f"andi {reg}, {reg}, 255")
+            return reg, True
+        reg, owned = self._gen_expr(expr.expr)
+        if expr.target_type == CHAR:
+            out = self.temps.alloc()
+            self.emit(f"andi {out}, {reg}, 255")
+            if owned:
+                self.temps.release(reg)
+            return out, True
+        return reg, owned
+
+    def _gi_Ternary(self, expr: ast.Ternary) -> tuple[str, bool]:
+        else_label = self.gen.new_label("terne")
+        end_label = self.gen.new_label("ternx")
+        result = self.temps.alloc()
+        self._gen_cond_false(expr.cond, else_label)
+        reg, owned = self._gen_expr(expr.then_expr)
+        self.emit(f"move {result}, {reg}")
+        if owned:
+            self.temps.release(reg)
+        self.emit(f"b {end_label}")
+        self.emit_label(else_label)
+        reg, owned = self._gen_expr(expr.else_expr)
+        self.emit(f"move {result}, {reg}")
+        if owned:
+            self.temps.release(reg)
+        self.emit_label(end_label)
+        return result, True
+
+    def _gi_Assign(self, expr: ast.Assign) -> tuple[str, bool]:
+        return self._gen_assign(expr, want_value=True)
+
+    def _gi_IncDec(self, expr: ast.IncDec) -> tuple[str, bool]:
+        return self._gen_incdec(expr, want_value=True)
+
+    def _gi_Call(self, expr: ast.Call) -> tuple[str, bool]:
+        return self._gen_call(expr)
+
+    def _gi_Binary(self, expr: ast.Binary) -> tuple[str, bool]:
+        op = expr.op
+        if op == ",":
+            self._discard(expr.left)
+            return self._gen_expr(expr.right)
+        if op in ("&&", "||"):
+            return self._gen_logical(expr)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return self._gen_relational_value(expr)
+        left_type = decay(expr.left.ctype)
+        right_type = decay(expr.right.ctype)
+        # pointer arithmetic
+        if op in ("+", "-") and left_type.is_pointer and right_type.is_integer:
+            return self._gen_pointer_arith(expr, left_type)
+        if op == "+" and left_type.is_integer and right_type.is_pointer:
+            mirrored = ast.Binary("+", expr.right, expr.left, expr.line)
+            mirrored.ctype = expr.ctype
+            return self._gen_pointer_arith(mirrored, right_type)
+        if op == "-" and left_type.is_pointer and right_type.is_pointer:
+            return self._gen_pointer_diff(expr, left_type)
+        return self._gen_int_binary(expr)
+
+    def _gen_int_binary(self, expr: ast.Binary) -> tuple[str, bool]:
+        op = expr.op
+        unsigned = isinstance(expr.ctype, IntType) and not expr.ctype.signed
+        left, lowned = self._gen_expr(expr.left)
+        # immediate peepholes
+        if isinstance(expr.right, ast.IntLit):
+            value = expr.right.value
+            folded = self._int_binary_imm(op, left, value, unsigned)
+            if folded is not None:
+                if lowned:
+                    self.temps.release(left)
+                return folded, True
+        right, rowned = self._gen_expr(expr.right)
+        reg = self.temps.alloc()
+        if op == "+":
+            self.emit(f"addu {reg}, {left}, {right}")
+        elif op == "-":
+            self.emit(f"subu {reg}, {left}, {right}")
+        elif op == "*":
+            self.emit(f"mult {left}, {right}")
+            self.emit(f"mflo {reg}")
+        elif op == "/":
+            self.emit(f"{'divu' if unsigned else 'div'} {left}, {right}")
+            self.emit(f"mflo {reg}")
+        elif op == "%":
+            self.emit(f"{'divu' if unsigned else 'div'} {left}, {right}")
+            self.emit(f"mfhi {reg}")
+        elif op == "&":
+            self.emit(f"and {reg}, {left}, {right}")
+        elif op == "|":
+            self.emit(f"or {reg}, {left}, {right}")
+        elif op == "^":
+            self.emit(f"xor {reg}, {left}, {right}")
+        elif op == "<<":
+            self.emit(f"sllv {reg}, {left}, {right}")
+        elif op == ">>":
+            shift = "srlv" if unsigned else "srav"
+            self.emit(f"{shift} {reg}, {left}, {right}")
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled binary {op}", expr.line)
+        if lowned:
+            self.temps.release(left)
+        if rowned:
+            self.temps.release(right)
+        return reg, True
+
+    def _int_binary_imm(self, op: str, left: str, value: int,
+                        unsigned: bool) -> str | None:
+        """Immediate-form peepholes; returns result reg or None."""
+        reg = None
+        if op == "+" and -32768 <= value < 32768:
+            reg = self.temps.alloc()
+            self.emit(f"addiu {reg}, {left}, {value}")
+        elif op == "-" and -32767 <= value < 32769:
+            reg = self.temps.alloc()
+            self.emit(f"addiu {reg}, {left}, {-value}")
+        elif op == "&" and 0 <= value < 65536:
+            reg = self.temps.alloc()
+            self.emit(f"andi {reg}, {left}, {value}")
+        elif op == "|" and 0 <= value < 65536:
+            reg = self.temps.alloc()
+            self.emit(f"ori {reg}, {left}, {value}")
+        elif op == "^" and 0 <= value < 65536:
+            reg = self.temps.alloc()
+            self.emit(f"xori {reg}, {left}, {value}")
+        elif op == "<<" and 0 <= value < 32:
+            reg = self.temps.alloc()
+            self.emit(f"sll {reg}, {left}, {value}")
+        elif op == ">>" and 0 <= value < 32:
+            reg = self.temps.alloc()
+            shift = "srl" if unsigned else "sra"
+            self.emit(f"{shift} {reg}, {left}, {value}")
+        elif op == "*" and value != 0 and is_pow2(abs(value)) and value > 0:
+            reg = self.temps.alloc()
+            self.emit(f"sll {reg}, {left}, {log2_exact(value)}")
+        elif op == "/" and value > 0 and is_pow2(value) and unsigned:
+            reg = self.temps.alloc()
+            self.emit(f"srl {reg}, {left}, {log2_exact(value)}")
+        elif op == "%" and value > 0 and is_pow2(value) and unsigned:
+            reg = self.temps.alloc()
+            self.emit(f"andi {reg}, {left}, {value - 1}")
+        return reg
+
+    def _gen_pointer_arith(self, expr: ast.Binary, ptr_type: Type) -> tuple[str, bool]:
+        size = max(ptr_type.target.size, 1)
+        left, lowned = self._gen_expr(expr.left)
+        if isinstance(expr.right, ast.IntLit):
+            delta = expr.right.value * size
+            if expr.op == "-":
+                delta = -delta
+            reg = self.temps.alloc()
+            if -32768 <= delta < 32768:
+                self.emit(f"addiu {reg}, {left}, {delta}")
+            else:
+                self.emit(f"li $at, {delta}")
+                self.emit(f"addu {reg}, {left}, $at")
+            if lowned:
+                self.temps.release(left)
+            return reg, True
+        right, rowned = self._gen_expr(expr.right)
+        scaled = self.temps.alloc()
+        if size == 1:
+            self.emit(f"move {scaled}, {right}")
+        elif is_pow2(size):
+            self.emit(f"sll {scaled}, {right}, {log2_exact(size)}")
+        else:
+            self.emit(f"li $at, {size}")
+            self.emit(f"mult {right}, $at")
+            self.emit(f"mflo {scaled}")
+        if rowned:
+            self.temps.release(right)
+        reg = self.temps.alloc()
+        mnemonic = "addu" if expr.op == "+" else "subu"
+        self.emit(f"{mnemonic} {reg}, {left}, {scaled}")
+        self.temps.release(scaled)
+        if lowned:
+            self.temps.release(left)
+        return reg, True
+
+    def _gen_pointer_diff(self, expr: ast.Binary, ptr_type: Type) -> tuple[str, bool]:
+        size = max(ptr_type.target.size, 1)
+        left, lowned = self._gen_expr(expr.left)
+        right, rowned = self._gen_expr(expr.right)
+        reg = self.temps.alloc()
+        self.emit(f"subu {reg}, {left}, {right}")
+        if is_pow2(size) and size > 1:
+            self.emit(f"sra {reg}, {reg}, {log2_exact(size)}")
+        elif size > 1:
+            self.emit(f"li $at, {size}")
+            self.emit(f"div {reg}, $at")
+            self.emit(f"mflo {reg}")
+        if lowned:
+            self.temps.release(left)
+        if rowned:
+            self.temps.release(right)
+        return reg, True
+
+    def _gen_logical(self, expr: ast.Binary) -> tuple[str, bool]:
+        result = self.temps.alloc()
+        false_label = self.gen.new_label("lfalse")
+        end_label = self.gen.new_label("lend")
+        self._gen_cond_false(expr, false_label)
+        self.emit(f"li {result}, 1")
+        self.emit(f"b {end_label}")
+        self.emit_label(false_label)
+        self.emit(f"li {result}, 0")
+        self.emit_label(end_label)
+        return result, True
+
+    def _gen_relational_value(self, expr: ast.Binary) -> tuple[str, bool]:
+        if _is_double(expr.left.ctype):
+            return self._gen_logical(expr)
+        left, lowned = self._gen_expr(expr.left)
+        right, rowned = self._gen_expr(expr.right)
+        slt = "sltu" if _unsigned_compare(expr) else "slt"
+        reg = self.temps.alloc()
+        op = expr.op
+        if op == "==":
+            self.emit(f"xor {reg}, {left}, {right}")
+            self.emit(f"sltiu {reg}, {reg}, 1")
+        elif op == "!=":
+            self.emit(f"xor {reg}, {left}, {right}")
+            self.emit(f"sltu {reg}, $zero, {reg}")
+        elif op == "<":
+            self.emit(f"{slt} {reg}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"{slt} {reg}, {right}, {left}")
+        elif op == ">=":
+            self.emit(f"{slt} {reg}, {left}, {right}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        else:  # <=
+            self.emit(f"{slt} {reg}, {right}, {left}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        if lowned:
+            self.temps.release(left)
+        if rowned:
+            self.temps.release(right)
+        return reg, True
+
+    # ------------------------------------------------------------------ #
+    # assignment and inc/dec
+
+    def _store_to_symbol(self, sym: VarSymbol, value: ast.Expr) -> None:
+        """Initialize a local from an expression."""
+        if _is_double(sym.ctype):
+            reg, owned = self._gen_expr_d(value)
+            if sym.home and sym.home[0] == "freg":
+                self.emit(f"mov.d {sym.home[1]}, {reg}")
+            else:
+                self.emit(f"s.d {reg}, {sym.home[1]}($sp)")
+            if owned:
+                self.ftemps.release(reg)
+            return
+        reg, owned = self._gen_expr(value)
+        if sym.home and sym.home[0] == "sreg":
+            self.emit(f"move {sym.home[1]}, {reg}")
+        else:
+            self.emit(f"sw {reg}, {sym.home[1]}($sp)")
+        if owned:
+            self.temps.release(reg)
+
+    def _gen_assign(self, expr: ast.Assign, want_value: bool):
+        target = expr.target
+        ttype = decay(target.ctype)
+        if _is_double(ttype):
+            return self._gen_assign_d(expr, want_value)
+        # compute the value (with compound-op read-modify-write)
+        if expr.op is None:
+            if isinstance(target, ast.Unary) and target.op == "*" \
+                    and isinstance(target.operand, ast.IncDec) \
+                    and not _is_double(ttype):
+                reg, owned = self._gen_expr(expr.value)
+                if self._try_postinc_access(target, store_value=reg) is not None:
+                    if want_value:
+                        return reg, owned
+                    if owned:
+                        self.temps.release(reg)
+                    return None, False
+                # fall back to the general path below
+                addr = self._gen_addr(target)
+                self._emit_store(reg, addr, ttype)
+                self._release_addr(addr)
+                if want_value:
+                    return reg, owned
+                if owned:
+                    self.temps.release(reg)
+                return None, False
+            if isinstance(target, ast.VarRef) and target.symbol.home \
+                    and target.symbol.home[0] == "sreg":
+                reg, owned = self._gen_expr(expr.value)
+                home = target.symbol.home[1]
+                self.emit(f"move {home}, {reg}")
+                if owned:
+                    self.temps.release(reg)
+                return (home, False) if want_value else (None, False)
+            addr = self._gen_addr(target)
+            reg, owned = self._gen_expr(expr.value)
+            self._emit_store(reg, addr, ttype)
+            self._release_addr(addr)
+            if want_value:
+                return reg, owned
+            if owned:
+                self.temps.release(reg)
+            return None, False
+        # compound assignment: rebuild as target = target OP value
+        combined = ast.Binary(expr.op, expr.target, expr.value, expr.line)
+        combined.ctype = expr.ctype if not decay(expr.target.ctype).is_pointer \
+            else decay(expr.target.ctype)
+        plain = ast.Assign(expr.target, combined, None, expr.line)
+        plain.ctype = expr.ctype
+        return self._gen_assign(plain, want_value)
+
+    def _gen_assign_d(self, expr: ast.Assign, want_value: bool):
+        target = expr.target
+        if expr.op is not None:
+            combined = ast.Binary(expr.op, expr.target, expr.value, expr.line)
+            combined.ctype = DOUBLE
+            plain = ast.Assign(expr.target, combined, None, expr.line)
+            plain.ctype = DOUBLE
+            return self._gen_assign_d(plain, want_value)
+        if isinstance(target, ast.VarRef) and target.symbol.home \
+                and target.symbol.home[0] == "freg":
+            reg, owned = self._gen_expr_d(expr.value)
+            home = target.symbol.home[1]
+            self.emit(f"mov.d {home}, {reg}")
+            if owned:
+                self.ftemps.release(reg)
+            return (home, False) if want_value else (None, False)
+        addr = self._gen_addr(target)
+        reg, owned = self._gen_expr_d(expr.value)
+        self._emit_store(reg, addr, DOUBLE)
+        self._release_addr(addr)
+        if want_value:
+            return reg, owned
+        if owned:
+            self.ftemps.release(reg)
+        return None, False
+
+    def _gen_incdec(self, expr: ast.IncDec, want_value: bool):
+        target = expr.target
+        ttype = decay(target.ctype)
+        step = max(ttype.target.size, 1) if ttype.is_pointer else 1
+        if expr.op == "--":
+            step = -step
+        if isinstance(target, ast.VarRef) and target.symbol.home \
+                and target.symbol.home[0] == "sreg":
+            home = target.symbol.home[1]
+            if want_value and not expr.is_prefix:
+                old = self.temps.alloc()
+                self.emit(f"move {old}, {home}")
+                self.emit(f"addiu {home}, {home}, {step}")
+                return old, True
+            self.emit(f"addiu {home}, {home}, {step}")
+            return (home, False) if want_value else (None, False)
+        addr = self._gen_addr(target)
+        current = self.temps.alloc()
+        self._emit_load(current, addr, ttype)
+        updated = self.temps.alloc()
+        self.emit(f"addiu {updated}, {current}, {step}")
+        self._emit_store(updated, addr, ttype)
+        self._release_addr(addr)
+        if want_value and not expr.is_prefix:
+            self.temps.release(updated)
+            return current, True
+        self.temps.release(current)
+        if want_value:
+            return updated, True
+        self.temps.release(updated)
+        return None, False
+
+    # ------------------------------------------------------------------ #
+    # calls
+
+    def _gen_call(self, expr: ast.Call):
+        func = expr.func
+        if func.builtin:
+            return self._gen_builtin(expr)
+        # evaluate arguments into temps first
+        int_values: list[tuple[int, str, bool]] = []   # (slot, reg, owned)
+        fp_values: list[tuple[int, str, bool]] = []
+        stack_stores: list[tuple[int, str, bool, bool]] = []  # (off, reg, owned, fp)
+        int_slot = fp_slot = stack_off = 0
+        for arg, want in zip(expr.args, func.param_types):
+            if _is_double(want):
+                reg, owned = self._gen_expr_d(arg)
+                if fp_slot < len(FP_ARGS):
+                    fp_values.append((fp_slot, reg, owned))
+                    fp_slot += 1
+                else:
+                    stack_off = (stack_off + 7) & ~7
+                    stack_stores.append((stack_off, reg, owned, True))
+                    stack_off += 8
+            else:
+                reg, owned = self._gen_expr(arg)
+                if int_slot < len(INT_ARGS):
+                    int_values.append((int_slot, reg, owned))
+                    int_slot += 1
+                else:
+                    stack_stores.append((stack_off, reg, owned, False))
+                    stack_off += 4
+        # stack args go to the bottom of our frame (the callee reads them
+        # relative to OUR sp, which is its "caller sp")... they must be
+        # placed *below* our frame: at negative offsets? No: the callee
+        # computes caller_sp = its sp + its frame, which equals OUR sp.
+        # So outgoing args live at our sp + 0 .. -- the outgoing area.
+        for off, reg, owned, is_fp in stack_stores:
+            if is_fp:
+                self.emit(f"s.d {reg}, {off}($sp)")
+                if owned:
+                    self.ftemps.release(reg)
+            else:
+                self.emit(f"sw {reg}, {off}($sp)")
+                if owned:
+                    self.temps.release(reg)
+        for slot, reg, owned in fp_values:
+            self.emit(f"mov.d {FP_ARGS[slot]}, {reg}")
+            if owned:
+                self.ftemps.release(reg)
+        for slot, reg, owned in int_values:
+            self.emit(f"move {INT_ARGS[slot]}, {reg}")
+            if owned:
+                self.temps.release(reg)
+        # spill any remaining live temps across the call
+        saved = [r for r in self.temps.live_regs()]
+        fsaved = [r for r in self.ftemps.live_regs()]
+        for reg in saved:
+            slot = self.spill_base + 4 * INT_TEMPS.index(reg)
+            self.emit(f"sw {reg}, {slot}($sp)")
+        for reg in fsaved:
+            slot = self.fspill_base + 8 * FP_TEMPS.index(reg)
+            self.emit(f"s.d {reg}, {slot}($sp)")
+        self.emit(f"jal {expr.name}")
+        for reg in saved:
+            slot = self.spill_base + 4 * INT_TEMPS.index(reg)
+            self.emit(f"lw {reg}, {slot}($sp)")
+        for reg in fsaved:
+            slot = self.fspill_base + 8 * FP_TEMPS.index(reg)
+            self.emit(f"l.d {reg}, {slot}($sp)")
+        # result
+        if _is_double(func.ret_type):
+            reg = self.ftemps.alloc()
+            self.emit(f"mov.d {reg}, $f0")
+            return reg, True
+        reg = self.temps.alloc()
+        self.emit(f"move {reg}, $v0")
+        return reg, True
+
+    _SYSCALLS = {
+        "print_int": 1, "print_double": 3, "print_str": 4,
+        "sbrk": 9, "exit": 17, "print_char": 11,  # exit2 carries the code
+    }
+
+    def _gen_builtin(self, expr: ast.Call):
+        name = expr.func.builtin
+        if name == "sqrt":
+            source, owned = self._gen_expr_d(expr.args[0])
+            reg = self.ftemps.alloc()
+            self.emit(f"sqrt.d {reg}, {source}")
+            if owned:
+                self.ftemps.release(source)
+            return reg, True
+        number = self._SYSCALLS[name]
+        if name == "print_double":
+            reg, owned = self._gen_expr_d(expr.args[0])
+            self.emit(f"mov.d $f12, {reg}")
+            if owned:
+                self.ftemps.release(reg)
+        elif expr.args:
+            reg, owned = self._gen_expr(expr.args[0])
+            self.emit(f"move $a0, {reg}")
+            if owned:
+                self.temps.release(reg)
+        self.emit(f"li $v0, {number}")
+        self.emit("syscall")
+        if name == "sbrk":
+            reg = self.temps.alloc()
+            self.emit(f"move {reg}, $v0")
+            return reg, True
+        return None, False
+
+    # ------------------------------------------------------------------ #
+    # expressions (double)
+
+    def _gen_expr_d(self, expr: ast.Expr) -> tuple[str, bool]:
+        """Generate a double value; returns (freg, owned)."""
+        if isinstance(expr, ast.FloatLit):
+            reg = self.ftemps.alloc()
+            self.emit(f"li.d {reg}, {expr.value!r}")
+            return reg, True
+        if isinstance(expr, ast.VarRef):
+            sym = expr.symbol
+            if sym.home is not None and sym.home[0] == "freg":
+                return sym.home[1], False
+            addr = self._gen_addr(expr)
+            reg = self.ftemps.alloc()
+            self._emit_load(reg, addr, DOUBLE)
+            self._release_addr(addr)
+            return reg, True
+        if isinstance(expr, (ast.Index, ast.Member)) or (
+            isinstance(expr, ast.Unary) and expr.op == "*"
+        ):
+            addr = self._gen_addr(expr)
+            reg = self.ftemps.alloc()
+            self._emit_load(reg, addr, DOUBLE)
+            self._release_addr(addr)
+            return reg, True
+        if isinstance(expr, ast.Cast):
+            if _is_double(expr.expr.ctype):
+                return self._gen_expr_d(expr.expr)  # double -> double: no-op
+            # int -> double
+            source, owned = self._gen_expr(expr.expr)
+            reg = self.ftemps.alloc()
+            self.emit(f"mtc1 {source}, {reg}")
+            self.emit(f"cvt.d.w {reg}, {reg}")
+            if owned:
+                self.temps.release(source)
+            return reg, True
+        if isinstance(expr, ast.Binary):
+            return self._gen_double_binary(expr)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            source, owned = self._gen_expr_d(expr.operand)
+            reg = self.ftemps.alloc()
+            self.emit(f"neg.d {reg}, {source}")
+            if owned:
+                self.ftemps.release(source)
+            return reg, True
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign_d(expr, want_value=True)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        if isinstance(expr, ast.Ternary):
+            else_label = self.gen.new_label("dterne")
+            end_label = self.gen.new_label("dternx")
+            result = self.ftemps.alloc()
+            self._gen_cond_false(expr.cond, else_label)
+            reg, owned = self._gen_expr_d(expr.then_expr)
+            self.emit(f"mov.d {result}, {reg}")
+            if owned:
+                self.ftemps.release(reg)
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            reg, owned = self._gen_expr_d(expr.else_expr)
+            self.emit(f"mov.d {result}, {reg}")
+            if owned:
+                self.ftemps.release(reg)
+            self.emit_label(end_label)
+            return result, True
+        raise CompileError(
+            f"unhandled double expression {type(expr).__name__}", expr.line
+        )
+
+    def _gen_double_binary(self, expr: ast.Binary) -> tuple[str, bool]:
+        table = {"+": "add.d", "-": "sub.d", "*": "mul.d", "/": "div.d"}
+        mnemonic = table.get(expr.op)
+        if mnemonic is None:
+            raise CompileError(f"bad double operator {expr.op!r}", expr.line)
+        left, lowned = self._gen_expr_d(expr.left)
+        right, rowned = self._gen_expr_d(expr.right)
+        reg = self.ftemps.alloc()
+        self.emit(f"{mnemonic} {reg}, {left}, {right}")
+        if lowned:
+            self.ftemps.release(left)
+        if rowned:
+            self.ftemps.release(right)
+        return reg, True
+
+
+def _unsigned_compare(expr: ast.Binary) -> bool:
+    """Use unsigned comparison when either operand is unsigned or a
+    pointer (C's usual arithmetic conversions, reduced to MiniC)."""
+    for side in (expr.left.ctype, expr.right.ctype):
+        ctype = decay(side)
+        if ctype.is_pointer:
+            return True
+        if isinstance(ctype, IntType) and not ctype.signed:
+            return True
+    return False
+
+
+def _stack_arg_bytes(func: FuncSymbol) -> int:
+    int_slot = fp_slot = stack = 0
+    for param in func.param_types:
+        if _is_double(param):
+            if fp_slot < len(FP_ARGS):
+                fp_slot += 1
+            else:
+                stack = ((stack + 7) & ~7) + 8
+        else:
+            if int_slot < len(INT_ARGS):
+                int_slot += 1
+            else:
+                stack += 4
+    return stack
+
+
+def _ast_children(node):
+    from repro.compiler.optimizer import _children
+
+    return _children(node)

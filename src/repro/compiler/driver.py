@@ -1,0 +1,84 @@
+"""The MiniC compiler driver: source text -> linked Program.
+
+The driver is whole-program: the runtime library is compiled first with
+the same options, all units share one struct registry and one semantic
+analyzer, strength reduction runs per unit, and a single assembly file is
+produced, assembled, and linked together with the startup stub.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.optimizer import StrengthReducer
+from repro.compiler.options import CompilerOptions
+from repro.compiler.parser import parse
+from repro.compiler.runtime import START_ASM, runtime_source
+from repro.compiler.sema import Sema
+from repro.isa.assembler import assemble
+from repro.isa.program import ObjectUnit, Program
+from repro.linker import LinkOptions, link
+
+
+def compile_units(
+    sources: list[tuple[str, str]],
+    options: CompilerOptions | None = None,
+) -> tuple[list[ObjectUnit], str]:
+    """Compile named MiniC sources; returns (object units, assembly text).
+
+    ``sources`` is a list of ``(name, source_text)`` pairs. The runtime
+    library and the ``__start`` stub are always included.
+    """
+    options = options or CompilerOptions()
+    structs: dict = {}
+    units: list[ast.TranslationUnit] = [
+        parse(runtime_source(options), "runtime", structs)
+    ]
+    for name, text in sources:
+        units.append(parse(text, name, structs))
+    sema = Sema(options, structs)
+    for unit in units:
+        sema.register(unit)
+    for unit in units:
+        sema.check(unit)
+    reducer = StrengthReducer(options)
+    for unit in units:
+        reducer.run(unit)
+    generator = CodeGenerator(sema, options)
+    asm_text = generator.generate(units)
+    program_unit = assemble(asm_text, "program")
+    start_unit = assemble(START_ASM, "start")
+    return [start_unit, program_unit], asm_text
+
+
+def compile_source(
+    source: str,
+    options: CompilerOptions | None = None,
+    name: str = "main",
+) -> tuple[list[ObjectUnit], str]:
+    """Compile a single MiniC source string."""
+    return compile_units([(name, source)], options)
+
+
+def compile_and_link(
+    source: str | list[tuple[str, str]],
+    options: CompilerOptions | None = None,
+    link_options: LinkOptions | None = None,
+) -> Program:
+    """Compile and link MiniC source into a runnable Program.
+
+    The linker's global-pointer alignment follows the compiler's FAC
+    options unless explicit ``link_options`` are given.
+    """
+    options = options or CompilerOptions()
+    if isinstance(source, str):
+        units, _asm = compile_source(source, options)
+    else:
+        units, _asm = compile_units(source, options)
+    if link_options is None:
+        link_options = LinkOptions(
+            align_gp=options.fac.align_gp,
+            align_stack=options.fac.frame_align > 8,
+            stack_align=options.fac.max_frame_align,
+        )
+    return link(units, link_options)

@@ -1,0 +1,168 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "char", "double", "void", "unsigned", "struct",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default", "sizeof",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'ident', 'keyword', 'int', 'float', 'char', 'string', 'op', 'eof'
+    text: str
+    value: object = None
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC source text into a token list ending with 'eof'."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str):
+        raise CompileError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            for c in source[i:end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        start_line, start_col = line, col
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                text = source[i:j]
+                value = float(text) if is_float else int(text)
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, source[i:j], value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # character literals
+        if ch == "'":
+            j = i + 1
+            body = []
+            while j < n and source[j] != "'":
+                if source[j] == "\\" and j + 1 < n:
+                    body.append(source[j:j + 2])
+                    j += 2
+                else:
+                    body.append(source[j])
+                    j += 1
+            if j >= n:
+                error("unterminated character literal")
+            decoded = "".join(body).encode().decode("unicode_escape")
+            if len(decoded) != 1:
+                error(f"bad character literal {''.join(body)!r}")
+            tokens.append(Token("char", source[i:j + 1], ord(decoded), start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # string literals
+        if ch == '"':
+            j = i + 1
+            body = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    body.append(source[j:j + 2])
+                    j += 2
+                else:
+                    body.append(source[j])
+                    j += 1
+            if j >= n:
+                error("unterminated string literal")
+            decoded = "".join(body).encode().decode("unicode_escape")
+            tokens.append(Token("string", source[i:j + 1], decoded, start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # operators
+        for operator in OPERATORS:
+            if source.startswith(operator, i):
+                tokens.append(Token("op", operator, None, start_line, start_col))
+                i += len(operator)
+                col += len(operator)
+                break
+        else:
+            error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

@@ -1,0 +1,380 @@
+"""Loop strength reduction.
+
+GCC at -O strength-reduces array subscripts in loops, replacing
+``a[i]`` with an induction pointer that is bumped each iteration. The
+paper leans on this heavily: a strength-reduced access is a *zero-offset*
+load (``lw $t, 0($p)``), which always predicts correctly, whereas a
+failed reduction becomes a register+register access (``lwx``), the
+dominant source of mispredictions (Section 5.4).
+
+This pass rewrites ``for`` loops of the shape::
+
+    for (i = E0; i REL E1; i++ / i += C) {
+        ... a[i] ...            # and a[i + K] in aggressive mode
+    }
+
+into::
+
+    i = E0;
+    p = &a[i (+ K)];
+    while (i REL E1) { ... *p ... ; i += C; p += C; }
+
+Safety conditions (checked conservatively):
+
+* the induction variable is a non-address-taken local/param integer,
+  modified only by the loop step,
+* the subscript base is loop-invariant: an array lvalue, or a
+  non-address-taken local/param pointer that the body never assigns,
+* the body contains no ``continue`` (the rewrite moves the step),
+* bases may be invariant nested subscripts (``a[i][j]`` reduces in the
+  ``j`` loop); in aggressive mode (the paper's Section 4 tweak that makes
+  register+register addressing look expensive) offsets ``i + K`` are
+  also handled.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.options import CompilerOptions
+from repro.compiler.symbols import VarSymbol
+from repro.compiler.typesys import ArrayType, INT, PointerType, decay
+
+
+class StrengthReducer:
+    """AST-level strength reduction, applied after sema."""
+
+    def __init__(self, options: CompilerOptions):
+        self.options = options
+        self.aggressive = options.fac.sr_aggressive
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # driver
+
+    def run(self, unit: ast.TranslationUnit) -> int:
+        """Transform all function bodies; returns pointers introduced."""
+        if not self.options.strength_reduce:
+            return 0
+        created = 0
+        for decl in unit.decls:
+            if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                created += self._walk_stmt_list(decl.body.stmts)
+        return created
+
+    def _walk_stmt_list(self, stmts: list[ast.Stmt]) -> int:
+        created = 0
+        for position, stmt in enumerate(stmts):
+            created += self._walk_stmt(stmt)
+            if isinstance(stmt, ast.For):
+                replacement = self._reduce_for(stmt)
+                if replacement is not None:
+                    stmts[position] = replacement
+                    created += 1
+        return created
+
+    def _walk_stmt(self, stmt: ast.Stmt) -> int:
+        created = 0
+        if isinstance(stmt, ast.Block):
+            created += self._walk_stmt_list(stmt.stmts)
+        elif isinstance(stmt, ast.If):
+            created += self._walk_stmt(stmt.then_stmt)
+            if stmt.else_stmt is not None:
+                created += self._walk_stmt(stmt.else_stmt)
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            created += self._walk_stmt(stmt.body)
+            if isinstance(stmt.body, ast.Block):
+                pass  # handled by _walk_stmt_list recursion above
+        return created
+
+    # ------------------------------------------------------------------ #
+    # the transformation
+
+    def _reduce_for(self, loop: ast.For) -> ast.Stmt | None:
+        step_info = self._induction(loop.step)
+        if step_info is None:
+            return None
+        ind_sym, step_const = step_info
+        body = loop.body if isinstance(loop.body, ast.Block) else ast.Block([loop.body])
+        if self._has_continue(body) or self._assigns(body, ind_sym):
+            return None
+
+        candidates = self._collect_subscripts(body, ind_sym)
+        if not candidates:
+            return None
+
+        # Group candidate subscripts by (base identity, constant K).
+        groups: dict[tuple, list[ast.Index]] = {}
+        for node, base_key, k_const in candidates:
+            groups.setdefault((base_key, k_const), []).append(node)
+
+        pre_stmts: list[ast.Stmt] = []
+        post_steps: list[ast.Stmt] = []
+        for (base_key, k_const), nodes in groups.items():
+            pointer = self._make_pointer(nodes[0], k_const, ind_sym)
+            if pointer is None:
+                continue
+            decl, sym, elem_type = pointer
+            pre_stmts.append(decl)
+            for node in nodes:
+                self._replace_with_deref(node, sym, elem_type)
+            bump = ast.Assign(
+                self._ref(sym),
+                self._binary("+", self._ref(sym), ast.IntLit(step_const), sym.ctype),
+                None,
+            )
+            bump.ctype = sym.ctype
+            post_steps.append(ast.ExprStmt(bump))
+
+        if not pre_stmts:
+            return None
+
+        new_body = ast.Block(
+            body.stmts + [ast.ExprStmt(loop.step)] + post_steps, body.line
+        )
+        cond = loop.cond if loop.cond is not None else ast.IntLit(1)
+        if cond.ctype is None:
+            cond.ctype = INT
+        while_loop = ast.While(cond, new_body, loop.line)
+        outer: list[ast.Stmt] = []
+        if loop.init is not None:
+            outer.append(loop.init)
+        outer.extend(pre_stmts)
+        outer.append(while_loop)
+        return ast.Block(outer, loop.line)
+
+    # ------------------------------------------------------------------ #
+    # pattern matching
+
+    def _induction(self, step: ast.Expr | None) -> tuple[VarSymbol, int] | None:
+        """Match ``i++``, ``i--``, ``i += C``, ``i = i + C``."""
+        if step is None:
+            return None
+        if isinstance(step, ast.IncDec):
+            sym = self._plain_int_var(step.target)
+            if sym is None:
+                return None
+            return sym, (1 if step.op == "++" else -1)
+        if isinstance(step, ast.Assign):
+            sym = self._plain_int_var(step.target)
+            if sym is None:
+                return None
+            if step.op in ("+", "-") and isinstance(step.value, ast.IntLit):
+                value = step.value.value
+                return sym, (value if step.op == "+" else -value)
+            if step.op is None and isinstance(step.value, ast.Binary):
+                binary = step.value
+                if binary.op in ("+", "-") and isinstance(binary.right, ast.IntLit):
+                    base = self._plain_int_var(binary.left)
+                    if base is sym:
+                        value = binary.right.value
+                        return sym, (value if binary.op == "+" else -value)
+        return None
+
+    @staticmethod
+    def _plain_int_var(expr: ast.Expr) -> VarSymbol | None:
+        if isinstance(expr, ast.VarRef) and expr.symbol is not None:
+            sym = expr.symbol
+            if (
+                sym.storage in ("local", "param")
+                and not sym.addr_taken
+                and sym.ctype.is_integer
+            ):
+                return sym
+        return None
+
+    def _collect_subscripts(
+        self, body: ast.Block, ind: VarSymbol
+    ) -> list[tuple[ast.Index, tuple, int]]:
+        """Find reducible ``base[i (+ K)]`` nodes in the loop body."""
+        found: list[tuple[ast.Index, tuple, int]] = []
+        assigned = self._assigned_symbols(body)
+
+        def visit(node):
+            if isinstance(node, ast.Index):
+                match = self._match_subscript(node, ind, assigned)
+                if match is not None:
+                    found.append((node, match[0], match[1]))
+                    visit(node.base)  # nested bases may still contain work
+                    return
+            for child in _children(node):
+                visit(child)
+
+        visit(body)
+        return found
+
+    def _match_subscript(self, node: ast.Index, ind: VarSymbol, assigned):
+        if isinstance(node.ctype, ArrayType):
+            return None  # a[i] yielding a row: leave multi-dim bases alone
+        index = node.index
+        k_const = 0
+        if isinstance(index, ast.Binary) and index.op in ("+", "-") \
+                and isinstance(index.right, ast.IntLit) and self.aggressive:
+            k_const = index.right.value if index.op == "+" else -index.right.value
+            index = index.left
+        if not (isinstance(index, ast.VarRef) and index.symbol is ind):
+            return None
+        base_key = self._invariant_base_key(node.base, assigned, ind)
+        if base_key is None:
+            return None
+        return base_key, k_const
+
+    def _invariant_base_key(self, base: ast.Expr, assigned, ind: VarSymbol):
+        """A hashable identity for a loop-invariant base, or None."""
+        if isinstance(base, ast.VarRef) and base.symbol is not None:
+            sym = base.symbol
+            if isinstance(sym.ctype, ArrayType):
+                return ("array", id(sym))
+            if sym.ctype.is_pointer and sym.storage in ("local", "param") \
+                    and not sym.addr_taken and sym not in assigned:
+                return ("ptr", id(sym))
+            return None
+        if isinstance(base, ast.Index):
+            inner = self._invariant_base_key(base.base, assigned, ind)
+            if inner is None:
+                return None
+            if isinstance(base.index, ast.IntLit):
+                return ("idx", inner, base.index.value)
+            if isinstance(base.index, ast.VarRef) and base.index.symbol is not None:
+                sym = base.index.symbol
+                if sym is not ind and sym not in assigned and not sym.addr_taken:
+                    return ("idx", inner, id(sym))
+        return None
+
+    # ------------------------------------------------------------------ #
+    # body scanning
+
+    def _has_continue(self, node) -> bool:
+        if isinstance(node, ast.Continue):
+            return True
+        if isinstance(node, (ast.While, ast.DoWhile, ast.For)):
+            return False  # continue inside a nested loop binds to it
+        return any(self._has_continue(child) for child in _children(node))
+
+    def _assigns(self, node, sym: VarSymbol) -> bool:
+        return sym in self._assigned_symbols(node)
+
+    def _assigned_symbols(self, node) -> set:
+        """All VarSymbols assigned (or ++/--) anywhere under ``node``."""
+        result: set = set()
+
+        def visit(inner):
+            target = None
+            if isinstance(inner, ast.Assign):
+                target = inner.target
+            elif isinstance(inner, ast.IncDec):
+                target = inner.target
+            if target is not None and isinstance(target, ast.VarRef) \
+                    and target.symbol is not None:
+                result.add(target.symbol)
+            for child in _children(inner):
+                visit(child)
+
+        visit(node)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # AST construction
+
+    def _make_pointer(self, model: ast.Index, k_const: int, ind: VarSymbol):
+        elem_type = model.ctype
+        if elem_type is None:
+            return None
+        pointer_type = PointerType(elem_type)
+        self._counter += 1
+        name = f"__sr{self._counter}"
+        sym = VarSymbol(name, pointer_type, "local")
+        sym.is_synthetic = True
+        sym.use_count = 1000  # induction pointers are hot: prefer a register
+
+        index_expr: ast.Expr = self._ref(ind)
+        if k_const:
+            index_expr = self._binary("+", index_expr, ast.IntLit(k_const), ind.ctype)
+        init_index = ast.Index(model.base, index_expr)
+        init_index.ctype = model.ctype
+        init = ast.Unary("&", init_index)
+        init.ctype = pointer_type
+        decl = ast.LocalDecl(name, pointer_type, init)
+        decl.symbol = sym
+        return decl, sym, elem_type
+
+    def _replace_with_deref(self, node: ast.Index, sym: VarSymbol, elem_type) -> None:
+        """Mutate ``base[i]`` into ``p[0]`` in place; codegen emits the
+        zero-offset access the paper's Section 2.2 describes."""
+        node.base = self._ref(sym)
+        node.index = ast.IntLit(0)
+        node.index.ctype = INT
+
+    def _ref(self, sym: VarSymbol) -> ast.VarRef:
+        ref = ast.VarRef(sym.name)
+        ref.symbol = sym
+        ref.ctype = sym.ctype
+        sym.use_count += 10
+        return ref
+
+    @staticmethod
+    def _binary(op: str, left: ast.Expr, right: ast.Expr, ctype) -> ast.Binary:
+        node = ast.Binary(op, left, right)
+        node.ctype = ctype
+        if right.ctype is None:
+            right.ctype = INT
+        return node
+
+
+def _children(node):
+    """Yield child AST nodes of ``node`` (statements and expressions)."""
+    if isinstance(node, ast.Block):
+        yield from node.stmts
+    elif isinstance(node, ast.ExprStmt):
+        yield node.expr
+    elif isinstance(node, ast.LocalDecl):
+        if node.init is not None:
+            yield node.init
+    elif isinstance(node, ast.If):
+        yield node.cond
+        yield node.then_stmt
+        if node.else_stmt is not None:
+            yield node.else_stmt
+    elif isinstance(node, ast.While):
+        yield node.cond
+        yield node.body
+    elif isinstance(node, ast.DoWhile):
+        yield node.body
+        yield node.cond
+    elif isinstance(node, ast.For):
+        if node.init is not None:
+            yield node.init
+        if node.cond is not None:
+            yield node.cond
+        if node.step is not None:
+            yield node.step
+        yield node.body
+    elif isinstance(node, ast.Switch):
+        yield node.expr
+        for case in node.cases:
+            yield from case.stmts
+    elif isinstance(node, ast.Return):
+        if node.expr is not None:
+            yield node.expr
+    elif isinstance(node, ast.Binary):
+        yield node.left
+        yield node.right
+    elif isinstance(node, ast.Unary):
+        yield node.operand
+    elif isinstance(node, ast.Assign):
+        yield node.target
+        yield node.value
+    elif isinstance(node, ast.IncDec):
+        yield node.target
+    elif isinstance(node, ast.Call):
+        yield from node.args
+    elif isinstance(node, ast.Index):
+        yield node.base
+        yield node.index
+    elif isinstance(node, ast.Member):
+        yield node.base
+    elif isinstance(node, ast.Cast):
+        yield node.expr
+    elif isinstance(node, ast.Ternary):
+        yield node.cond
+        yield node.then_expr
+        yield node.else_expr

@@ -1,0 +1,85 @@
+"""Compiler option records, including the paper's Section 4/5.1 knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FacSoftwareOptions:
+    """The fast-address-calculation software support of Section 4.
+
+    The defaults model the *baseline* compiler (no FAC-specific work);
+    :meth:`enabled` returns the paper's Section 5.1 configuration.
+    """
+
+    # Linker: relocate the global region to a power-of-two boundary and
+    # keep every gp offset positive.
+    align_gp: bool = False
+    # Round every stack frame to a multiple of this (paper: 8 -> 64).
+    frame_align: int = 8
+    # Frames larger than frame_align get their size rounded to the next
+    # power of two up to this bound (paper: explicit alignment up to 256).
+    max_frame_align: int = 8
+    # Sort frame slots so scalars sit closest to the stack pointer.
+    sort_scalars_first: bool = False
+    # Static allocations aligned to next pow2 >= size, capped here
+    # (paper: 32 bytes; 0 disables the boost, leaving natural alignment).
+    static_align_cap: int = 0
+    # Alignment the runtime bump allocator applies (paper: 8 -> 32).
+    malloc_align: int = 8
+    # Round structure sizes to the next power of two when the overhead
+    # does not exceed this many bytes (paper: 16; 0 disables).
+    struct_pad_cap: int = 0
+    # Aggressive strength reduction: also rewrite a[i+k] subscripts and
+    # make register+register addressing look expensive (Section 4's CSE /
+    # loop-optimization tweaks).
+    sr_aggressive: bool = False
+    # EXTENSION (the paper's Section 5.4 future work): align large static
+    # arrays to their own size -- "aligning a single large array to its
+    # size would eliminate nearly all mispredictions" for index-array
+    # codes like spice. Uncapped power-of-two alignment for arrays larger
+    # than static_align_cap.
+    align_large_arrays: bool = False
+
+    @classmethod
+    def enabled(cls) -> "FacSoftwareOptions":
+        """The paper's Section 5.1 software-support configuration."""
+        return cls(
+            align_gp=True,
+            frame_align=64,
+            max_frame_align=256,
+            sort_scalars_first=True,
+            static_align_cap=32,
+            malloc_align=32,
+            struct_pad_cap=16,
+            sr_aggressive=True,
+        )
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Everything the MiniC driver needs to compile one program."""
+
+    fac: FacSoftwareOptions = field(default_factory=FacSoftwareOptions)
+    # Loop strength reduction of a[i] subscripts (GCC does this at -O;
+    # both of the paper's configurations have it on).
+    strength_reduce: bool = True
+    # Emit register+register (lwx/swx) addressing for variable subscripts
+    # instead of an explicit add + zero-offset load.
+    use_reg_reg: bool = True
+    # Symbols no larger than this are placed in the gp-addressable global
+    # region and accessed relative to $gp (the whole region must stay
+    # within the 32 KB reach of a 16-bit gp offset).
+    gp_threshold: int = 4096
+    # Allocate hot scalar locals to callee-saved registers.
+    register_allocate: bool = True
+
+    def with_fac(self, fac: FacSoftwareOptions) -> "CompilerOptions":
+        return CompilerOptions(
+            fac=fac,
+            strength_reduce=self.strength_reduce,
+            use_reg_reg=self.use_reg_reg,
+            gp_threshold=self.gp_threshold,
+            register_allocate=self.register_allocate,
+        )

@@ -1,0 +1,567 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.lexer import Token, tokenize
+from repro.compiler.typesys import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    INT,
+    PointerType,
+    StructType,
+    Type,
+    UINT,
+    VOID,
+)
+from repro.errors import CompileError
+
+_TYPE_KEYWORDS = {"int", "char", "double", "void", "unsigned", "struct"}
+
+# binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+
+class Parser:
+    """Parses one translation unit; struct definitions may be shared
+    across units by passing the same ``structs`` registry."""
+
+    def __init__(self, source: str, name: str = "unit",
+                 structs: dict[str, StructType] | None = None):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.name = name
+        self.structs = structs if structs is not None else {}
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line, token.col,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> CompileError:
+        token = self.peek()
+        return CompileError(message, token.line, token.col)
+
+    # ------------------------------------------------------------------ #
+    # types
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "keyword" and self.peek().text in _TYPE_KEYWORDS
+
+    def parse_base_type(self) -> Type:
+        token = self.expect("keyword")
+        text = token.text
+        if text == "int":
+            return INT
+        if text == "char":
+            return CHAR
+        if text == "double":
+            return DOUBLE
+        if text == "void":
+            return VOID
+        if text == "unsigned":
+            self.accept("keyword", "int")
+            return UINT
+        if text == "struct":
+            name = self.expect("ident").text
+            struct = self.structs.get(name)
+            if struct is None:
+                struct = StructType(name)
+                self.structs[name] = struct
+            return struct
+        raise CompileError(f"not a type: {text!r}", token.line, token.col)
+
+    def parse_type(self) -> Type:
+        base = self.parse_base_type()
+        while self.accept("op", "*"):
+            base = PointerType(base)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # top level
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        decls: list[ast.Node] = []
+        while not self.check("eof"):
+            if self.check("keyword", "struct") and self.peek(2).text == "{":
+                self.parse_struct_def()
+                continue
+            decls.extend(self.parse_top_decl())
+        return ast.TranslationUnit(decls, self.name)
+
+    def parse_struct_def(self) -> None:
+        line = self.expect("keyword", "struct").line
+        name = self.expect("ident").text
+        self.expect("op", "{")
+        struct = self.structs.get(name)
+        if struct is None:
+            struct = StructType(name)
+            self.structs[name] = struct
+        if struct.fields:
+            raise CompileError(f"struct {name} redefined", line)
+        while not self.accept("op", "}"):
+            field_type = self.parse_type()
+            while True:
+                field_name = self.expect("ident").text
+                this_type = field_type
+                dims = []
+                while self.accept("op", "["):
+                    dims.append(self.expect("int").value)
+                    self.expect("op", "]")
+                for count in reversed(dims):
+                    this_type = ArrayType(this_type, count)
+                struct.fields.append((field_name, this_type))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ";")
+        self.expect("op", ";")
+        if not struct.fields:
+            raise CompileError(f"struct {name} has no fields", line)
+
+    def parse_top_decl(self) -> list[ast.Node]:
+        line = self.peek().line
+        base = self.parse_base_type()
+        # stars bind to the declarator, so that "int *p, x;" works
+        first_type: Type = base
+        while self.accept("op", "*"):
+            first_type = PointerType(first_type)
+        name_token = self.expect("ident")
+        name = name_token.text
+        if self.check("op", "("):
+            return [self.parse_function(first_type, name, line)]
+        return self.parse_global_vars(base, first_type, name, line)
+
+    def parse_function(self, ret_type: Type, name: str, line: int) -> ast.FuncDef:
+        self.expect("op", "(")
+        params: list[tuple[Type, str]] = []
+        if not self.check("op", ")"):
+            if self.check("keyword", "void") and self.peek(1).text == ")":
+                self.advance()
+            else:
+                while True:
+                    param_type = self.parse_type()
+                    param_name = self.expect("ident").text
+                    while self.accept("op", "["):
+                        # array parameters decay to pointers
+                        if self.check("int"):
+                            self.advance()
+                        self.expect("op", "]")
+                        param_type = PointerType(param_type)
+                    params.append((param_type, param_name))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return ast.FuncDef(name, ret_type, params, None, line)
+        body = self.parse_block()
+        return ast.FuncDef(name, ret_type, params, body, line)
+
+    def parse_global_vars(self, base: Type, first_type: Type,
+                          first_name: str, line: int) -> list[ast.Node]:
+        decls: list[ast.Node] = []
+        name = first_name
+        decl_type = first_type
+        while True:
+            var_type: Type = decl_type
+            dims = []
+            while self.accept("op", "["):
+                if self.check("op", "]"):
+                    dims.append(-1)  # size from initializer
+                else:
+                    dims.append(self.expect("int").value)
+                self.expect("op", "]")
+            for count in reversed(dims):
+                var_type = ArrayType(var_type, count)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_global_init()
+            var_type, init = self._fix_unsized(var_type, init, line)
+            decls.append(ast.GlobalVar(name, var_type, init, line))
+            if not self.accept("op", ","):
+                break
+            decl_type = base
+            while self.accept("op", "*"):
+                decl_type = PointerType(decl_type)
+            name = self.expect("ident").text
+        self.expect("op", ";")
+        return decls
+
+    def parse_global_init(self):
+        if self.accept("op", "{"):
+            values = []
+            while not self.check("op", "}"):
+                values.append(self.parse_const_expr())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "}")
+            return values
+        return self.parse_const_expr()
+
+    def parse_const_expr(self) -> ast.Expr:
+        """A restricted constant expression for initializers."""
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return ast.StrLit(token.value, token.line)
+        negate = False
+        while self.accept("op", "-"):
+            negate = not negate
+        token = self.peek()
+        if token.kind == "int" or token.kind == "char":
+            self.advance()
+            return ast.IntLit(-token.value if negate else token.value, token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(-token.value if negate else token.value, token.line)
+        raise self.error("expected a constant initializer")
+
+    @staticmethod
+    def _fix_unsized(var_type: Type, init, line: int):
+        if isinstance(var_type, ArrayType) and var_type.count == -1:
+            if isinstance(init, ast.StrLit):
+                var_type = ArrayType(var_type.element, len(init.value) + 1)
+            elif isinstance(init, list):
+                var_type = ArrayType(var_type.element, len(init))
+            else:
+                raise CompileError("unsized array needs an initializer", line)
+        return var_type, init
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect("op", "{").line
+        stmts: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.extend(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(stmts, line)
+
+    def parse_statement(self) -> list[ast.Stmt]:
+        token = self.peek()
+        if self.at_type():
+            return self.parse_local_decl()
+        if token.kind == "keyword":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do,
+                "for": self._parse_for,
+                "switch": self._parse_switch,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+            }.get(token.text)
+            if handler:
+                return [handler()]
+        if token.text == "{":
+            return [self.parse_block()]
+        if self.accept("op", ";"):
+            return []
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return [ast.ExprStmt(expr, expr.line)]
+
+    def parse_local_decl(self) -> list[ast.Stmt]:
+        line = self.peek().line
+        base = self.parse_base_type()
+        decl_type: Type = base
+        while self.accept("op", "*"):
+            decl_type = PointerType(decl_type)
+        decls: list[ast.Stmt] = []
+        while True:
+            name = self.expect("ident").text
+            var_type: Type = decl_type
+            dims = []
+            while self.accept("op", "["):
+                dims.append(self.expect("int").value)
+                self.expect("op", "]")
+            for count in reversed(dims):
+                var_type = ArrayType(var_type, count)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            decls.append(ast.LocalDecl(name, var_type, init, line))
+            if not self.accept("op", ","):
+                break
+            decl_type = base
+            while self.accept("op", "*"):
+                decl_type = PointerType(decl_type)
+        self.expect("op", ";")
+        return decls
+
+    def _parse_if(self) -> ast.Stmt:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_stmt = self._stmt_or_block()
+        else_stmt = None
+        if self.accept("keyword", "else"):
+            else_stmt = self._stmt_or_block()
+        return ast.If(cond, then_stmt, else_stmt, line)
+
+    def _parse_while(self) -> ast.Stmt:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        return ast.While(cond, self._stmt_or_block(), line)
+
+    def _parse_do(self) -> ast.Stmt:
+        line = self.expect("keyword", "do").line
+        body = self._stmt_or_block()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line)
+
+    def _parse_for(self) -> ast.Stmt:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self.check("op", ";"):
+            if self.at_type():
+                raise self.error("declarations in 'for' init are not supported")
+            init = ast.ExprStmt(self.parse_expr())
+        self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_expr()
+        self.expect("op", ")")
+        return ast.For(init, cond, step, self._stmt_or_block(), line)
+
+    def _parse_switch(self) -> ast.Stmt:
+        line = self.expect("keyword", "switch").line
+        self.expect("op", "(")
+        expr = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: list[ast.CaseBlock] = []
+        seen_default = False
+        while not self.check("op", "}"):
+            token = self.peek()
+            if self.accept("keyword", "case"):
+                value_expr = self.parse_const_expr()
+                if not isinstance(value_expr, ast.IntLit):
+                    raise CompileError("case label must be an integer constant",
+                                       token.line)
+                self.expect("op", ":")
+                cases.append(ast.CaseBlock(value_expr.value, [], token.line))
+            elif self.accept("keyword", "default"):
+                if seen_default:
+                    raise CompileError("duplicate default label", token.line)
+                seen_default = True
+                self.expect("op", ":")
+                cases.append(ast.CaseBlock(None, [], token.line))
+            else:
+                if not cases:
+                    raise self.error("statement before first case label")
+                cases[-1].stmts.extend(self.parse_statement())
+        self.expect("op", "}")
+        values = [c.value for c in cases if c.value is not None]
+        if len(values) != len(set(values)):
+            raise CompileError("duplicate case value", line)
+        return ast.Switch(expr, cases, line)
+
+    def _parse_return(self) -> ast.Stmt:
+        line = self.expect("keyword", "return").line
+        expr = None if self.check("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        return ast.Return(expr, line)
+
+    def _parse_break(self) -> ast.Stmt:
+        line = self.expect("keyword", "break").line
+        self.expect("op", ";")
+        stmt = ast.Break()
+        stmt.line = line
+        return stmt
+
+    def _parse_continue(self) -> ast.Stmt:
+        line = self.expect("keyword", "continue").line
+        self.expect("op", ";")
+        stmt = ast.Continue()
+        stmt.line = line
+        return stmt
+
+    def _stmt_or_block(self) -> ast.Stmt:
+        stmts = self.parse_statement()
+        if len(stmts) == 1:
+            return stmts[0]
+        return ast.Block(stmts)
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept("op", ","):
+            right = self.parse_assignment()
+            expr = ast.Binary(",", expr, right, expr.line)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.text == "=":
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(left, value, None, token.line)
+        if token.kind == "op" and token.text in _COMPOUND_ASSIGN:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(left, value, _COMPOUND_ASSIGN[token.text], token.line)
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            then_expr = self.parse_assignment()
+            self.expect("op", ":")
+            else_expr = self.parse_assignment()
+            return ast.Ternary(cond, then_expr, else_expr, cond.line)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(token.text, left, right, token.line)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op":
+            if token.text in ("-", "!", "~", "*", "&"):
+                self.advance()
+                operand = self.parse_unary()
+                return ast.Unary(token.text, operand, token.line)
+            if token.text == "+":
+                self.advance()
+                return self.parse_unary()
+            if token.text in ("++", "--"):
+                self.advance()
+                target = self.parse_unary()
+                return ast.IncDec(token.text, target, True, token.line)
+            if token.text == "(" and self.peek(1).kind == "keyword" \
+                    and self.peek(1).text in _TYPE_KEYWORDS:
+                self.advance()
+                cast_type = self.parse_type()
+                self.expect("op", ")")
+                return ast.Cast(cast_type, self.parse_unary(), token.line)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            query_type = self.parse_type()
+            self.expect("op", ")")
+            return ast.SizeofType(query_type, token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind != "op":
+                return expr
+            if token.text == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.text == ".":
+                self.advance()
+                field = self.expect("ident").text
+                expr = ast.Member(expr, field, False, token.line)
+            elif token.text == "->":
+                self.advance()
+                field = self.expect("ident").text
+                expr = ast.Member(expr, field, True, token.line)
+            elif token.text in ("++", "--"):
+                self.advance()
+                expr = ast.IncDec(token.text, expr, False, token.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind in ("int", "char"):
+            self.advance()
+            return ast.IntLit(token.value, token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(token.value, token.line)
+        if token.kind == "string":
+            self.advance()
+            return ast.StrLit(token.value, token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(token.text, args, token.line)
+            return ast.VarRef(token.text, token.line)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+
+def parse(source: str, name: str = "unit",
+          structs: dict[str, StructType] | None = None) -> ast.TranslationUnit:
+    """Parse MiniC ``source`` into a translation unit."""
+    return Parser(source, name, structs).parse_unit()

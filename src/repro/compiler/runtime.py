@@ -1,0 +1,155 @@
+"""The MiniC runtime library.
+
+Compiled alongside every program with the *same* compiler options, so the
+paper's allocation-alignment support applies to the standard allocator
+exactly as Section 4 describes ("Dynamic storage alignments are increased
+in the same manner by the dynamic storage allocator, e.g., malloc()").
+
+``xalloca`` is an arena-based stand-in for ``alloca()``: true stack
+allocation needs frame-pointer plumbing that the paper's benchmarks use
+only through GCC's obstacks, and the arena preserves the property that
+matters here -- the alignment of the returned pointer.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.options import CompilerOptions
+
+# Assembly startup stub: call main, pass its result to exit2.
+START_ASM = """
+.text
+.globl __start
+__start:
+    jal main
+    move $a0, $v0
+    li $v0, 17
+    syscall
+"""
+
+
+def runtime_source(options: CompilerOptions) -> str:
+    """Return the runtime library MiniC source for ``options``."""
+    malloc_align = options.fac.malloc_align
+    alloca_align = options.fac.malloc_align
+    return f"""
+/* MiniC runtime library (generated for malloc_align={malloc_align}) */
+
+char *malloc(int nbytes) {{
+    char *base;
+    char *aligned;
+    int pad;
+    base = sbrk(0);
+    aligned = (char *)(((int)base + {malloc_align - 1}) & -{malloc_align});
+    pad = aligned - base;
+    nbytes = (nbytes + 3) & -4;
+    sbrk(pad + nbytes);
+    return aligned;
+}}
+
+void free(char *p) {{
+    /* bump allocator: no-op */
+}}
+
+char *calloc(int count, int size) {{
+    char *p;
+    int total;
+    total = count * size;
+    p = malloc(total);
+    memset(p, 0, total);
+    return p;
+}}
+
+char *__alloca_arena;
+char *__alloca_top;
+char *__alloca_end;
+
+char *xalloca(int nbytes) {{
+    char *p;
+    if (__alloca_top == (char *)0) {{
+        __alloca_arena = sbrk(262144);
+        __alloca_top = __alloca_arena;
+        __alloca_end = __alloca_arena + 262144;
+    }}
+    p = (char *)(((int)__alloca_top + {alloca_align - 1}) & -{alloca_align});
+    __alloca_top = p + ((nbytes + 3) & -4);
+    if (__alloca_top > __alloca_end) {{
+        print_str("xalloca: arena exhausted\\n");
+        exit(3);
+    }}
+    return p;
+}}
+
+void xalloca_reset() {{
+    __alloca_top = __alloca_arena;
+}}
+
+void memset(char *dst, int value, int nbytes) {{
+    int i;
+    for (i = 0; i < nbytes; i++) {{
+        dst[i] = (char)value;
+    }}
+}}
+
+void memcpy(char *dst, char *src, int nbytes) {{
+    int i;
+    for (i = 0; i < nbytes; i++) {{
+        dst[i] = src[i];
+    }}
+}}
+
+int strlen(char *s) {{
+    int n;
+    n = 0;
+    while (s[n] != 0) {{
+        n++;
+    }}
+    return n;
+}}
+
+int strcmp(char *a, char *b) {{
+    int i;
+    i = 0;
+    while (a[i] != 0 && a[i] == b[i]) {{
+        i++;
+    }}
+    return (int)a[i] - (int)b[i];
+}}
+
+void strcpy(char *dst, char *src) {{
+    int i;
+    i = 0;
+    while (src[i] != 0) {{
+        dst[i] = src[i];
+        i++;
+    }}
+    dst[i] = 0;
+}}
+
+unsigned __rand_state = 12345;
+
+void srand(int seed) {{
+    __rand_state = (unsigned)seed;
+    if (__rand_state == 0) {{
+        __rand_state = 1;
+    }}
+}}
+
+int rand() {{
+    __rand_state = __rand_state * 1103515245 + 12345;
+    return (int)((__rand_state >> 16) & 32767);
+}}
+
+int abs(int x) {{
+    if (x < 0) {{
+        return -x;
+    }}
+    return x;
+}}
+
+double fabs(double x) {{
+    if (x < 0.0) {{
+        return -x;
+    }}
+    return x;
+}}
+"""

@@ -1,0 +1,466 @@
+"""Semantic analysis: symbol resolution, type checking and annotation.
+
+Sema is whole-program: one :class:`Sema` instance analyzes every
+translation unit (runtime library first), so cross-unit calls and global
+references resolve naturally. It:
+
+* lays out all struct types (honouring the ``struct_pad_cap`` option),
+* resolves variable references to :class:`VarSymbol` records and counts
+  uses (weighted by loop depth) for the register allocator,
+* annotates every expression with its MiniC type,
+* inserts explicit :class:`~repro.compiler.ast_nodes.Cast` nodes for the
+  implicit int<->double conversions so codegen never guesses,
+* folds integer constant expressions,
+* assigns labels to string literals.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.options import CompilerOptions
+from repro.compiler.symbols import FuncSymbol, Scope, VarSymbol
+from repro.compiler.typesys import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    INT,
+    IntType,
+    DoubleType,
+    PointerType,
+    StructType,
+    Type,
+    UINT,
+    VOID,
+    common_arith,
+    decay,
+)
+from repro.errors import CompileError
+
+# Builtins expanded inline by codegen (syscall wrappers).
+_BUILTINS = [
+    ("print_int", VOID, [INT]),
+    ("print_char", VOID, [INT]),
+    ("print_str", VOID, [PointerType(CHAR)]),
+    ("print_double", VOID, [DOUBLE]),
+    ("exit", VOID, [INT]),
+    ("sbrk", PointerType(CHAR), [INT]),
+    ("sqrt", DOUBLE, [DOUBLE]),
+]
+
+
+class Sema:
+    """Whole-program semantic analyzer."""
+
+    def __init__(self, options: CompilerOptions,
+                 structs: dict[str, StructType] | None = None):
+        self.options = options
+        self.structs = structs if structs is not None else {}
+        self.globals = Scope()
+        self.functions: dict[str, FuncSymbol] = {}
+        self.string_literals: list[tuple[str, str]] = []  # (label, value)
+        self._string_labels: dict[str, str] = {}
+        self._label_counter = 0
+        self._loop_depth = 0
+        self._current_func: FuncSymbol | None = None
+        self._local_scope: Scope | None = None
+        for name, ret, params in _BUILTINS:
+            symbol = FuncSymbol(name, ret, list(params), builtin=name)
+            symbol.defined = True
+            self.functions[name] = symbol
+
+    # ------------------------------------------------------------------ #
+    # entry point
+
+    def analyze(self, unit: ast.TranslationUnit) -> None:
+        """Register then check a single self-contained unit."""
+        self.register(unit)
+        self.check(unit)
+
+    def register(self, unit: ast.TranslationUnit) -> None:
+        """First pass: struct layout, globals, function signatures."""
+        self._layout_structs()
+        for decl in unit.decls:
+            if isinstance(decl, ast.GlobalVar):
+                self._global_var(decl)
+            elif isinstance(decl, ast.FuncDef):
+                self._register_function(decl)
+            else:  # pragma: no cover - parser emits only these
+                raise CompileError(f"unexpected top-level node {decl!r}")
+
+    def check(self, unit: ast.TranslationUnit) -> None:
+        """Second pass: analyze function bodies."""
+        for decl in unit.decls:
+            if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                self._function_body(decl)
+
+    def _layout_structs(self) -> None:
+        done: set[str] = set()
+        in_progress: set[str] = set()
+
+        def lay(struct: StructType) -> None:
+            if struct.name in done:
+                return
+            if struct.name in in_progress:
+                raise CompileError(f"recursive struct {struct.name} by value")
+            in_progress.add(struct.name)
+            for _, field_type in struct.fields:
+                inner = field_type
+                while isinstance(inner, ArrayType):
+                    inner = inner.element
+                if isinstance(inner, StructType):
+                    lay(self.structs[inner.name])
+            struct.layout(self.options.fac.struct_pad_cap)
+            in_progress.discard(struct.name)
+            done.add(struct.name)
+
+        for struct in self.structs.values():
+            if struct.fields:
+                lay(struct)
+
+    # ------------------------------------------------------------------ #
+    # declarations
+
+    def _global_var(self, decl: ast.GlobalVar) -> None:
+        if self.globals.vars.get(decl.name) is not None:
+            raise CompileError(f"global {decl.name!r} redefined", decl.line)
+        self._check_complete(decl.var_type, decl.line)
+        symbol = VarSymbol(decl.name, decl.var_type, "global")
+        symbol.asm_name = decl.name
+        symbol.gp_addressable = decl.var_type.size <= self.options.gp_threshold
+        self.globals.define(symbol)
+        decl.symbol = symbol
+        if isinstance(decl.init, ast.Expr):
+            self._expr(decl.init)
+
+    def _register_function(self, decl: ast.FuncDef) -> None:
+        symbol = self.functions.get(decl.name)
+        param_types = [decay(t) for t, _ in decl.params]
+        if symbol is None:
+            symbol = FuncSymbol(decl.name, decl.ret_type, param_types)
+            self.functions[decl.name] = symbol
+        else:
+            if symbol.builtin:
+                raise CompileError(f"cannot redefine builtin {decl.name!r}", decl.line)
+            if len(symbol.param_types) != len(param_types):
+                raise CompileError(
+                    f"conflicting declarations of {decl.name!r}", decl.line
+                )
+        decl.symbol = symbol
+        if decl.body is not None:
+            if symbol.defined:
+                raise CompileError(f"function {decl.name!r} redefined", decl.line)
+            symbol.defined = True
+
+    def _function_body(self, decl: ast.FuncDef) -> None:
+        self._current_func = decl.symbol
+        scope = Scope(self.globals)
+        for param_type, param_name in decl.params:
+            param_symbol = VarSymbol(param_name, decay(param_type), "param")
+            scope.define(param_symbol)
+        self._local_scope = scope
+        self._block(decl.body, scope)
+        self._local_scope = None
+        self._current_func = None
+
+    def _check_complete(self, ctype: Type, line: int) -> None:
+        inner = ctype
+        while isinstance(inner, (ArrayType, PointerType)):
+            if isinstance(inner, PointerType):
+                return  # pointers to incomplete types are fine
+            inner = inner.element
+        if isinstance(inner, StructType) and not inner.laid_out:
+            raise CompileError(f"incomplete type struct {inner.name}", line)
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def _block(self, block: ast.Block, parent: Scope) -> None:
+        scope = Scope(parent)
+        for stmt in block.stmts:
+            self._stmt(stmt, scope)
+
+    def _stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._check_complete(stmt.var_type, stmt.line)
+            symbol = VarSymbol(stmt.name, stmt.var_type, "local")
+            scope.define(symbol)
+            stmt.symbol = symbol
+            if stmt.init is not None:
+                self._expr(stmt.init, scope)
+                stmt.init = self._coerce(stmt.init, decay(stmt.var_type), stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond, scope)
+            self._stmt(stmt.then_stmt, scope)
+            if stmt.else_stmt is not None:
+                self._stmt(stmt.else_stmt, scope)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond, scope)
+            self._loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self._loop_depth -= 1
+            self._expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._stmt(stmt.init, scope)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, scope)
+            self._loop_depth += 1
+            if stmt.step is not None:
+                self._expr(stmt.step, scope)
+            self._stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Switch):
+            ctype = self._expr(stmt.expr, scope)
+            if not decay(ctype).is_integer:
+                raise CompileError("switch needs an integer expression", stmt.line)
+            for case in stmt.cases:
+                for inner in case.stmts:
+                    self._stmt(inner, scope)
+        elif isinstance(stmt, ast.Return):
+            ret_type = self._current_func.ret_type
+            is_void = ret_type == VOID
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+                if is_void:
+                    raise CompileError("void function returns a value", stmt.line)
+                stmt.expr = self._coerce(stmt.expr, decay(ret_type), stmt.line)
+            elif not is_void:
+                raise CompileError("non-void function returns nothing", stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled statement {stmt!r}")
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def _expr(self, expr: ast.Expr, scope: Scope | None = None) -> Type:
+        scope = scope or self._local_scope or self.globals
+        method = getattr(self, "_expr_" + type(expr).__name__)
+        ctype = method(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_IntLit(self, expr: ast.IntLit, scope) -> Type:
+        return INT
+
+    def _expr_FloatLit(self, expr: ast.FloatLit, scope) -> Type:
+        return DOUBLE
+
+    def _expr_StrLit(self, expr: ast.StrLit, scope) -> Type:
+        label = self._string_labels.get(expr.value)
+        if label is None:
+            label = f"__str{self._label_counter}"
+            self._label_counter += 1
+            self._string_labels[expr.value] = label
+            self.string_literals.append((label, expr.value))
+        expr.label = label
+        return PointerType(CHAR)
+
+    def _expr_VarRef(self, expr: ast.VarRef, scope: Scope) -> Type:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise CompileError(f"undeclared identifier {expr.name!r}", expr.line)
+        symbol.use_count += 1 + 9 * min(self._loop_depth, 3)
+        expr.symbol = symbol
+        return symbol.ctype
+
+    def _expr_Binary(self, expr: ast.Binary, scope: Scope) -> Type:
+        if expr.op == ",":
+            self._expr(expr.left, scope)
+            return self._expr(expr.right, scope)
+        left = decay(self._expr(expr.left, scope))
+        right = decay(self._expr(expr.right, scope))
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if left.is_arith and right.is_arith:
+                common = common_arith(left, right)
+                expr.left = self._coerce(expr.left, common, expr.line)
+                expr.right = self._coerce(expr.right, common, expr.line)
+            elif not (left.is_pointer and right.is_pointer
+                      or left.is_pointer and right.is_integer
+                      or left.is_integer and right.is_pointer):
+                raise CompileError(f"bad operands for {op!r}", expr.line)
+            return INT
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (left.is_integer and right.is_integer):
+                raise CompileError(f"{op!r} needs integer operands", expr.line)
+            return common_arith(left, right) if op not in ("<<", ">>") else left
+        if op == "+":
+            if left.is_pointer and right.is_integer:
+                return left
+            if left.is_integer and right.is_pointer:
+                return right
+        if op == "-":
+            if left.is_pointer and right.is_integer:
+                return left
+            if left.is_pointer and right.is_pointer:
+                if left != right:
+                    raise CompileError("pointer difference of unlike types", expr.line)
+                return INT
+        if op in ("+", "-", "*", "/"):
+            if left.is_arith and right.is_arith:
+                common = common_arith(left, right)
+                expr.left = self._coerce(expr.left, common, expr.line)
+                expr.right = self._coerce(expr.right, common, expr.line)
+                return common
+        raise CompileError(f"bad operands for {op!r} ({left!r}, {right!r})", expr.line)
+
+    def _expr_Unary(self, expr: ast.Unary, scope: Scope) -> Type:
+        inner = self._expr(expr.operand, scope)
+        op = expr.op
+        if op == "-":
+            value_type = decay(inner)
+            if not value_type.is_arith:
+                raise CompileError("unary '-' needs arithmetic operand", expr.line)
+            if isinstance(value_type, DoubleType):
+                return DOUBLE
+            return common_arith(value_type, INT)
+        if op == "!":
+            return INT
+        if op == "~":
+            if not decay(inner).is_integer:
+                raise CompileError("'~' needs an integer operand", expr.line)
+            return common_arith(decay(inner), INT)
+        if op == "*":
+            target = decay(inner)
+            if not target.is_pointer:
+                raise CompileError("dereference of non-pointer", expr.line)
+            return target.target
+        if op == "&":
+            self._mark_addr_taken(expr.operand)
+            if isinstance(inner, ArrayType):
+                return PointerType(inner.element)
+            return PointerType(inner)
+        raise CompileError(f"unhandled unary {op!r}", expr.line)  # pragma: no cover
+
+    def _mark_addr_taken(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.VarRef) and expr.symbol is not None:
+            expr.symbol.addr_taken = True
+        elif isinstance(expr, ast.Member) and not expr.arrow:
+            self._mark_addr_taken(expr.base)
+        elif isinstance(expr, ast.Index):
+            self._mark_addr_taken(expr.base)
+
+    def _expr_Assign(self, expr: ast.Assign, scope: Scope) -> Type:
+        target = self._expr(expr.target, scope)
+        self._check_lvalue(expr.target)
+        self._expr(expr.value, scope)
+        if isinstance(target, ArrayType):
+            raise CompileError("cannot assign to an array", expr.line)
+        expr.value = self._coerce(expr.value, decay(target), expr.line)
+        return target
+
+    def _expr_IncDec(self, expr: ast.IncDec, scope: Scope) -> Type:
+        target = self._expr(expr.target, scope)
+        self._check_lvalue(expr.target)
+        target = decay(target)
+        if not (target.is_integer or target.is_pointer):
+            raise CompileError("++/-- needs integer or pointer", expr.line)
+        return target
+
+    def _expr_Call(self, expr: ast.Call, scope: Scope) -> Type:
+        func = self.functions.get(expr.name)
+        if func is None:
+            raise CompileError(f"call to undeclared function {expr.name!r}", expr.line)
+        if len(expr.args) != len(func.param_types):
+            raise CompileError(
+                f"{expr.name!r} expects {len(func.param_types)} args, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        expr.func = func
+        for position, arg in enumerate(expr.args):
+            self._expr(arg, scope)
+            expr.args[position] = self._coerce(
+                arg, decay(func.param_types[position]), expr.line
+            )
+        return func.ret_type
+
+    def _expr_Index(self, expr: ast.Index, scope: Scope) -> Type:
+        base = decay(self._expr(expr.base, scope))
+        index = decay(self._expr(expr.index, scope))
+        if not base.is_pointer:
+            raise CompileError("subscript of non-array", expr.line)
+        if not index.is_integer:
+            raise CompileError("array subscript must be an integer", expr.line)
+        return base.target
+
+    def _expr_Member(self, expr: ast.Member, scope: Scope) -> Type:
+        base = self._expr(expr.base, scope)
+        if expr.arrow:
+            base = decay(base)
+            if not (base.is_pointer and isinstance(base.target, StructType)):
+                raise CompileError("'->' on non-struct-pointer", expr.line)
+            struct = base.target
+        else:
+            if not isinstance(base, StructType):
+                raise CompileError("'.' on non-struct", expr.line)
+            struct = base
+        return struct.field_type(expr.field)
+
+    def _expr_Cast(self, expr: ast.Cast, scope: Scope) -> Type:
+        self._expr(expr.expr, scope)
+        return expr.target_type
+
+    def _expr_SizeofType(self, expr: ast.SizeofType, scope) -> Type:
+        return UINT
+
+    def _expr_Ternary(self, expr: ast.Ternary, scope: Scope) -> Type:
+        self._expr(expr.cond, scope)
+        then_type = decay(self._expr(expr.then_expr, scope))
+        else_type = decay(self._expr(expr.else_expr, scope))
+        if then_type.is_arith and else_type.is_arith:
+            common = common_arith(then_type, else_type)
+            expr.then_expr = self._coerce(expr.then_expr, common, expr.line)
+            expr.else_expr = self._coerce(expr.else_expr, common, expr.line)
+            return common
+        if then_type != else_type:
+            raise CompileError("mismatched ternary arms", expr.line)
+        return then_type
+
+    # ------------------------------------------------------------------ #
+    # helpers
+
+    def _check_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.VarRef, ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise CompileError("not an lvalue", expr.line)
+
+    def _coerce(self, expr: ast.Expr, want: Type, line: int) -> ast.Expr:
+        have = decay(expr.ctype)
+        if have == want:
+            return expr
+        if isinstance(want, DoubleType) and have.is_integer:
+            if isinstance(expr, ast.IntLit):
+                lit = ast.FloatLit(float(expr.value), line)
+                lit.ctype = DOUBLE
+                return lit
+            cast = ast.Cast(DOUBLE, expr, line)
+            cast.ctype = DOUBLE
+            return cast
+        if want.is_integer and isinstance(have, DoubleType):
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        if want.is_integer and have.is_integer:
+            # same register representation; keep the node's own type so
+            # codegen picks the right load/store width.
+            return expr
+        if want.is_pointer and (have.is_pointer or have.is_integer):
+            return expr  # pointer casts are free in MiniC
+        if want.is_integer and have.is_pointer:
+            return expr
+        raise CompileError(f"cannot convert {have!r} to {want!r}", line)

@@ -1,0 +1,67 @@
+"""Symbol table objects shared by sema and codegen."""
+
+from __future__ import annotations
+
+from repro.compiler.typesys import Type
+
+
+class VarSymbol:
+    """A variable: global, parameter, or local."""
+
+    __slots__ = (
+        "name", "ctype", "storage", "addr_taken", "use_count",
+        "home", "asm_name", "gp_addressable", "is_synthetic",
+    )
+
+    def __init__(self, name: str, ctype: Type, storage: str):
+        self.name = name
+        self.ctype = ctype
+        self.storage = storage  # 'global' | 'param' | 'local'
+        self.addr_taken = False
+        self.use_count = 0
+        # assigned by codegen:
+        #   ('sreg', n) | ('freg', n) | ('frame', offset) | ('global',)
+        self.home: tuple | None = None
+        self.asm_name: str | None = None      # globals only
+        self.gp_addressable = False           # globals only
+        self.is_synthetic = False             # created by the optimizer
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Var {self.name}: {self.ctype!r} ({self.storage})>"
+
+
+class FuncSymbol:
+    """A function: user-defined, runtime-library, or compiler builtin."""
+
+    __slots__ = ("name", "ret_type", "param_types", "defined", "builtin")
+
+    def __init__(self, name: str, ret_type: Type, param_types: list[Type],
+                 builtin: str | None = None):
+        self.name = name
+        self.ret_type = ret_type
+        self.param_types = param_types
+        self.defined = False
+        self.builtin = builtin  # syscall builtins are expanded inline
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Func {self.name}/{len(self.param_types)}>"
+
+
+class Scope:
+    """A lexical scope chain."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.vars: dict[str, VarSymbol] = {}
+
+    def define(self, symbol: VarSymbol) -> None:
+        self.vars[symbol.name] = symbol
+
+    def lookup(self, name: str) -> VarSymbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            symbol = scope.vars.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None

@@ -1,0 +1,218 @@
+"""MiniC type system and data layout.
+
+Structure layout is where one of the paper's software-support knobs
+lives: with ``struct_pad_cap`` set, structure sizes are rounded up to the
+next power of two (bounded by the cap) so that arrays of structures keep
+their elements cache-block aligned. Field offsets are *not* padded beyond
+natural alignment -- the paper found "having dense structures is a
+consistently bigger win than enforcing stricter alignments within
+structured variables".
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.utils.bits import next_pow2
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    size: int = 0
+    align: int = 1
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    @property
+    def is_arith(self) -> bool:
+        return self.is_integer or isinstance(self, DoubleType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_scalar(self) -> bool:
+        """Scalar in the stack-frame-sorting sense: fits a register."""
+        return self.is_arith or self.is_pointer
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self):
+        return hash(type(self))
+
+
+class IntType(Type):
+    size = 4
+    align = 4
+
+    def __init__(self, signed: bool = True):
+        self.signed = signed
+
+    def __eq__(self, other):
+        return isinstance(other, IntType) and other.signed == self.signed
+
+    def __hash__(self):
+        return hash(("int", self.signed))
+
+    def __repr__(self):
+        return "int" if self.signed else "unsigned"
+
+
+class CharType(Type):
+    """8-bit unsigned character (MiniC chars are unsigned)."""
+
+    size = 1
+    align = 1
+    signed = False
+
+    def __repr__(self):
+        return "char"
+
+
+class DoubleType(Type):
+    size = 8
+    align = 8
+
+    def __repr__(self):
+        return "double"
+
+
+class VoidType(Type):
+    size = 0
+    align = 1
+
+    def __repr__(self):
+        return "void"
+
+
+class PointerType(Type):
+    size = 4
+    align = 4
+
+    def __init__(self, target: Type):
+        self.target = target
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and other.target == self.target
+
+    def __hash__(self):
+        return hash(("ptr", self.target))
+
+    def __repr__(self):
+        return f"{self.target!r}*"
+
+
+class ArrayType(Type):
+    def __init__(self, element: Type, count: int):
+        self.element = element
+        self.count = count
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self):
+        return hash(("array", self.element, self.count))
+
+    def __repr__(self):
+        return f"{self.element!r}[{self.count}]"
+
+
+class StructType(Type):
+    """A named structure; layout is computed once options are known."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: list[tuple[str, Type]] = []
+        self.offsets: dict[str, int] = {}
+        self._size = 0
+        self._align = 1
+        self.laid_out = False
+
+    @property
+    def size(self) -> int:
+        if not self.laid_out:
+            raise CompileError(f"struct {self.name} used before layout")
+        return self._size
+
+    @property
+    def align(self) -> int:
+        if not self.laid_out:
+            raise CompileError(f"struct {self.name} used before layout")
+        return self._align
+
+    def field_type(self, name: str) -> Type:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise CompileError(f"struct {self.name} has no field {name!r}")
+
+    def layout(self, struct_pad_cap: int = 0) -> None:
+        """Assign field offsets; optionally round the size to a power of
+        two when the padding overhead stays within ``struct_pad_cap``."""
+        offset = 0
+        align = 1
+        self.offsets = {}
+        for field_name, field_type in self.fields:
+            field_align = field_type.align
+            offset = (offset + field_align - 1) & ~(field_align - 1)
+            self.offsets[field_name] = offset
+            offset += field_type.size
+            align = max(align, field_align)
+        size = (offset + align - 1) & ~(align - 1)
+        if struct_pad_cap and size > 0:
+            rounded = next_pow2(size)
+            if rounded - size <= struct_pad_cap:
+                size = rounded
+        self._size = max(size, 1)
+        self._align = align
+        self.laid_out = True
+
+    def __eq__(self, other):
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("struct", self.name))
+
+    def __repr__(self):
+        return f"struct {self.name}"
+
+
+INT = IntType(True)
+UINT = IntType(False)
+CHAR = CharType()
+DOUBLE = DoubleType()
+VOID = VoidType()
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer decay for value contexts."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.element)
+    return t
+
+
+def common_arith(a: Type, b: Type) -> Type:
+    """The usual arithmetic conversions, reduced to MiniC's three ranks."""
+    if isinstance(a, DoubleType) or isinstance(b, DoubleType):
+        return DOUBLE
+    if isinstance(a, IntType) and not a.signed:
+        return UINT
+    if isinstance(b, IntType) and not b.signed:
+        return UINT
+    return INT

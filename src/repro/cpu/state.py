@@ -1,0 +1,47 @@
+"""Architectural register state."""
+
+from __future__ import annotations
+
+from repro.isa.registers import Reg
+
+
+class ArchState:
+    """Integer/FP register files, HI/LO, FP condition flag, and the PC.
+
+    Integer registers hold the *unsigned* 32-bit view (Python ints in
+    ``[0, 2**32)``); use :func:`repro.utils.bits.to_signed32` for the
+    signed interpretation. FP registers hold Python floats, except when
+    an int has been moved in raw via ``mtc1``/``trunc.w.d`` (the value is
+    then a Python int until converted).
+    """
+
+    __slots__ = ("regs", "fregs", "hi", "lo", "fcc", "pc")
+
+    def __init__(self):
+        self.regs = [0] * 32
+        self.fregs: list[float | int] = [0.0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.fcc = False
+        self.pc = 0
+
+    def reset(self, entry: int, gp: int, sp: int) -> None:
+        self.regs = [0] * 32
+        self.fregs = [0.0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.fcc = False
+        self.pc = entry
+        self.regs[Reg.GP] = gp
+        self.regs[Reg.SP] = sp
+
+    def snapshot(self) -> dict:
+        """Return a copyable view of the state (used by tests)."""
+        return {
+            "regs": list(self.regs),
+            "fregs": list(self.fregs),
+            "hi": self.hi,
+            "lo": self.lo,
+            "fcc": self.fcc,
+            "pc": self.pc,
+        }

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source (bad mnemonic, operand, or directive)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """An instruction cannot be encoded to (or decoded from) 32 bits."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution or segment placement failed."""
+
+
+class CompileError(ReproError):
+    """MiniC front-end or code-generation failure."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            where = f"line {line}" + (f", col {col}" if col is not None else "")
+            message = f"{where}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The functional or timing simulator hit an illegal condition."""
+
+
+class MemoryFault(SimulationError):
+    """Unmapped or misaligned access detected by the simulated memory."""
+
+    def __init__(self, address: int, reason: str = "unmapped"):
+        self.address = address
+        self.reason = reason
+        super().__init__(f"memory fault at 0x{address:08x}: {reason}")
+
+
+class ConfigError(ReproError):
+    """Invalid machine or cache configuration."""

@@ -1,0 +1,43 @@
+"""One harness per paper table/figure.
+
+=============  ====================================================
+module         reproduces
+=============  ====================================================
+fig1_pipeline  Figure 1 -- the untolerated load-use stall
+fig2_ipc       Figure 2 -- IPC under load-latency idealizations
+table1         Table 1  -- reference behaviour by type
+fig3_offsets   Figure 3 -- cumulative offset-size distributions
+fig5_examples  Figure 5 -- the four worked prediction examples
+table3         Table 3  -- per-program stats without software support
+table4         Table 4  -- per-program stats with software support
+fig6_speedups  Figure 6 -- FAC speedups across design points
+table6         Table 6  -- cache-bandwidth overhead of speculation
+signals_report diagnostic: failure-signal mix per program
+=============  ====================================================
+"""
+
+from repro.experiments import common
+from repro.experiments.fig1_pipeline import run_fig1
+from repro.experiments.fig2_ipc import run_fig2
+from repro.experiments.fig3_offsets import run_fig3
+from repro.experiments.fig5_examples import run_fig5
+from repro.experiments.fig6_speedups import run_fig6
+from repro.experiments.table1_refbehavior import run_table1
+from repro.experiments.table3_nosupport import run_table3
+from repro.experiments.table4_withsupport import run_table4
+from repro.experiments.signals_report import run_signals
+from repro.experiments.table6_bandwidth import run_table6
+
+__all__ = [
+    "common",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "run_table3",
+    "run_table4",
+    "run_table6",
+    "run_signals",
+]

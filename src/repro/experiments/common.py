@@ -1,0 +1,84 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Runs are cached per (benchmark, compile flavour, machine flavour) so the
+table/figure harnesses can share work: Figure 6 and Table 6 read the same
+simulations, Tables 1/3/4 and Figure 3 read the same functional traces.
+
+Set the ``REPRO_SUITE`` environment variable to a comma-separated subset
+(e.g. ``REPRO_SUITE=compress,alvinn``) to bound harness run time.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.analysis.prediction import TraceAnalysis, analyze_program
+from repro.fac.config import FacConfig
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.pipeline import simulate_program
+from repro.pipeline.result import SimResult
+from repro.workloads.suite import BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS, build_benchmark
+
+MAX_INSTRUCTIONS = 10_000_000
+
+# Machine flavours used across the experiments.
+MACHINES: dict[str, MachineConfig] = {
+    "base": MachineConfig(),
+    "1cyc": MachineConfig(one_cycle_loads=True),
+    "perfect": MachineConfig(perfect_dcache=True),
+    "1cyc+perfect": MachineConfig(one_cycle_loads=True, perfect_dcache=True),
+    "fac16": MachineConfig(fac=FacConfig(block_size=16)),
+    "fac32": MachineConfig(fac=FacConfig(block_size=32)),
+    "fac16norr": MachineConfig(fac=FacConfig(block_size=16, speculate_reg_reg=False)),
+    "fac32norr": MachineConfig(fac=FacConfig(block_size=32, speculate_reg_reg=False)),
+}
+
+
+def suite_names(benchmarks=None) -> tuple[str, ...]:
+    """The benchmarks to run: an explicit list, $REPRO_SUITE, or all 19."""
+    if benchmarks:
+        return tuple(benchmarks)
+    env = os.environ.get("REPRO_SUITE", "").strip()
+    if env:
+        names = tuple(n.strip() for n in env.split(",") if n.strip())
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            raise KeyError(f"unknown benchmarks in REPRO_SUITE: {unknown}")
+        return names
+    return tuple(BENCHMARKS)
+
+
+@lru_cache(maxsize=128)
+def analysis_for(name: str, software_support: bool) -> TraceAnalysis:
+    """Cached functional-trace analysis of one benchmark build."""
+    program = build_benchmark(name, software_support=software_support)
+    return analyze_program(program, max_instructions=MAX_INSTRUCTIONS)
+
+
+@lru_cache(maxsize=512)
+def sim_for(name: str, software_support: bool, machine: str) -> SimResult:
+    """Cached timing simulation of one benchmark on one machine flavour."""
+    program = build_benchmark(name, software_support=software_support)
+    return simulate_program(program, MACHINES[machine],
+                            max_instructions=MAX_INSTRUCTIONS)
+
+
+def clear_caches() -> None:
+    analysis_for.cache_clear()
+    sim_for.cache_clear()
+
+
+def weighted_average(names, values: dict[str, float],
+                     weights: dict[str, float]) -> float:
+    """Run-time (cycle) weighted average, as the paper's Int/FP-Avg bars."""
+    total_weight = sum(weights[n] for n in names)
+    if total_weight == 0:
+        return 0.0
+    return sum(values[n] * weights[n] for n in names) / total_weight
+
+
+def split_by_category(names) -> tuple[list[str], list[str]]:
+    ints = [n for n in names if n in INT_BENCHMARKS]
+    fps = [n for n in names if n in FP_BENCHMARKS]
+    return ints, fps

@@ -1,0 +1,78 @@
+"""Figure 6: fast-address-calculation speedups.
+
+Speedups of four design points over the baseline (no-FAC machine running
+the unsupported binary): {hardware-only, hardware+software} x {16-byte,
+32-byte blocks}, optionally without register+register speculation. The
+paper's shape: every program speeds up; integer codes gain more than FP;
+software support adds a few percent; block size matters little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.experiments import common
+
+# (label, software support?, machine flavour)
+DESIGN_POINTS = (
+    ("hw16", False, "fac16"),
+    ("hw+sw16", True, "fac16"),
+    ("hw32", False, "fac32"),
+    ("hw+sw32", True, "fac32"),
+)
+DESIGN_POINTS_NORR = (
+    ("hw16", False, "fac16norr"),
+    ("hw+sw16", True, "fac16norr"),
+    ("hw32", False, "fac32norr"),
+    ("hw+sw32", True, "fac32norr"),
+)
+
+
+@dataclass
+class Fig6Result:
+    # benchmark -> design label -> speedup over baseline
+    speedups: dict[str, dict[str, float]] = field(default_factory=dict)
+    int_avg: dict[str, float] = field(default_factory=dict)
+    fp_avg: dict[str, float] = field(default_factory=dict)
+    labels: tuple = ()
+
+    def render(self) -> str:
+        headers = ["benchmark"] + list(self.labels)
+        rows = [[name] + [self.speedups[name][label] for label in self.labels]
+                for name in self.speedups]
+        if self.int_avg:
+            rows.append(["Int-Avg"] + [self.int_avg[label] for label in self.labels])
+        if self.fp_avg:
+            rows.append(["FP-Avg"] + [self.fp_avg[label] for label in self.labels])
+        return format_table(headers, rows,
+                            title="Figure 6: speedup over baseline execution time")
+
+
+def run_fig6(benchmarks=None, reg_reg_speculation: bool = True) -> Fig6Result:
+    names = common.suite_names(benchmarks)
+    points = DESIGN_POINTS if reg_reg_speculation else DESIGN_POINTS_NORR
+    result = Fig6Result(labels=tuple(label for label, _, _ in points))
+    weights: dict[str, float] = {}
+    per_label: dict[str, dict[str, float]] = {label: {} for label, _, _ in points}
+    for name in names:
+        baseline = common.sim_for(name, False, "base")
+        weights[name] = float(baseline.cycles)
+        result.speedups[name] = {}
+        for label, software, machine in points:
+            sim = common.sim_for(name, software, machine)
+            speedup = baseline.cycles / sim.cycles if sim.cycles else 0.0
+            result.speedups[name][label] = speedup
+            per_label[label][name] = speedup
+    ints, fps = common.split_by_category(names)
+    if ints:
+        result.int_avg = {
+            label: common.weighted_average(ints, per_label[label], weights)
+            for label, _, _ in points
+        }
+    if fps:
+        result.fp_avg = {
+            label: common.weighted_average(fps, per_label[label], weights)
+            for label, _, _ in points
+        }
+    return result

@@ -1,0 +1,54 @@
+"""Diagnostic: which verification signal causes each program's
+mispredictions?
+
+Not a table in the paper, but the paper's Section 2/3 arguments predict
+the mix: ``GenCarry`` (colliding index bits, the unaligned-base case)
+should dominate; ``Overflow`` (carries out of the block offset) comes
+second; negative offsets (``LargeNegConst``, ``IndexReg<31>``) should be
+nearly absent ("negative offsets occur infrequently ... about 3.2% of
+all loads" for gcc). This harness checks that reading of the paper
+against the whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.experiments import common
+
+SIGNALS = ("overflow", "gen_carry", "large_neg_const", "neg_index_reg")
+
+
+@dataclass
+class SignalsResult:
+    # benchmark -> signal -> % of memory references that raised it
+    rates: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [s for s in SIGNALS]
+        rows = [
+            [name] + [f"{self.rates[name][s]:.2f}" for s in SIGNALS]
+            for name in self.rates
+        ]
+        return format_table(
+            headers, rows,
+            title="Failure-signal mix (% of references raising each signal, "
+                  "no software support, 32-byte blocks)")
+
+    def dominant(self, name: str) -> str:
+        return max(SIGNALS, key=lambda s: self.rates[name][s])
+
+
+def run_signals(benchmarks=None, software_support: bool = False) -> SignalsResult:
+    names = common.suite_names(benchmarks)
+    result = SignalsResult()
+    for name in names:
+        analysis = common.analysis_for(name, software_support)
+        stats = analysis.predictions[32]
+        refs = stats.loads + stats.stores
+        result.rates[name] = {
+            signal: 100.0 * stats.signal_counts[signal] / refs if refs else 0.0
+            for signal in SIGNALS
+        }
+    return result

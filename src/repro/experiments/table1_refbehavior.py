@@ -1,0 +1,63 @@
+"""Table 1: program reference behaviour.
+
+Per benchmark: dynamic instructions, total references, the load/store
+split, and the breakdown of loads by reference type (global-pointer,
+stack-pointer, general-pointer addressing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.experiments import common
+
+
+@dataclass
+class Table1Row:
+    name: str
+    instructions: int
+    refs: int
+    load_pct: float
+    store_pct: float
+    global_pct: float
+    stack_pct: float
+    general_pct: float
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["benchmark", "insts", "refs", "%loads", "%stores",
+                   "%global", "%stack", "%general"]
+        table_rows = [
+            [r.name, r.instructions, r.refs,
+             f"{r.load_pct:.1f}", f"{r.store_pct:.1f}",
+             f"{r.global_pct:.1f}", f"{r.stack_pct:.1f}", f"{r.general_pct:.1f}"]
+            for r in self.rows
+        ]
+        return format_table(headers, table_rows,
+                            title="Table 1: program reference behaviour "
+                                  "(load breakdown by reference type)")
+
+
+def run_table1(benchmarks=None, software_support: bool = False) -> Table1Result:
+    names = common.suite_names(benchmarks)
+    result = Table1Result()
+    for name in names:
+        analysis = common.analysis_for(name, software_support)
+        profile = analysis.profile
+        refs = profile.refs
+        result.rows.append(Table1Row(
+            name=name,
+            instructions=analysis.instructions,
+            refs=refs,
+            load_pct=100.0 * profile.loads / refs if refs else 0.0,
+            store_pct=100.0 * profile.stores / refs if refs else 0.0,
+            global_pct=100.0 * profile.load_fraction("global"),
+            stack_pct=100.0 * profile.load_fraction("stack"),
+            general_pct=100.0 * profile.load_fraction("general"),
+        ))
+    return result

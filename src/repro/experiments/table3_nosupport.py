@@ -1,0 +1,80 @@
+"""Table 3: program statistics without software support.
+
+Per benchmark: instructions, baseline cycles, loads, stores, I/D-cache
+miss ratios, memory usage, and prediction failure percentages for loads
+and stores at 16- and 32-byte block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.experiments import common
+
+
+@dataclass
+class Table3Row:
+    name: str
+    instructions: int
+    cycles: int
+    loads: int
+    stores: int
+    icache_miss: float
+    dcache_miss: float
+    memory_usage: int
+    fail_load_16: float
+    fail_store_16: float
+    fail_load_32: float
+    fail_store_32: float
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["benchmark", "insts", "cycles", "loads", "stores",
+                   "i$miss", "d$miss", "mem(k)",
+                   "L16%", "S16%", "L32%", "S32%"]
+        table_rows = [
+            [r.name, r.instructions, r.cycles, r.loads, r.stores,
+             f"{r.icache_miss:.4f}", f"{r.dcache_miss:.4f}",
+             r.memory_usage // 1024,
+             f"{r.fail_load_16:.1f}", f"{r.fail_store_16:.1f}",
+             f"{r.fail_load_32:.1f}", f"{r.fail_store_32:.1f}"]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, table_rows,
+            title="Table 3: program statistics without software support "
+                  "(prediction failure % by block size)")
+
+
+def collect_rows(names, software_support: bool) -> list[Table3Row]:
+    rows = []
+    for name in names:
+        analysis = common.analysis_for(name, software_support)
+        sim = common.sim_for(name, software_support, "base")
+        p16 = analysis.predictions[16]
+        p32 = analysis.predictions[32]
+        rows.append(Table3Row(
+            name=name,
+            instructions=analysis.instructions,
+            cycles=sim.cycles,
+            loads=p32.loads,
+            stores=p32.stores,
+            icache_miss=analysis.icache_miss_ratio,
+            dcache_miss=analysis.dcache_miss_ratio,
+            memory_usage=analysis.memory_usage,
+            fail_load_16=100.0 * p16.load_failure_rate,
+            fail_store_16=100.0 * p16.store_failure_rate,
+            fail_load_32=100.0 * p32.load_failure_rate,
+            fail_store_32=100.0 * p32.store_failure_rate,
+        ))
+    return rows
+
+
+def run_table3(benchmarks=None) -> Table3Result:
+    names = common.suite_names(benchmarks)
+    return Table3Result(rows=collect_rows(names, software_support=False))

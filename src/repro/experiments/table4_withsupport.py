@@ -1,0 +1,88 @@
+"""Table 4: program statistics with software support.
+
+Per benchmark: percentage change (relative to the unsupported build) in
+instruction count, baseline cycles, loads, stores, and memory usage;
+absolute change in I/D-cache miss ratios; TLB miss-ratio change; and
+prediction failure percentages at 32-byte blocks for All accesses and
+excluding register+register addressing ("No R+R").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.experiments import common
+
+
+@dataclass
+class Table4Row:
+    name: str
+    insts_change: float        # percent
+    cycles_change: float       # percent
+    loads_change: float        # percent
+    stores_change: float       # percent
+    icache_miss_delta: float   # absolute
+    dcache_miss_delta: float   # absolute
+    memory_change: float       # percent
+    tlb_miss_delta: float      # absolute
+    fail_load_all: float
+    fail_load_norr: float
+    fail_store_all: float
+    fail_store_norr: float
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["benchmark", "insts%", "cycles%", "loads%", "stores%",
+                   "di$miss", "dd$miss", "mem%", "dtlb",
+                   "L-all%", "L-noRR%", "S-all%", "S-noRR%"]
+        table_rows = [
+            [r.name,
+             f"{r.insts_change:+.1f}", f"{r.cycles_change:+.1f}",
+             f"{r.loads_change:+.1f}", f"{r.stores_change:+.1f}",
+             f"{r.icache_miss_delta:+.4f}", f"{r.dcache_miss_delta:+.4f}",
+             f"{r.memory_change:+.1f}", f"{r.tlb_miss_delta:+.4f}",
+             f"{r.fail_load_all:.1f}", f"{r.fail_load_norr:.1f}",
+             f"{r.fail_store_all:.1f}", f"{r.fail_store_norr:.1f}"]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, table_rows,
+            title="Table 4: program statistics with software support "
+                  "(changes vs. Table 3; failure % at 32-byte blocks)")
+
+
+def _pct(new: float, old: float) -> float:
+    return 100.0 * (new - old) / old if old else 0.0
+
+
+def run_table4(benchmarks=None) -> Table4Result:
+    names = common.suite_names(benchmarks)
+    result = Table4Result()
+    for name in names:
+        base = common.analysis_for(name, False)
+        opt = common.analysis_for(name, True)
+        base_sim = common.sim_for(name, False, "base")
+        opt_sim = common.sim_for(name, True, "base")
+        b32 = base.predictions[32]
+        o32 = opt.predictions[32]
+        result.rows.append(Table4Row(
+            name=name,
+            insts_change=_pct(opt.instructions, base.instructions),
+            cycles_change=_pct(opt_sim.cycles, base_sim.cycles),
+            loads_change=_pct(o32.loads, b32.loads),
+            stores_change=_pct(o32.stores, b32.stores),
+            icache_miss_delta=opt.icache_miss_ratio - base.icache_miss_ratio,
+            dcache_miss_delta=opt.dcache_miss_ratio - base.dcache_miss_ratio,
+            memory_change=_pct(opt.memory_usage, base.memory_usage),
+            tlb_miss_delta=opt.tlb_miss_ratio - base.tlb_miss_ratio,
+            fail_load_all=100.0 * o32.load_failure_rate,
+            fail_load_norr=100.0 * o32.norr_load_failure_rate,
+            fail_store_all=100.0 * o32.store_failure_rate,
+            fail_store_norr=100.0 * o32.norr_store_failure_rate,
+        ))
+    return result

@@ -1,0 +1,12 @@
+"""Fast address calculation: the paper's primary contribution.
+
+:class:`~repro.fac.predictor.FastAddressCalculator` is a bit-level model
+of the circuit in the paper's Figure 4; :class:`~repro.fac.config.FacConfig`
+selects the design points evaluated in Section 5 (block size, full tag
+addition, store speculation, register+register speculation).
+"""
+
+from repro.fac.config import FacConfig
+from repro.fac.predictor import FailureSignals, FastAddressCalculator, Prediction
+
+__all__ = ["FacConfig", "FastAddressCalculator", "Prediction", "FailureSignals"]

@@ -1,0 +1,65 @@
+"""Configuration of the fast-address-calculation hardware."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.bits import is_pow2, log2_exact
+
+
+@dataclass(frozen=True)
+class FacConfig:
+    """One design point of the predictor circuit.
+
+    ``cache_size`` and ``block_size`` determine the address fields of
+    Figure 4: with a direct-mapped cache of ``2**S`` bytes and ``2**B``-byte
+    blocks, the block offset is ``addr[B-1:0]``, the set index is
+    ``addr[S-1:B]``, and the tag is ``addr[31:S]``. The predictor performs
+    ``B`` bits of full addition (the paper evaluates B=4 and B=5, i.e. 16-
+    and 32-byte blocks), carry-free (OR) addition in the index field, and
+    either full or carry-free addition in the tag field
+    (``full_tag_add`` -- Section 3.1 reports the full adder is "of limited
+    value", so both are modelled).
+
+    ``speculate_stores`` and ``speculate_reg_reg`` select whether stores
+    and register+register-mode accesses are speculated at all (Sections
+    3.1 and 5.5).
+    """
+
+    cache_size: int = 16 * 1024
+    block_size: int = 32
+    full_tag_add: bool = True
+    speculate_stores: bool = True
+    speculate_reg_reg: bool = True
+
+    def __post_init__(self):
+        if not is_pow2(self.cache_size):
+            raise ConfigError(f"cache_size {self.cache_size} not a power of two")
+        if not is_pow2(self.block_size):
+            raise ConfigError(f"block_size {self.block_size} not a power of two")
+        if self.block_size >= self.cache_size:
+            raise ConfigError("block_size must be smaller than cache_size")
+
+    @property
+    def b_bits(self) -> int:
+        """B: number of block-offset bits (width of the full adder)."""
+        return log2_exact(self.block_size)
+
+    @property
+    def s_bits(self) -> int:
+        """S: log2 of the cache set span in bytes (index+offset width)."""
+        return log2_exact(self.cache_size)
+
+    @classmethod
+    def for_cache(cls, cache, **kwargs) -> "FacConfig":
+        """Derive the predictor geometry from a cache configuration.
+
+        For a set-associative cache the set index spans fewer bits
+        (``num_sets * block_size`` bytes), so less of the address needs
+        carry-free addition -- associativity *helps* fast address
+        calculation. ``cache`` is a
+        :class:`repro.cache.cache.CacheConfig`.
+        """
+        return cls(cache_size=cache.num_sets * cache.block_size,
+                   block_size=cache.block_size, **kwargs)

@@ -1,0 +1,187 @@
+"""Bit-level model of the fast address calculation circuit (Figure 4).
+
+The circuit forms a *speculative* effective address from a base register
+value and an offset while the real address is still being computed:
+
+* block offset ``addr[B-1:0]``: a B-bit **full adder** (its carry-out is
+  the ``Overflow`` signal),
+* set index ``addr[S-1:B]``: **carry-free addition** -- a bitwise OR of
+  the two index fields (the paper notes an inclusive OR suffices in place
+  of XOR because the two differ only when prediction fails anyway),
+* tag ``addr[31:S]``: either a full adder chained behind the index-portion
+  carry (always correct) or the same OR trick (``full_tag_add=False``).
+
+Small negative *constant* offsets are accommodated by inverting the
+offset's index field (all-ones for a small negative constant, zeros after
+inversion), so the OR returns the base's index unchanged; the block-offset
+adder's missing carry-out then flags the borrow case. Register offsets
+arrive too late for inversion, so any negative register offset fails
+(signal ``IndexReg<31>``).
+
+Verification is decoupled from the access path: four failure signals are
+computed and their OR decides whether the access must replay with the
+non-speculative address:
+
+1. ``overflow``      -- a carry (or borrow) propagates out of the block
+                        offset field,
+2. ``gen_carry``     -- a carry is generated inside the set index field
+                        (some bit position has both operands' bits set),
+3. ``large_neg_const`` -- a negative constant offset too large in
+                        magnitude to stay within the base's cache block,
+4. ``neg_index_reg`` -- a register offset that is negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fac.config import FacConfig
+from repro.utils.bits import MASK32
+
+_TAG_TOP = 32
+
+
+@dataclass(frozen=True)
+class FailureSignals:
+    """The verification circuit's four failure conditions, plus the
+    OR-tag mismatch that exists only when ``full_tag_add`` is off."""
+
+    overflow: bool = False
+    gen_carry: bool = False
+    large_neg_const: bool = False
+    neg_index_reg: bool = False
+    tag_mismatch: bool = False
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.overflow
+            or self.gen_carry
+            or self.large_neg_const
+            or self.neg_index_reg
+            or self.tag_mismatch
+        )
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of one speculative address calculation."""
+
+    predicted: int          # the address driven onto the cache port
+    actual: int             # the non-speculative effective address
+    success: bool           # predicted == actual (as the verifier decides)
+    speculated: bool        # False when this access class is not speculated
+    signals: FailureSignals
+
+
+class FastAddressCalculator:
+    """The predictor circuit for one cache geometry."""
+
+    def __init__(self, config: FacConfig | None = None):
+        self.config = config or FacConfig()
+        b = self.config.b_bits
+        s = self.config.s_bits
+        self._b = b
+        self._s = s
+        self._block_mask = (1 << b) - 1                   # addr[B-1:0]
+        self._index_mask = ((1 << s) - 1) ^ self._block_mask  # addr[S-1:B]
+        self._tag_mask = (MASK32 ^ ((1 << s) - 1))        # addr[31:S]
+
+    # ------------------------------------------------------------------ #
+
+    def predict(self, base: int, offset: int, offset_is_reg: bool) -> Prediction:
+        """Run the circuit for one access.
+
+        ``base`` is the 32-bit base register value; ``offset`` is the
+        signed constant offset, or the *signed interpretation* of the
+        index register value when ``offset_is_reg``.
+        """
+        base &= MASK32
+        actual = (base + offset) & MASK32
+        ofs_bits = offset & MASK32
+        b = self._b
+
+        # --- block offset: B-bit full adder, carry-out = Overflow ------
+        block_sum = (base & self._block_mask) + (ofs_bits & self._block_mask)
+        carry_out = block_sum >> b
+        pred_block = block_sum & self._block_mask
+
+        neg_index_reg = offset_is_reg and offset < 0
+        if offset_is_reg or offset >= 0:
+            ofs_index = ofs_bits & self._index_mask
+            ofs_tag = ofs_bits & self._tag_mask
+            large_neg_const = False
+            # positive offsets: a carry-out of the block adder propagates
+            # into the index field and breaks the OR prediction.
+            overflow = carry_out == 1
+        else:
+            # negative constant: the index (and tag) fields of the offset
+            # are inverted -- all-ones becomes zero for small magnitudes.
+            ofs_index = (~ofs_bits) & self._index_mask
+            ofs_tag = (~ofs_bits) & self._tag_mask
+            # too negative to stay within the base's block?
+            large_neg_const = (offset >> b) != -1
+            # for in-range negative offsets the block adder must produce a
+            # carry-out (i.e. no borrow); carry_out == 0 is the failure.
+            overflow = carry_out == 0
+
+        # --- set index: carry-free (OR) addition ------------------------
+        base_index = base & self._index_mask
+        pred_index = base_index | ofs_index
+        gen_carry = (base_index & ofs_index) != 0
+
+        # --- tag ---------------------------------------------------------
+        base_tag = base & self._tag_mask
+        if self.config.full_tag_add:
+            # Full addition chained behind the index carry: always equals
+            # the true tag, so drive the true tag onto the comparator.
+            pred_tag = actual & self._tag_mask
+            tag_mismatch = False
+        else:
+            pred_tag = base_tag | ofs_tag
+            tag_mismatch = pred_tag != (actual & self._tag_mask)
+
+        signals = FailureSignals(
+            overflow=overflow,
+            gen_carry=gen_carry,
+            large_neg_const=large_neg_const,
+            neg_index_reg=neg_index_reg,
+            tag_mismatch=tag_mismatch,
+        )
+        predicted = pred_tag | pred_index | pred_block
+        return Prediction(
+            predicted=predicted,
+            actual=actual,
+            success=not signals.any,
+            speculated=True,
+            signals=signals,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def should_speculate(self, offset_is_reg: bool, is_store: bool) -> bool:
+        """Policy check: is this access class speculated at all?"""
+        if is_store and not self.config.speculate_stores:
+            return False
+        if offset_is_reg and not self.config.speculate_reg_reg:
+            return False
+        return True
+
+    def predict_access(
+        self, base: int, offset: int, offset_is_reg: bool, is_store: bool
+    ) -> Prediction:
+        """Predict, or report a non-speculated access.
+
+        Post-increment accesses should not be routed here: their effective
+        address *is* the base register value, no addition is involved.
+        """
+        if not self.should_speculate(offset_is_reg, is_store):
+            actual = (base + offset) & MASK32
+            return Prediction(
+                predicted=actual,
+                actual=actual,
+                success=False,
+                speculated=False,
+                signals=FailureSignals(),
+            )
+        return self.predict(base, offset, offset_is_reg)

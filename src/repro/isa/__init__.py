@@ -1,0 +1,46 @@
+"""Extended-MIPS instruction set architecture.
+
+The paper's target is "functionally identical to the MIPS-I ISA" with two
+extensions and one removal (Section 5.1):
+
+* register+register addressing mode for loads and stores,
+* post-increment / post-decrement addressing,
+* no architected delay slots (branches and loads take effect immediately).
+
+This package provides the register model, opcode metadata, the
+:class:`~repro.isa.instruction.Instruction` representation, a binary
+encoder/decoder, a two-pass assembler producing relocatable object units,
+and a disassembler.
+"""
+
+from repro.isa.registers import Reg, FReg, REG_NAMES, reg_name, parse_reg
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.instruction import Instruction
+from repro.isa.program import DataDef, ObjectUnit, Program, Relocation, RelocKind, Symbol
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.listing import generate_listing
+
+__all__ = [
+    "Reg",
+    "FReg",
+    "REG_NAMES",
+    "reg_name",
+    "parse_reg",
+    "Op",
+    "OpClass",
+    "op_info",
+    "Instruction",
+    "DataDef",
+    "ObjectUnit",
+    "Program",
+    "Relocation",
+    "RelocKind",
+    "Symbol",
+    "assemble",
+    "disassemble",
+    "encode",
+    "decode",
+    "generate_listing",
+]

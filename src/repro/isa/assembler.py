@@ -1,0 +1,520 @@
+"""Two-pass assembler for the extended-MIPS target.
+
+Produces a relocatable :class:`~repro.isa.program.ObjectUnit`. Supported
+syntax (one statement per line, ``#`` comments)::
+
+    .text / .data / .sdata          section switches (.sdata is placed in
+                                    the gp-addressable global region)
+    .globl name                     export a symbol
+    .word v[, v...]   .half  .byte  initialized data (values or symbols)
+    .double 3.14[, ...]             IEEE-754 doubles
+    .asciiz "str"                   NUL-terminated string
+    .space n                        n zero bytes
+    .align n                        align to 2**n bytes
+    .comm name, size[, align]       zero-initialized (bss) allocation
+
+    label:  add $t0, $t1, $t2       plain instructions
+            lw  $t0, 8($sp)         register+constant addressing
+            lw  $t0, %gprel(g)($gp) gp-relative (GPREL16 relocation)
+            lw  $t0, %lo(sym)($t1)  low half of a symbol address
+            lwx $t0, $t1($t2)       register+register (addr = $t2 + $t1)
+            lwpi $t0, ($t1)+4       post-increment addressing
+            lui $t0, %hi(sym)
+
+Pseudo-instructions: ``li``, ``la``, ``move``, ``b``, ``not``, ``neg``,
+``beqz``, ``bnez``, ``bge``, ``bgt``, ``ble``, ``blt`` (and unsigned
+variants), ``li.d``, ``l.d``/``s.d`` (aliases of ``ldc1``/``sdc1``),
+``subi`` and ``subiu``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONIC_TO_OP, Op, OP_INFO
+from repro.isa.program import DataDef, ObjectUnit, Relocation, RelocKind
+from repro.isa.registers import Reg, parse_freg, parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:")
+_MEM_CONST_RE = re.compile(r"^(.*)\((\$\w+)\)$")
+_MEM_POSTINC_RE = re.compile(r"^\((\$\w+)\)\s*\+?\s*(-?\w*)$")
+_RELOC_RE = re.compile(r"^%(hi|lo|gprel)\((.+)\)$")
+_SYM_EXPR_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\d+)?$")
+
+
+def _parse_int(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        if token.startswith("'") and token.endswith("'") and len(token) >= 3:
+            body = token[1:-1]
+            decoded = body.encode().decode("unicode_escape")
+            if len(decoded) != 1:
+                raise ValueError
+            return ord(decoded)
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {token!r}", line) from None
+
+
+def _parse_sym_expr(token: str, line: int) -> tuple[str, int]:
+    """Parse ``sym``, ``sym+8``, ``sym-4`` into (name, addend)."""
+    match = _SYM_EXPR_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(f"bad symbol expression {token!r}", line)
+    addend = int(match.group(2).replace(" ", "")) if match.group(2) else 0
+    return match.group(1), addend
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.unit = ObjectUnit(name=name)
+        self.section = "text"
+        self.current_def: DataDef | None = None
+        self.pending_align = 0
+        self.anon_counter = 0
+        self.dconst_counter = 0
+        self.dconst_cache: dict[float, str] = {}
+        # (instruction index, label, line) fix-ups for branch/jump targets
+        self.branch_fixups: list[tuple[int, str, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # driver
+
+    def run(self) -> ObjectUnit:
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            self._line(raw, line_no)
+        self._resolve_branches()
+        return self.unit
+
+    def _line(self, raw: str, line: int) -> None:
+        text = self._strip_comment(raw).strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            self._define_label(match.group(1), line)
+            text = text[match.end():].strip()
+        if not text:
+            return
+        if text.startswith("."):
+            self._directive(text, line)
+        else:
+            self._instruction(text, line)
+
+    @staticmethod
+    def _strip_comment(raw: str) -> str:
+        out = []
+        in_str = False
+        for ch in raw:
+            if ch == '"':
+                in_str = not in_str
+            if ch == "#" and not in_str:
+                break
+            out.append(ch)
+        return "".join(out)
+
+    # ------------------------------------------------------------------ #
+    # labels and data
+
+    def _define_label(self, name: str, line: int) -> None:
+        if self.section == "text":
+            if name in self.unit.text_labels:
+                raise AssemblerError(f"duplicate label {name!r}", line)
+            self.unit.text_labels[name] = len(self.unit.text)
+        else:
+            definition = DataDef(
+                name=name,
+                payload=bytearray(),
+                align=max(4, 1 << self.pending_align),
+                gp_addressable=(self.section == "sdata"),
+            )
+            self.pending_align = 0
+            self.unit.data.append(definition)
+            self.current_def = definition
+
+    def _data_def(self, line: int) -> DataDef:
+        if self.section == "text":
+            raise AssemblerError("data directive in .text section", line)
+        if self.current_def is None:
+            self.anon_counter += 1
+            self.current_def = DataDef(
+                name=f"{self.unit.name}$anon{self.anon_counter}",
+                payload=bytearray(),
+                align=max(4, 1 << self.pending_align),
+                gp_addressable=(self.section == "sdata"),
+            )
+            self.pending_align = 0
+            self.unit.data.append(self.current_def)
+        return self.current_def
+
+    def _directive(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name in (".text", ".data", ".sdata"):
+            self.section = name[1:]
+            self.current_def = None
+        elif name == ".globl" or name == ".global":
+            self.unit.exported.add(rest.strip())
+        elif name == ".word":
+            definition = self._data_def(line)
+            for token in self._split_operands(rest):
+                self._emit_word(definition, token, line)
+        elif name == ".half":
+            definition = self._data_def(line)
+            for token in self._split_operands(rest):
+                definition.payload += struct.pack("<H", _parse_int(token, line) & 0xFFFF)
+        elif name == ".byte":
+            definition = self._data_def(line)
+            for token in self._split_operands(rest):
+                definition.payload += struct.pack("<B", _parse_int(token, line) & 0xFF)
+        elif name == ".double":
+            definition = self._data_def(line)
+            self._pad(definition, 8)
+            for token in self._split_operands(rest):
+                definition.payload += struct.pack("<d", float(token))
+            definition.align = max(definition.align, 8)
+        elif name == ".asciiz":
+            definition = self._data_def(line)
+            definition.payload += self._parse_string(rest, line) + b"\x00"
+        elif name == ".ascii":
+            definition = self._data_def(line)
+            definition.payload += self._parse_string(rest, line)
+        elif name == ".space":
+            definition = self._data_def(line)
+            definition.payload += bytes(_parse_int(rest, line))
+        elif name == ".align":
+            power = _parse_int(rest, line)
+            if self.current_def is not None:
+                self._pad(self.current_def, 1 << power)
+                self.current_def.align = max(self.current_def.align, 1 << power)
+            else:
+                self.pending_align = max(self.pending_align, power)
+        elif name == ".comm":
+            tokens = self._split_operands(rest)
+            if len(tokens) < 2:
+                raise AssemblerError(".comm needs name, size[, align]", line)
+            size = _parse_int(tokens[1], line)
+            align = _parse_int(tokens[2], line) if len(tokens) > 2 else 8
+            self.unit.data.append(
+                DataDef(
+                    name=tokens[0],
+                    payload=bytearray(size),
+                    align=align,
+                    is_bss=True,
+                    gp_addressable=(self.section == "sdata"),
+                )
+            )
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line)
+
+    def _emit_word(self, definition: DataDef, token: str, line: int) -> None:
+        token = token.strip()
+        if re.match(r"^-?(0[xX])?[0-9a-fA-F]+$", token) or token.startswith("'"):
+            definition.payload += struct.pack("<I", _parse_int(token, line) & 0xFFFFFFFF)
+        else:
+            symbol, addend = _parse_sym_expr(token, line)
+            definition.relocs.append(
+                Relocation(len(definition.payload), RelocKind.WORD32, symbol, addend)
+            )
+            definition.payload += b"\x00\x00\x00\x00"
+
+    @staticmethod
+    def _pad(definition: DataDef, alignment: int) -> None:
+        excess = len(definition.payload) % alignment
+        if excess:
+            definition.payload += bytes(alignment - excess)
+
+    @staticmethod
+    def _parse_string(rest: str, line: int) -> bytes:
+        rest = rest.strip()
+        if not (rest.startswith('"') and rest.endswith('"') and len(rest) >= 2):
+            raise AssemblerError(f"bad string literal {rest!r}", line)
+        return rest[1:-1].encode().decode("unicode_escape").encode("latin-1")
+
+    @staticmethod
+    def _split_operands(rest: str) -> list[str]:
+        """Split on commas that are not inside parentheses or quotes."""
+        parts, depth, buf, in_str = [], 0, [], False
+        for ch in rest:
+            if ch == '"':
+                in_str = not in_str
+            if ch == "(" and not in_str:
+                depth += 1
+            elif ch == ")" and not in_str:
+                depth -= 1
+            if ch == "," and depth == 0 and not in_str:
+                parts.append("".join(buf).strip())
+                buf = []
+            else:
+                buf.append(ch)
+        tail = "".join(buf).strip()
+        if tail:
+            parts.append(tail)
+        return parts
+
+    # ------------------------------------------------------------------ #
+    # instructions
+
+    def _instruction(self, text: str, line: int) -> None:
+        if self.section != "text":
+            raise AssemblerError("instruction outside .text", line)
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        if self._pseudo(mnemonic, operands, line):
+            return
+        op = MNEMONIC_TO_OP.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line)
+        self._emit(op, operands, line)
+
+    def _emit(self, op: Op, operands: list[str], line: int) -> None:
+        fmt = OP_INFO[op].fmt
+        inst = Instruction(op)
+        need = _FORMAT_ARITY[fmt]
+        if len(operands) != need:
+            raise AssemblerError(
+                f"{OP_INFO[op].mnemonic} expects {need} operands, got {len(operands)}",
+                line,
+            )
+        if fmt == "r3":
+            inst.rd = parse_reg(operands[0], line)
+            inst.rs = parse_reg(operands[1], line)
+            inst.rt = parse_reg(operands[2], line)
+        elif fmt == "sh":
+            inst.rd = parse_reg(operands[0], line)
+            inst.rt = parse_reg(operands[1], line)
+            inst.imm = _parse_int(operands[2], line)
+        elif fmt == "i2":
+            inst.rt = parse_reg(operands[0], line)
+            inst.rs = parse_reg(operands[1], line)
+            self._immediate(inst, operands[2], line)
+        elif fmt == "lui":
+            inst.rt = parse_reg(operands[0], line)
+            self._immediate(inst, operands[1], line)
+        elif fmt == "md":
+            inst.rs = parse_reg(operands[0], line)
+            inst.rt = parse_reg(operands[1], line)
+        elif fmt == "mf":
+            inst.rd = parse_reg(operands[0], line)
+        elif fmt in ("mc", "fmc"):
+            if fmt == "mc":
+                inst.rt = parse_reg(operands[0], line)
+            else:
+                inst.ft = parse_freg(operands[0], line)
+            self._mem_const(inst, operands[1], line)
+        elif fmt in ("mx", "fmx"):
+            if fmt == "mx":
+                inst.rt = parse_reg(operands[0], line)
+            else:
+                inst.ft = parse_freg(operands[0], line)
+            match = _MEM_CONST_RE.match(operands[1].strip())
+            if not match:
+                raise AssemblerError(f"bad indexed operand {operands[1]!r}", line)
+            inst.rx = parse_reg(match.group(1).strip(), line)
+            inst.rs = parse_reg(match.group(2), line)
+        elif fmt == "mp":
+            inst.rt = parse_reg(operands[0], line)
+            match = _MEM_POSTINC_RE.match(operands[1].strip())
+            if not match:
+                raise AssemblerError(f"bad post-increment operand {operands[1]!r}", line)
+            inst.rs = parse_reg(match.group(1), line)
+            inst.imm = _parse_int(match.group(2), line) if match.group(2) else 0
+        elif fmt == "b2":
+            inst.rs = parse_reg(operands[0], line)
+            inst.rt = parse_reg(operands[1], line)
+            inst.label = operands[2]
+        elif fmt == "b1":
+            inst.rs = parse_reg(operands[0], line)
+            inst.label = operands[1]
+        elif fmt == "j":
+            inst.label = operands[0]
+        elif fmt == "jr":
+            inst.rs = parse_reg(operands[0], line)
+        elif fmt == "jalr":
+            inst.rd = parse_reg(operands[0], line)
+            inst.rs = parse_reg(operands[1], line)
+        elif fmt == "f3":
+            inst.fd = parse_freg(operands[0], line)
+            inst.fs = parse_freg(operands[1], line)
+            inst.ft = parse_freg(operands[2], line)
+        elif fmt == "f2":
+            inst.fd = parse_freg(operands[0], line)
+            inst.fs = parse_freg(operands[1], line)
+        elif fmt == "fcmp":
+            inst.fs = parse_freg(operands[0], line)
+            inst.ft = parse_freg(operands[1], line)
+        elif fmt == "fb":
+            inst.label = operands[0]
+        elif fmt == "mtc1":
+            inst.rt = parse_reg(operands[0], line)
+            inst.fs = parse_freg(operands[1], line)
+        elif fmt == "mfc1":
+            inst.rd = parse_reg(operands[0], line)
+            inst.fs = parse_freg(operands[1], line)
+        elif fmt == "none":
+            pass
+        else:  # pragma: no cover - format table is exhaustive
+            raise AssemblerError(f"unhandled format {fmt!r}", line)
+        if inst.label is not None:
+            self.branch_fixups.append((len(self.unit.text), inst.label, line))
+        self.unit.text.append(inst)
+
+    def _immediate(self, inst: Instruction, token: str, line: int) -> None:
+        """Parse an immediate operand which may carry a relocation."""
+        token = token.strip()
+        match = _RELOC_RE.match(token)
+        if match:
+            kind = {
+                "hi": RelocKind.HI16,
+                "lo": RelocKind.LO16,
+                "gprel": RelocKind.GPREL16,
+            }[match.group(1)]
+            symbol, addend = _parse_sym_expr(match.group(2), line)
+            self.unit.text_relocs.append(
+                Relocation(len(self.unit.text), kind, symbol, addend)
+            )
+            inst.imm = 0
+        else:
+            inst.imm = _parse_int(token, line)
+
+    def _mem_const(self, inst: Instruction, operand: str, line: int) -> None:
+        match = _MEM_CONST_RE.match(operand.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {operand!r}", line)
+        inst.rs = parse_reg(match.group(2), line)
+        offset = match.group(1).strip() or "0"
+        self._immediate(inst, offset, line)
+
+    # ------------------------------------------------------------------ #
+    # pseudo-instructions
+
+    def _pseudo(self, mnemonic: str, ops: list[str], line: int) -> bool:
+        if mnemonic == "li":
+            value = _parse_int(ops[1], line)
+            self._expand_li(parse_reg(ops[0], line), value)
+        elif mnemonic == "la":
+            self._expand_la(parse_reg(ops[0], line), ops[1], line)
+        elif mnemonic == "move":
+            self._emit(Op.ADDU, [ops[0], ops[1], "$zero"], line)
+        elif mnemonic == "b":
+            self._emit(Op.BEQ, ["$zero", "$zero", ops[0]], line)
+        elif mnemonic == "not":
+            self._emit(Op.NOR, [ops[0], ops[1], "$zero"], line)
+        elif mnemonic == "neg":
+            self._emit(Op.SUB, [ops[0], "$zero", ops[1]], line)
+        elif mnemonic == "beqz":
+            self._emit(Op.BEQ, [ops[0], "$zero", ops[1]], line)
+        elif mnemonic == "bnez":
+            self._emit(Op.BNE, [ops[0], "$zero", ops[1]], line)
+        elif mnemonic in ("blt", "bltu"):
+            op = Op.SLT if mnemonic == "blt" else Op.SLTU
+            self._emit(op, ["$at", ops[0], ops[1]], line)
+            self._emit(Op.BNE, ["$at", "$zero", ops[2]], line)
+        elif mnemonic in ("bge", "bgeu"):
+            op = Op.SLT if mnemonic == "bge" else Op.SLTU
+            self._emit(op, ["$at", ops[0], ops[1]], line)
+            self._emit(Op.BEQ, ["$at", "$zero", ops[2]], line)
+        elif mnemonic in ("bgt", "bgtu"):
+            op = Op.SLT if mnemonic == "bgt" else Op.SLTU
+            self._emit(op, ["$at", ops[1], ops[0]], line)
+            self._emit(Op.BNE, ["$at", "$zero", ops[2]], line)
+        elif mnemonic in ("ble", "bleu"):
+            op = Op.SLT if mnemonic == "ble" else Op.SLTU
+            self._emit(op, ["$at", ops[1], ops[0]], line)
+            self._emit(Op.BEQ, ["$at", "$zero", ops[2]], line)
+        elif mnemonic == "subi":
+            self._emit(Op.ADDI, [ops[0], ops[1], str(-_parse_int(ops[2], line))], line)
+        elif mnemonic == "subiu":
+            self._emit(Op.ADDIU, [ops[0], ops[1], str(-_parse_int(ops[2], line))], line)
+        elif mnemonic == "l.d":
+            self._emit(Op.LDC1, ops, line)
+        elif mnemonic == "s.d":
+            self._emit(Op.SDC1, ops, line)
+        elif mnemonic == "li.d":
+            self._expand_lid(ops, line)
+        else:
+            return False
+        return True
+
+    def _expand_li(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        signed = value - 0x100000000 if value & 0x80000000 else value
+        if -32768 <= signed < 32768:
+            self.unit.text.append(Instruction(Op.ADDIU, rt=reg, rs=Reg.ZERO, imm=signed))
+        elif value <= 0xFFFF:
+            self.unit.text.append(Instruction(Op.ORI, rt=reg, rs=Reg.ZERO, imm=value))
+        else:
+            self.unit.text.append(Instruction(Op.LUI, rt=reg, imm=(value >> 16) & 0xFFFF))
+            if value & 0xFFFF:
+                self.unit.text.append(
+                    Instruction(Op.ORI, rt=reg, rs=reg, imm=value & 0xFFFF)
+                )
+
+    def _expand_la(self, reg: int, token: str, line: int) -> None:
+        symbol, addend = _parse_sym_expr(token, line)
+        self.unit.text_relocs.append(
+            Relocation(len(self.unit.text), RelocKind.HI16, symbol, addend)
+        )
+        self.unit.text.append(Instruction(Op.LUI, rt=reg, imm=0))
+        self.unit.text_relocs.append(
+            Relocation(len(self.unit.text), RelocKind.LO16, symbol, addend)
+        )
+        self.unit.text.append(Instruction(Op.ADDIU, rt=reg, rs=reg, imm=0))
+
+    def _expand_lid(self, ops: list[str], line: int) -> None:
+        """``li.d $f4, 3.14`` loads from an auto-generated constant."""
+        value = float(ops[1])
+        label = self.dconst_cache.get(value)
+        if label is None:
+            self.dconst_counter += 1
+            label = f"{self.unit.name}$dconst{self.dconst_counter}"
+            self.dconst_cache[value] = label
+            self.unit.data.append(
+                DataDef(
+                    name=label,
+                    payload=bytearray(struct.pack("<d", value)),
+                    align=8,
+                    gp_addressable=True,
+                )
+            )
+        freg = parse_freg(ops[0], line)
+        self.unit.text_relocs.append(
+            Relocation(len(self.unit.text), RelocKind.GPREL16, label, 0)
+        )
+        self.unit.text.append(Instruction(Op.LDC1, ft=freg, rs=Reg.GP, imm=0))
+
+    # ------------------------------------------------------------------ #
+    # branch resolution
+
+    def _resolve_branches(self) -> None:
+        for index, label, line in self.branch_fixups:
+            inst = self.unit.text[index]
+            target = self.unit.text_labels.get(label)
+            if target is not None:
+                inst.target = target  # local: instruction index
+            elif inst.op in (Op.J, Op.JAL):
+                self.unit.text_relocs.append(
+                    Relocation(index, RelocKind.CALL26, label, 0)
+                )
+            else:
+                raise AssemblerError(f"undefined branch target {label!r}", line)
+
+
+_FORMAT_ARITY = {
+    "r3": 3, "sh": 3, "i2": 3, "lui": 2, "md": 2, "mf": 1,
+    "mc": 2, "mx": 2, "mp": 2, "fmc": 2, "fmx": 2,
+    "b2": 3, "b1": 2, "j": 1, "jr": 1, "jalr": 2,
+    "f3": 3, "f2": 2, "fcmp": 2, "fb": 1,
+    "mtc1": 2, "mfc1": 2, "none": 0,
+}
+
+
+def assemble(source: str, name: str = "unit") -> ObjectUnit:
+    """Assemble ``source`` text into a relocatable object unit."""
+    return _Assembler(source, name).run()

@@ -1,0 +1,71 @@
+"""Render instructions back to assembly text (round-trips the assembler)."""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO
+from repro.isa.registers import freg_name, reg_name
+
+
+def disassemble(inst: Instruction) -> str:
+    """Return the canonical assembly text for ``inst``."""
+    info = OP_INFO[inst.op]
+    mnemonic = info.mnemonic
+    fmt = info.fmt
+    if fmt == "r3":
+        ops = f"{reg_name(inst.rd)}, {reg_name(inst.rs)}, {reg_name(inst.rt)}"
+    elif fmt == "sh":
+        ops = f"{reg_name(inst.rd)}, {reg_name(inst.rt)}, {inst.imm}"
+    elif fmt == "i2":
+        ops = f"{reg_name(inst.rt)}, {reg_name(inst.rs)}, {inst.imm}"
+    elif fmt == "lui":
+        ops = f"{reg_name(inst.rt)}, {inst.imm}"
+    elif fmt == "md":
+        ops = f"{reg_name(inst.rs)}, {reg_name(inst.rt)}"
+    elif fmt == "mf":
+        ops = reg_name(inst.rd)
+    elif fmt == "mc":
+        ops = f"{reg_name(inst.rt)}, {inst.imm}({reg_name(inst.rs)})"
+    elif fmt == "fmc":
+        ops = f"{freg_name(inst.ft)}, {inst.imm}({reg_name(inst.rs)})"
+    elif fmt == "mx":
+        ops = f"{reg_name(inst.rt)}, {reg_name(inst.rx)}({reg_name(inst.rs)})"
+    elif fmt == "fmx":
+        ops = f"{freg_name(inst.ft)}, {reg_name(inst.rx)}({reg_name(inst.rs)})"
+    elif fmt == "mp":
+        ops = f"{reg_name(inst.rt)}, ({reg_name(inst.rs)})+{inst.imm}"
+    elif fmt == "b2":
+        ops = f"{reg_name(inst.rs)}, {reg_name(inst.rt)}, {_target(inst)}"
+    elif fmt == "b1":
+        ops = f"{reg_name(inst.rs)}, {_target(inst)}"
+    elif fmt == "j":
+        ops = _target(inst)
+    elif fmt == "jr":
+        ops = reg_name(inst.rs)
+    elif fmt == "jalr":
+        ops = f"{reg_name(inst.rd)}, {reg_name(inst.rs)}"
+    elif fmt == "f3":
+        ops = f"{freg_name(inst.fd)}, {freg_name(inst.fs)}, {freg_name(inst.ft)}"
+    elif fmt == "f2":
+        ops = f"{freg_name(inst.fd)}, {freg_name(inst.fs)}"
+    elif fmt == "fcmp":
+        ops = f"{freg_name(inst.fs)}, {freg_name(inst.ft)}"
+    elif fmt == "fb":
+        ops = _target(inst)
+    elif fmt == "mtc1":
+        ops = f"{reg_name(inst.rt)}, {freg_name(inst.fs)}"
+    elif fmt == "mfc1":
+        ops = f"{reg_name(inst.rd)}, {freg_name(inst.fs)}"
+    else:  # none
+        ops = ""
+    return f"{mnemonic} {ops}".strip()
+
+
+def _target(inst: Instruction) -> str:
+    if inst.label is not None and inst.target is None:
+        return inst.label
+    if inst.target is None:
+        return "?"
+    if inst.addr:
+        return f"0x{inst.target:08x}"
+    return f"@{inst.target}"

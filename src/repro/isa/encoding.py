@@ -1,0 +1,227 @@
+"""Binary encoding of the extended-MIPS ISA.
+
+The standard MIPS-I subset uses the real MIPS-I encodings (SPECIAL,
+REGIMM, I- and J-formats, COP1). The paper's extensions -- indexed and
+post-increment addressing -- have no MIPS-I encoding, so they are placed
+in the SPECIAL2 (0x1C) major opcode with function codes documented below;
+this mirrors how MIPS later added ``lwxc1``-style indexed accesses.
+
+Branch and jump targets require the instruction's own address, so
+``encode``/``decode`` accept a ``pc`` argument (the address of the
+instruction itself; targets are encoded relative to ``pc + 4``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+_SPECIAL_FUNCT = {
+    Op.SLL: 0x00, Op.SRL: 0x02, Op.SRA: 0x03,
+    Op.SLLV: 0x04, Op.SRLV: 0x06, Op.SRAV: 0x07,
+    Op.JR: 0x08, Op.JALR: 0x09,
+    Op.SYSCALL: 0x0C, Op.BREAK: 0x0D,
+    Op.MFHI: 0x10, Op.MFLO: 0x12,
+    Op.MULT: 0x18, Op.MULTU: 0x19, Op.DIV: 0x1A, Op.DIVU: 0x1B,
+    Op.ADD: 0x20, Op.ADDU: 0x21, Op.SUB: 0x22, Op.SUBU: 0x23,
+    Op.AND: 0x24, Op.OR: 0x25, Op.XOR: 0x26, Op.NOR: 0x27,
+    Op.SLT: 0x2A, Op.SLTU: 0x2B,
+}
+_FUNCT_SPECIAL = {v: k for k, v in _SPECIAL_FUNCT.items()}
+
+_IMM_OPCODE = {
+    Op.BEQ: 0x04, Op.BNE: 0x05, Op.BLEZ: 0x06, Op.BGTZ: 0x07,
+    Op.ADDI: 0x08, Op.ADDIU: 0x09, Op.SLTI: 0x0A, Op.SLTIU: 0x0B,
+    Op.ANDI: 0x0C, Op.ORI: 0x0D, Op.XORI: 0x0E, Op.LUI: 0x0F,
+    Op.LB: 0x20, Op.LH: 0x21, Op.LW: 0x23, Op.LBU: 0x24, Op.LHU: 0x25,
+    Op.SB: 0x28, Op.SH: 0x29, Op.SW: 0x2B,
+    Op.LDC1: 0x35, Op.SDC1: 0x3D,
+}
+_OPCODE_IMM = {v: k for k, v in _IMM_OPCODE.items()}
+
+# SPECIAL2 function codes for the paper's extended addressing modes.
+_X_FUNCT = {
+    Op.LWX: 0x00, Op.LBX: 0x01, Op.LBUX: 0x02, Op.LHX: 0x03, Op.LHUX: 0x04,
+    Op.SWX: 0x08, Op.SBX: 0x09, Op.SHX: 0x0A,
+    Op.LDXC1: 0x10, Op.SDXC1: 0x11,
+}
+_FUNCT_X = {v: k for k, v in _X_FUNCT.items()}
+
+# Post-increment modes live in otherwise-unused primary opcodes.
+_PI_OPCODE = {Op.LWPI: 0x33, Op.SWPI: 0x37}
+_OPCODE_PI = {v: k for k, v in _PI_OPCODE.items()}
+
+_FP_FUNCT = {
+    Op.ADD_D: 0x00, Op.SUB_D: 0x01, Op.MUL_D: 0x02, Op.DIV_D: 0x03,
+    Op.SQRT_D: 0x04, Op.ABS_D: 0x05, Op.MOV_D: 0x06, Op.NEG_D: 0x07,
+    Op.TRUNC_W_D: 0x0D, Op.CVT_W_D: 0x24,
+    Op.C_EQ_D: 0x32, Op.C_LT_D: 0x3C, Op.C_LE_D: 0x3E,
+}
+_FUNCT_FP = {v: k for k, v in _FP_FUNCT.items()}
+
+_COP1 = 0x11
+_FMT_D = 0x11
+_FMT_W = 0x14
+
+
+def _imm16(value: int) -> int:
+    if not -32768 <= value < 65536:
+        raise EncodingError(f"immediate {value} does not fit in 16 bits")
+    return value & 0xFFFF
+
+
+def encode(inst: Instruction, pc: int = 0) -> int:
+    """Encode ``inst`` (at address ``pc``) into a 32-bit word."""
+    op = inst.op
+    if op == Op.NOP:
+        return 0
+    if op in _SPECIAL_FUNCT:
+        funct = _SPECIAL_FUNCT[op]
+        if op in (Op.SLL, Op.SRL, Op.SRA):
+            return (inst.rt << 16) | (inst.rd << 11) | ((inst.imm & 0x1F) << 6) | funct
+        if op == Op.JR:
+            return (inst.rs << 21) | funct
+        if op == Op.JALR:
+            return (inst.rs << 21) | (inst.rd << 11) | funct
+        if op in (Op.MULT, Op.MULTU, Op.DIV, Op.DIVU):
+            return (inst.rs << 21) | (inst.rt << 16) | funct
+        if op in (Op.MFHI, Op.MFLO):
+            return (inst.rd << 11) | funct
+        if op in (Op.SYSCALL, Op.BREAK):
+            return funct
+        return (inst.rs << 21) | (inst.rt << 16) | (inst.rd << 11) | funct
+    if op in (Op.BLTZ, Op.BGEZ):
+        rt_code = 0 if op == Op.BLTZ else 1
+        offset = _branch_offset(inst, pc)
+        return (0x01 << 26) | (inst.rs << 21) | (rt_code << 16) | offset
+    if op in (Op.J, Op.JAL):
+        if inst.target is None:
+            raise EncodingError("unresolved jump target")
+        code = 0x02 if op == Op.J else 0x03
+        return (code << 26) | ((inst.target >> 2) & 0x03FFFFFF)
+    if op in _IMM_OPCODE:
+        major = _IMM_OPCODE[op]
+        if op in (Op.BEQ, Op.BNE):
+            offset = _branch_offset(inst, pc)
+            return (major << 26) | (inst.rs << 21) | (inst.rt << 16) | offset
+        if op in (Op.BLEZ, Op.BGTZ):
+            offset = _branch_offset(inst, pc)
+            return (major << 26) | (inst.rs << 21) | offset
+        if op == Op.LUI:
+            return (major << 26) | (inst.rt << 16) | _imm16(inst.imm)
+        if op in (Op.LDC1, Op.SDC1):
+            return (major << 26) | (inst.rs << 21) | (inst.ft << 16) | _imm16(inst.imm)
+        return (major << 26) | (inst.rs << 21) | (inst.rt << 16) | _imm16(inst.imm)
+    if op in _X_FUNCT:
+        funct = _X_FUNCT[op]
+        value = inst.ft if op in (Op.LDXC1, Op.SDXC1) else inst.rt
+        return (0x1C << 26) | (inst.rs << 21) | (inst.rx << 16) | (value << 11) | funct
+    if op in _PI_OPCODE:
+        major = _PI_OPCODE[op]
+        return (major << 26) | (inst.rs << 21) | (inst.rt << 16) | _imm16(inst.imm)
+    if op in _FP_FUNCT:
+        funct = _FP_FUNCT[op]
+        return (
+            (_COP1 << 26) | (_FMT_D << 21) | (inst.ft << 16)
+            | (inst.fs << 11) | (inst.fd << 6) | funct
+        )
+    if op == Op.CVT_D_W:
+        return (_COP1 << 26) | (_FMT_W << 21) | (inst.fs << 11) | (inst.fd << 6) | 0x21
+    if op == Op.MTC1:
+        return (_COP1 << 26) | (0x04 << 21) | (inst.rt << 16) | (inst.fs << 11)
+    if op == Op.MFC1:
+        return (_COP1 << 26) | (0x00 << 21) | (inst.rd << 16) | (inst.fs << 11)
+    if op in (Op.BC1T, Op.BC1F):
+        flag = 1 if op == Op.BC1T else 0
+        offset = _branch_offset(inst, pc)
+        return (_COP1 << 26) | (0x08 << 21) | (flag << 16) | offset
+    raise EncodingError(f"cannot encode {op.name}")
+
+
+def _branch_offset(inst: Instruction, pc: int) -> int:
+    if inst.target is None:
+        raise EncodingError("unresolved branch target")
+    delta = (inst.target - (pc + 4)) >> 2
+    if not -32768 <= delta < 32768:
+        raise EncodingError(f"branch displacement {delta} out of range")
+    return delta & 0xFFFF
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode a 32-bit word (at address ``pc``) into an instruction."""
+    if word == 0:
+        return Instruction(Op.NOP)
+    major = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+    simm = imm - 0x10000 if imm & 0x8000 else imm
+
+    if major == 0x00:
+        op = _FUNCT_SPECIAL.get(funct)
+        if op is None:
+            raise EncodingError(f"unknown SPECIAL funct 0x{funct:02x}")
+        if op in (Op.SLL, Op.SRL, Op.SRA):
+            return Instruction(op, rd=rd, rt=rt, imm=shamt)
+        if op == Op.JR:
+            return Instruction(op, rs=rs)
+        if op == Op.JALR:
+            return Instruction(op, rd=rd, rs=rs)
+        if op in (Op.MULT, Op.MULTU, Op.DIV, Op.DIVU):
+            return Instruction(op, rs=rs, rt=rt)
+        if op in (Op.MFHI, Op.MFLO):
+            return Instruction(op, rd=rd)
+        if op in (Op.SYSCALL, Op.BREAK):
+            return Instruction(op)
+        return Instruction(op, rd=rd, rs=rs, rt=rt)
+    if major == 0x01:
+        op = Op.BLTZ if rt == 0 else Op.BGEZ
+        return Instruction(op, rs=rs, target=pc + 4 + (simm << 2))
+    if major in (0x02, 0x03):
+        op = Op.J if major == 0x02 else Op.JAL
+        target = (word & 0x03FFFFFF) << 2
+        return Instruction(op, target=target)
+    if major == 0x1C:
+        op = _FUNCT_X.get(funct)
+        if op is None:
+            raise EncodingError(f"unknown SPECIAL2 funct 0x{funct:02x}")
+        if op in (Op.LDXC1, Op.SDXC1):
+            return Instruction(op, rs=rs, rx=rt, ft=rd)
+        return Instruction(op, rs=rs, rx=rt, rt=rd)
+    if major in _OPCODE_PI:
+        return Instruction(_OPCODE_PI[major], rs=rs, rt=rt, imm=simm)
+    if major == _COP1:
+        fmt = rs
+        if fmt == 0x00:
+            return Instruction(Op.MFC1, rd=rt, fs=rd)
+        if fmt == 0x04:
+            return Instruction(Op.MTC1, rt=rt, fs=rd)
+        if fmt == 0x08:
+            op = Op.BC1T if rt & 1 else Op.BC1F
+            return Instruction(op, target=pc + 4 + (simm << 2))
+        if fmt == _FMT_W and funct == 0x21:
+            return Instruction(Op.CVT_D_W, fd=shamt, fs=rd)
+        if fmt == _FMT_D:
+            op = _FUNCT_FP.get(funct)
+            if op is None:
+                raise EncodingError(f"unknown COP1.D funct 0x{funct:02x}")
+            return Instruction(op, fd=shamt, fs=rd, ft=rt)
+        raise EncodingError(f"unknown COP1 fmt 0x{fmt:02x}")
+    op = _OPCODE_IMM.get(major)
+    if op is None:
+        raise EncodingError(f"unknown major opcode 0x{major:02x}")
+    if op in (Op.BEQ, Op.BNE):
+        return Instruction(op, rs=rs, rt=rt, target=pc + 4 + (simm << 2))
+    if op in (Op.BLEZ, Op.BGTZ):
+        return Instruction(op, rs=rs, target=pc + 4 + (simm << 2))
+    if op == Op.LUI:
+        return Instruction(op, rt=rt, imm=imm)
+    if op in (Op.LDC1, Op.SDC1):
+        return Instruction(op, ft=rt, rs=rs, imm=simm)
+    if op in (Op.ANDI, Op.ORI, Op.XORI):
+        return Instruction(op, rt=rt, rs=rs, imm=imm)
+    return Instruction(op, rt=rt, rs=rs, imm=simm)

@@ -1,0 +1,103 @@
+"""The in-memory instruction representation.
+
+Instructions are mutable records (labels become addresses at link time)
+with ``__slots__`` for compactness: the timing simulator touches millions
+of these. Field usage by format:
+
+* integer 3-register ops: ``rd = rs OP rt``
+* immediates: ``rt = rs OP imm`` (``rt`` is the destination, MIPS style)
+* shifts by immediate: ``rd = rt OP shamt`` (stored in ``imm``)
+* loads: ``rt`` (or ``ft``) destination, ``rs`` base; constant mode uses
+  ``imm``, indexed mode uses ``rx`` as the index register, post-increment
+  mode uses ``imm`` as the post-access adjustment of ``rs``
+* stores: ``rt`` (or ``ft``) is the value source; addressing as loads
+* branches: ``rs``/``rt`` compared, ``target`` is the resolved absolute
+  address (a local instruction index before linking)
+* jumps: ``target`` absolute address, or ``label`` before resolution
+* FP three-register: ``fd = fs OP ft``
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op, OP_INFO
+
+
+class Instruction:
+    """One extended-MIPS instruction."""
+
+    __slots__ = (
+        "op", "rd", "rs", "rt", "rx",
+        "fd", "fs", "ft",
+        "imm", "target", "label", "addr",
+    )
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = 0,
+        rs: int = 0,
+        rt: int = 0,
+        rx: int = 0,
+        fd: int = 0,
+        fs: int = 0,
+        ft: int = 0,
+        imm: int = 0,
+        target: int | None = None,
+        label: str | None = None,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.rx = rx
+        self.fd = fd
+        self.fs = fs
+        self.ft = ft
+        self.imm = imm
+        self.target = target
+        self.label = label
+        self.addr = 0  # assigned by the linker
+
+    @property
+    def info(self):
+        return OP_INFO[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return OP_INFO[self.op].is_load
+
+    @property
+    def is_store(self) -> bool:
+        return OP_INFO[self.op].is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return OP_INFO[self.op].mem_width > 0
+
+    def copy(self) -> "Instruction":
+        inst = Instruction(
+            self.op, self.rd, self.rs, self.rt, self.rx,
+            self.fd, self.fs, self.ft, self.imm, self.target, self.label,
+        )
+        inst.addr = self.addr
+        return inst
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+            if slot != "addr"
+        )
+
+    def __hash__(self):  # pragma: no cover - instructions are not hashed
+        return id(self)
+
+    def __repr__(self) -> str:
+        from repro.isa.disassembler import disassemble
+
+        try:
+            return f"<{disassemble(self)}>"
+        except Exception:
+            return f"<Instruction {self.op.name}>"

@@ -1,0 +1,53 @@
+"""Objdump-style program listings.
+
+Renders a linked :class:`~repro.isa.program.Program` as an annotated
+listing: addresses, encoded words, disassembly, symbol labels, and a
+data-segment/symbol-table summary. Useful for debugging generated code
+and for eyeballing what the FAC software support changed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import encode
+from repro.isa.program import Program
+
+
+def generate_listing(program: Program, include_data: bool = True) -> str:
+    """Render ``program`` as a text listing."""
+    by_address: dict[int, list[str]] = {}
+    for symbol in program.symbols.values():
+        if symbol.section == "text":
+            by_address.setdefault(symbol.address, []).append(symbol.name)
+
+    lines = ["TEXT SEGMENT", ""]
+    for inst in program.instructions:
+        for name in by_address.get(inst.addr, ()):
+            lines.append(f"{name}:")
+        try:
+            word = f"{encode(inst, inst.addr):08x}"
+        except EncodingError:
+            word = "????????"
+        lines.append(f"  {inst.addr:08x}:  {word}  {disassemble(inst)}")
+
+    if include_data:
+        lines += ["", "DATA SYMBOLS", ""]
+        data_symbols = sorted(
+            (s for s in program.symbols.values() if s.section != "text"),
+            key=lambda s: s.address,
+        )
+        for symbol in data_symbols:
+            lines.append(
+                f"  {symbol.address:08x}  {symbol.size:>7}  "
+                f"{symbol.section:<5} {symbol.name}"
+            )
+        lines += [
+            "",
+            f"entry:    0x{program.entry:08x}",
+            f"gp:       0x{program.gp_value:08x}",
+            f"sp:       0x{program.sp_value:08x}",
+            f"brk:      0x{program.brk:08x}",
+            f"text:     {program.text_size} bytes",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Opcode enumeration and per-opcode metadata.
+
+The metadata table drives the assembler (operand formats), the timing
+simulator (functional-unit class), and the memory system (access width,
+signedness, and addressing mode). Addressing modes follow the paper's
+extended MIPS:
+
+* ``c`` -- register + 16-bit signed constant (``lw $t0, 8($sp)``)
+* ``x`` -- register + register (``lwx $t0, $t1($t2)``, address = rs + index)
+* ``p`` -- post-increment/decrement (``lwpi $t0, ($t1)+4``; the base
+  register is incremented by the constant *after* the access, so the
+  effective address is the raw base value -- these always predict
+  correctly since no addition is needed to form the address)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum, auto
+
+
+class OpClass(IntEnum):
+    """Functional-unit class, mapping to the latencies of Table 5."""
+
+    ALU = auto()       # integer ALU: 1 cycle
+    LOAD = auto()      # load/store unit
+    STORE = auto()
+    BRANCH = auto()    # resolved in EX by an integer ALU
+    JUMP = auto()
+    IMULT = auto()     # integer multiply: 3 cycles
+    IDIV = auto()      # integer divide: 20 cycles, non-pipelined
+    FPADD = auto()     # FP add/compare/convert: 2 cycles
+    FPMULT = auto()    # FP multiply: 4 cycles
+    FPDIV = auto()     # FP divide: 12 cycles, non-pipelined
+    SYSTEM = auto()
+
+
+class Op(IntEnum):
+    """All opcodes of the extended-MIPS target."""
+
+    # integer register-register
+    ADD = auto(); ADDU = auto(); SUB = auto(); SUBU = auto()
+    AND = auto(); OR = auto(); XOR = auto(); NOR = auto()
+    SLT = auto(); SLTU = auto()
+    SLLV = auto(); SRLV = auto(); SRAV = auto()
+    # shifts by immediate
+    SLL = auto(); SRL = auto(); SRA = auto()
+    # register-immediate
+    ADDI = auto(); ADDIU = auto(); ANDI = auto(); ORI = auto(); XORI = auto()
+    SLTI = auto(); SLTIU = auto(); LUI = auto()
+    # multiply / divide
+    MULT = auto(); MULTU = auto(); DIV = auto(); DIVU = auto()
+    MFHI = auto(); MFLO = auto()
+    # loads, register+constant
+    LB = auto(); LBU = auto(); LH = auto(); LHU = auto(); LW = auto()
+    # stores, register+constant
+    SB = auto(); SH = auto(); SW = auto()
+    # loads/stores, register+register (extended mode)
+    LBX = auto(); LBUX = auto(); LHX = auto(); LHUX = auto(); LWX = auto()
+    SBX = auto(); SHX = auto(); SWX = auto()
+    # post-increment loads/stores (extended mode)
+    LWPI = auto(); SWPI = auto()
+    # FP (double-precision) memory
+    LDC1 = auto(); SDC1 = auto(); LDXC1 = auto(); SDXC1 = auto()
+    # branches (no delay slots)
+    BEQ = auto(); BNE = auto(); BLEZ = auto(); BGTZ = auto(); BLTZ = auto(); BGEZ = auto()
+    # jumps
+    J = auto(); JAL = auto(); JR = auto(); JALR = auto()
+    # FP arithmetic (double precision)
+    ADD_D = auto(); SUB_D = auto(); MUL_D = auto(); DIV_D = auto()
+    NEG_D = auto(); ABS_D = auto(); MOV_D = auto(); SQRT_D = auto()
+    # FP converts and int<->FP moves
+    CVT_D_W = auto(); CVT_W_D = auto(); TRUNC_W_D = auto()
+    MTC1 = auto(); MFC1 = auto()
+    # FP compares and condition branches
+    C_EQ_D = auto(); C_LT_D = auto(); C_LE_D = auto()
+    BC1T = auto(); BC1F = auto()
+    # system
+    SYSCALL = auto(); BREAK = auto(); NOP = auto()
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    fmt: str                 # assembler operand format key
+    klass: OpClass
+    is_load: bool = False
+    is_store: bool = False
+    mem_width: int = 0       # bytes accessed (0 for non-memory ops)
+    mem_signed: bool = False
+    mem_fp: bool = False
+    mem_mode: str = ""       # '', 'c', 'x', or 'p'
+
+
+# Operand format keys (see assembler):
+#   r3     rd, rs, rt            sh     rd, rt, shamt
+#   i2     rt, rs, imm           lui    rt, imm
+#   md     rs, rt  (mult/div)    mf     rd      (mfhi/mflo)
+#   mc     rt, imm(rs)           mx     rt, rindex(rs)
+#   mp     rt, (rs)+imm
+#   fmc    ft, imm(rs)           fmx    ft, rindex(rs)
+#   b2     rs, rt, label         b1     rs, label
+#   j      label                 jr     rs
+#   jalr   rd, rs
+#   f3     fd, fs, ft            f2     fd, fs
+#   fcmp   fs, ft                fb     label
+#   mtc1   rt, fs                mfc1   rd, fs
+#   none   (no operands)
+
+_ALU = OpClass.ALU
+
+OP_INFO: dict[Op, OpInfo] = {
+    Op.ADD: OpInfo("add", "r3", _ALU),
+    Op.ADDU: OpInfo("addu", "r3", _ALU),
+    Op.SUB: OpInfo("sub", "r3", _ALU),
+    Op.SUBU: OpInfo("subu", "r3", _ALU),
+    Op.AND: OpInfo("and", "r3", _ALU),
+    Op.OR: OpInfo("or", "r3", _ALU),
+    Op.XOR: OpInfo("xor", "r3", _ALU),
+    Op.NOR: OpInfo("nor", "r3", _ALU),
+    Op.SLT: OpInfo("slt", "r3", _ALU),
+    Op.SLTU: OpInfo("sltu", "r3", _ALU),
+    Op.SLLV: OpInfo("sllv", "r3", _ALU),
+    Op.SRLV: OpInfo("srlv", "r3", _ALU),
+    Op.SRAV: OpInfo("srav", "r3", _ALU),
+    Op.SLL: OpInfo("sll", "sh", _ALU),
+    Op.SRL: OpInfo("srl", "sh", _ALU),
+    Op.SRA: OpInfo("sra", "sh", _ALU),
+    Op.ADDI: OpInfo("addi", "i2", _ALU),
+    Op.ADDIU: OpInfo("addiu", "i2", _ALU),
+    Op.ANDI: OpInfo("andi", "i2", _ALU),
+    Op.ORI: OpInfo("ori", "i2", _ALU),
+    Op.XORI: OpInfo("xori", "i2", _ALU),
+    Op.SLTI: OpInfo("slti", "i2", _ALU),
+    Op.SLTIU: OpInfo("sltiu", "i2", _ALU),
+    Op.LUI: OpInfo("lui", "lui", _ALU),
+    Op.MULT: OpInfo("mult", "md", OpClass.IMULT),
+    Op.MULTU: OpInfo("multu", "md", OpClass.IMULT),
+    Op.DIV: OpInfo("div", "md", OpClass.IDIV),
+    Op.DIVU: OpInfo("divu", "md", OpClass.IDIV),
+    Op.MFHI: OpInfo("mfhi", "mf", _ALU),
+    Op.MFLO: OpInfo("mflo", "mf", _ALU),
+    Op.LB: OpInfo("lb", "mc", OpClass.LOAD, is_load=True, mem_width=1, mem_signed=True, mem_mode="c"),
+    Op.LBU: OpInfo("lbu", "mc", OpClass.LOAD, is_load=True, mem_width=1, mem_mode="c"),
+    Op.LH: OpInfo("lh", "mc", OpClass.LOAD, is_load=True, mem_width=2, mem_signed=True, mem_mode="c"),
+    Op.LHU: OpInfo("lhu", "mc", OpClass.LOAD, is_load=True, mem_width=2, mem_mode="c"),
+    Op.LW: OpInfo("lw", "mc", OpClass.LOAD, is_load=True, mem_width=4, mem_signed=True, mem_mode="c"),
+    Op.SB: OpInfo("sb", "mc", OpClass.STORE, is_store=True, mem_width=1, mem_mode="c"),
+    Op.SH: OpInfo("sh", "mc", OpClass.STORE, is_store=True, mem_width=2, mem_mode="c"),
+    Op.SW: OpInfo("sw", "mc", OpClass.STORE, is_store=True, mem_width=4, mem_mode="c"),
+    Op.LBX: OpInfo("lbx", "mx", OpClass.LOAD, is_load=True, mem_width=1, mem_signed=True, mem_mode="x"),
+    Op.LBUX: OpInfo("lbux", "mx", OpClass.LOAD, is_load=True, mem_width=1, mem_mode="x"),
+    Op.LHX: OpInfo("lhx", "mx", OpClass.LOAD, is_load=True, mem_width=2, mem_signed=True, mem_mode="x"),
+    Op.LHUX: OpInfo("lhux", "mx", OpClass.LOAD, is_load=True, mem_width=2, mem_mode="x"),
+    Op.LWX: OpInfo("lwx", "mx", OpClass.LOAD, is_load=True, mem_width=4, mem_signed=True, mem_mode="x"),
+    Op.SBX: OpInfo("sbx", "mx", OpClass.STORE, is_store=True, mem_width=1, mem_mode="x"),
+    Op.SHX: OpInfo("shx", "mx", OpClass.STORE, is_store=True, mem_width=2, mem_mode="x"),
+    Op.SWX: OpInfo("swx", "mx", OpClass.STORE, is_store=True, mem_width=4, mem_mode="x"),
+    Op.LWPI: OpInfo("lwpi", "mp", OpClass.LOAD, is_load=True, mem_width=4, mem_signed=True, mem_mode="p"),
+    Op.SWPI: OpInfo("swpi", "mp", OpClass.STORE, is_store=True, mem_width=4, mem_mode="p"),
+    Op.LDC1: OpInfo("ldc1", "fmc", OpClass.LOAD, is_load=True, mem_width=8, mem_fp=True, mem_mode="c"),
+    Op.SDC1: OpInfo("sdc1", "fmc", OpClass.STORE, is_store=True, mem_width=8, mem_fp=True, mem_mode="c"),
+    Op.LDXC1: OpInfo("ldxc1", "fmx", OpClass.LOAD, is_load=True, mem_width=8, mem_fp=True, mem_mode="x"),
+    Op.SDXC1: OpInfo("sdxc1", "fmx", OpClass.STORE, is_store=True, mem_width=8, mem_fp=True, mem_mode="x"),
+    Op.BEQ: OpInfo("beq", "b2", OpClass.BRANCH),
+    Op.BNE: OpInfo("bne", "b2", OpClass.BRANCH),
+    Op.BLEZ: OpInfo("blez", "b1", OpClass.BRANCH),
+    Op.BGTZ: OpInfo("bgtz", "b1", OpClass.BRANCH),
+    Op.BLTZ: OpInfo("bltz", "b1", OpClass.BRANCH),
+    Op.BGEZ: OpInfo("bgez", "b1", OpClass.BRANCH),
+    Op.J: OpInfo("j", "j", OpClass.JUMP),
+    Op.JAL: OpInfo("jal", "j", OpClass.JUMP),
+    Op.JR: OpInfo("jr", "jr", OpClass.JUMP),
+    Op.JALR: OpInfo("jalr", "jalr", OpClass.JUMP),
+    Op.ADD_D: OpInfo("add.d", "f3", OpClass.FPADD),
+    Op.SUB_D: OpInfo("sub.d", "f3", OpClass.FPADD),
+    Op.MUL_D: OpInfo("mul.d", "f3", OpClass.FPMULT),
+    Op.DIV_D: OpInfo("div.d", "f3", OpClass.FPDIV),
+    Op.NEG_D: OpInfo("neg.d", "f2", OpClass.FPADD),
+    Op.ABS_D: OpInfo("abs.d", "f2", OpClass.FPADD),
+    Op.MOV_D: OpInfo("mov.d", "f2", OpClass.FPADD),
+    Op.SQRT_D: OpInfo("sqrt.d", "f2", OpClass.FPDIV),
+    Op.CVT_D_W: OpInfo("cvt.d.w", "f2", OpClass.FPADD),
+    Op.CVT_W_D: OpInfo("cvt.w.d", "f2", OpClass.FPADD),
+    Op.TRUNC_W_D: OpInfo("trunc.w.d", "f2", OpClass.FPADD),
+    Op.MTC1: OpInfo("mtc1", "mtc1", _ALU),
+    Op.MFC1: OpInfo("mfc1", "mfc1", _ALU),
+    Op.C_EQ_D: OpInfo("c.eq.d", "fcmp", OpClass.FPADD),
+    Op.C_LT_D: OpInfo("c.lt.d", "fcmp", OpClass.FPADD),
+    Op.C_LE_D: OpInfo("c.le.d", "fcmp", OpClass.FPADD),
+    Op.BC1T: OpInfo("bc1t", "fb", OpClass.BRANCH),
+    Op.BC1F: OpInfo("bc1f", "fb", OpClass.BRANCH),
+    Op.SYSCALL: OpInfo("syscall", "none", OpClass.SYSTEM),
+    Op.BREAK: OpInfo("break", "none", OpClass.SYSTEM),
+    Op.NOP: OpInfo("nop", "none", _ALU),
+}
+
+MNEMONIC_TO_OP = {info.mnemonic: op for op, info in OP_INFO.items()}
+
+MEMORY_OPS = frozenset(op for op, info in OP_INFO.items() if info.mem_width)
+LOAD_OPS = frozenset(op for op, info in OP_INFO.items() if info.is_load)
+STORE_OPS = frozenset(op for op, info in OP_INFO.items() if info.is_store)
+BRANCH_OPS = frozenset(
+    op for op, info in OP_INFO.items() if info.klass in (OpClass.BRANCH, OpClass.JUMP)
+)
+INDEXED_OPS = frozenset(op for op, info in OP_INFO.items() if info.mem_mode == "x")
+
+
+def op_info(op: Op) -> OpInfo:
+    """Return the static metadata record for ``op``."""
+    return OP_INFO[op]

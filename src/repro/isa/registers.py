@@ -1,0 +1,97 @@
+"""Integer and floating-point register files and MIPS naming conventions.
+
+Register conventions follow the MIPS O32 ABI used by the paper's compiler:
+``$gp`` (r28) is the immutable global pointer, ``$sp`` (r29) the stack
+pointer, ``$fp`` (r30) the frame pointer, ``$ra`` (r31) the return address.
+Floating-point registers are modelled as 32 double-precision registers
+(``$f0``..``$f31``); we do not model the MIPS-I even/odd pairing since it
+is irrelevant to address-calculation behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+
+class Reg:
+    """Symbolic names for the 32 integer registers."""
+
+    ZERO = 0
+    AT = 1
+    V0, V1 = 2, 3
+    A0, A1, A2, A3 = 4, 5, 6, 7
+    T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+    S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23
+    T8, T9 = 24, 25
+    K0, K1 = 26, 27
+    GP = 28
+    SP = 29
+    FP = 30
+    RA = 31
+
+
+class FReg:
+    """Symbolic names for selected floating-point registers."""
+
+    F0 = 0
+    F2 = 2
+    F4 = 4
+    F12 = 12  # first double argument register
+    F14 = 14
+    F20 = 20  # first callee-saved double
+
+
+REG_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(REG_NAMES)}
+# Numeric forms $0..$31 are accepted too.
+_NAME_TO_NUM.update({str(i): i for i in range(32)})
+# Common aliases.
+_NAME_TO_NUM["s8"] = 30
+
+# Caller-saved (temporary) and callee-saved register sets, used by the
+# compiler's register allocator.
+CALLER_SAVED = (Reg.T0, Reg.T1, Reg.T2, Reg.T3, Reg.T4, Reg.T5, Reg.T6, Reg.T7, Reg.T8, Reg.T9)
+CALLEE_SAVED = (Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7)
+ARG_REGS = (Reg.A0, Reg.A1, Reg.A2, Reg.A3)
+
+FP_TEMPS = (4, 6, 8, 10, 16, 18)
+FP_CALLEE_SAVED = (20, 22, 24, 26, 28, 30)
+FP_ARG_REGS = (12, 14)
+
+
+def reg_name(num: int) -> str:
+    """Canonical ``$name`` string for integer register ``num``."""
+    return "$" + REG_NAMES[num]
+
+
+def freg_name(num: int) -> str:
+    """Canonical ``$fN`` string for floating-point register ``num``."""
+    return f"$f{num}"
+
+
+def parse_reg(token: str, line: int | None = None) -> int:
+    """Parse ``$t0`` / ``$8`` / ``t0`` into an integer register number."""
+    name = token[1:] if token.startswith("$") else token
+    try:
+        return _NAME_TO_NUM[name]
+    except KeyError:
+        raise AssemblerError(f"unknown register {token!r}", line) from None
+
+
+def parse_freg(token: str, line: int | None = None) -> int:
+    """Parse ``$f12`` / ``f12`` into a floating-point register number."""
+    name = token[1:] if token.startswith("$") else token
+    if name.startswith("f"):
+        try:
+            num = int(name[1:])
+        except ValueError:
+            raise AssemblerError(f"unknown FP register {token!r}", line) from None
+        if 0 <= num < 32:
+            return num
+    raise AssemblerError(f"unknown FP register {token!r}", line)

@@ -1,0 +1,5 @@
+"""Linker: merges object units into a runnable :class:`Program` image."""
+
+from repro.linker.linker import LinkOptions, link
+
+__all__ = ["LinkOptions", "link"]

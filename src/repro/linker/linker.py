@@ -1,0 +1,258 @@
+"""The linker.
+
+Responsibilities, mirroring the paper's GNU GLD modifications (Section 4,
+"Global Pointer Accesses"):
+
+* concatenate text sections and resolve intra/inter-unit branch targets,
+* lay out the data segment: "far" data first, then the gp-addressable
+  *global region* holding every symbol accessed relative to ``$gp``,
+* choose the global-pointer value.  Without FAC support the global region
+  starts wherever the far data ends (an essentially arbitrary address) and
+  ``$gp`` points at its base.  With ``align_gp=True`` the region is
+  relocated to a power-of-two boundary **larger than the largest offset
+  applied to it**, and all offsets are positive -- which makes carry-free
+  addition exact for every global-pointer access,
+* resolve HI16/LO16/GPREL16/CALL26/WORD32 relocations,
+* compute the initial break (heap base) and stack pointer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import LinkError
+from repro.isa.opcodes import Op
+from repro.isa.program import DataDef, ObjectUnit, Program, RelocKind, Symbol
+from repro.mem.layout import DATA_BASE, STACK_TOP, TEXT_BASE
+from repro.utils.bits import align_up, next_pow2
+
+
+@dataclass
+class LinkOptions:
+    """Knobs controlling program layout."""
+
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    stack_top: int = STACK_TOP
+    entry_symbol: str = "__start"
+    # FAC software support: relocate the global region to a power-of-two
+    # boundary larger than the largest gp offset, offsets all positive.
+    align_gp: bool = False
+    # FAC software support: the startup code aligns the initial stack
+    # pointer to the program-wide stack alignment (Section 4).
+    align_stack: bool = False
+    stack_align: int = 256
+    # Realistic layout jitter. Real binaries place headers/crt data ahead
+    # of the data segment and argv/env blocks above the initial stack
+    # pointer, so neither the global region base nor $sp starts on a
+    # convenient power-of-two boundary (the paper's Figure 5 example has
+    # sp = 0x7fff5b84). Without this bias the tiny test programs would
+    # get accidental alignment and Table 3 would look far too good.
+    data_bias: int = 0x5B8
+    stack_bias: int = 0x478
+    # Padding between the data segment end and the initial break.
+    heap_gap: int = 0x1000
+
+
+def link(units: list[ObjectUnit], options: LinkOptions | None = None) -> Program:
+    """Link ``units`` into a runnable program image."""
+    options = options or LinkOptions()
+    return _Linker(units, options).run()
+
+
+class _Linker:
+    def __init__(self, units: list[ObjectUnit], options: LinkOptions):
+        self.units = units
+        self.options = options
+        self.symbols: dict[str, Symbol] = {}
+        self.text = []
+        self.unit_bases: dict[int, int] = {}  # id(unit) -> text base addr
+        self.def_addr: dict[int, int] = {}    # id(DataDef) -> placed address
+
+    def run(self) -> Program:
+        self._merge_text()
+        gp_value, data_end = self._layout_data()
+        self._resolve_text_labels()
+        self._resolve_text_relocs(gp_value)
+        entry = self._entry_address()
+        brk = align_up(data_end + self.options.heap_gap, 0x1000)
+        sp_value = self.options.stack_top - self.options.stack_bias
+        if self.options.align_stack:
+            sp_value &= -self.options.stack_align
+        else:
+            sp_value &= -8
+        program = Program(
+            instructions=self.text,
+            text_base=self.options.text_base,
+            entry=entry,
+            gp_value=gp_value,
+            sp_value=sp_value,
+            brk=brk,
+        )
+        program.symbols = self.symbols
+        self._build_data_image(program)
+        return program
+
+    # ------------------------------------------------------------------ #
+    # text
+
+    def _merge_text(self) -> None:
+        base = self.options.text_base
+        for unit in self.units:
+            self.unit_bases[id(unit)] = base
+            for offset, inst in enumerate(unit.text):
+                inst.addr = base + offset * 4
+                self.text.append(inst)
+            for label, index in unit.text_labels.items():
+                address = base + index * 4
+                if label in unit.exported or label == "main" or label == "__start":
+                    if label in self.symbols:
+                        raise LinkError(f"duplicate text symbol {label!r}")
+                    self.symbols[label] = Symbol(label, address, section="text")
+            base += len(unit.text) * 4
+
+    def _resolve_text_labels(self) -> None:
+        """Convert local branch targets from indexes to absolute addresses."""
+        for unit in self.units:
+            base = self.unit_bases[id(unit)]
+            for index, inst in enumerate(unit.text):
+                if inst.label is not None and inst.target is not None:
+                    inst.target = base + inst.target * 4
+
+    # ------------------------------------------------------------------ #
+    # data layout
+
+    def _collect_defs(self) -> tuple[list[DataDef], list[DataDef]]:
+        gp_refs = {
+            reloc.symbol
+            for unit in self.units
+            for reloc in unit.text_relocs
+            if reloc.kind == RelocKind.GPREL16
+        }
+        names: set[str] = set()
+        gp_defs: list[DataDef] = []
+        far_defs: list[DataDef] = []
+        for unit in self.units:
+            for definition in unit.data:
+                if definition.name in names:
+                    raise LinkError(f"duplicate data symbol {definition.name!r}")
+                names.add(definition.name)
+                if definition.gp_addressable or definition.name in gp_refs:
+                    gp_defs.append(definition)
+                else:
+                    far_defs.append(definition)
+        return gp_defs, far_defs
+
+    def _layout_data(self) -> tuple[int, int]:
+        gp_defs, far_defs = self._collect_defs()
+        cursor = self.options.data_base + self.options.data_bias
+        for definition in far_defs:
+            cursor = align_up(cursor, definition.align)
+            self._define_data_symbol(definition, cursor)
+            cursor += definition.size
+
+        region_size = 0
+        for definition in gp_defs:
+            region_size = align_up(region_size, definition.align) + definition.size
+
+        if self.options.align_gp:
+            # Paper: relocate the global region to a power-of-two boundary
+            # larger than the largest offset applied to the global pointer.
+            boundary = next_pow2(max(region_size, 1))
+            region_base = align_up(cursor, boundary)
+        else:
+            # Global region lands wherever far data ends; its base address
+            # has arbitrary low bits so carry-free addition often fails.
+            region_base = align_up(cursor, 8)
+        gp_value = region_base
+
+        cursor = region_base
+        for definition in gp_defs:
+            cursor = align_up(cursor, definition.align)
+            offset = cursor - gp_value
+            if offset + definition.size > 0x8000:
+                raise LinkError(
+                    f"global region overflow: {definition.name!r} at gp+{offset} "
+                    f"(size {definition.size})"
+                )
+            self._define_data_symbol(definition, cursor)
+            cursor += definition.size
+        return gp_value, cursor
+
+    def _define_data_symbol(self, definition: DataDef, address: int) -> None:
+        self.symbols[definition.name] = Symbol(
+            definition.name,
+            address,
+            size=definition.size,
+            section="bss" if definition.is_bss else "data",
+        )
+        self.def_addr[id(definition)] = address
+
+    # ------------------------------------------------------------------ #
+    # relocation
+
+    def _symbol_value(self, name: str) -> int:
+        symbol = self.symbols.get(name)
+        if symbol is None:
+            raise LinkError(f"undefined symbol {name!r}")
+        return symbol.address
+
+    def _resolve_text_relocs(self, gp_value: int) -> None:
+        for unit in self.units:
+            base = self.unit_bases[id(unit)]
+            for reloc in unit.text_relocs:
+                inst = unit.text[reloc.offset]
+                local = unit.text_labels.get(reloc.symbol)
+                if local is not None:
+                    value = base + local * 4 + reloc.addend
+                else:
+                    value = self._symbol_value(reloc.symbol) + reloc.addend
+                if reloc.kind == RelocKind.HI16:
+                    inst.imm = ((value + 0x8000) >> 16) & 0xFFFF
+                elif reloc.kind == RelocKind.LO16:
+                    low = value & 0xFFFF
+                    inst.imm = low - 0x10000 if low & 0x8000 else low
+                elif reloc.kind == RelocKind.GPREL16:
+                    offset = value - gp_value
+                    if not -0x8000 <= offset < 0x8000:
+                        raise LinkError(
+                            f"gp-relative offset {offset} to {reloc.symbol!r} "
+                            "does not fit in 16 bits"
+                        )
+                    inst.imm = offset
+                elif reloc.kind == RelocKind.CALL26:
+                    if inst.op not in (Op.J, Op.JAL):
+                        raise LinkError("CALL26 relocation on non-jump")
+                    inst.target = value
+                else:
+                    raise LinkError(f"bad text relocation kind {reloc.kind}")
+
+    # ------------------------------------------------------------------ #
+    # data image
+
+    def _build_data_image(self, program: Program) -> None:
+        for unit in self.units:
+            for definition in unit.data:
+                address = self.def_addr[id(definition)]
+                if definition.is_bss and not definition.relocs:
+                    program.bss_spans.append((address, definition.size))
+                    continue
+                payload = bytearray(definition.payload)
+                for reloc in definition.relocs:
+                    if reloc.kind != RelocKind.WORD32:
+                        raise LinkError(f"bad data relocation kind {reloc.kind}")
+                    value = self._symbol_value(reloc.symbol) + reloc.addend
+                    struct.pack_into("<I", payload, reloc.offset, value & 0xFFFFFFFF)
+                program.data_image.append((address, bytes(payload)))
+
+    def _entry_address(self) -> int:
+        symbol = self.symbols.get(self.options.entry_symbol)
+        if symbol is None:
+            symbol = self.symbols.get("main")
+        if symbol is None:
+            raise LinkError(
+                f"no entry symbol {self.options.entry_symbol!r} or 'main'"
+            )
+        return symbol.address
+

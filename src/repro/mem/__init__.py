@@ -1,0 +1,19 @@
+"""Simulated memory: sparse byte-addressable store and segment layout."""
+
+from repro.mem.layout import (
+    DATA_BASE,
+    HEAP_ALIGN,
+    PAGE_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from repro.mem.memory import Memory
+
+__all__ = [
+    "Memory",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "STACK_TOP",
+    "PAGE_SIZE",
+    "HEAP_ALIGN",
+]

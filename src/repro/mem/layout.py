@@ -1,0 +1,17 @@
+"""Address-space layout constants for the simulated machine.
+
+The layout follows the MIPS convention used in the paper's examples
+(Figure 5 shows ``sp = 0x7fff5b84`` and a global pointer around
+``0x10000000``): text low, static data at 256 MB, heap growing up after
+the data segment, stack growing down from just under 2 GB.
+"""
+
+TEXT_BASE = 0x00400000
+DATA_BASE = 0x10000000
+STACK_TOP = 0x7FFF8000
+PAGE_SIZE = 4096
+HEAP_ALIGN = 4096
+
+# Default stack-size budget; the functional simulator faults if the stack
+# pointer drops below STACK_TOP - STACK_LIMIT.
+STACK_LIMIT = 8 * 1024 * 1024

@@ -1,0 +1,143 @@
+"""Sparse, paged, byte-addressable little-endian memory.
+
+Pages are allocated lazily as 4 KB ``bytearray`` chunks. Reads from
+never-written pages return zeros (matching bss semantics); a ``strict``
+memory instead raises :class:`~repro.errors.MemoryFault`, which the test
+suite uses to catch wild accesses.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MemoryFault
+from repro.mem.layout import PAGE_SIZE
+
+_PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_SIZE - 1
+
+_STRUCT_U = {1: struct.Struct("<B"), 2: struct.Struct("<H"), 4: struct.Struct("<I")}
+_STRUCT_S = {1: struct.Struct("<b"), 2: struct.Struct("<h"), 4: struct.Struct("<i")}
+_STRUCT_D = struct.Struct("<d")
+
+
+class Memory:
+    """The simulated physical memory."""
+
+    def __init__(self, strict: bool = False):
+        self._pages: dict[int, bytearray] = {}
+        self.strict = strict
+        self.pages_touched = 0
+
+    # ------------------------------------------------------------------ #
+    # page plumbing
+
+    def _page_for_write(self, page_num: int) -> bytearray:
+        page = self._pages.get(page_num)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_num] = page
+            self.pages_touched += 1
+        return page
+
+    def _page_for_read(self, page_num: int, address: int) -> bytearray | None:
+        page = self._pages.get(page_num)
+        if page is None and self.strict:
+            raise MemoryFault(address, "read of unmapped page")
+        return page
+
+    def is_mapped(self, address: int) -> bool:
+        return (address >> _PAGE_SHIFT) in self._pages
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes in allocated pages (the Table 3/4 memory metric)."""
+        return len(self._pages) * PAGE_SIZE
+
+    # ------------------------------------------------------------------ #
+    # bulk access
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        offset = 0
+        remaining = len(data)
+        while remaining:
+            page_num = (address + offset) >> _PAGE_SHIFT
+            in_page = (address + offset) & _PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - in_page)
+            page = self._page_for_write(page_num)
+            page[in_page:in_page + chunk] = data[offset:offset + chunk]
+            offset += chunk
+            remaining -= chunk
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            page_num = (address + offset) >> _PAGE_SHIFT
+            in_page = (address + offset) & _PAGE_MASK
+            chunk = min(length - offset, PAGE_SIZE - in_page)
+            page = self._page_for_read(page_num, address + offset)
+            if page is None:
+                out += bytes(chunk)
+            else:
+                out += page[in_page:in_page + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def reserve(self, address: int, length: int) -> None:
+        """Eagerly map a zeroed span (used for bss segments)."""
+        first = address >> _PAGE_SHIFT
+        last = (address + max(length, 1) - 1) >> _PAGE_SHIFT
+        for page_num in range(first, last + 1):
+            self._page_for_write(page_num)
+
+    # ------------------------------------------------------------------ #
+    # scalar access
+
+    def read(self, address: int, width: int, signed: bool = False) -> int:
+        """Read a 1/2/4-byte integer."""
+        if address & (width - 1):
+            raise MemoryFault(address, f"misaligned {width}-byte read")
+        in_page = address & _PAGE_MASK
+        page = self._page_for_read(address >> _PAGE_SHIFT, address)
+        if in_page + width <= PAGE_SIZE:
+            if page is None:
+                return 0
+            packer = _STRUCT_S[width] if signed else _STRUCT_U[width]
+            return packer.unpack_from(page, in_page)[0]
+        raw = self.read_bytes(address, width)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def write(self, address: int, width: int, value: int) -> None:
+        """Write a 1/2/4-byte integer (value is masked to the width)."""
+        if address & (width - 1):
+            raise MemoryFault(address, f"misaligned {width}-byte write")
+        in_page = address & _PAGE_MASK
+        if in_page + width <= PAGE_SIZE:
+            page = self._page_for_write(address >> _PAGE_SHIFT)
+            mask = (1 << (8 * width)) - 1
+            _STRUCT_U[width].pack_into(page, in_page, value & mask)
+            return
+        mask = (1 << (8 * width)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(width, "little"))
+
+    def read_double(self, address: int) -> float:
+        if address & 7:
+            raise MemoryFault(address, "misaligned 8-byte read")
+        raw = self.read_bytes(address, 8)
+        return _STRUCT_D.unpack(raw)[0]
+
+    def write_double(self, address: int, value: float) -> None:
+        if address & 7:
+            raise MemoryFault(address, "misaligned 8-byte write")
+        self.write_bytes(address, _STRUCT_D.pack(value))
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated string (for syscall emulation)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read(address + i, 1)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")

@@ -1,0 +1,60 @@
+"""Branch target buffer: direct-mapped, tagged, 2-bit saturating counters.
+
+Table 5: "2048 entry direct-mapped BTB with 2-bit saturating counters,
+2 cycle misprediction penalty". A branch predicts taken when its BTB
+entry hits with counter >= 2; the predicted target is the stored one, so
+a taken branch with a different target (e.g. ``jr``) still mispredicts.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB."""
+
+    def __init__(self, entries: int = 2048):
+        self.entries = entries
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+        self._counters = [1] * entries  # weakly not-taken on allocation
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word % self.entries, word // self.entries
+
+    def predict(self, pc: int) -> tuple[bool, int]:
+        """Return (taken?, target) prediction for the branch at ``pc``."""
+        index, tag = self._index(pc)
+        if self._tags[index] == tag and self._counters[index] >= 2:
+            return True, self._targets[index]
+        return False, pc + 4
+
+    def update(self, pc: int, taken: bool, target: int) -> bool:
+        """Record the outcome; returns True when prediction was correct."""
+        self.lookups += 1
+        predicted_taken, predicted_target = self.predict(pc)
+        correct = (predicted_taken == taken) and (
+            not taken or predicted_target == target
+        )
+        if not correct:
+            self.mispredicts += 1
+        index, tag = self._index(pc)
+        if self._tags[index] != tag:
+            if taken:
+                self._tags[index] = tag
+                self._targets[index] = target
+                self._counters[index] = 2
+        else:
+            counter = self._counters[index]
+            if taken:
+                self._counters[index] = min(counter + 1, 3)
+                self._targets[index] = target
+            else:
+                self._counters[index] = max(counter - 1, 0)
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - (self.mispredicts / self.lookups) if self.lookups else 0.0

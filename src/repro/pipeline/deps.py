@@ -1,0 +1,89 @@
+"""Register dependence extraction for the scoreboard.
+
+Registers are mapped to scoreboard slots: integer ``$1``..``$31`` are
+slots 1..31 (``$zero`` is never a dependence), FP registers are 32..63,
+``HI``/``LO`` are 64/65, and the FP condition flag is 66.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OP_INFO
+
+HI = 64
+LO = 65
+FCC = 66
+NUM_SLOTS = 67
+
+
+def _f(reg: int) -> int:
+    return 32 + reg
+
+
+def sources_and_dests(inst: Instruction) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Return (source slots, destination slots) for ``inst``."""
+    op = inst.op
+    fmt = OP_INFO[op].fmt
+    if fmt == "r3":
+        return _regs(inst.rs, inst.rt), _regs(inst.rd)
+    if fmt == "sh":
+        return _regs(inst.rt), _regs(inst.rd)
+    if fmt == "i2":
+        return _regs(inst.rs), _regs(inst.rt)
+    if fmt == "lui":
+        return (), _regs(inst.rt)
+    if fmt == "md":
+        return _regs(inst.rs, inst.rt), (HI, LO)
+    if fmt == "mf":
+        return ((HI,) if op == Op.MFHI else (LO,)), _regs(inst.rd)
+    if fmt == "mc":
+        if OP_INFO[op].is_load:
+            return _regs(inst.rs), _regs(inst.rt)
+        return _regs(inst.rs, inst.rt), ()
+    if fmt == "fmc":
+        if OP_INFO[op].is_load:
+            return _regs(inst.rs), (_f(inst.ft),)
+        return _regs(inst.rs) + (_f(inst.ft),), ()
+    if fmt == "mx":
+        if OP_INFO[op].is_load:
+            return _regs(inst.rs, inst.rx), _regs(inst.rt)
+        return _regs(inst.rs, inst.rx, inst.rt), ()
+    if fmt == "fmx":
+        if OP_INFO[op].is_load:
+            return _regs(inst.rs, inst.rx), (_f(inst.ft),)
+        return _regs(inst.rs, inst.rx) + (_f(inst.ft),), ()
+    if fmt == "mp":
+        # post-increment: the base register is read and written back
+        if OP_INFO[op].is_load:
+            return _regs(inst.rs), _regs(inst.rt) + _regs(inst.rs)
+        return _regs(inst.rs, inst.rt), _regs(inst.rs)
+    if fmt == "b2":
+        return _regs(inst.rs, inst.rt), ()
+    if fmt == "b1":
+        return _regs(inst.rs), ()
+    if fmt == "j":
+        return (), (_regs(31) if op == Op.JAL else ())
+    if fmt == "jr":
+        return _regs(inst.rs), ()
+    if fmt == "jalr":
+        return _regs(inst.rs), _regs(inst.rd)
+    if fmt == "f3":
+        return (_f(inst.fs), _f(inst.ft)), (_f(inst.fd),)
+    if fmt == "f2":
+        return (_f(inst.fs),), (_f(inst.fd),)
+    if fmt == "fcmp":
+        return (_f(inst.fs), _f(inst.ft)), (FCC,)
+    if fmt == "fb":
+        return (FCC,), ()
+    if fmt == "mtc1":
+        return _regs(inst.rt), (_f(inst.fs),)
+    if fmt == "mfc1":
+        return (_f(inst.fs),), _regs(inst.rd)
+    if op == Op.SYSCALL:
+        # conventions: reads $v0 and $a0 (and $f12); writes $v0
+        return (2, 4, _f(12)), (2,)
+    return (), ()
+
+
+def _regs(*nums: int) -> tuple[int, ...]:
+    return tuple(n for n in nums if n != 0)

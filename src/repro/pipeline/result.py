@@ -1,0 +1,77 @@
+"""Aggregated statistics from one timing-simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Everything the paper's tables and figures need from one run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    # caches
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+
+    # branch prediction
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    # fast address calculation
+    fac_speculated: int = 0          # accesses attempted speculatively
+    fac_mispredicted: int = 0        # failed -> replayed in MEM
+    fac_not_speculated: int = 0      # policy-excluded accesses
+    fac_load_mispredicted: int = 0
+    fac_store_mispredicted: int = 0
+
+    # store buffer
+    store_buffer_full_stalls: int = 0
+
+    # sum over loads of (result_ready - issue_cycle); the paper's
+    # "effective load latency" is this divided by the load count
+    load_latency_sum: int = 0
+
+    memory_usage: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def dcache_miss_ratio(self) -> float:
+        return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
+
+    @property
+    def icache_miss_ratio(self) -> float:
+        return self.icache_misses / self.icache_accesses if self.icache_accesses else 0.0
+
+    @property
+    def memory_refs(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def fac_extra_accesses(self) -> int:
+        """Mispredicted speculative accesses = extra cache bandwidth."""
+        return self.fac_mispredicted
+
+    @property
+    def effective_load_latency(self) -> float:
+        """Average cycles from load issue to result availability."""
+        return self.load_latency_sum / self.loads if self.loads else 0.0
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        """Table 6 metric: extra accesses as a fraction of total refs."""
+        return self.fac_extra_accesses / self.memory_refs if self.memory_refs else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0

@@ -1,0 +1,101 @@
+"""Bit-manipulation helpers used by the ISA, caches, and the FAC circuit.
+
+All 32-bit arithmetic in the simulator is done on Python ints constrained
+to the range [0, 2**32) (unsigned view) with explicit conversions to the
+signed view where the architecture calls for it.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+SIGN32 = 0x80000000
+
+
+def to_unsigned32(value: int) -> int:
+    """Map an arbitrary Python int onto the 32-bit unsigned view."""
+    return value & MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a two's-complement int."""
+    value &= MASK32
+    return value - 0x100000000 if value & SIGN32 else value
+
+
+def sext(value: int, width: int) -> int:
+    """Sign-extend the low ``width`` bits of ``value`` to a Python int."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    mask = (1 << width) - 1
+    value &= mask
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Return the inclusive bit-field ``value[hi:lo]`` right-aligned.
+
+    Mirrors the hardware notation used in the paper's Figure 4, e.g.
+    ``bits(addr, 31, S)`` is the tag field of ``addr`` for a cache with
+    set span ``2**S`` bytes.
+    """
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def field_mask(hi: int, lo: int) -> int:
+    """Mask with ones in the inclusive bit positions [hi:lo]."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return ((1 << (hi - lo + 1)) - 1) << lo
+
+
+def carry_free_add(a: int, b: int) -> int:
+    """The paper's ``carry-free addition``: a bitwise OR of the operands.
+
+    Technically carry-free addition is XOR, but the paper (Section 3,
+    footnote 1) notes an inclusive OR suffices because OR and XOR only
+    differ in bit positions where both inputs are 1 -- exactly the
+    positions that generate a carry, i.e. where the prediction fails
+    anyway.
+    """
+    return (a | b) & MASK32
+
+
+def is_pow2(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_pow2(value: int) -> int:
+    """Smallest power of two >= ``value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()
+
+
+def log2_exact(value: int) -> int:
+    """log2 of an exact power of two; raises otherwise."""
+    if not is_pow2(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment`` (pow2)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (pow2)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)

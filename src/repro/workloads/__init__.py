@@ -1,0 +1,25 @@
+"""The 19-program benchmark suite (MiniC kernels named for the paper's
+SPEC92 + Unix benchmark set)."""
+
+from repro.workloads.suite import (
+    BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    Benchmark,
+    build_benchmark,
+    load_source,
+)
+from repro.workloads.synth import StreamSpec, alignment_sweep, failure_rate, generate
+
+__all__ = [
+    "BENCHMARKS",
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "Benchmark",
+    "build_benchmark",
+    "load_source",
+    "StreamSpec",
+    "alignment_sweep",
+    "failure_rate",
+    "generate",
+]

@@ -1,0 +1,89 @@
+"""Trace-analyzer tests on small compiled programs."""
+
+from repro.analysis.prediction import analyze_program
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
+
+
+def analyze(source: str, software=False):
+    options = CompilerOptions()
+    if software:
+        options = options.with_fac(FacSoftwareOptions.enabled())
+    return analyze_program(compile_and_link(source, options))
+
+
+STACK_HEAVY = """
+int work(int seed) {
+    int slots[24];
+    int i, s = 0;
+    for (i = 0; i < 24; i++) { slots[i] = seed + i; }
+    for (i = 0; i < 24; i++) { s += slots[i]; }
+    return s;
+}
+int main() {
+    int r = 0, pass;
+    for (pass = 0; pass < 12; pass++) { r += work(pass); }
+    return r & 127;
+}
+"""
+
+
+class TestAnalyzer:
+    def test_block_sizes_present(self):
+        analysis = analyze("int main() { return 0; }")
+        assert set(analysis.predictions) == {16, 32}
+
+    def test_counts_loads_and_stores(self):
+        analysis = analyze(STACK_HEAVY)
+        stats = analysis.predictions[32]
+        assert stats.loads > 0
+        assert stats.stores > 0
+
+    def test_software_support_reduces_failures(self):
+        base = analyze(STACK_HEAVY, software=False)
+        opt = analyze(STACK_HEAVY, software=True)
+        assert opt.predictions[32].overall_failure_rate \
+            <= base.predictions[32].overall_failure_rate
+
+    def test_bigger_blocks_do_not_hurt(self):
+        analysis = analyze(STACK_HEAVY)
+        assert analysis.predictions[32].load_failures \
+            <= analysis.predictions[16].load_failures
+
+    def test_norr_subset(self):
+        analysis = analyze(STACK_HEAVY)
+        stats = analysis.predictions[32]
+        assert stats.norr_loads <= stats.loads
+        assert stats.norr_load_failures <= stats.load_failures
+
+    def test_stdout_captured(self):
+        analysis = analyze('int main() { print_str("ok"); return 0; }')
+        assert analysis.stdout == "ok"
+
+    def test_miss_ratios_bounded(self):
+        analysis = analyze(STACK_HEAVY)
+        assert 0.0 <= analysis.dcache_miss_ratio <= 1.0
+        assert 0.0 <= analysis.icache_miss_ratio <= 1.0
+        assert 0.0 <= analysis.tlb_miss_ratio <= 1.0
+
+    def test_rates_empty_safe(self):
+        from repro.analysis.prediction import PredictionStats
+
+        stats = PredictionStats()
+        assert stats.load_failure_rate == 0.0
+        assert stats.overall_failure_rate == 0.0
+
+
+class TestSignalBreakdown:
+    def test_signal_counts_cover_failures(self):
+        analysis = analyze(STACK_HEAVY)
+        stats = analysis.predictions[32]
+        total_failures = stats.load_failures + stats.store_failures
+        fired = sum(stats.signal_counts.values())
+        # every failure raises at least one signal (possibly several)
+        assert fired >= total_failures
+
+    def test_gen_carry_dominates_unaligned_bases(self):
+        analysis = analyze(STACK_HEAVY)
+        counts = analysis.predictions[32].signal_counts
+        assert counts["gen_carry"] >= counts["large_neg_const"]
+        assert counts["neg_index_reg"] == 0 or counts["neg_index_reg"] > 0

@@ -1,0 +1,84 @@
+"""Reference-classification and offset-bucket tests."""
+
+from repro.analysis.refclass import (
+    GENERAL,
+    GLOBAL,
+    STACK,
+    ReferenceProfile,
+    classify_base,
+    offset_bucket,
+)
+from repro.isa.registers import Reg
+from repro.cpu.executor import TraceRecord
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def record(op=Op.LW, rs=Reg.SP, imm=0, rx=0, offset_value=None):
+    inst = Instruction(op, rt=8, rs=rs, rx=rx, imm=imm)
+    return TraceRecord(0x400000, inst, 0x1000, 0x1000,
+                       imm if offset_value is None else offset_value,
+                       None, 0x400004)
+
+
+class TestClassification:
+    def test_base_register_rules(self):
+        assert classify_base(Reg.GP) == GLOBAL
+        assert classify_base(Reg.SP) == STACK
+        assert classify_base(Reg.FP) == STACK
+        assert classify_base(8) == GENERAL
+        assert classify_base(Reg.ZERO) == GENERAL
+
+    def test_profile_counts(self):
+        profile = ReferenceProfile()
+        profile.observe(record(rs=Reg.GP))
+        profile.observe(record(rs=Reg.SP))
+        profile.observe(record(rs=8))
+        profile.observe(record(op=Op.SW, rs=8))
+        assert profile.loads == 3
+        assert profile.stores == 1
+        assert profile.refs == 4
+        assert profile.load_class[GLOBAL] == 1
+        assert profile.load_class[STACK] == 1
+        assert profile.load_class[GENERAL] == 1
+        assert profile.load_fraction(GLOBAL) == 1 / 3
+
+    def test_non_memory_ignored(self):
+        profile = ReferenceProfile()
+        inst = Instruction(Op.ADDU, rd=1, rs=2, rt=3)
+        profile.observe(TraceRecord(0, inst, None, 0, 0, None, 4))
+        assert profile.refs == 0
+        assert profile.instructions == 1
+
+
+class TestOffsetBuckets:
+    def test_zero(self):
+        assert offset_bucket(0) == 0
+
+    def test_powers(self):
+        assert offset_bucket(1) == 1
+        assert offset_bucket(2) == 2
+        assert offset_bucket(3) == 2
+        assert offset_bucket(255) == 8
+        assert offset_bucket(256) == 9
+
+    def test_negative(self):
+        assert offset_bucket(-4) == "Neg"
+
+    def test_more(self):
+        assert offset_bucket(1 << 20) == "More"
+        assert offset_bucket(32767) == 15
+
+    def test_cumulative_curve(self):
+        profile = ReferenceProfile()
+        for imm in (0, 0, 4, 100, -8):
+            profile.observe(record(rs=8, imm=imm))
+        curve = profile.cumulative_offsets(GENERAL)
+        assert len(curve) == 18
+        assert curve[0] == 0.2          # Neg bucket first
+        assert curve[1] == 0.6          # + two zero offsets
+        assert curve[-1] == 1.0
+
+    def test_empty_curve(self):
+        profile = ReferenceProfile()
+        assert profile.cumulative_offsets(STACK) == [0.0] * 18

@@ -1,0 +1,31 @@
+"""Report-formatting tests."""
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 2.5]],
+                            title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "2.500" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["n"], [["5"], ["500"]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5") or rows[0] == "  5"
+        assert rows[1].endswith("500")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("curve", ["x0", "x1"], [0.25, 0.5], "{:.2f}")
+        assert text == "curve: x0=0.25 x1=0.50"

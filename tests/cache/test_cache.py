@@ -1,0 +1,131 @@
+"""Cache model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.errors import ConfigError
+
+
+def dm_cache(size=1024, block=32):
+    return Cache(CacheConfig(size=size, block_size=block, assoc=1))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(size=16 * 1024, block_size=32, assoc=1)
+        assert config.num_sets == 512
+        assert config.offset_bits == 5
+        assert config.index_bits == 9
+
+    def test_assoc_geometry(self):
+        config = CacheConfig(size=16 * 1024, block_size=32, assoc=4)
+        assert config.num_sets == 128
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1000)
+        with pytest.raises(ConfigError):
+            CacheConfig(assoc=3)
+
+
+class TestDirectMapped:
+    def test_cold_miss_then_hit(self):
+        cache = dm_cache()
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x11C)  # same 32-byte block
+
+    def test_different_block_misses(self):
+        cache = dm_cache()
+        cache.access(0x100)
+        assert not cache.access(0x120)
+
+    def test_conflict_eviction(self):
+        cache = dm_cache(size=1024, block=32)  # 32 sets
+        cache.access(0x0)
+        assert not cache.access(0x400)   # same index, different tag
+        assert not cache.access(0x0)     # evicted
+
+    def test_miss_ratio(self):
+        cache = dm_cache()
+        for __ in range(3):
+            cache.access(0x40)
+        assert cache.accesses == 3
+        assert cache.misses == 1
+        assert abs(cache.miss_ratio - 1 / 3) < 1e-12
+
+    def test_probe_is_non_destructive(self):
+        cache = dm_cache()
+        assert not cache.probe(0x100)
+        assert cache.accesses == 0
+        cache.access(0x100)
+        assert cache.probe(0x100)
+
+    def test_invalidate_all(self):
+        cache = dm_cache()
+        cache.access(0x100)
+        cache.invalidate_all()
+        assert not cache.probe(0x100)
+
+
+class TestWriteBack:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = dm_cache(size=1024, block=32)
+        cache.access(0x0, is_write=True)
+        cache.access(0x400)  # evicts dirty block
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = dm_cache(size=1024, block=32)
+        cache.access(0x0)
+        cache.access(0x400)
+        assert cache.writebacks == 0
+
+    def test_write_allocate(self):
+        cache = dm_cache()
+        cache.access(0x200, is_write=True)
+        assert cache.access(0x200)  # allocated by the write
+
+    def test_write_hit_sets_dirty(self):
+        cache = dm_cache(size=1024, block=32)
+        cache.access(0x0)                 # clean fill
+        cache.access(0x0, is_write=True)  # dirty it
+        cache.access(0x400)               # evict
+        assert cache.writebacks == 1
+
+    def test_no_write_allocate_mode(self):
+        cache = Cache(CacheConfig(size=1024, block_size=32, write_allocate=False))
+        cache.access(0x200, is_write=True)
+        assert not cache.access(0x200)  # not allocated
+
+
+class TestSetAssociative:
+    def test_lru_keeps_recent(self):
+        cache = Cache(CacheConfig(size=128, block_size=32, assoc=2))  # 2 sets
+        # set 0 holds addresses with index 0: blocks 0x000, 0x040, 0x080...
+        cache.access(0x000)
+        cache.access(0x080)
+        cache.access(0x000)        # refresh LRU
+        cache.access(0x100)        # evicts 0x080
+        assert cache.access(0x000)
+        assert not cache.access(0x080)
+
+    def test_full_assoc_behaviour(self):
+        cache = Cache(CacheConfig(size=128, block_size=32, assoc=4))  # 1 set
+        for block in range(4):
+            cache.access(block * 32)
+        for block in range(4):
+            assert cache.access(block * 32)
+
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_bigger_cache_never_worse(self, addresses):
+        """Inclusion-style sanity: doubling a DM cache cannot increase
+        misses for the same trace (same block size, LRU/DM)."""
+        small = dm_cache(size=512)
+        big = dm_cache(size=2048)
+        for address in addresses:
+            small.access(address)
+            big.access(address)
+        assert big.misses <= small.misses

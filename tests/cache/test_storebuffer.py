@@ -1,0 +1,50 @@
+"""Store buffer tests."""
+
+from repro.cache.storebuffer import StoreBuffer
+
+
+class TestStoreBuffer:
+    def test_insert_and_len(self):
+        buffer = StoreBuffer(capacity=4)
+        buffer.insert(0x100, cycle=10)
+        buffer.insert(0x200, cycle=10)
+        assert len(buffer) == 2
+        assert not buffer.full
+
+    def test_full(self):
+        buffer = StoreBuffer(capacity=2)
+        buffer.insert(0x0, 0)
+        buffer.insert(0x4, 0)
+        assert buffer.full
+
+    def test_retire_respects_ready_cycle(self):
+        buffer = StoreBuffer()
+        buffer.insert(0x100, cycle=5)  # ready at 6
+        assert buffer.retire_one(cycle=5) is None
+        entry = buffer.retire_one(cycle=6)
+        assert entry is not None and entry.address == 0x100
+        assert len(buffer) == 0
+
+    def test_fifo_order(self):
+        buffer = StoreBuffer()
+        buffer.insert(0x1, 0)
+        buffer.insert(0x2, 0)
+        assert buffer.retire_one(10).address == 0x1
+        assert buffer.retire_one(10).address == 0x2
+
+    def test_address_fixup(self):
+        buffer = StoreBuffer()
+        entry = buffer.insert(0xBAD, 0)
+        buffer.fixup_address(entry, 0x600D)
+        assert buffer.retire_one(10).address == 0x600D
+        assert buffer.address_fixups == 1
+
+    def test_counters(self):
+        buffer = StoreBuffer(capacity=1)
+        buffer.insert(0x1, 0)
+        buffer.note_full_stall()
+        buffer.retire_one(5)
+        assert buffer.inserts == 1
+        assert buffer.full_stalls == 1
+        assert buffer.retires == 1
+        assert buffer.drain_pending() == 0

@@ -1,0 +1,555 @@
+"""Behavioral codegen tests: compile MiniC, execute, check results.
+
+These are end-to-end through the whole compiler + linker + functional
+simulator, organized by language feature.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, FacSoftwareOptions
+from tests.conftest import run_minic
+
+
+def returns(source: str, options=None) -> int:
+    return run_minic(source, options).exit_code
+
+
+def prints(source: str, options=None) -> str:
+    return run_minic(source, options).stdout()
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert returns("int main() { return 7 + 3 * 2 - 4 / 2; }") == 11
+
+    def test_modulo(self):
+        assert returns("int main() { int a = 17; return a % 5; }") == 2
+
+    def test_negative_division_truncates(self):
+        assert returns("int main() { int a = -7; int b = 2; return a / b + 10; }") == 7
+        assert returns("int main() { int a = -7; int b = 2; return a % b + 10; }") == 9
+
+    def test_shifts(self):
+        assert returns("int main() { int a = 1; return (a << 5) | (64 >> 3); }") == 40
+
+    def test_arithmetic_shift_right(self):
+        assert returns("int main() { int a = -8; return (a >> 2) + 10; }") == 8
+
+    def test_unsigned_shift_right(self):
+        src = "int main() { unsigned a = 0x80000000; return (int)(a >> 28); }"
+        assert returns(src) == 8
+
+    def test_bitwise(self):
+        assert returns("int main() { return (0xF0 & 0x3C) | (1 ^ 3); }") == 0x32
+
+    def test_unary(self):
+        assert returns("int main() { int a = 5; return -a + 10 + !a + ~a + 10; }") == 9
+
+    def test_comparisons(self):
+        src = """
+        int main() {
+            int a = 3, b = 7;
+            return (a < b) + (b <= 7) * 2 + (a > b) * 4 + (a >= 3) * 8
+                 + (a == 3) * 16 + (a != b) * 32;
+        }
+        """
+        assert returns(src) == 1 + 2 + 8 + 16 + 32
+
+    def test_unsigned_comparison(self):
+        src = "int main() { unsigned big = 0xFFFFFFFF; return big > 5u0 ? 1 : 2; }"
+        src = "int main() { unsigned big = 0xFFFFFFFF; unsigned s = 5; return big > s ? 1 : 2; }"
+        assert returns(src) == 1
+
+    def test_overflow_wraps(self):
+        src = "int main() { int a = 0x7FFFFFFF; a = a + 1; return a < 0; }"
+        assert returns(src) == 1
+
+    def test_mult_large(self):
+        assert returns("int main() { int a = 100000; int b = 100000; "
+                       "return (a * b) & 255; }") == (100000 * 100000) & 255
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        int classify(int x) {
+            if (x < 0) { return 0; }
+            else if (x == 0) { return 1; }
+            else if (x < 10) { return 2; }
+            return 3;
+        }
+        int main() { return classify(-5) + classify(0)*10 + classify(5)*100 + classify(50)*1000; }
+        """
+        assert returns(src) == 0 + 10 + 200 + 3000
+
+    def test_while_break_continue(self):
+        src = """
+        int main() {
+            int i = 0, acc = 0;
+            while (1) {
+                i++;
+                if (i > 20) { break; }
+                if (i % 2) { continue; }
+                acc += i;
+            }
+            return acc;
+        }
+        """
+        assert returns(src) == sum(range(2, 21, 2))
+
+    def test_do_while_runs_once(self):
+        assert returns("int main() { int n = 0; do { n++; } while (0); return n; }") == 1
+
+    def test_nested_loops(self):
+        src = """
+        int main() {
+            int i, j, count = 0;
+            for (i = 0; i < 5; i++) {
+                for (j = 0; j <= i; j++) { count++; }
+            }
+            return count;
+        }
+        """
+        assert returns(src) == 15
+
+    def test_short_circuit_effects(self):
+        src = """
+        int calls = 0;
+        int bump() { calls++; return 1; }
+        int main() {
+            int r;
+            r = 0 && bump();
+            r = 1 || bump();
+            r = 1 && bump();
+            r = 0 || bump();
+            return calls;
+        }
+        """
+        assert returns(src) == 2
+
+    def test_ternary(self):
+        assert returns("int main() { int a = 5; return a > 3 ? 30 : 40; }") == 30
+
+    def test_comma(self):
+        assert returns("int main() { int a; int b; a = (b = 3, b + 1); return a; }") == 4
+
+    def test_goto_free_state_machine(self):
+        src = """
+        int main() {
+            int state = 0, steps = 0;
+            while (state != 3 && steps < 100) {
+                if (state == 0) { state = 2; }
+                else if (state == 2) { state = 1; }
+                else { state = 3; }
+                steps++;
+            }
+            return steps;
+        }
+        """
+        assert returns(src) == 3
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = "int fact(int n) { if (n < 2) { return 1; } return n * fact(n-1); }\n" \
+              "int main() { return fact(6); }"
+        assert returns(src) == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        int main() { return is_even(10) + is_odd(7) * 2; }
+        """
+        assert returns(src) == 3
+
+    def test_many_args_spill_to_stack(self):
+        src = """
+        int sum6(int a, int b, int c, int d, int e, int f) {
+            return a + b*2 + c*4 + d*8 + e*16 + f*32;
+        }
+        int main() { return sum6(1, 1, 1, 1, 1, 1); }
+        """
+        assert returns(src) == 63
+
+    def test_double_args_and_result(self):
+        src = """
+        double mix(double a, int k, double b) { return a * (double)k + b; }
+        int main() { return (int)mix(2.5, 4, 1.5); }
+        """
+        assert returns(src) == 11
+
+    def test_many_mixed_args(self):
+        src = """
+        double f(double a, double b, double c, int i, int j, int k, int l, int m) {
+            return a + b + c + (double)(i + j + k + l + m);
+        }
+        int main() { return (int)f(1.0, 2.0, 3.0, 4, 5, 6, 7, 8); }
+        """
+        assert returns(src) == 36
+
+    def test_void_function(self):
+        src = """
+        int g;
+        void set(int v) { g = v; }
+        int main() { set(9); return g; }
+        """
+        assert returns(src) == 9
+
+    def test_call_in_expression_preserves_temps(self):
+        src = """
+        int id(int x) { return x; }
+        int main() { return 100 + id(20) + 3; }
+        """
+        assert returns(src) == 123
+
+
+class TestPointersAndArrays:
+    def test_pointer_write_through(self):
+        src = """
+        void put(int *p, int v) { *p = v; }
+        int main() { int x = 0; put(&x, 42); return x; }
+        """
+        assert returns(src) == 42
+
+    def test_pointer_arith_walk(self):
+        src = """
+        int v[5] = {1, 2, 3, 4, 5};
+        int main() {
+            int *p = &v[0];
+            int s = 0;
+            while (p < &v[5]) { s += *p; p++; }
+            return s;
+        }
+        """
+        assert returns(src) == 15
+
+    def test_pointer_difference(self):
+        src = """
+        int v[10];
+        int main() { int *a = &v[2]; int *b = &v[9]; return b - a; }
+        """
+        assert returns(src) == 7
+
+    def test_2d_array(self):
+        src = """
+        int m[3][4];
+        int main() {
+            int i, j;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 4; j++) { m[i][j] = i * 4 + j; }
+            }
+            return m[2][3];
+        }
+        """
+        assert returns(src) == 11
+
+    def test_local_array(self):
+        src = """
+        int main() {
+            int v[8];
+            int i, s = 0;
+            for (i = 0; i < 8; i++) { v[i] = i * i; }
+            for (i = 0; i < 8; i++) { s += v[i]; }
+            return s;
+        }
+        """
+        assert returns(src) == sum(i * i for i in range(8))
+
+    def test_char_array_bytes(self):
+        src = """
+        char buf[4];
+        int main() {
+            buf[0] = 250;
+            buf[1] = (char)300;   /* truncates to 44 */
+            return buf[0] + buf[1];
+        }
+        """
+        assert returns(src) == 250 + (300 & 0xFF)
+
+    def test_double_pointer(self):
+        src = """
+        int main() {
+            int x = 5;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 9;
+            return x;
+        }
+        """
+        assert returns(src) == 9
+
+    def test_negative_index(self):
+        src = """
+        int v[10];
+        int main() { int *p = &v[5]; v[3] = 77; return p[-2]; }
+        """
+        assert returns(src) == 77
+
+
+class TestStructs:
+    def test_fields(self):
+        src = """
+        struct point { int x; int y; };
+        struct point g;
+        int main() { g.x = 3; g.y = 4; return g.x * g.y; }
+        """
+        assert returns(src) == 12
+
+    def test_arrow(self):
+        src = """
+        struct point { int x; int y; };
+        struct point g;
+        int main() { struct point *p = &g; p->x = 6; return p->x + g.x; }
+        """
+        assert returns(src) == 12
+
+    def test_nested_struct(self):
+        src = """
+        struct inner { int v; };
+        struct outer { int a; struct inner in; };
+        struct outer g;
+        int main() { g.in.v = 5; return g.in.v; }
+        """
+        assert returns(src) == 5
+
+    def test_array_of_structs(self):
+        src = """
+        struct item { int key; double w; };
+        struct item items[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) { items[i].key = i * 3; }
+            return items[3].key;
+        }
+        """
+        assert returns(src) == 9
+
+    def test_struct_field_array(self):
+        src = """
+        struct rec { int tag; int data[3]; };
+        struct rec g;
+        int main() { g.data[2] = 8; return g.data[2] + g.tag; }
+        """
+        assert returns(src) == 8
+
+    def test_linked_list(self):
+        src = """
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head = (struct node *)0;
+            struct node *n;
+            int i, s = 0;
+            for (i = 0; i < 5; i++) {
+                n = (struct node *)malloc(sizeof(struct node));
+                n->v = i;
+                n->next = head;
+                head = n;
+            }
+            while (head != (struct node *)0) { s += head->v; head = head->next; }
+            return s;
+        }
+        """
+        assert returns(src) == 10
+
+
+class TestDoubles:
+    def test_arithmetic(self):
+        assert returns("int main() { double d = 1.5 * 4.0 - 2.0; return (int)d; }") == 4
+
+    def test_division(self):
+        assert returns("int main() { double d = 7.0 / 2.0; return (int)(d * 2.0); }") == 7
+
+    def test_conversions(self):
+        assert returns("int main() { int i = 7; double d = (double)i / 2.0; "
+                       "return (int)(d * 4.0); }") == 14
+
+    def test_truncation_toward_zero(self):
+        assert returns("int main() { double d = 3.9; return (int)d; }") == 3
+
+    def test_comparisons(self):
+        src = """
+        int main() {
+            double a = 1.5, b = 2.5;
+            return (a < b) + (a <= 1.5)*2 + (b > a)*4 + (a == 1.5)*8 + (a != b)*16;
+        }
+        """
+        assert returns(src) == 31
+
+    def test_sqrt_builtin(self):
+        assert returns("int main() { return (int)sqrt(144.0); }") == 12
+
+    def test_global_double(self):
+        assert returns("double g = 2.5; int main() { g = g * 2.0; return (int)g; }") == 5
+
+    def test_double_array_sum(self):
+        src = """
+        double v[4];
+        int main() {
+            int i;
+            double s = 0.0;
+            for (i = 0; i < 4; i++) { v[i] = (double)i + 0.5; }
+            for (i = 0; i < 4; i++) { s = s + v[i]; }
+            return (int)s;
+        }
+        """
+        assert returns(src) == 8
+
+    def test_negation_and_fabs(self):
+        assert returns("int main() { double d = -3.5; return (int)fabs(d) + (int)(-d); }") == 6
+
+
+class TestRuntime:
+    def test_malloc_alignment_default(self):
+        src = """
+        int main() {
+            char *a = malloc(3);
+            char *b = malloc(3);
+            return (int)((int)b - (int)a);
+        }
+        """
+        # default 8-byte alignment: two 3-byte blocks land 8 apart at most
+        delta = returns(src)
+        assert delta % 8 == 0 and 0 < delta <= 16
+
+    def test_malloc_alignment_fac(self):
+        src = """
+        int main() {
+            char *a = malloc(3);
+            char *b = malloc(3);
+            return ((int)a & 31) + ((int)b & 31);
+        }
+        """
+        opts = CompilerOptions(fac=FacSoftwareOptions.enabled())
+        assert returns(src, opts) == 0  # both 32-byte aligned
+
+    def test_memset_memcpy(self):
+        src = """
+        char a[16];
+        char b[16];
+        int main() {
+            int i, s = 0;
+            memset(a, 7, 16);
+            memcpy(b, a, 16);
+            for (i = 0; i < 16; i++) { s += b[i]; }
+            return s;
+        }
+        """
+        assert returns(src) == 112
+
+    def test_string_functions(self):
+        src = """
+        char buf[32];
+        int main() {
+            strcpy(buf, "hello");
+            return strlen(buf) * 10 + (strcmp(buf, "hello") == 0);
+        }
+        """
+        assert returns(src) == 51
+
+    def test_rand_deterministic(self):
+        src = """
+        int main() {
+            int a, b;
+            srand(7);
+            a = rand();
+            srand(7);
+            b = rand();
+            return (a == b) + (a >= 0) * 2 + (a < 32768) * 4;
+        }
+        """
+        assert returns(src) == 7
+
+    def test_calloc_zeroes(self):
+        src = """
+        int main() {
+            int *p = (int *)calloc(4, 4);
+            return p[0] + p[1] + p[2] + p[3];
+        }
+        """
+        assert returns(src) == 0
+
+    def test_xalloca_reset(self):
+        src = """
+        int main() {
+            char *a = xalloca(10);
+            char *b;
+            xalloca_reset();
+            b = xalloca(10);
+            return a == b;
+        }
+        """
+        assert returns(src) == 1
+
+    def test_print_builtins(self):
+        src = """
+        int main() {
+            print_int(-42);
+            print_char(':');
+            print_str("txt");
+            print_double(1.5);
+            return 0;
+        }
+        """
+        assert prints(src) == "-42:txt1.5"
+
+    def test_exit_builtin(self):
+        assert returns("int main() { exit(5); return 1; }") == 5
+
+
+class TestOptionParity:
+    """Both compiler configurations must agree on program results."""
+
+    SOURCES = [
+        # frame larger than 64 bytes -> variable-frame prologue with opts
+        """
+        int main() {
+            int big[40];
+            int i, s = 0;
+            for (i = 0; i < 40; i++) { big[i] = i; }
+            for (i = 0; i < 40; i++) { s += big[i]; }
+            return s & 127;
+        }
+        """,
+        # deep call chain with mixed args
+        """
+        double helper(int n, double x) {
+            if (n == 0) { return x; }
+            return helper(n - 1, x + 1.0);
+        }
+        int main() { return (int)helper(10, 0.5); }
+        """,
+        # struct padding must not change observable behaviour
+        """
+        struct odd { int a; char c; int b; };
+        struct odd v[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) { v[i].a = i; v[i].b = i * 2; v[i].c = (char)i; }
+            return v[3].a + v[3].b + v[3].c;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_same_result(self, source):
+        base = returns(source)
+        opt = returns(source, CompilerOptions(fac=FacSoftwareOptions.enabled()))
+        assert base == opt
+
+
+class TestCastEdgeCases:
+    def test_double_to_double_cast_is_noop(self):
+        src = "int main() { double d = 2.5; return (int)((double)d * 2.0); }"
+        assert returns(src) == 5
+
+    def test_double_to_char_masks(self):
+        assert returns("int main() { return (char)300.7; }") == 300 & 0xFF
+
+    def test_negative_double_to_int_truncates_toward_zero(self):
+        assert returns("int main() { double d = -3.9; return (int)d + 10; }") == 7
+
+    def test_chained_casts(self):
+        src = "int main() { int i = 65; return (int)(double)(char)i; }"
+        assert returns(src) == 65

@@ -1,0 +1,157 @@
+"""Differential testing: random MiniC expressions vs a Python oracle.
+
+Hypothesis generates integer expression trees; we render them as MiniC,
+compile and execute on the simulator, and independently evaluate them in
+Python with C semantics (32-bit wraparound, truncating division). Any
+divergence is a compiler or simulator bug.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.bits import to_signed32
+from tests.conftest import run_minic
+
+VARIABLES = {"a": 7, "b": -3, "c": 100, "d": 0x1234, "e": -50000}
+
+
+class Expression:
+    """An expression tree that renders to MiniC and evaluates in Python."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = value  # signed 32-bit
+
+    def __repr__(self):
+        return f"Expr({self.text} = {self.value})"
+
+
+def _leaf_literal(value: int) -> Expression:
+    if value < 0:
+        return Expression(f"({value})", to_signed32(value))
+    return Expression(str(value), to_signed32(value))
+
+
+def _leaf_var(name: str) -> Expression:
+    return Expression(name, VARIABLES[name])
+
+
+LEAVES = st.one_of(
+    st.integers(-1000, 1000).map(_leaf_literal),
+    st.sampled_from(sorted(VARIABLES)).map(_leaf_var),
+)
+
+
+def _binary(op: str, left: Expression, right: Expression) -> Expression:
+    a, b = left.value, right.value
+    if op == "+":
+        value = a + b
+    elif op == "-":
+        value = a - b
+    elif op == "*":
+        value = a * b
+    elif op == "/":
+        if b == 0:
+            return left  # avoid undefined behaviour
+        value = int(a / b)
+    elif op == "%":
+        if b == 0:
+            return left
+        value = a - int(a / b) * b
+    elif op == "&":
+        value = (a & 0xFFFFFFFF) & (b & 0xFFFFFFFF)
+    elif op == "|":
+        value = (a & 0xFFFFFFFF) | (b & 0xFFFFFFFF)
+    elif op == "^":
+        value = (a & 0xFFFFFFFF) ^ (b & 0xFFFFFFFF)
+    elif op == "<<":
+        shift = b & 31
+        value = (a & 0xFFFFFFFF) << shift
+    elif op == ">>":
+        value = a >> (b & 31)  # arithmetic shift of the signed value
+    elif op == "<":
+        value = int(a < b)
+    elif op == ">":
+        value = int(a > b)
+    elif op == "==":
+        value = int(a == b)
+    elif op == "!=":
+        value = int(a != b)
+    else:  # pragma: no cover
+        raise AssertionError(op)
+    if op in ("<<", ">>"):
+        text = f"({left.text} {op} ({right.text} & 31))"
+    else:
+        text = f"({left.text} {op} {right.text})"
+    return Expression(text, to_signed32(value))
+
+
+def _unary(op: str, operand: Expression) -> Expression:
+    if op == "-":
+        return Expression(f"(-{operand.text})", to_signed32(-operand.value))
+    if op == "~":
+        return Expression(f"(~{operand.text})", to_signed32(~operand.value))
+    return Expression(f"(!{operand.text})", int(operand.value == 0))
+
+
+OPS = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^",
+                       "<<", ">>", "<", ">", "==", "!="])
+UNARY_OPS = st.sampled_from(["-", "~", "!"])
+
+EXPRESSIONS = st.recursive(
+    LEAVES,
+    lambda children: st.one_of(
+        st.tuples(OPS, children, children).map(lambda t: _binary(*t)),
+        st.tuples(UNARY_OPS, children).map(lambda t: _unary(*t)),
+    ),
+    max_leaves=12,
+)
+
+
+def compile_and_eval(expr: Expression) -> int:
+    declarations = "\n".join(
+        f"    int {name} = {value};" for name, value in VARIABLES.items()
+    )
+    source = f"""
+int main() {{
+{declarations}
+    print_int({expr.text});
+    return 0;
+}}
+"""
+    return int(run_minic(source).stdout())
+
+
+@given(expr=EXPRESSIONS)
+@settings(max_examples=80, deadline=None)
+def test_expression_matches_oracle(expr):
+    assert compile_and_eval(expr) == expr.value
+
+
+@given(exprs=st.lists(EXPRESSIONS, min_size=2, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_expression_sequences(exprs):
+    """Several expressions through distinct variables in one program
+    (exercises temp-register pressure and statement sequencing)."""
+    declarations = "\n".join(
+        f"    int {name} = {value};" for name, value in VARIABLES.items()
+    )
+    assigns = "\n".join(
+        f"    r{i} = {e.text};" for i, e in enumerate(exprs)
+    )
+    results = "\n".join(
+        f"    print_int(r{i}); print_char(32);" for i in range(len(exprs))
+    )
+    decls_r = "\n".join(f"    int r{i};" for i in range(len(exprs)))
+    source = f"""
+int main() {{
+{declarations}
+{decls_r}
+{assigns}
+{results}
+    return 0;
+}}
+"""
+    out = run_minic(source).stdout().split()
+    assert [int(x) for x in out] == [e.value for e in exprs]

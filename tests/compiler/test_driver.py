@@ -1,0 +1,66 @@
+"""Driver tests: whole-program compilation plumbing."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_and_link, compile_units
+from repro.cpu import CPU
+from repro.errors import CompileError
+from repro.linker import LinkOptions
+
+
+class TestCompileUnits:
+    def test_multiple_sources_cross_call(self):
+        lib = """
+        int twice(int x) { return x * 2; }
+        """
+        main = """
+        int twice(int x);
+        int main() { return twice(21); }
+        """
+        program = compile_and_link([("lib", lib), ("main", main)])
+        cpu = CPU(program)
+        cpu.run(100000)
+        assert cpu.exit_code == 42
+
+    def test_shared_structs_across_units(self):
+        unit_a = """
+        struct pair { int a; int b; };
+        int sum_pair(struct pair *p) { return p->a + p->b; }
+        """
+        unit_b = """
+        struct pair { int a; int b; };
+        """
+        # the shared struct registry treats the second definition as a
+        # redefinition -- MiniC programs share one header-less namespace
+        with pytest.raises(CompileError):
+            compile_and_link([("a", unit_a), ("b", unit_b)])
+
+    def test_returns_assembly_text(self):
+        units, asm = compile_units([("m", "int main() { return 0; }")])
+        assert "main:" in asm
+        assert len(units) == 2  # start stub + program
+
+    def test_runtime_always_present(self):
+        program = compile_and_link("int main() { return strlen(\"abc\"); }")
+        cpu = CPU(program)
+        cpu.run(100000)
+        assert cpu.exit_code == 3
+
+    def test_link_options_follow_fac(self):
+        from repro.compiler import FacSoftwareOptions
+
+        source = "int g = 1; int main() { return g; }"
+        plain = compile_and_link(source, CompilerOptions())
+        aligned = compile_and_link(
+            source, CompilerOptions(fac=FacSoftwareOptions.enabled()))
+        # aligned gp must sit on a coarser power-of-two boundary
+        plain_align = plain.gp_value & -plain.gp_value
+        aligned_align = aligned.gp_value & -aligned.gp_value
+        assert aligned_align >= plain_align
+
+    def test_explicit_link_options_override(self):
+        program = compile_and_link(
+            "int main() { return 0; }",
+            link_options=LinkOptions(text_base=0x00500000),
+        )
+        assert program.text_base == 0x00500000

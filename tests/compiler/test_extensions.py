@@ -1,0 +1,63 @@
+"""Tests for the implemented future-work extension (paper Section 5.4):
+aligning large arrays to their own size to rescue register+register
+index addressing."""
+
+import dataclasses
+
+from repro.analysis.prediction import analyze_program
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
+
+INDEX_GATHER = """
+double big[512];
+int idx[128];
+
+int main() {
+    int i, k;
+    double s;
+    srand(3);
+    for (i = 0; i < 512; i++) { big[i] = (double)i; }
+    for (i = 0; i < 128; i++) { idx[i] = rand() % 512; }
+    s = 0.0;
+    for (k = 0; k < 20; k++) {
+        for (i = 0; i < 128; i++) {
+            s = s + big[idx[i]];
+        }
+    }
+    return (int)s & 127;
+}
+"""
+
+
+def _rates(fac: FacSoftwareOptions):
+    program = compile_and_link(INDEX_GATHER, CompilerOptions(fac=fac))
+    return analyze_program(program).predictions[32]
+
+
+class TestAlignLargeArrays:
+    def test_cuts_rr_failures(self):
+        plain = _rates(FacSoftwareOptions.enabled())
+        boosted = _rates(dataclasses.replace(
+            FacSoftwareOptions.enabled(), align_large_arrays=True))
+        assert boosted.load_failure_rate < plain.load_failure_rate
+        assert boosted.load_failure_rate < 0.05
+
+    def test_preserves_behaviour(self):
+        from repro.cpu import CPU
+
+        fac = dataclasses.replace(FacSoftwareOptions.enabled(),
+                                  align_large_arrays=True)
+        expected_cpu = CPU(compile_and_link(INDEX_GATHER, CompilerOptions()))
+        expected_cpu.run(5_000_000)
+        boosted_cpu = CPU(compile_and_link(INDEX_GATHER, CompilerOptions(fac=fac)))
+        boosted_cpu.run(5_000_000)
+        assert boosted_cpu.exit_code == expected_cpu.exit_code
+
+    def test_array_lands_on_own_size_boundary(self):
+        fac = dataclasses.replace(FacSoftwareOptions.enabled(),
+                                  align_large_arrays=True)
+        program = compile_and_link(INDEX_GATHER, CompilerOptions(fac=fac))
+        address = program.symbol_address("big")
+        assert address % 4096 == 0  # 512 doubles = 4096 bytes
+
+    def test_off_by_default(self):
+        assert not FacSoftwareOptions.enabled().align_large_arrays

@@ -1,0 +1,74 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.compiler.lexer import tokenize
+from repro.errors import CompileError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while bar_2")
+        assert [t.kind for t in tokens[:-1]] == ["keyword", "ident", "keyword", "ident"]
+
+    def test_integers(self):
+        tokens = tokenize("0 42 0x1F")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31]
+
+    def test_floats(self):
+        tokens = tokenize("1.5 2e3 0.25")
+        assert [t.kind for t in tokens[:-1]] == ["float"] * 3
+        assert tokens[1].value == 2000.0
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\\'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 92]
+
+    def test_string_literals(self):
+        token = tokenize(r'"hi\tthere\n"')[0]
+        assert token.kind == "string"
+        assert token.value == "hi\tthere\n"
+
+    def test_operators_longest_match(self):
+        assert texts("a <<= b << c <= d < e") == ["a", "<<=", "b", "<<", "c", "<=", "d", "<", "e"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("p->x - y") == ["p", "->", "x", "-", "y"]
+
+    def test_increments(self):
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == ["ident", "ident"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == ["ident", "ident"]
+
+    def test_unterminated_block_fails(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+        assert tokens[2].col == 3
+
+    def test_error_position(self):
+        with pytest.raises(CompileError) as exc:
+            tokenize("a\n  @")
+        assert "line 2" in str(exc.value)

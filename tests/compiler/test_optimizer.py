@@ -1,0 +1,213 @@
+"""Strength-reduction tests: correctness and addressing-mode effects."""
+
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_source
+from repro.compiler.options import FacSoftwareOptions as Fac
+from tests.conftest import run_minic
+
+
+def asm_of(source: str, options=None) -> str:
+    __, asm = compile_source(source, options or CompilerOptions())
+    # strip the runtime library: our function is last before .data
+    return asm
+
+
+SUM_LOOP = """
+int v[64];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 64; i++) { s += v[i]; }
+    return s & 255;
+}
+"""
+
+
+class TestReduction:
+    def test_removes_indexed_loads(self):
+        with_sr = asm_of(SUM_LOOP, CompilerOptions(strength_reduce=True))
+        without = asm_of(SUM_LOOP, CompilerOptions(strength_reduce=False))
+        def main_part(asm):
+            return asm.split("main:")[1]
+        assert "lwx" in main_part(without)
+        assert "lwx" not in main_part(with_sr)
+        assert "lw $" in main_part(with_sr)  # zero-offset induction loads
+
+    def test_result_unchanged(self):
+        for sr in (True, False):
+            cpu = run_minic(SUM_LOOP, CompilerOptions(strength_reduce=sr))
+            assert cpu.exit_code == 0
+
+    def test_store_reduction(self):
+        src = """
+        int v[32];
+        int main() {
+            int i;
+            for (i = 0; i < 32; i++) { v[i] = i; }
+            return v[31];
+        }
+        """
+        asm = asm_of(src)
+        main_asm = asm.split("main:")[1].split(".data")[0]
+        assert "swx" not in main_asm
+        assert run_minic(src).exit_code == 31
+
+    def test_downward_loop(self):
+        src = """
+        int v[16];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 16; i++) { v[i] = i; }
+            for (i = 15; i >= 0; i = i - 1) { s += v[i]; }
+            return s;
+        }
+        """
+        assert run_minic(src).exit_code == 120
+
+    def test_stride_loop(self):
+        src = """
+        int v[32];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 32; i++) { v[i] = i; }
+            for (i = 0; i < 32; i += 4) { s += v[i]; }
+            return s;
+        }
+        """
+        assert run_minic(src).exit_code == sum(range(0, 32, 4))
+
+    def test_multiple_arrays_one_loop(self):
+        src = """
+        int a[16];
+        int b[16];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 16; i++) { a[i] = i; b[i] = i * 2; }
+            for (i = 0; i < 16; i++) { s += a[i] + b[i]; }
+            return s & 255;
+        }
+        """
+        assert run_minic(src).exit_code == (sum(range(16)) * 3) & 255
+
+    def test_nested_row_base(self):
+        src = """
+        int m[8][8];
+        int main() {
+            int i, j, s = 0;
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 8; j++) { m[i][j] = i + j; }
+            }
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 8; j++) { s += m[i][j]; }
+            }
+            return s & 255;
+        }
+        """
+        assert run_minic(src).exit_code == sum(i + j for i in range(8) for j in range(8)) & 255
+
+
+class TestSafety:
+    def test_continue_blocks_reduction(self):
+        src = """
+        int v[16];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 16; i++) { v[i] = i; }
+            for (i = 0; i < 16; i++) {
+                if (i % 2) { continue; }
+                s += v[i];
+            }
+            return s;
+        }
+        """
+        assert run_minic(src).exit_code == sum(range(0, 16, 2))
+
+    def test_induction_var_modified_in_body(self):
+        src = """
+        int v[20];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 20; i++) { v[i] = i; }
+            for (i = 0; i < 20; i++) {
+                s += v[i];
+                if (v[i] == 5) { i = 9; }   /* skip ahead */
+            }
+            return s;
+        }
+        """
+        expected = 0
+        values = list(range(20))
+        i = 0
+        while i < 20:
+            expected += values[i]
+            if values[i] == 5:
+                i = 9
+            i += 1
+        assert run_minic(src).exit_code == expected
+
+    def test_pointer_base_reassigned_in_body(self):
+        src = """
+        int a[8];
+        int b[8];
+        int main() {
+            int i, s = 0;
+            int *p = a;
+            for (i = 0; i < 8; i++) { a[i] = 1; b[i] = 100; }
+            for (i = 0; i < 8; i++) {
+                s += p[i];
+                if (i == 3) { p = b; }
+            }
+            return s;
+        }
+        """
+        # after i==3 the base switches: four 1s, then four 100s
+        assert run_minic(src).exit_code == 404
+
+    def test_aggressive_offset_constants(self):
+        src = """
+        int v[32];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 32; i++) { v[i] = i; }
+            for (i = 1; i < 31; i++) { s += v[i + 1] - v[i - 1]; }
+            return s + 100;
+        }
+        """
+        expected = sum((i + 1) - (i - 1) for i in range(1, 31)) + 100
+        base = run_minic(src, CompilerOptions())
+        opt = run_minic(src, CompilerOptions(fac=Fac.enabled()))
+        assert base.exit_code == expected
+        assert opt.exit_code == expected
+
+    def test_zero_trip_loop(self):
+        src = """
+        int v[8];
+        int main() {
+            int i, s = 7;
+            for (i = 5; i < 0; i++) { s += v[i]; }
+            return s;
+        }
+        """
+        assert run_minic(src).exit_code == 7
+
+
+class TestAddressingEffects:
+    def test_aggressive_mode_reduces_rr_loads(self):
+        from repro.analysis.prediction import analyze_program
+        from repro.compiler import compile_and_link
+
+        src = """
+        int v[64];
+        int main() {
+            int i, s = 0;
+            for (i = 2; i < 62; i++) { v[i] = i; }
+            for (i = 2; i < 62; i++) { s += v[i + 2] + v[i - 2]; }
+            return s & 63;
+        }
+        """
+        base = analyze_program(compile_and_link(src, CompilerOptions()))
+        opt = analyze_program(compile_and_link(
+            src, CompilerOptions(fac=FacSoftwareOptions.enabled())))
+        # aggressive SR turns v[i +/- 2] into zero-offset pointers: the
+        # share of R+R loads (all - noRR) must not grow
+        base_rr = base.predictions[32].loads - base.predictions[32].norr_loads
+        opt_rr = opt.predictions[32].loads - opt.predictions[32].norr_loads
+        assert opt_rr <= base_rr

@@ -1,0 +1,49 @@
+"""Compiler-options tests."""
+
+from repro.compiler.options import CompilerOptions, FacSoftwareOptions
+
+
+class TestFacSoftwareOptions:
+    def test_baseline_defaults(self):
+        fac = FacSoftwareOptions()
+        assert not fac.align_gp
+        assert fac.frame_align == 8
+        assert fac.malloc_align == 8
+        assert fac.static_align_cap == 0
+        assert fac.struct_pad_cap == 0
+        assert not fac.sort_scalars_first
+        assert not fac.sr_aggressive
+
+    def test_enabled_matches_section_5_1(self):
+        fac = FacSoftwareOptions.enabled()
+        assert fac.align_gp
+        assert fac.frame_align == 64          # "multiple of 64 bytes"
+        assert fac.max_frame_align == 256     # "alignments of up to 256"
+        assert fac.static_align_cap == 32     # "not exceeding 32 bytes"
+        assert fac.malloc_align == 32         # "increased from 8 to 32"
+        assert fac.struct_pad_cap == 16       # "not exceeding 16 bytes"
+        assert fac.sort_scalars_first
+        assert fac.sr_aggressive
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FacSoftwareOptions().align_gp = True
+
+
+class TestCompilerOptions:
+    def test_defaults(self):
+        options = CompilerOptions()
+        assert options.strength_reduce
+        assert options.use_reg_reg
+        assert options.register_allocate
+        assert options.gp_threshold == 4096
+
+    def test_with_fac_preserves_other_fields(self):
+        options = CompilerOptions(strength_reduce=False, gp_threshold=128)
+        updated = options.with_fac(FacSoftwareOptions.enabled())
+        assert updated.fac.align_gp
+        assert not updated.strength_reduce
+        assert updated.gp_threshold == 128

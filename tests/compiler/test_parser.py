@@ -1,0 +1,205 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.parser import parse
+from repro.compiler.typesys import ArrayType, DOUBLE, INT, PointerType, UINT
+from repro.errors import CompileError
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x = 5;")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.GlobalVar)
+        assert decl.var_type == INT
+        assert decl.init.value == 5
+
+    def test_global_array(self):
+        decl = parse("double v[10];").decls[0]
+        assert decl.var_type == ArrayType(DOUBLE, 10)
+
+    def test_multi_dim_order(self):
+        decl = parse("int m[2][3];").decls[0]
+        assert decl.var_type == ArrayType(ArrayType(INT, 3), 2)
+
+    def test_unsized_from_string(self):
+        decl = parse('char msg[] = "abcd";').decls[0]
+        assert decl.var_type == ArrayType(parse("char c;").decls[0].var_type, 5)
+
+    def test_unsized_from_list(self):
+        decl = parse("int v[] = {1, 2, 3};").decls[0]
+        assert decl.var_type.count == 3
+
+    def test_unsized_without_init_fails(self):
+        with pytest.raises(CompileError):
+            parse("int v[];")
+
+    def test_pointer_types(self):
+        decl = parse("int **pp;").decls[0]
+        assert decl.var_type == PointerType(PointerType(INT))
+
+    def test_unsigned(self):
+        assert parse("unsigned x;").decls[0].var_type == UINT
+        assert parse("unsigned int y;").decls[0].var_type == UINT
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b = 2, *p;")
+        assert len(unit.decls) == 3
+        assert unit.decls[2].var_type == PointerType(INT)
+
+    def test_negative_initializer(self):
+        assert parse("int x = -7;").decls[0].init.value == -7
+
+    def test_function_with_params(self):
+        func = parse("int f(int a, double *b) { return a; }").decls[0]
+        assert func.params[0] == (INT, "a")
+        assert func.params[1] == (PointerType(DOUBLE), "b")
+
+    def test_array_param_decays(self):
+        func = parse("int f(int a[]) { return a[0]; }").decls[0]
+        assert func.params[0][0] == PointerType(INT)
+
+    def test_prototype(self):
+        func = parse("int f(int a);").decls[0]
+        assert func.body is None
+
+    def test_void_params(self):
+        func = parse("int f(void) { return 0; }").decls[0]
+        assert func.params == []
+
+
+class TestStructs:
+    def test_definition(self):
+        parser_structs = {}
+        parse("struct point { int x; int y; }; struct point p;", structs=parser_structs)
+        assert "point" in parser_structs
+        assert len(parser_structs["point"].fields) == 2
+
+    def test_forward_reference_via_pointer(self):
+        structs = {}
+        unit = parse("struct node { int v; struct node *next; };", structs=structs)
+        __ = unit
+        node = structs["node"]
+        assert node.fields[1][1] == PointerType(node)
+
+    def test_redefinition_fails(self):
+        with pytest.raises(CompileError):
+            parse("struct s { int a; }; struct s { int b; };")
+
+    def test_empty_struct_fails(self):
+        with pytest.raises(CompileError):
+            parse("struct s { };")
+
+
+class TestStatements:
+    def get_body(self, body_src):
+        func = parse("void f() { %s }" % body_src).decls[0]
+        return func.body.stmts
+
+    def test_if_else(self):
+        stmt = self.get_body("if (1) { } else { }")[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_stmt is not None
+
+    def test_while(self):
+        assert isinstance(self.get_body("while (1) { }")[0], ast.While)
+
+    def test_do_while(self):
+        assert isinstance(self.get_body("do { } while (0);")[0], ast.DoWhile)
+
+    def test_for_parts(self):
+        stmt = self.get_body("for (i = 0; i < 10; i++) { }")[0]
+        assert stmt.init is not None and stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_parts(self):
+        stmt = self.get_body("for (;;) { }")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_local_decl_with_init(self):
+        stmt = self.get_body("int x = 3;")[0]
+        assert isinstance(stmt, ast.LocalDecl)
+        assert stmt.init.value == 3
+
+    def test_break_continue_return(self):
+        stmts = self.get_body("while (1) { break; continue; } return;")
+        assert isinstance(stmts[-1], ast.Return)
+
+    def test_empty_statement(self):
+        assert self.get_body(";") == []
+
+
+class TestExpressions:
+    def expr(self, text):
+        func = parse("void f() { %s; }" % text).decls[0]
+        return func.body.stmts[0].expr
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("a + b * c")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        node = self.expr("a << 2 < b")
+        assert node.op == "<"
+        assert node.left.op == "<<"
+
+    def test_assignment_right_assoc(self):
+        node = self.expr("a = b = c")
+        assert isinstance(node.value, ast.Assign)
+
+    def test_compound_assign(self):
+        node = self.expr("a += 2")
+        assert node.op == "+"
+
+    def test_ternary(self):
+        node = self.expr("a ? b : c")
+        assert isinstance(node, ast.Ternary)
+
+    def test_unary_chain(self):
+        node = self.expr("-*p")
+        assert node.op == "-"
+        assert node.operand.op == "*"
+
+    def test_address_of(self):
+        assert self.expr("&x").op == "&"
+
+    def test_postfix_chain(self):
+        node = self.expr("a[1].f->g")
+        assert isinstance(node, ast.Member) and node.arrow
+        assert isinstance(node.base, ast.Member) and not node.base.arrow
+        assert isinstance(node.base.base, ast.Index)
+
+    def test_incdec_positions(self):
+        assert self.expr("i++").is_prefix is False
+        assert self.expr("--i").is_prefix is True
+
+    def test_call_args(self):
+        node = self.expr("f(1, g(2), 3)")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+        assert isinstance(node.args[1], ast.Call)
+
+    def test_cast(self):
+        node = self.expr("(double)x")
+        assert isinstance(node, ast.Cast)
+        assert node.target_type == DOUBLE
+
+    def test_cast_vs_paren(self):
+        node = self.expr("(x)")
+        assert isinstance(node, ast.VarRef)
+
+    def test_sizeof(self):
+        node = self.expr("sizeof(int)")
+        assert isinstance(node, ast.SizeofType)
+
+    def test_logical_ops(self):
+        node = self.expr("a && b || c")
+        assert node.op == "||"
+        assert node.left.op == "&&"
+
+    def test_error_position_reported(self):
+        with pytest.raises(CompileError) as exc:
+            parse("void f() { int x = ; }")
+        assert "line 1" in str(exc.value)

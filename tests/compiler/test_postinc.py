@@ -1,0 +1,117 @@
+"""Post-increment addressing-mode fusion tests (*p++ -> lwpi/swpi)."""
+
+from repro.compiler import CompilerOptions, compile_source
+from tests.conftest import run_minic
+
+
+def main_asm(source: str) -> str:
+    __, asm = compile_source(source, CompilerOptions())
+    return asm.split("main:")[1].split(".data")[0]
+
+
+class TestFusion:
+    WALK = """
+    int v[8];
+    int main() {
+        int *p = &v[0];
+        int i, s = 0;
+        for (i = 0; i < 8; i++) { v[i] = i + 1; }
+        for (i = 0; i < 8; i++) { s += *p++; }
+        return s;
+    }
+    """
+
+    def test_load_fuses_and_computes(self):
+        assert "lwpi" in main_asm(self.WALK)
+        assert run_minic(self.WALK).exit_code == 36
+
+    def test_store_fuses(self):
+        src = """
+        int v[4];
+        int main() {
+            int *q = &v[0];
+            *q++ = 7;
+            *q++ = 9;
+            return v[0] * 10 + v[1] + (q - &v[0]);
+        }
+        """
+        assert "swpi" in main_asm(src)
+        assert run_minic(src).exit_code == 81
+
+    def test_decrement_direction(self):
+        src = """
+        int v[4];
+        int main() {
+            int *p = &v[3];
+            int s;
+            v[3] = 5; v[2] = 7;
+            s = *p--;
+            s = s * 10 + *p--;
+            return s + (p == &v[1]);
+        }
+        """
+        assert run_minic(src).exit_code == 58
+
+    def test_base_register_updated_exactly_once(self):
+        src = """
+        int v[2];
+        int main() {
+            int *p = &v[0];
+            v[0] = 1;
+            *p++;
+            return p - &v[0];
+        }
+        """
+        assert run_minic(src).exit_code == 1
+
+
+class TestNoFusion:
+    def test_char_pointer_not_fused(self):
+        src = """
+        char buf[4];
+        int main() {
+            char *p = &buf[0];
+            buf[0] = 3;
+            return *p++;
+        }
+        """
+        assert "lwpi" not in main_asm(src)
+        assert run_minic(src).exit_code == 3
+
+    def test_double_pointer_not_fused(self):
+        src = """
+        double v[2];
+        int main() {
+            double *p = &v[0];
+            v[0] = 2.5;
+            return (int)(*p++ * 2.0);
+        }
+        """
+        assert "lwpi" not in main_asm(src)
+        assert run_minic(src).exit_code == 5
+
+    def test_prefix_increment_not_fused(self):
+        src = """
+        int v[2];
+        int main() {
+            int *p = &v[0];
+            v[1] = 9;
+            return *++p;
+        }
+        """
+        assert "lwpi" not in main_asm(src)
+        assert run_minic(src).exit_code == 9
+
+    def test_addr_taken_pointer_not_fused(self):
+        src = """
+        int v[2];
+        void touch(int **pp) { }
+        int main() {
+            int *p = &v[0];
+            touch(&p);
+            v[0] = 4;
+            return *p++;
+        }
+        """
+        assert "lwpi" not in main_asm(src)
+        assert run_minic(src).exit_code == 4

@@ -1,0 +1,90 @@
+"""Runtime-library tests (beyond the behavioural coverage in
+test_codegen_exec): alignment policy plumbing and source generation."""
+
+from repro.compiler import CompilerOptions, FacSoftwareOptions
+from repro.compiler.runtime import runtime_source
+from tests.conftest import run_minic
+
+
+class TestRuntimeSource:
+    def test_alignment_constant_substituted(self):
+        base = runtime_source(CompilerOptions())
+        opt = runtime_source(CompilerOptions(fac=FacSoftwareOptions.enabled()))
+        assert "& -8" in base
+        assert "& -32" in opt
+
+    def test_defines_expected_functions(self):
+        source = runtime_source(CompilerOptions())
+        for name in ("malloc", "free", "calloc", "xalloca", "xalloca_reset",
+                     "memset", "memcpy", "strlen", "strcmp", "strcpy",
+                     "srand", "rand", "abs", "fabs"):
+            assert f"{name}(" in source
+
+
+class TestAllocatorBehaviour:
+    def test_malloc_monotonic(self):
+        src = """
+        int main() {
+            char *a = malloc(10);
+            char *b = malloc(10);
+            char *c = malloc(10);
+            return (b > a) + (c > b) * 2;
+        }
+        """
+        assert run_minic(src).exit_code == 3
+
+    def test_malloc_zero_size(self):
+        src = """
+        int main() {
+            char *a = malloc(0);
+            char *b = malloc(4);
+            return b >= a;
+        }
+        """
+        assert run_minic(src).exit_code == 1
+
+    def test_xalloca_alignment_follows_options(self):
+        src = """
+        int main() {
+            char *p;
+            xalloca(3);
+            p = xalloca(3);
+            return (int)p & 31;
+        }
+        """
+        opt = CompilerOptions(fac=FacSoftwareOptions.enabled())
+        assert run_minic(src, opt).exit_code == 0
+
+    def test_abs_int_min_edge(self):
+        src = """
+        int main() {
+            return abs(-5) + abs(7);
+        }
+        """
+        assert run_minic(src).exit_code == 12
+
+    def test_strcmp_ordering(self):
+        src = """
+        int main() {
+            int lt = strcmp("abc", "abd") < 0;
+            int gt = strcmp("b", "a") > 0;
+            int eq = strcmp("same", "same") == 0;
+            int prefix = strcmp("ab", "abc") < 0;
+            return lt + gt * 2 + eq * 4 + prefix * 8;
+        }
+        """
+        assert run_minic(src).exit_code == 15
+
+    def test_rand_range(self):
+        src = """
+        int main() {
+            int i, ok = 1, r;
+            srand(123);
+            for (i = 0; i < 200; i++) {
+                r = rand();
+                if (r < 0 || r > 32767) { ok = 0; }
+            }
+            return ok;
+        }
+        """
+        assert run_minic(src).exit_code == 1

@@ -1,0 +1,155 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.options import CompilerOptions
+from repro.compiler.parser import parse
+from repro.compiler.sema import Sema
+from repro.compiler.typesys import DOUBLE, INT, PointerType, UINT
+from repro.errors import CompileError
+
+
+def analyze(source: str, options: CompilerOptions | None = None):
+    structs = {}
+    unit = parse(source, "t", structs)
+    sema = Sema(options or CompilerOptions(), structs)
+    sema.analyze(unit)
+    return unit, sema
+
+
+class TestResolution:
+    def test_global_resolved(self):
+        unit, __ = analyze("int g; int main() { return g; }")
+        ret = unit.decls[1].body.stmts[0]
+        assert ret.expr.symbol.storage == "global"
+
+    def test_param_and_local(self):
+        unit, __ = analyze("int f(int a) { int b; b = a; return b; }")
+        assign = unit.decls[0].body.stmts[1].expr
+        assert assign.target.symbol.storage == "local"
+        assert assign.value.symbol.storage == "param"
+
+    def test_undeclared_fails(self):
+        with pytest.raises(CompileError):
+            analyze("int main() { return nope; }")
+
+    def test_forward_function_reference(self):
+        analyze("int a() { return b(); } int b() { return 1; }")
+
+    def test_forward_global_reference(self):
+        analyze("int f() { return later; } int later = 3;")
+
+    def test_shadowing(self):
+        unit, __ = analyze("int x; int main() { int x; x = 1; return x; }")
+        assign = unit.decls[1].body.stmts[1].expr
+        assert assign.target.symbol.storage == "local"
+
+    def test_use_counts_weighted_by_loops(self):
+        src = """
+        int main() {
+            int cold, hot, i;
+            cold = 1;
+            for (i = 0; i < 10; i++) { hot = hot + 1; }
+            return cold + hot;
+        }
+        """
+        unit, __ = analyze(src)
+        decls = [s for s in unit.decls[0].body.stmts if isinstance(s, ast.LocalDecl)]
+        by_name = {d.name: d.symbol for d in decls}
+        assert by_name["hot"].use_count > by_name["cold"].use_count
+
+    def test_address_taken_flag(self):
+        unit, __ = analyze("int main() { int x; int *p; p = &x; return *p; }")
+        decls = [s for s in unit.decls[0].body.stmts if isinstance(s, ast.LocalDecl)]
+        by_name = {d.name: d.symbol for d in decls}
+        assert by_name["x"].addr_taken
+        assert not by_name["p"].addr_taken
+
+
+class TestTypes:
+    def ret_expr(self, body):
+        unit, __ = analyze("double gd; int gi; int *gp; int main() { %s }" % body)
+        return unit.decls[-1].body.stmts[-1].expr
+
+    def test_int_plus_double_promotes(self):
+        expr = self.ret_expr("gd = gi + gd; return 0;")
+        __ = expr
+        unit, __ = analyze("double d; int i; int main() { d = i + d; return 0; }")
+        assign = unit.decls[-1].body.stmts[0].expr
+        assert assign.value.ctype == DOUBLE
+        assert isinstance(assign.value.left, ast.Cast)  # int coerced
+
+    def test_pointer_arith_type(self):
+        unit, __ = analyze("int *p; int main() { return *(p + 2); }")
+        ret = unit.decls[-1].body.stmts[0]
+        assert ret.expr.ctype == INT
+
+    def test_pointer_diff_is_int(self):
+        unit, __ = analyze("int *p, *q; int main() { return p - q; }")
+        assert unit.decls[-1].body.stmts[0].expr.ctype == INT
+
+    def test_comparison_is_int(self):
+        unit, __ = analyze("double d; int main() { return d < 2.0; }")
+        assert unit.decls[-1].body.stmts[0].expr.ctype == INT
+
+    def test_unsigned_propagates(self):
+        unit, __ = analyze("unsigned u; int i; int main() { return u + i; }")
+        assert unit.decls[-1].body.stmts[0].expr.ctype == UINT
+
+    def test_sizeof_constant(self):
+        unit, __ = analyze("struct s { int a; double b; };\nint main() { return sizeof(struct s); }")
+        assert unit.decls[-1].body.stmts[0].expr.ctype == UINT
+
+    def test_string_gets_label(self):
+        unit, sema = analyze('int main() { print_str("hi"); return 0; }')
+        assert sema.string_literals
+        call = unit.decls[0].body.stmts[0].expr
+        assert call.args[0].label == sema.string_literals[0][0]
+
+    def test_string_dedup(self):
+        __, sema = analyze('int main() { print_str("x"); print_str("x"); return 0; }')
+        assert len(sema.string_literals) == 1
+
+
+class TestErrors:
+    CASES = [
+        "int main() { int x; x(); return 0; }",
+        "int main() { 3 = 4; return 0; }",
+        "int main() { return *3; }",
+        "struct s { int a; }; int main() { struct s v; return v->a; }",
+        "struct s { int a; }; int main() { int x; return x.a; }",
+        "int f(int a) { return a; } int main() { return f(1, 2); }",
+        "int main() { return undefined_func(); }",
+        "void v() { } int main() { return v() + 1; }",
+        "int g; int g; int main() { return 0; }",
+        "int f() { return 1; } int f() { return 2; } int main() { return 0; }",
+        "int main() { double d; return d % 2; }",
+        "void f() { return 3; } int main() { return 0; }",
+        "int main() { return; }",
+        "int print_int(int x) { return x; } int main() { return 0; }",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            analyze(source)
+
+    def test_recursive_struct_by_value_fails(self):
+        with pytest.raises(CompileError):
+            analyze("struct s { int a; struct s inner; }; int main() { return 0; }")
+
+    def test_recursive_struct_by_pointer_ok(self):
+        analyze("struct s { int a; struct s *next; }; int main() { return 0; }")
+
+
+class TestStructPadOption:
+    def test_layout_uses_option(self):
+        from repro.compiler.options import FacSoftwareOptions
+
+        src = "struct s { int a; int b; int c; }; struct s g; int main() { return 0; }"
+        __, sema = analyze(src)
+        assert sema.structs["s"].size == 12
+        opts = CompilerOptions(fac=FacSoftwareOptions.enabled())
+        __, sema2 = analyze(src, opts)
+        assert sema2.structs["s"].size == 16

@@ -1,0 +1,137 @@
+"""Switch-statement tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler.parser import parse
+from tests.conftest import run_minic
+
+
+def returns(source: str) -> int:
+    return run_minic(source).exit_code
+
+
+class TestSwitchSemantics:
+    def test_dispatch(self):
+        src = """
+        int pick(int x) {
+            switch (x) {
+            case 1: return 10;
+            case 2: return 20;
+            default: return 99;
+            }
+        }
+        int main() { return pick(1) + pick(2) + pick(7); }
+        """
+        assert returns(src) == 129
+
+    def test_fallthrough(self):
+        src = """
+        int main() {
+            int r = 0;
+            switch (2) {
+            case 1: r += 1;
+            case 2: r += 2;
+            case 3: r += 4;
+                break;
+            case 4: r += 8;
+            }
+            return r;
+        }
+        """
+        assert returns(src) == 6
+
+    def test_no_default_falls_out(self):
+        src = """
+        int main() {
+            int r = 5;
+            switch (42) {
+            case 1: r = 0; break;
+            }
+            return r;
+        }
+        """
+        assert returns(src) == 5
+
+    def test_negative_and_large_cases(self):
+        src = """
+        int pick(int x) {
+            switch (x) {
+            case -3: return 1;
+            case 100000: return 2;
+            default: return 3;
+            }
+        }
+        int main() { return pick(-3) * 100 + pick(100000) * 10 + pick(0); }
+        """
+        assert returns(src) == 123
+
+    def test_default_in_middle(self):
+        src = """
+        int pick(int x) {
+            int r;
+            switch (x) {
+            case 1: r = 1; break;
+            default: r = 50; break;
+            case 2: r = 2; break;
+            }
+            return r;
+        }
+        int main() { return pick(1) + pick(2) + pick(9); }
+        """
+        assert returns(src) == 53
+
+    def test_nested_switch_in_loop(self):
+        src = """
+        int main() {
+            int i, acc = 0;
+            for (i = 0; i < 8; i++) {
+                switch (i % 3) {
+                case 0: acc += 1; break;
+                case 1: acc += 10; break;
+                case 2: acc += 100; break;
+                }
+            }
+            return acc;
+        }
+        """
+        assert returns(src) == 3 * 1 + 3 * 10 + 2 * 100
+
+    def test_break_binds_to_switch_not_loop(self):
+        src = """
+        int main() {
+            int i, n = 0;
+            for (i = 0; i < 4; i++) {
+                switch (i) {
+                case 0: break;
+                default: n++; break;
+                }
+                n += 10;
+            }
+            return n;
+        }
+        """
+        assert returns(src) == 43
+
+
+class TestSwitchErrors:
+    def test_duplicate_case(self):
+        with pytest.raises(CompileError):
+            parse("void f() { switch (1) { case 1: break; case 1: break; } }")
+
+    def test_duplicate_default(self):
+        with pytest.raises(CompileError):
+            parse("void f() { switch (1) { default: break; default: break; } }")
+
+    def test_statement_before_case(self):
+        with pytest.raises(CompileError):
+            parse("void f() { switch (1) { f(); case 1: break; } }")
+
+    def test_non_constant_case(self):
+        with pytest.raises(CompileError):
+            parse("void f(int y) { switch (1) { case y: break; } }")
+
+    def test_non_integer_selector(self):
+        from tests.compiler.test_sema import analyze
+        with pytest.raises(CompileError):
+            analyze("int main() { double d; switch (d) { case 1: break; } return 0; }")

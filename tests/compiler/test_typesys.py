@@ -1,0 +1,108 @@
+"""Type system and struct layout tests."""
+
+import pytest
+
+from repro.compiler.typesys import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    INT,
+    PointerType,
+    StructType,
+    UINT,
+    VOID,
+    common_arith,
+    decay,
+)
+from repro.errors import CompileError
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert INT.size == 4
+        assert CHAR.size == 1
+        assert DOUBLE.size == 8
+        assert PointerType(INT).size == 4
+
+    def test_predicates(self):
+        assert INT.is_integer and INT.is_arith and INT.is_scalar
+        assert CHAR.is_integer
+        assert DOUBLE.is_arith and not DOUBLE.is_integer
+        assert PointerType(CHAR).is_pointer and PointerType(CHAR).is_scalar
+        assert not VOID.is_arith
+
+    def test_equality(self):
+        assert PointerType(INT) == PointerType(INT)
+        assert PointerType(INT) != PointerType(CHAR)
+        assert INT != UINT
+        assert ArrayType(INT, 3) == ArrayType(INT, 3)
+        assert ArrayType(INT, 3) != ArrayType(INT, 4)
+
+    def test_array_size(self):
+        assert ArrayType(DOUBLE, 10).size == 80
+        assert ArrayType(DOUBLE, 10).align == 8
+
+    def test_decay(self):
+        assert decay(ArrayType(INT, 5)) == PointerType(INT)
+        assert decay(INT) == INT
+
+    def test_common_arith(self):
+        assert common_arith(INT, DOUBLE) == DOUBLE
+        assert common_arith(CHAR, INT) == INT
+        assert common_arith(UINT, INT) == UINT
+        assert common_arith(CHAR, CHAR) == INT
+
+
+class TestStructLayout:
+    def make(self, fields):
+        struct = StructType("s")
+        struct.fields = fields
+        return struct
+
+    def test_natural_offsets(self):
+        struct = self.make([("a", CHAR), ("b", INT), ("c", CHAR)])
+        struct.layout()
+        assert struct.offsets == {"a": 0, "b": 4, "c": 8}
+        assert struct.size == 12  # rounded to int alignment
+        assert struct.align == 4
+
+    def test_double_alignment(self):
+        struct = self.make([("a", INT), ("d", DOUBLE)])
+        struct.layout()
+        assert struct.offsets["d"] == 8
+        assert struct.size == 16
+        assert struct.align == 8
+
+    def test_size_rounding_within_cap(self):
+        struct = self.make([("a", INT), ("b", INT), ("c", INT)])  # 12 bytes
+        struct.layout(struct_pad_cap=16)
+        assert struct.size == 16  # next pow2, overhead 4 <= 16
+
+    def test_size_rounding_over_cap(self):
+        fields = [(f"f{i}", INT) for i in range(9)]  # 36 bytes -> pow2 is 64
+        struct = self.make(fields)
+        struct.layout(struct_pad_cap=16)
+        assert struct.size == 36  # overhead 28 > 16: keep dense
+
+    def test_no_rounding_by_default(self):
+        struct = self.make([("a", INT), ("b", INT), ("c", INT)])
+        struct.layout()
+        assert struct.size == 12
+
+    def test_use_before_layout_fails(self):
+        struct = self.make([("a", INT)])
+        with pytest.raises(CompileError):
+            __ = struct.size
+
+    def test_field_type(self):
+        struct = self.make([("a", INT), ("p", PointerType(CHAR))])
+        struct.layout()
+        assert struct.field_type("p") == PointerType(CHAR)
+        with pytest.raises(CompileError):
+            struct.field_type("zzz")
+
+    def test_array_field(self):
+        struct = self.make([("v", ArrayType(INT, 4)), ("t", CHAR)])
+        struct.layout()
+        assert struct.offsets["t"] == 16
+        assert struct.size == 20

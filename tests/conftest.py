@@ -1,0 +1,41 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_and_link
+from repro.cpu import CPU
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+
+
+def run_minic(source: str, options: CompilerOptions | None = None,
+              max_instructions: int = 5_000_000) -> CPU:
+    """Compile, link, and run a MiniC program; returns the halted CPU."""
+    program = compile_and_link(source, options)
+    cpu = CPU(program)
+    cpu.run(max_instructions)
+    assert cpu.halted, "program did not exit"
+    return cpu
+
+
+def run_asm(source: str, max_instructions: int = 1_000_000,
+            link_options: LinkOptions | None = None) -> CPU:
+    """Assemble, link, and run a raw assembly program."""
+    unit = assemble(source, "test")
+    program = link([unit], link_options or LinkOptions())
+    cpu = CPU(program)
+    cpu.run(max_instructions)
+    assert cpu.halted, "program did not exit"
+    return cpu
+
+
+@pytest.fixture
+def minic():
+    return run_minic
+
+
+@pytest.fixture
+def asm():
+    return run_asm

@@ -1,0 +1,321 @@
+"""Functional simulator tests (assembly-level semantics)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+from repro.cpu import CPU
+from tests.conftest import run_asm
+
+
+def run_and_report(body: str, max_instructions: int = 100000) -> CPU:
+    """Run asm that leaves its result in $a0 and calls print_int+exit."""
+    source = f"""
+.text
+.globl __start
+__start:
+{body}
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+"""
+    return run_asm(source, max_instructions)
+
+
+def result_of(body: str) -> int:
+    return int(run_and_report(body).stdout())
+
+
+class TestIntegerOps:
+    def test_add_sub(self):
+        assert result_of("li $t0, 40\nli $t1, 2\naddu $a0, $t0, $t1") == 42
+        assert result_of("li $t0, 40\nli $t1, 2\nsubu $a0, $t0, $t1") == 38
+
+    def test_wraparound(self):
+        assert result_of("li $t0, 0x7fffffff\naddiu $a0, $t0, 1") == -(2**31)
+
+    def test_logic(self):
+        assert result_of("li $t0, 0xF0\nli $t1, 0x3C\nand $a0, $t0, $t1") == 0x30
+        assert result_of("li $t0, 0xF0\nli $t1, 0x3C\nor $a0, $t0, $t1") == 0xFC
+        assert result_of("li $t0, 0xF0\nli $t1, 0x3C\nxor $a0, $t0, $t1") == 0xCC
+        assert result_of("li $t0, 0\nnor $a0, $t0, $t0") == -1
+
+    def test_slt(self):
+        assert result_of("li $t0, -1\nli $t1, 1\nslt $a0, $t0, $t1") == 1
+        assert result_of("li $t0, -1\nli $t1, 1\nsltu $a0, $t0, $t1") == 0
+
+    def test_shifts(self):
+        assert result_of("li $t0, -16\nsra $a0, $t0, 2") == -4
+        assert result_of("li $t0, -16\nsrl $a0, $t0, 28") == 15
+        assert result_of("li $t0, 3\nsll $a0, $t0, 4") == 48
+
+    def test_variable_shifts(self):
+        assert result_of("li $t0, 1\nli $t1, 10\nsllv $a0, $t0, $t1") == 1024
+
+    def test_mult(self):
+        assert result_of("li $t0, -6\nli $t1, 7\nmult $t0, $t1\nmflo $a0") == -42
+
+    def test_mult_high_bits(self):
+        body = "li $t0, 0x10000\nli $t1, 0x10000\nmultu $t0, $t1\nmfhi $a0"
+        assert result_of(body) == 1
+
+    def test_div_truncates(self):
+        assert result_of("li $t0, -7\nli $t1, 2\ndiv $t0, $t1\nmflo $a0") == -3
+        assert result_of("li $t0, -7\nli $t1, 2\ndiv $t0, $t1\nmfhi $a0") == -1
+
+    def test_div_by_zero_no_trap(self):
+        assert result_of("li $t0, 5\nli $t1, 0\ndiv $t0, $t1\nmflo $a0") == 0
+
+    def test_zero_register_immutable(self):
+        assert result_of("li $t0, 99\naddu $zero, $t0, $t0\nmove $a0, $zero") == 0
+
+    def test_lui_ori(self):
+        assert result_of("lui $t0, 0x1234\nori $t0, $t0, 0x5678\nsra $a0, $t0, 16") == 0x1234
+
+
+class TestMemoryOps:
+    def test_word_roundtrip(self):
+        body = """
+    li $t0, 0x12345678
+    sw $t0, -8($sp)
+    lw $a0, -8($sp)
+"""
+        assert result_of(body) == 0x12345678
+
+    def test_byte_sign_extension(self):
+        body = """
+    li $t0, 0xFF
+    sb $t0, -4($sp)
+    lb $a0, -4($sp)
+"""
+        assert result_of(body) == -1
+
+    def test_byte_zero_extension(self):
+        body = """
+    li $t0, 0xFF
+    sb $t0, -4($sp)
+    lbu $a0, -4($sp)
+"""
+        assert result_of(body) == 255
+
+    def test_half_ops(self):
+        body = """
+    li $t0, 0x8000
+    sh $t0, -4($sp)
+    lh $t1, -4($sp)
+    lhu $t2, -4($sp)
+    addu $a0, $t1, $t2
+"""
+        assert result_of(body) == -32768 + 32768
+
+    def test_indexed_load(self):
+        body = """
+    li $t0, 77
+    sw $t0, -16($sp)
+    li $t1, -16
+    lwx $a0, $t1($sp)
+"""
+        assert result_of(body) == 77
+
+    def test_indexed_store(self):
+        body = """
+    li $t0, 55
+    li $t1, -12
+    swx $t0, $t1($sp)
+    lw $a0, -12($sp)
+"""
+        assert result_of(body) == 55
+
+    def test_postincrement_load(self):
+        body = """
+    addiu $t2, $sp, -32
+    li $t0, 5
+    sw $t0, 0($t2)
+    li $t0, 6
+    sw $t0, 4($t2)
+    lwpi $t3, ($t2)+4
+    lwpi $t4, ($t2)+4
+    addu $a0, $t3, $t4
+"""
+        assert result_of(body) == 11
+
+    def test_postincrement_updates_base(self):
+        body = """
+    addiu $t2, $sp, -32
+    sw $zero, 0($t2)
+    lwpi $t3, ($t2)+8
+    subu $a0, $t2, $sp
+    addiu $a0, $a0, 32
+"""
+        assert result_of(body) == 8
+
+    def test_fp_memory(self):
+        body = """
+    li.d $f4, 2.75
+    s.d $f4, -16($sp)
+    l.d $f6, -16($sp)
+    li.d $f8, 4.0
+    mul.d $f10, $f6, $f8
+    trunc.w.d $f10, $f10
+    mfc1 $a0, $f10
+"""
+        assert result_of(body) == 11
+
+
+class TestControlFlow:
+    def test_branch_taken_loop(self):
+        body = """
+    li $t0, 0
+    li $t1, 5
+loop:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, loop
+    move $a0, $t0
+"""
+        assert result_of(body) == 5
+
+    def test_conditional_variants(self):
+        body = """
+    li $a0, 0
+    li $t0, -3
+    bltz $t0, a1
+    b fail
+a1: bgez $zero, a2
+    b fail
+a2: blez $zero, a3
+    b fail
+a3: li $t1, 2
+    bgtz $t1, done
+fail:
+    li $a0, -1
+done:
+"""
+        assert result_of(body) == 0
+
+    def test_jal_jr(self):
+        body = """
+    jal sub
+    b after
+sub:
+    li $a0, 31
+    jr $ra
+after:
+"""
+        assert result_of(body) == 31
+
+    def test_jalr(self):
+        body = """
+    la $t0, target
+    jalr $ra, $t0
+    b done
+target:
+    li $a0, 44
+    jr $ra
+done:
+"""
+        assert result_of(body) == 44
+
+    def test_fp_branches(self):
+        body = """
+    li.d $f4, 1.0
+    li.d $f6, 2.0
+    c.lt.d $f4, $f6
+    bc1t yes
+    li $a0, 0
+    b done
+yes:
+    li $a0, 1
+done:
+"""
+        assert result_of(body) == 1
+
+
+class TestFloatingPoint:
+    def test_arith_chain(self):
+        body = """
+    li.d $f4, 9.0
+    sqrt.d $f6, $f4
+    li.d $f8, 0.5
+    add.d $f10, $f6, $f8
+    abs.d $f10, $f10
+    trunc.w.d $f10, $f10
+    mfc1 $a0, $f10
+"""
+        assert result_of(body) == 3
+
+    def test_int_to_double(self):
+        body = """
+    li $t0, -5
+    mtc1 $t0, $f4
+    cvt.d.w $f4, $f4
+    neg.d $f4, $f4
+    trunc.w.d $f4, $f4
+    mfc1 $a0, $f4
+"""
+        assert result_of(body) == 5
+
+
+class TestFaults:
+    def test_runaway_budget(self):
+        source = ".text\n.globl __start\n__start:\nspin: b spin"
+        unit = assemble(source, "t")
+        program = link([unit], LinkOptions())
+        cpu = CPU(program)
+        with pytest.raises(SimulationError):
+            cpu.run(1000)
+
+    def test_pc_out_of_text(self):
+        source = ".text\n.globl __start\n__start:\n jr $zero"
+        unit = assemble(source, "t")
+        program = link([unit], LinkOptions())
+        cpu = CPU(program)
+        with pytest.raises(SimulationError):
+            cpu.run(10)
+
+    def test_break_traps(self):
+        source = ".text\n.globl __start\n__start:\n break"
+        unit = assemble(source, "t")
+        program = link([unit], LinkOptions())
+        with pytest.raises(SimulationError):
+            CPU(program).run(10)
+
+
+class TestTraceRecords:
+    def test_memory_record_fields(self):
+        source = """
+.text
+.globl __start
+__start:
+    li $t1, 0x1000
+    lw $t0, 8($t1)
+    li $v0, 10
+    syscall
+"""
+        unit = assemble(source, "t")
+        program = link([unit], LinkOptions())
+        cpu = CPU(program)
+        records = [cpu.step() for __ in range(2)]
+        load = records[-1]
+        assert load.ea == 0x1008
+        assert load.base_value == 0x1000
+        assert load.offset_value == 8
+
+    def test_branch_record(self):
+        source = """
+.text
+.globl __start
+__start:
+    beq $zero, $zero, target
+    nop
+target:
+    li $v0, 10
+    syscall
+"""
+        unit = assemble(source, "t")
+        program = link([unit], LinkOptions())
+        cpu = CPU(program)
+        record = cpu.step()
+        assert record.taken is True
+        assert record.next_pc == program.symbols["__start"].address + 8

@@ -1,0 +1,121 @@
+"""Property tests: executor arithmetic vs a Python reference model.
+
+Each case assembles a tiny program that loads two random operands,
+applies one instruction, and prints the result; the output must match
+the Python-side semantics of the operation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.bits import to_signed32, to_unsigned32
+from tests.conftest import run_asm
+
+OPERAND = st.integers(-(2**31), 2**31 - 1)
+
+
+def run_binary(op: str, a: int, b: int, via_hilo: str | None = None) -> int:
+    move_result = f"mflo $a0" if via_hilo == "lo" else (
+        "mfhi $a0" if via_hilo == "hi" else "")
+    target = "$t0, $t1" if via_hilo else "$a0, $t0, $t1"
+    source = f"""
+.text
+.globl __start
+__start:
+    li $t0, {a}
+    li $t1, {b}
+    {op} {target}
+    {move_result}
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+"""
+    return int(run_asm(source).stdout())
+
+
+REFERENCE = {
+    "addu": lambda a, b: to_signed32(a + b),
+    "subu": lambda a, b: to_signed32(a - b),
+    "and": lambda a, b: to_signed32(to_unsigned32(a) & to_unsigned32(b)),
+    "or": lambda a, b: to_signed32(to_unsigned32(a) | to_unsigned32(b)),
+    "xor": lambda a, b: to_signed32(to_unsigned32(a) ^ to_unsigned32(b)),
+    "nor": lambda a, b: to_signed32(~(to_unsigned32(a) | to_unsigned32(b))),
+    "slt": lambda a, b: int(a < b),
+    "sltu": lambda a, b: int(to_unsigned32(a) < to_unsigned32(b)),
+}
+
+
+@given(a=OPERAND, b=OPERAND, op=st.sampled_from(sorted(REFERENCE)))
+@settings(max_examples=60, deadline=None)
+def test_alu_matches_reference(a, b, op):
+    assert run_binary(op, a, b) == REFERENCE[op](a, b)
+
+
+@given(a=OPERAND, b=OPERAND)
+@settings(max_examples=30, deadline=None)
+def test_mult_matches_reference(a, b):
+    product = a * b
+    assert run_binary("mult", a, b, via_hilo="lo") == to_signed32(product)
+    assert run_binary("mult", a, b, via_hilo="hi") == to_signed32(product >> 32)
+
+
+@given(a=OPERAND, b=OPERAND.filter(lambda v: v != 0))
+@settings(max_examples=30, deadline=None)
+def test_div_truncates_like_c(a, b):
+    quotient = int(a / b)  # C semantics: truncate toward zero
+    remainder = a - quotient * b
+    assert run_binary("div", a, b, via_hilo="lo") == to_signed32(quotient)
+    assert run_binary("div", a, b, via_hilo="hi") == to_signed32(remainder)
+
+
+@given(a=OPERAND, shift=st.integers(0, 31))
+@settings(max_examples=40, deadline=None)
+def test_shifts_match_reference(a, shift):
+    source = f"""
+.text
+.globl __start
+__start:
+    li $t0, {a}
+    sll $t1, $t0, {shift}
+    srl $t2, $t0, {shift}
+    sra $t3, $t0, {shift}
+    move $a0, $t1
+    li $v0, 1
+    syscall
+    li $v0, 11
+    li $a0, 32
+    syscall
+    move $a0, $t2
+    li $v0, 1
+    syscall
+    li $v0, 11
+    li $a0, 32
+    syscall
+    move $a0, $t3
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+"""
+    out = run_asm(source).stdout().split()
+    unsigned = to_unsigned32(a)
+    assert int(out[0]) == to_signed32(unsigned << shift)
+    assert int(out[1]) == to_signed32(unsigned >> shift)
+    assert int(out[2]) == to_signed32(a >> shift)
+
+
+@given(value=st.integers(-(2**15), 2**15 - 1), imm=st.integers(-(2**15), 2**15 - 1))
+@settings(max_examples=40, deadline=None)
+def test_immediates_match_reference(value, imm):
+    source = f"""
+.text
+.globl __start
+__start:
+    li $t0, {value}
+    addiu $a0, $t0, {imm}
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+"""
+    assert int(run_asm(source).stdout()) == to_signed32(value + imm)

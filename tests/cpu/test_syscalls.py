@@ -1,0 +1,91 @@
+"""Syscall emulation tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from tests.conftest import run_asm
+
+
+def syscall_program(body: str) -> str:
+    return f"""
+.text
+.globl __start
+__start:
+{body}
+    li $v0, 10
+    syscall
+"""
+
+
+class TestPrinting:
+    def test_print_int_negative(self):
+        cpu = run_asm(syscall_program("li $a0, -123\nli $v0, 1\nsyscall"))
+        assert cpu.stdout() == "-123"
+
+    def test_print_char(self):
+        cpu = run_asm(syscall_program("li $a0, 65\nli $v0, 11\nsyscall"))
+        assert cpu.stdout() == "A"
+
+    def test_print_string(self):
+        source = """
+.text
+.globl __start
+__start:
+    la $a0, msg
+    li $v0, 4
+    syscall
+    li $v0, 10
+    syscall
+.data
+msg: .asciiz "hi there"
+"""
+        assert run_asm(source).stdout() == "hi there"
+
+    def test_print_double(self):
+        cpu = run_asm(syscall_program("li.d $f12, 0.25\nli $v0, 3\nsyscall"))
+        assert cpu.stdout() == "0.25"
+
+
+class TestSbrk:
+    def test_returns_old_break_and_grows(self):
+        body = """
+    li $a0, 0
+    li $v0, 9
+    syscall
+    move $t0, $v0
+    li $a0, 4096
+    li $v0, 9
+    syscall
+    li $a0, 0
+    li $v0, 9
+    syscall
+    subu $a0, $v0, $t0
+    li $v0, 1
+    syscall
+"""
+        cpu = run_asm(syscall_program(body))
+        assert cpu.stdout() == "4096"
+
+    def test_heap_peak_tracked(self):
+        cpu = run_asm(syscall_program("li $a0, 8192\nli $v0, 9\nsyscall"))
+        assert cpu.heap_peak - cpu.heap_base == 8192
+
+    def test_negative_below_base_faults(self):
+        body = "li $a0, -4096\nli $v0, 9\nsyscall"
+        with pytest.raises(SimulationError):
+            run_asm(syscall_program(body))
+
+
+class TestExit:
+    def test_exit_zero(self):
+        cpu = run_asm(".text\n.globl __start\n__start:\n li $v0, 10\n syscall")
+        assert cpu.halted and cpu.exit_code == 0
+
+    def test_exit2_code(self):
+        cpu = run_asm(
+            ".text\n.globl __start\n__start:\n li $a0, 42\n li $v0, 17\n syscall")
+        assert cpu.exit_code == 42
+
+    def test_unknown_service_faults(self):
+        with pytest.raises(SimulationError):
+            run_asm(".text\n.globl __start\n__start:\n li $v0, 99\n syscall")

@@ -1,0 +1,112 @@
+"""Trace-file record/replay tests."""
+
+import pytest
+
+from repro.compiler import compile_and_link
+from repro.cpu import CPU
+from repro.cpu.tracefile import (
+    program_crc,
+    record_trace,
+    replay_trace,
+    simulate_trace,
+)
+from repro.errors import SimulationError
+from repro.fac import FacConfig
+from repro.pipeline import MachineConfig, simulate_program
+
+SOURCE = """
+int v[64];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 64; i++) { v[i] = i ^ 21; }
+    for (i = 0; i < 64; i++) { s += v[i]; }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_and_link(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def trace_path(program, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "prog.fact.gz")
+    count = record_trace(program, path)
+    assert count > 0
+    return path
+
+
+class TestRoundTrip:
+    def test_replay_matches_live_execution(self, program, trace_path):
+        cpu = CPU(program)
+        for replayed in replay_trace(program, trace_path):
+            live = cpu.step()
+            assert replayed.pc == live.pc
+            assert replayed.inst is live.inst
+            assert replayed.ea == live.ea
+            assert replayed.base_value == live.base_value
+            assert replayed.offset_value == live.offset_value
+            assert replayed.taken == live.taken
+            assert replayed.next_pc == live.next_pc
+        assert cpu.halted
+
+    def test_simulate_trace_matches_simulate_program(self, program, trace_path):
+        for config in (MachineConfig(), MachineConfig(fac=FacConfig())):
+            live = simulate_program(program, config)
+            replayed = simulate_trace(program, trace_path, config)
+            assert replayed.cycles == live.cycles
+            assert replayed.instructions == live.instructions
+            assert replayed.fac_mispredicted == live.fac_mispredicted
+
+
+class TestValidation:
+    def test_crc_differs_across_programs(self, program):
+        other = compile_and_link("int main() { return 1; }")
+        assert program_crc(program) != program_crc(other)
+
+    def test_wrong_program_rejected(self, trace_path):
+        other = compile_and_link("int main() { return 1; }")
+        with pytest.raises(SimulationError):
+            list(replay_trace(other, trace_path))
+
+    def test_not_a_trace_rejected(self, program, tmp_path):
+        import gzip
+
+        path = str(tmp_path / "bogus.gz")
+        with gzip.open(path, "wb") as stream:
+            stream.write(b"JUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(SimulationError):
+            list(replay_trace(program, path))
+
+
+class TestLargeIndexOffsets:
+    def test_unsigned_index_register_values_roundtrip(self, tmp_path):
+        # an index register holding a value >= 2**31 must replay with
+        # the executor's unsigned view
+        from repro.isa.assembler import assemble
+        from repro.linker import LinkOptions, link
+
+        source = """
+.text
+.globl __start
+__start:
+    li $t1, 0x90000000
+    li $t2, 0x1000
+    subu $t2, $t2, $t1     # address = 0x1000 via wraparound
+    lwx $t0, $t1($t2)
+    li $v0, 10
+    syscall
+"""
+        program = link([assemble(source, "t")], LinkOptions())
+        path = str(tmp_path / "big.fact.gz")
+        record_trace(program, path)
+        live = []
+        cpu = CPU(program)
+        while not cpu.halted:
+            live.append(cpu.step())
+        for replayed, reference in zip(replay_trace(program, path), live):
+            assert replayed.offset_value == reference.offset_value
+            assert replayed.ea == reference.ea

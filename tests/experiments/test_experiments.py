@@ -1,0 +1,181 @@
+"""Experiment-harness tests.
+
+Each harness runs on a small suite subset; the assertions encode the
+*shape* of the paper's results (who wins, directionally), not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table6,
+)
+from repro.experiments import common
+
+SUBSET = ("compress", "spice")
+SUBSET_MIXED = ("compress", "alvinn")
+
+
+class TestFig5:
+    def test_matches_paper(self):
+        result = run_fig5()
+        assert result.predictions["a"].success
+        assert result.predictions["b"].success
+        assert result.predictions["c"].success
+        assert not result.predictions["d"].success
+
+    def test_render(self):
+        text = run_fig5().render()
+        assert "MISPREDICT" in text
+
+
+class TestTable1:
+    def test_rows_and_fractions(self):
+        result = run_table1(SUBSET)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert abs(row.load_pct + row.store_pct - 100.0) < 1e-6
+            total = row.global_pct + row.stack_pct + row.general_pct
+            assert abs(total - 100.0) < 1e-6
+
+    def test_render(self):
+        assert "compress" in run_table1(SUBSET).render()
+
+
+class TestFig3:
+    def test_curves_shape(self):
+        result = run_fig3(benchmarks=("compress",))
+        curves = result.curves["compress"]
+        for ref_class in ("global", "stack", "general"):
+            values = curves[ref_class]
+            assert len(values) == 18
+            assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+            assert values[-1] == pytest.approx(1.0)
+
+    def test_general_offsets_small(self):
+        """Section 2.2: most general-pointer offsets are small (for
+        pointer-chasing codes like elvis; array codes like spice are the
+        paper's noted exception)."""
+        result = run_fig3(benchmarks=("elvis",))
+        general = result.curves["elvis"]["general"]
+        assert general[1 + 4] > 0.5  # more than half within 4 bits
+
+
+class TestTable3:
+    def test_failure_rates_high_without_support(self):
+        result = run_table3(SUBSET)
+        for row in result.rows:
+            assert row.fail_load_32 > 20.0
+
+    def test_block32_not_worse_than_16(self):
+        result = run_table3(SUBSET)
+        for row in result.rows:
+            assert row.fail_load_32 <= row.fail_load_16 + 1e-9
+
+
+class TestTable4:
+    def test_software_support_cuts_failures(self):
+        t3 = run_table3(SUBSET)
+        t4 = run_table4(SUBSET)
+        for before, after in zip(t3.rows, t4.rows):
+            assert after.fail_load_all < before.fail_load_32
+
+    def test_norr_lower_than_all(self):
+        result = run_table4(SUBSET)
+        for row in result.rows:
+            assert row.fail_load_norr <= row.fail_load_all + 1e-9
+
+    def test_moderate_code_growth(self):
+        result = run_table4(SUBSET)
+        for row in result.rows:
+            assert -30.0 < row.insts_change < 30.0
+
+
+class TestFig2:
+    def test_idealizations_ordered(self):
+        result = run_fig2(SUBSET_MIXED)
+        for name in SUBSET_MIXED:
+            ipc = result.ipc[name]
+            assert ipc["1cyc"] >= ipc["base"]
+            assert ipc["perfect"] >= ipc["base"]
+            assert ipc["1cyc+perfect"] >= max(ipc["1cyc"], ipc["perfect"]) - 1e-9
+
+    def test_averages_present(self):
+        result = run_fig2(SUBSET_MIXED)
+        assert result.int_avg and result.fp_avg
+
+
+class TestFig6:
+    def test_speedups_positive_everywhere(self):
+        """The paper's key property: consistent speedup on every program."""
+        result = run_fig6(SUBSET_MIXED)
+        for name in SUBSET_MIXED:
+            for label, value in result.speedups[name].items():
+                assert value >= 1.0, (name, label, value)
+
+    def test_software_support_helps(self):
+        result = run_fig6(SUBSET_MIXED)
+        for name in SUBSET_MIXED:
+            assert result.speedups[name]["hw+sw32"] >= \
+                result.speedups[name]["hw32"] - 0.02
+
+
+class TestTable6:
+    def test_software_support_cuts_bandwidth(self):
+        result = run_table6(SUBSET)
+        for name in SUBSET:
+            assert result.overhead[name]["sw/rr"] <= result.overhead[name]["hw/rr"]
+
+    def test_norr_bounds_overhead(self):
+        """Paper: without R+R speculation, bandwidth increase <= ~1%."""
+        result = run_table6(SUBSET)
+        for name in SUBSET:
+            assert result.overhead[name]["sw/norr"] <= 1.5
+
+
+class TestCommon:
+    def test_suite_names_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "compress, spice")
+        assert common.suite_names() == ("compress", "spice")
+
+    def test_suite_names_env_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "nope")
+        with pytest.raises(KeyError):
+            common.suite_names()
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "compress")
+        assert common.suite_names(("spice",)) == ("spice",)
+
+    def test_weighted_average(self):
+        values = {"a": 1.0, "b": 3.0}
+        weights = {"a": 1.0, "b": 1.0}
+        assert common.weighted_average(("a", "b"), values, weights) == 2.0
+        weights = {"a": 3.0, "b": 1.0}
+        assert common.weighted_average(("a", "b"), values, weights) == 1.5
+
+
+class TestSignals:
+    def test_mix_matches_paper_reading(self):
+        from repro.experiments import run_signals
+
+        result = run_signals(SUBSET)
+        for name in SUBSET:
+            rates = result.rates[name]
+            # negative-offset failures are nearly absent (Section 2.2)
+            assert rates["large_neg_const"] < 1.0
+            assert rates["neg_index_reg"] < 1.0
+            # carry-based failures dominate
+            assert rates["gen_carry"] + rates["overflow"] > 5.0
+
+    def test_render(self):
+        from repro.experiments import run_signals
+
+        assert "gen_carry" in run_signals(SUBSET).render()

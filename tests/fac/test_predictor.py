@@ -1,0 +1,258 @@
+"""Fast-address-calculation predictor tests.
+
+The key invariant (the hardware's correctness argument): whenever the
+verification circuit raises **no** failure signal, the speculatively
+formed address equals the true effective address. The converse need not
+hold -- the signals are allowed to be conservative.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.fac.config import FacConfig
+from repro.fac.predictor import FastAddressCalculator
+
+DEFAULT = FastAddressCalculator(FacConfig(cache_size=16 * 1024, block_size=32))
+SMALL_BLOCK = FastAddressCalculator(FacConfig(cache_size=16 * 1024, block_size=16))
+OR_TAG = FastAddressCalculator(
+    FacConfig(cache_size=16 * 1024, block_size=32, full_tag_add=False))
+
+
+class TestConfig:
+    def test_field_widths(self):
+        config = FacConfig(cache_size=16 * 1024, block_size=32)
+        assert config.b_bits == 5
+        assert config.s_bits == 14
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigError):
+            FacConfig(cache_size=1000)
+        with pytest.raises(ConfigError):
+            FacConfig(block_size=24)
+
+    def test_rejects_block_ge_cache(self):
+        with pytest.raises(ConfigError):
+            FacConfig(cache_size=32, block_size=32)
+
+
+class TestPaperExamples:
+    """Figure 5 of the paper, 16 KB direct-mapped cache, 16-byte blocks."""
+
+    def test_a_zero_offset(self):
+        pred = SMALL_BLOCK.predict(0x00A0C0, 0x0, False)
+        assert pred.success and pred.predicted == 0x00A0C0
+
+    def test_b_aligned_global(self):
+        pred = SMALL_BLOCK.predict(0x10000000, 0x984, False)
+        assert pred.success and pred.predicted == 0x10000984
+
+    def test_c_small_stack_offset(self):
+        pred = SMALL_BLOCK.predict(0x7FFF5B84, 0x66, False)
+        assert pred.success and pred.predicted == 0x7FFF5BEA
+
+    def test_d_carry_into_index(self):
+        pred = SMALL_BLOCK.predict(0x7FFF5B84, 0x16C, False)
+        assert not pred.success
+        assert pred.actual == 0x7FFF5CF0
+        assert pred.signals.overflow or pred.signals.gen_carry
+
+
+class TestFailureSignals:
+    def test_zero_offset_always_succeeds(self):
+        for base in (0, 1, 0xDEADBEEF, 0xFFFFFFFF):
+            assert DEFAULT.predict(base, 0, False).success
+
+    def test_gen_carry(self):
+        # both operands have bit 7 set: inside the index field
+        pred = DEFAULT.predict(0x80, 0x80, False)
+        assert pred.signals.gen_carry and not pred.success
+
+    def test_block_offset_overflow(self):
+        # block field is addr[4:0]: 0x1F + 1 carries out
+        pred = DEFAULT.predict(0x1F, 0x01, False)
+        assert pred.signals.overflow and not pred.success
+
+    def test_full_add_within_block(self):
+        # no carry out of the block field: full adder handles it
+        pred = DEFAULT.predict(0x10, 0x0F, False)
+        assert pred.success and pred.predicted == 0x1F
+
+    def test_small_negative_constant_ok(self):
+        # -4 from a base whose block offset can absorb it
+        pred = DEFAULT.predict(0x1010, -4, False)
+        assert pred.success and pred.predicted == 0x100C
+
+    def test_negative_constant_borrow_fails(self):
+        # base block offset 0 cannot absorb -4: borrow out of the block
+        pred = DEFAULT.predict(0x1000, -4, False)
+        assert not pred.success
+        assert pred.signals.overflow
+
+    def test_large_negative_constant_fails(self):
+        pred = DEFAULT.predict(0x2000, -4096, False)
+        assert not pred.success
+        assert pred.signals.large_neg_const
+
+    def test_negative_register_offset_fails(self):
+        # register offsets arrive too late for inversion
+        pred = DEFAULT.predict(0x1010, -4, True)
+        assert not pred.success
+        assert pred.signals.neg_index_reg
+
+    def test_positive_register_offset_like_constant(self):
+        pred = DEFAULT.predict(0x10000, 0x100, True)
+        assert pred.success
+
+    def test_aligned_base_large_offset(self):
+        # the paper's software support story: align the base and even a
+        # large positive offset predicts correctly
+        pred = DEFAULT.predict(0x40000000, 0x2FFF, False)
+        assert pred.success
+
+
+class TestTagHandling:
+    def test_full_tag_add_tag_always_right(self):
+        # carry propagates into the tag: index fails but tag is correct
+        base, offset = 0x3FFF0, 0x20
+        pred = DEFAULT.predict(base, offset, False)
+        tag_mask = ~((1 << 14) - 1) & 0xFFFFFFFF
+        assert pred.predicted & tag_mask == pred.actual & tag_mask
+
+    def test_or_tag_can_differ(self):
+        base, offset = 0x3FE0, 0x20  # carries out of the index into the tag
+        with_or = OR_TAG.predict(base, offset, False)
+        assert with_or.signals.tag_mismatch or not with_or.success
+
+    def test_or_tag_matches_when_aligned(self):
+        pred = OR_TAG.predict(0x40000000, 0x123, False)
+        assert pred.success
+
+
+class TestPolicy:
+    def test_store_speculation_off(self):
+        fac = FastAddressCalculator(FacConfig(speculate_stores=False))
+        assert not fac.should_speculate(offset_is_reg=False, is_store=True)
+        assert fac.should_speculate(offset_is_reg=False, is_store=False)
+
+    def test_reg_reg_speculation_off(self):
+        fac = FastAddressCalculator(FacConfig(speculate_reg_reg=False))
+        assert not fac.should_speculate(offset_is_reg=True, is_store=False)
+        assert fac.should_speculate(offset_is_reg=False, is_store=False)
+
+    def test_predict_access_not_speculated(self):
+        fac = FastAddressCalculator(FacConfig(speculate_stores=False))
+        pred = fac.predict_access(0x1000, 4, offset_is_reg=False, is_store=True)
+        assert not pred.speculated
+        assert pred.actual == 0x1004
+
+
+# --------------------------------------------------------------------- #
+# property tests
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(-32768, 32767))
+@settings(max_examples=500)
+def test_no_signals_implies_correct_address_const(base, offset):
+    pred = DEFAULT.predict(base, offset, False)
+    if pred.success:
+        assert pred.predicted == pred.actual
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(-(2**31), 2**31 - 1))
+@settings(max_examples=500)
+def test_no_signals_implies_correct_address_reg(base, offset):
+    pred = DEFAULT.predict(base, offset, True)
+    if pred.success:
+        assert pred.predicted == pred.actual
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(-32768, 32767),
+       block=st.sampled_from([16, 32]))
+@settings(max_examples=500)
+def test_no_signals_implies_correct_any_geometry(base, offset, block):
+    fac = SMALL_BLOCK if block == 16 else DEFAULT
+    pred = fac.predict(base, offset, False)
+    if pred.success:
+        assert pred.predicted == pred.actual
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(0, 32767))
+@settings(max_examples=300)
+def test_or_equals_xor_on_success(base, offset):
+    """The paper's footnote: OR may replace XOR because they differ only
+    where prediction fails anyway."""
+    pred = DEFAULT.predict(base, offset, False)
+    if pred.success:
+        index_mask = ((1 << 14) - 1) ^ 31
+        assert (base | offset) & index_mask == (base ^ offset) & index_mask
+
+
+@given(base=st.integers(0, 2**32 - 1),
+       align_shift=st.integers(5, 14),
+       offset=st.integers(0, 32767))
+@settings(max_examples=300)
+def test_aligned_base_small_offset_always_succeeds(base, align_shift, offset):
+    """Software-support guarantee: if the base is aligned to 2**k and the
+    offset is less than 2**k, carry-free addition is exact."""
+    aligned_base = base & ~((1 << align_shift) - 1)
+    offset &= (1 << align_shift) - 1
+    pred = DEFAULT.predict(aligned_base, offset, False)
+    assert pred.success
+    assert pred.predicted == pred.actual
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(-32768, 32767))
+@settings(max_examples=300)
+def test_larger_block_never_hurts(base, offset):
+    """5 bits of full addition succeed at least as often as 4 bits."""
+    small = SMALL_BLOCK.predict(base, offset, False)
+    large = DEFAULT.predict(base, offset, False)
+    if small.success and (offset >= 0 or offset > -16):
+        # anything a 16-byte-block adder handles, a 32-byte one does too,
+        # except negative offsets near the block-size boundary
+        if offset >= 0:
+            assert large.success
+
+
+@given(base=st.integers(0, 2**32 - 1), offset=st.integers(0, 32767))
+@settings(max_examples=300)
+def test_smaller_index_field_never_hurts(base, offset):
+    """Nested geometry property: if prediction succeeds for a large cache
+    (wide index field), it succeeds for a smaller one too, because the
+    failure conditions over [S-1:B] nest (positive offsets)."""
+    small = FastAddressCalculator(FacConfig(cache_size=4 * 1024, block_size=32))
+    large = FastAddressCalculator(FacConfig(cache_size=64 * 1024, block_size=32))
+    if large.predict(base, offset, False).success:
+        assert small.predict(base, offset, False).success
+
+
+class TestForCache:
+    def test_direct_mapped_span(self):
+        from repro.cache.cache import CacheConfig
+
+        config = FacConfig.for_cache(CacheConfig(size=16 * 1024, block_size=32))
+        assert config.s_bits == 14
+
+    def test_associativity_shrinks_index(self):
+        from repro.cache.cache import CacheConfig
+
+        four_way = FacConfig.for_cache(
+            CacheConfig(size=16 * 1024, block_size=32, assoc=4))
+        assert four_way.s_bits == 12  # 128 sets * 32 bytes
+
+    def test_assoc_cache_predicts_better(self):
+        from repro.cache.cache import CacheConfig
+
+        dm = FastAddressCalculator(FacConfig.for_cache(
+            CacheConfig(size=16 * 1024, block_size=32)))
+        assoc = FastAddressCalculator(FacConfig.for_cache(
+            CacheConfig(size=16 * 1024, block_size=32, assoc=8)))
+        wins = 0
+        for base in range(0x10000600, 0x10001600, 52):
+            for offset in (0x40, 0x180, 0x700, 0xE00):
+                dm_ok = dm.predict(base, offset, False).success
+                assoc_ok = assoc.predict(base, offset, False).success
+                assert assoc_ok or not dm_ok  # nesting: assoc >= dm
+                wins += assoc_ok and not dm_ok
+        assert wins > 0

@@ -1,0 +1,161 @@
+"""Cross-module integration tests: full vertical slices of the stack."""
+
+import pytest
+
+from repro.analysis.prediction import analyze_program
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
+from repro.cpu import CPU
+from repro.fac import FacConfig
+from repro.isa.encoding import decode, encode
+from repro.pipeline import MachineConfig, simulate_program
+
+
+QUICKSORT = """
+int data[128];
+int swaps = 0;
+
+void swap(int *a, int *b) {
+    int t = *a;
+    *a = *b;
+    *b = t;
+    swaps++;
+}
+
+void quicksort(int *v, int lo, int hi) {
+    int pivot, i, j;
+    if (lo >= hi) { return; }
+    pivot = v[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (v[i] < pivot) { i++; }
+        while (v[j] > pivot) { j--; }
+        if (i <= j) {
+            swap(&v[i], &v[j]);
+            i++;
+            j--;
+        }
+    }
+    quicksort(v, lo, j);
+    quicksort(v, i, hi);
+}
+
+int main() {
+    int i, ok;
+    srand(5);
+    for (i = 0; i < 128; i++) { data[i] = rand() % 1000; }
+    quicksort(data, 0, 127);
+    ok = 1;
+    for (i = 1; i < 128; i++) {
+        if (data[i - 1] > data[i]) { ok = 0; }
+    }
+    print_int(ok);
+    return ok ? 0 : 1;
+}
+"""
+
+
+class TestQuicksortSlice:
+    """One real algorithm through compile -> link -> run -> analyze -> time."""
+
+    @pytest.fixture(scope="class")
+    def programs(self):
+        return {
+            False: compile_and_link(QUICKSORT, CompilerOptions()),
+            True: compile_and_link(
+                QUICKSORT, CompilerOptions(fac=FacSoftwareOptions.enabled())),
+        }
+
+    def test_sorts_correctly_both_configs(self, programs):
+        for program in programs.values():
+            cpu = CPU(program)
+            cpu.run(5_000_000)
+            assert cpu.stdout() == "1"
+            assert cpu.exit_code == 0
+
+    def test_analysis_sees_all_classes(self, programs):
+        analysis = analyze_program(programs[False])
+        profile = analysis.profile
+        assert profile.load_class["global"] > 0
+        assert profile.load_class["stack"] > 0
+        assert profile.load_class["general"] > 0
+
+    def test_fac_speedup_end_to_end(self, programs):
+        base = simulate_program(programs[False], MachineConfig())
+        fac = simulate_program(programs[False], MachineConfig(fac=FacConfig()))
+        fac_sw = simulate_program(programs[True], MachineConfig(fac=FacConfig()))
+        assert fac.cycles < base.cycles
+        assert fac_sw.fac_mispredicted <= fac.fac_mispredicted
+
+    def test_timing_configs_agree_on_instruction_count(self, programs):
+        base = simulate_program(programs[False], MachineConfig())
+        fac = simulate_program(programs[False], MachineConfig(fac=FacConfig()))
+        one = simulate_program(programs[False], MachineConfig(one_cycle_loads=True))
+        assert base.instructions == fac.instructions == one.instructions
+
+
+class TestBinaryRoundTrip:
+    """Whole-program encode/decode: every linked instruction survives."""
+
+    def test_program_encodes_and_decodes(self):
+        program = compile_and_link(QUICKSORT, CompilerOptions())
+        for inst in program.instructions:
+            word = encode(inst, inst.addr)
+            assert 0 <= word < 2**32
+            back = decode(word, inst.addr)
+            assert back.op == inst.op
+            if inst.target is not None:
+                assert back.target == inst.target
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        program = compile_and_link(QUICKSORT, CompilerOptions())
+        first = simulate_program(program, MachineConfig(fac=FacConfig()))
+        second = simulate_program(program, MachineConfig(fac=FacConfig()))
+        assert first.cycles == second.cycles
+        assert first.fac_mispredicted == second.fac_mispredicted
+
+    def test_recompile_identical(self):
+        a = compile_and_link(QUICKSORT, CompilerOptions())
+        b = compile_and_link(QUICKSORT, CompilerOptions())
+        assert len(a.instructions) == len(b.instructions)
+        assert all(x == y for x, y in zip(a.instructions, b.instructions))
+
+
+class TestMemorySafetyUnderStrictMode:
+    def test_no_wild_accesses(self):
+        from repro.mem.memory import Memory
+
+        program = compile_and_link(QUICKSORT, CompilerOptions())
+        memory = Memory(strict=False)
+        cpu = CPU(program, memory)
+        cpu.run(5_000_000)
+        assert cpu.halted
+
+
+class TestFacInvariantOnRealTrace:
+    """Property check against a real program trace: whenever the
+    predictor claims success, the predicted address must be exact."""
+
+    def test_success_implies_exact(self):
+        from repro.fac.predictor import FastAddressCalculator
+        from repro.isa.opcodes import OP_INFO
+        from repro.utils.bits import to_signed32
+
+        program = compile_and_link(QUICKSORT, CompilerOptions())
+        cpu = CPU(program)
+        fac = FastAddressCalculator(FacConfig())
+        checked = 0
+        while not cpu.halted and checked < 200_000:
+            rec = cpu.step()
+            info = OP_INFO[rec.inst.op]
+            if not info.mem_width or info.mem_mode == "p":
+                continue
+            offset = rec.offset_value if info.mem_mode == "c" \
+                else to_signed32(rec.offset_value)
+            pred = fac.predict(rec.base_value, offset, info.mem_mode == "x")
+            if pred.success:
+                assert pred.predicted == rec.ea
+            checked += 1
+        assert checked > 1000

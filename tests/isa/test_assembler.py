@@ -1,0 +1,190 @@
+"""Assembler tests: syntax, pseudo-ops, data directives, relocations."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.isa.program import RelocKind
+from repro.isa.registers import Reg
+
+
+class TestInstructions:
+    def test_r3(self):
+        unit = assemble("add $t0, $t1, $t2")
+        inst = unit.text[0]
+        assert inst.op == Op.ADD
+        assert (inst.rd, inst.rs, inst.rt) == (8, 9, 10)
+
+    def test_shift_immediate(self):
+        inst = assemble("sll $t0, $t1, 4").text[0]
+        assert inst.op == Op.SLL
+        assert inst.rd == 8 and inst.rt == 9 and inst.imm == 4
+
+    def test_memory_const(self):
+        inst = assemble("lw $t0, -8($sp)").text[0]
+        assert inst.op == Op.LW
+        assert inst.rs == Reg.SP
+        assert inst.imm == -8
+
+    def test_memory_no_offset(self):
+        inst = assemble("lw $t0, ($t1)").text[0]
+        assert inst.imm == 0
+
+    def test_memory_indexed(self):
+        inst = assemble("lwx $t0, $t1($t2)").text[0]
+        assert inst.op == Op.LWX
+        assert inst.rt == 8 and inst.rx == 9 and inst.rs == 10
+
+    def test_memory_postinc(self):
+        inst = assemble("lwpi $t0, ($t1)+4").text[0]
+        assert inst.op == Op.LWPI
+        assert inst.rs == 9 and inst.imm == 4
+
+    def test_postinc_negative(self):
+        inst = assemble("swpi $t0, ($t1)+-8").text[0]
+        assert inst.imm == -8
+
+    def test_fp_memory(self):
+        inst = assemble("ldc1 $f4, 16($sp)").text[0]
+        assert inst.op == Op.LDC1
+        assert inst.ft == 4 and inst.rs == Reg.SP and inst.imm == 16
+
+    def test_branch_local_label(self):
+        unit = assemble("top: addiu $t0, $t0, 1\nbne $t0, $t1, top")
+        assert unit.text[1].target == 0  # instruction index of 'top'
+
+    def test_undefined_branch_target_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("beq $t0, $t1, nowhere")
+
+    def test_jal_extern_creates_reloc(self):
+        unit = assemble("jal printf")
+        assert unit.text_relocs[0].kind == RelocKind.CALL26
+        assert unit.text_relocs[0].symbol == "printf"
+
+    def test_wrong_arity_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("add $t0, $t1")
+
+    def test_unknown_mnemonic_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate $t0")
+
+    def test_comment_stripping(self):
+        unit = assemble("add $t0, $t1, $t2  # a comment\n# whole line")
+        assert len(unit.text) == 1
+
+
+class TestPseudoOps:
+    def test_li_small(self):
+        unit = assemble("li $t0, 5")
+        assert len(unit.text) == 1
+        assert unit.text[0].op == Op.ADDIU
+
+    def test_li_negative(self):
+        inst = assemble("li $t0, -3").text[0]
+        assert inst.op == Op.ADDIU and inst.imm == -3
+
+    def test_li_large(self):
+        unit = assemble("li $t0, 0x12345678")
+        assert [inst.op for inst in unit.text] == [Op.LUI, Op.ORI]
+        assert unit.text[0].imm == 0x1234
+        assert unit.text[1].imm == 0x5678
+
+    def test_li_high_half_only(self):
+        unit = assemble("li $t0, 0x10000")
+        assert [inst.op for inst in unit.text] == [Op.LUI]
+
+    def test_la_two_instructions(self):
+        unit = assemble("la $t0, symbol")
+        assert [inst.op for inst in unit.text] == [Op.LUI, Op.ADDIU]
+        kinds = [r.kind for r in unit.text_relocs]
+        assert kinds == [RelocKind.HI16, RelocKind.LO16]
+
+    def test_move(self):
+        inst = assemble("move $t0, $t1").text[0]
+        assert inst.op == Op.ADDU and inst.rt == Reg.ZERO
+
+    def test_blt_expands(self):
+        unit = assemble("x: blt $t0, $t1, x")
+        assert [inst.op for inst in unit.text] == [Op.SLT, Op.BNE]
+        assert unit.text[0].rd == Reg.AT
+
+    def test_li_d_builds_constant_pool(self):
+        unit = assemble("li.d $f4, 3.25")
+        assert unit.text[0].op == Op.LDC1
+        assert len(unit.data) == 1
+        assert unit.data[0].gp_addressable
+
+    def test_li_d_dedups_constants(self):
+        unit = assemble("li.d $f4, 1.5\nli.d $f6, 1.5")
+        assert len(unit.data) == 1
+
+
+class TestDataDirectives:
+    def test_word_values(self):
+        unit = assemble(".data\nvals: .word 1, -2, 0x10")
+        assert unit.data[0].payload == (
+            (1).to_bytes(4, "little")
+            + (0xFFFFFFFE).to_bytes(4, "little")
+            + (16).to_bytes(4, "little")
+        )
+
+    def test_word_symbol_reloc(self):
+        unit = assemble(".data\nptr: .word target+8")
+        reloc = unit.data[0].relocs[0]
+        assert reloc.kind == RelocKind.WORD32
+        assert reloc.symbol == "target"
+        assert reloc.addend == 8
+
+    def test_asciiz(self):
+        unit = assemble('.data\nmsg: .asciiz "hi\\n"')
+        assert unit.data[0].payload == b"hi\n\x00"
+
+    def test_space(self):
+        unit = assemble(".data\nbuf: .space 16")
+        assert unit.data[0].size == 16
+
+    def test_double(self):
+        import struct
+        unit = assemble(".data\npi: .double 3.5")
+        assert struct.unpack("<d", unit.data[0].payload)[0] == 3.5
+
+    def test_align_inside_def(self):
+        unit = assemble(".data\nx: .byte 1\n.align 3\n.word 2")
+        assert len(unit.data[0].payload) == 12  # 1 + 7 pad + 4
+
+    def test_sdata_is_gp_addressable(self):
+        unit = assemble(".sdata\ncounter: .word 0")
+        assert unit.data[0].gp_addressable
+
+    def test_data_is_not_gp_addressable(self):
+        unit = assemble(".data\nbig: .word 0")
+        assert not unit.data[0].gp_addressable
+
+    def test_comm(self):
+        unit = assemble(".data\n.comm heap, 256, 16")
+        definition = unit.data[0]
+        assert definition.is_bss
+        assert definition.size == 256
+        assert definition.align == 16
+
+    def test_globl(self):
+        unit = assemble(".globl main\nmain: jr $ra")
+        assert "main" in unit.exported
+
+    def test_gprel_reloc(self):
+        unit = assemble("lw $t0, %gprel(counter+4)($gp)")
+        reloc = unit.text_relocs[0]
+        assert reloc.kind == RelocKind.GPREL16
+        assert reloc.symbol == "counter"
+        assert reloc.addend == 4
+
+    def test_duplicate_label_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_instruction_in_data_fails(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd $t0, $t1, $t2")

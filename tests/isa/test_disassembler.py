@@ -1,0 +1,51 @@
+"""Disassembler round-trip tests: asm text -> Instruction -> asm text."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+
+ROUNDTRIP_CASES = [
+    "add $t0, $t1, $t2",
+    "subu $v0, $a0, $a1",
+    "sll $t0, $t1, 4",
+    "addiu $t0, $sp, -16",
+    "ori $t0, $zero, 255",
+    "lui $t0, 4096",
+    "mult $t0, $t1",
+    "mflo $v0",
+    "lw $t0, 8($sp)",
+    "sb $t1, -1($t2)",
+    "lwx $t0, $t1($t2)",
+    "sdxc1 $f4, $t1($t2)",
+    "lwpi $t0, ($t1)+4",
+    "ldc1 $f4, 24($gp)",
+    "jr $ra",
+    "jalr $ra, $t9",
+    "add.d $f2, $f4, $f6",
+    "mov.d $f0, $f2",
+    "c.lt.d $f4, $f6",
+    "mtc1 $t0, $f4",
+    "mfc1 $v0, $f0",
+    "syscall",
+    "nop",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP_CASES)
+def test_roundtrip(text):
+    inst = assemble(text).text[0]
+    rendered = disassemble(inst)
+    again = assemble(rendered).text[0]
+    assert again == inst
+
+
+def test_branch_shows_label_before_link():
+    inst = assemble("beq $t0, $t1, somewhere\nsomewhere: nop").text[0]
+    assert "somewhere" not in disassemble(inst)  # resolved to index
+    assert "@1" in disassemble(inst)
+
+
+def test_repr_uses_disassembly():
+    inst = assemble("add $t0, $t1, $t2").text[0]
+    assert "add" in repr(inst)

@@ -1,0 +1,150 @@
+"""Binary encoding tests: round-trips and format checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OP_INFO
+
+
+def roundtrip(inst: Instruction, pc: int = 0x1000) -> Instruction:
+    return decode(encode(inst, pc), pc)
+
+
+class TestRoundTrips:
+    def test_r_format(self):
+        inst = Instruction(Op.ADDU, rd=3, rs=4, rt=5)
+        assert roundtrip(inst) == inst
+
+    def test_i_format(self):
+        inst = Instruction(Op.ADDIU, rt=7, rs=29, imm=-64)
+        assert roundtrip(inst) == inst
+
+    def test_logical_immediate_zero_extended(self):
+        inst = Instruction(Op.ORI, rt=1, rs=2, imm=0xBEEF)
+        assert roundtrip(inst) == inst
+
+    def test_shift(self):
+        inst = Instruction(Op.SLL, rd=9, rt=10, imm=13)
+        assert roundtrip(inst) == inst
+
+    def test_load_store(self):
+        for op in (Op.LB, Op.LBU, Op.LH, Op.LHU, Op.LW, Op.SB, Op.SH, Op.SW):
+            inst = Instruction(op, rt=8, rs=29, imm=-4)
+            assert roundtrip(inst) == inst, op
+
+    def test_indexed_modes(self):
+        for op in (Op.LWX, Op.LBX, Op.LBUX, Op.LHX, Op.LHUX, Op.SWX, Op.SBX, Op.SHX):
+            inst = Instruction(op, rt=8, rs=9, rx=10)
+            assert roundtrip(inst) == inst, op
+
+    def test_indexed_fp(self):
+        for op in (Op.LDXC1, Op.SDXC1):
+            inst = Instruction(op, ft=6, rs=9, rx=10)
+            assert roundtrip(inst) == inst, op
+
+    def test_postinc(self):
+        for op in (Op.LWPI, Op.SWPI):
+            inst = Instruction(op, rt=8, rs=9, imm=-8)
+            assert roundtrip(inst) == inst, op
+
+    def test_branch_target(self):
+        inst = Instruction(Op.BEQ, rs=1, rt=2, target=0x1010)
+        back = roundtrip(inst, pc=0x1000)
+        assert back.target == 0x1010
+
+    def test_branch_backward(self):
+        inst = Instruction(Op.BNE, rs=1, rt=2, target=0xFF0)
+        assert roundtrip(inst, pc=0x1000).target == 0xFF0
+
+    def test_regimm_branches(self):
+        for op in (Op.BLTZ, Op.BGEZ):
+            inst = Instruction(op, rs=5, target=0x2000)
+            assert roundtrip(inst, pc=0x1FF0).target == 0x2000
+
+    def test_jumps(self):
+        for op in (Op.J, Op.JAL):
+            inst = Instruction(op, target=0x00400100)
+            assert roundtrip(inst).target == 0x00400100
+
+    def test_jr_jalr(self):
+        assert roundtrip(Instruction(Op.JR, rs=31)).rs == 31
+        back = roundtrip(Instruction(Op.JALR, rd=31, rs=2))
+        assert (back.rd, back.rs) == (31, 2)
+
+    def test_fp_arith(self):
+        for op in (Op.ADD_D, Op.SUB_D, Op.MUL_D, Op.DIV_D, Op.SQRT_D,
+                   Op.ABS_D, Op.MOV_D, Op.NEG_D):
+            inst = Instruction(op, fd=2, fs=4, ft=6)
+            back = roundtrip(inst)
+            assert back.op == op and back.fd == 2 and back.fs == 4
+
+    def test_fp_converts(self):
+        for op in (Op.CVT_D_W, Op.CVT_W_D, Op.TRUNC_W_D):
+            inst = Instruction(op, fd=2, fs=4)
+            back = roundtrip(inst)
+            assert back.op == op and (back.fd, back.fs) == (2, 4)
+
+    def test_fp_moves(self):
+        back = roundtrip(Instruction(Op.MTC1, rt=8, fs=4))
+        assert (back.rt, back.fs) == (8, 4)
+        back = roundtrip(Instruction(Op.MFC1, rd=8, fs=4))
+        assert (back.rd, back.fs) == (8, 4)
+
+    def test_fp_compare_and_branch(self):
+        for op in (Op.C_EQ_D, Op.C_LT_D, Op.C_LE_D):
+            back = roundtrip(Instruction(op, fs=2, ft=4))
+            assert back.op == op
+        for op in (Op.BC1T, Op.BC1F):
+            back = roundtrip(Instruction(op, target=0x3000), 0x2FF0)
+            assert back.op == op and back.target == 0x3000
+
+    def test_mult_div_mfhi(self):
+        for op in (Op.MULT, Op.MULTU, Op.DIV, Op.DIVU):
+            back = roundtrip(Instruction(op, rs=3, rt=4))
+            assert back.op == op and (back.rs, back.rt) == (3, 4)
+        for op in (Op.MFHI, Op.MFLO):
+            assert roundtrip(Instruction(op, rd=9)).rd == 9
+
+    def test_system(self):
+        assert roundtrip(Instruction(Op.SYSCALL)).op == Op.SYSCALL
+        assert roundtrip(Instruction(Op.BREAK)).op == Op.BREAK
+        assert encode(Instruction(Op.NOP)) == 0
+        assert decode(0).op == Op.NOP
+
+
+class TestErrors:
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDIU, rt=1, rs=2, imm=0x12345))
+
+    def test_unresolved_branch(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, rs=1, rt=2, target=None))
+
+    def test_branch_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, rs=1, rt=2, target=0x100_0000), pc=0)
+
+    def test_unknown_word(self):
+        with pytest.raises(EncodingError):
+            decode(0xFC000000)  # major opcode 0x3F is unassigned
+
+
+@given(
+    op=st.sampled_from([Op.ADDU, Op.SUBU, Op.AND, Op.OR, Op.XOR, Op.NOR,
+                        Op.SLT, Op.SLTU]),
+    rd=st.integers(0, 31), rs=st.integers(0, 31), rt=st.integers(0, 31),
+)
+def test_r_format_roundtrip_property(op, rd, rs, rt):
+    inst = Instruction(op, rd=rd, rs=rs, rt=rt)
+    assert roundtrip(inst) == inst
+
+
+@given(rt=st.integers(0, 31), rs=st.integers(0, 31),
+       imm=st.integers(-32768, 32767))
+def test_lw_roundtrip_property(rt, rs, imm):
+    inst = Instruction(Op.LW, rt=rt, rs=rs, imm=imm)
+    assert roundtrip(inst) == inst

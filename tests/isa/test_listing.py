@@ -1,0 +1,51 @@
+"""Listing-generator tests."""
+
+from repro.compiler import compile_and_link
+from repro.isa.assembler import assemble
+from repro.isa.listing import generate_listing
+from repro.linker import LinkOptions, link
+
+
+SOURCE = """
+.text
+.globl __start
+__start:
+    li $t0, 1
+    jr $ra
+.data
+value: .word 42
+"""
+
+
+def test_contains_addresses_and_disassembly():
+    program = link([assemble(SOURCE, "t")], LinkOptions())
+    listing = generate_listing(program)
+    assert f"{program.text_base:08x}:" in listing
+    assert "addiu" in listing
+    assert "jr $ra" in listing
+
+
+def test_labels_rendered():
+    program = link([assemble(SOURCE, "t")], LinkOptions())
+    listing = generate_listing(program)
+    assert "__start:" in listing
+
+
+def test_data_summary():
+    program = link([assemble(SOURCE, "t")], LinkOptions())
+    listing = generate_listing(program)
+    assert "value" in listing
+    assert f"gp:       0x{program.gp_value:08x}" in listing
+
+
+def test_whole_compiled_program_lists():
+    program = compile_and_link("int g = 5; int main() { return g; }")
+    listing = generate_listing(program)
+    assert "main:" in listing
+    assert "????????" not in listing  # every instruction encodes
+
+
+def test_without_data():
+    program = link([assemble(SOURCE, "t")], LinkOptions())
+    listing = generate_listing(program, include_data=False)
+    assert "DATA SYMBOLS" not in listing

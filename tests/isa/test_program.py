@@ -1,0 +1,60 @@
+"""Object/program model tests."""
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.linker import LinkOptions, link
+
+
+class TestInstructionModel:
+    def test_copy_is_independent(self):
+        inst = Instruction(Op.ADDIU, rt=1, rs=2, imm=3)
+        clone = inst.copy()
+        clone.imm = 99
+        assert inst.imm == 3
+        assert clone == Instruction(Op.ADDIU, rt=1, rs=2, imm=99)
+
+    def test_equality_ignores_addr(self):
+        a = Instruction(Op.ADDU, rd=1, rs=2, rt=3)
+        b = Instruction(Op.ADDU, rd=1, rs=2, rt=3)
+        a.addr = 0x400000
+        assert a == b
+
+    def test_memory_predicates(self):
+        load = Instruction(Op.LW, rt=1, rs=2)
+        store = Instruction(Op.SW, rt=1, rs=2)
+        alu = Instruction(Op.ADDU, rd=1)
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem and not store.is_load
+        assert not alu.is_mem
+
+
+class TestProgramModel:
+    SOURCE = """
+.text
+.globl __start
+__start:
+    nop
+    jr $ra
+.data
+value: .word 9
+"""
+
+    def test_instruction_at(self):
+        program = link([assemble(self.SOURCE, "t")], LinkOptions())
+        inst = program.instruction_at(program.text_base + 4)
+        assert inst.op == Op.JR
+
+    def test_text_size(self):
+        program = link([assemble(self.SOURCE, "t")], LinkOptions())
+        assert program.text_size == 8
+
+    def test_symbol_address(self):
+        program = link([assemble(self.SOURCE, "t")], LinkOptions())
+        assert program.symbol_address("value") == program.symbols["value"].address
+
+    def test_multi_unit_link_order(self):
+        unit_a = assemble(".text\n.globl __start\n__start: jr $ra", "a")
+        unit_b = assemble(".text\n.globl helper\nhelper: jr $ra", "b")
+        program = link([unit_a, unit_b], LinkOptions())
+        assert program.symbols["helper"].address == program.text_base + 4

@@ -1,0 +1,51 @@
+"""Register naming and parsing tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.registers import Reg, parse_freg, parse_reg, reg_name
+
+
+def test_conventions():
+    assert Reg.ZERO == 0
+    assert Reg.GP == 28
+    assert Reg.SP == 29
+    assert Reg.FP == 30
+    assert Reg.RA == 31
+
+
+def test_reg_name_roundtrip():
+    for num in range(32):
+        assert parse_reg(reg_name(num)) == num
+
+
+def test_parse_numeric():
+    assert parse_reg("$8") == 8
+    assert parse_reg("$31") == 31
+
+
+def test_parse_without_dollar():
+    assert parse_reg("t0") == 8
+    assert parse_reg("sp") == 29
+
+
+def test_parse_alias_s8():
+    assert parse_reg("$s8") == 30
+
+
+def test_parse_bad_register():
+    with pytest.raises(AssemblerError):
+        parse_reg("$t99")
+
+
+def test_parse_freg():
+    assert parse_freg("$f0") == 0
+    assert parse_freg("$f31") == 31
+    assert parse_freg("f12") == 12
+
+
+def test_parse_bad_freg():
+    with pytest.raises(AssemblerError):
+        parse_freg("$f32")
+    with pytest.raises(AssemblerError):
+        parse_freg("$t0")

@@ -1,0 +1,163 @@
+"""Linker tests: layout, relocations, gp-region alignment."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+from repro.utils.bits import is_pow2
+
+
+def _link(src: str, **kwargs):
+    return link([assemble(src, "t")], LinkOptions(**kwargs))
+
+
+BASIC = """
+.text
+.globl __start
+__start:
+    lw $t0, %gprel(counter)($gp)
+    jr $ra
+.sdata
+counter: .word 7
+.data
+big: .space 100
+"""
+
+
+class TestLayout:
+    def test_text_placement(self):
+        program = _link(BASIC)
+        assert program.instructions[0].addr == program.text_base
+        assert program.instructions[1].addr == program.text_base + 4
+
+    def test_entry_symbol(self):
+        program = _link(BASIC)
+        assert program.entry == program.text_base
+
+    def test_falls_back_to_main(self):
+        program = _link(".text\nmain: jr $ra")
+        assert program.entry == program.symbols["main"].address
+
+    def test_missing_entry_fails(self):
+        with pytest.raises(LinkError):
+            _link(".text\nfoo: jr $ra")
+
+    def test_far_data_before_gp_region(self):
+        program = _link(BASIC)
+        assert program.symbols["big"].address < program.symbols["counter"].address
+
+    def test_gp_points_at_region_base(self):
+        program = _link(BASIC)
+        assert program.gp_value == program.symbols["counter"].address
+
+    def test_brk_after_data(self):
+        program = _link(BASIC)
+        assert program.brk > program.symbols["counter"].address
+        assert program.brk % 0x1000 == 0
+
+    def test_duplicate_data_symbol_fails(self):
+        src = ".data\nx: .word 1\nx: .word 2\n.text\nmain: jr $ra"
+        with pytest.raises(LinkError):
+            _link(src)
+
+
+class TestGpAlignment:
+    SRC = """
+.text
+.globl __start
+__start: jr $ra
+.sdata
+a: .word 1
+b: .space 200
+c: .word 2
+"""
+
+    def test_unaligned_by_default(self):
+        program = _link(self.SRC, align_gp=False)
+        # region base only carries the minimal 8-byte alignment
+        assert program.gp_value % 8 == 0
+
+    def test_aligned_with_support(self):
+        program = _link(self.SRC, align_gp=True)
+        region = [program.symbols[s] for s in ("a", "b", "c")]
+        size = max(s.address + s.size for s in region) - program.gp_value
+        # the paper: a power-of-two boundary larger than the largest offset
+        boundary = program.gp_value & -program.gp_value  # lowest set bit
+        assert is_pow2(boundary)
+        assert boundary >= size
+
+    def test_offsets_positive(self):
+        program = _link(self.SRC, align_gp=True)
+        for name in ("a", "b", "c"):
+            assert program.symbols[name].address >= program.gp_value
+
+    def test_region_overflow_fails(self):
+        src = ".text\nmain: jr $ra\n.sdata\nhuge: .space 40000"
+        with pytest.raises(LinkError):
+            _link(src)
+
+
+class TestRelocations:
+    def test_gprel(self):
+        program = _link(BASIC)
+        inst = program.instructions[0]
+        assert inst.imm == program.symbols["counter"].address - program.gp_value
+
+    def test_hi_lo(self):
+        src = """
+.text
+main:
+    la $t0, big
+    jr $ra
+.data
+big: .space 64
+"""
+        program = _link(src)
+        lui, addiu = program.instructions[0], program.instructions[1]
+        target = program.symbols["big"].address
+        value = ((lui.imm << 16) + addiu.imm) & 0xFFFFFFFF
+        assert value == target
+
+    def test_hi_carry_compensation(self):
+        # an address whose low half has bit 15 set needs the +0x8000 fix
+        src = ".text\nmain:\n la $t0, sym\n jr $ra\n.data\npad: .space 0x9000\nsym: .word 1"
+        program = _link(src)
+        lui, addiu = program.instructions[0], program.instructions[1]
+        value = ((lui.imm << 16) + addiu.imm) & 0xFFFFFFFF
+        assert value == program.symbols["sym"].address
+
+    def test_call26(self):
+        src = """
+.text
+.globl __start
+__start:
+    jal helper
+    jr $ra
+.globl helper
+helper: jr $ra
+"""
+        program = _link(src)
+        assert program.instructions[0].target == program.symbols["helper"].address
+
+    def test_word32_in_data(self):
+        src = """
+.text
+main: jr $ra
+.data
+table: .word main
+"""
+        program = _link(src)
+        address, payload = program.data_image[0]
+        stored = int.from_bytes(payload[:4], "little")
+        assert stored == program.symbols["main"].address
+
+    def test_undefined_symbol_fails(self):
+        with pytest.raises(LinkError):
+            _link(".text\nmain:\n la $t0, nowhere\n jr $ra")
+
+    def test_branch_targets_become_addresses(self):
+        src = ".text\nmain:\nloop: addiu $t0, $t0, 1\n bne $t0, $t1, loop\n jr $ra"
+        program = _link(src)
+        branch = program.instructions[1]
+        assert branch.target == program.text_base

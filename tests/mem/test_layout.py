@@ -1,0 +1,16 @@
+"""Address-space layout constants."""
+
+from repro.mem import layout
+
+
+def test_segment_ordering():
+    assert layout.TEXT_BASE < layout.DATA_BASE < layout.STACK_TOP
+
+
+def test_page_size_pow2():
+    assert layout.PAGE_SIZE & (layout.PAGE_SIZE - 1) == 0
+
+
+def test_stack_budget_reasonable():
+    assert layout.STACK_LIMIT >= 1 << 20
+    assert layout.STACK_TOP - layout.STACK_LIMIT > layout.DATA_BASE

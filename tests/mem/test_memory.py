@@ -1,0 +1,101 @@
+"""Memory model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.mem.memory import Memory
+
+
+class TestScalarAccess:
+    def test_write_read_word(self):
+        mem = Memory()
+        mem.write(0x1000, 4, 0xDEADBEEF)
+        assert mem.read(0x1000, 4) == 0xDEADBEEF
+
+    def test_signed_read(self):
+        mem = Memory()
+        mem.write(0x1000, 4, 0xFFFFFFFF)
+        assert mem.read(0x1000, 4, signed=True) == -1
+        assert mem.read(0x1000, 4, signed=False) == 0xFFFFFFFF
+
+    def test_byte_and_half(self):
+        mem = Memory()
+        mem.write(0x2000, 1, 0x80)
+        assert mem.read(0x2000, 1) == 0x80
+        assert mem.read(0x2000, 1, signed=True) == -128
+        mem.write(0x2002, 2, 0x8000)
+        assert mem.read(0x2002, 2, signed=True) == -32768
+
+    def test_little_endian(self):
+        mem = Memory()
+        mem.write(0x3000, 4, 0x11223344)
+        assert mem.read(0x3000, 1) == 0x44
+        assert mem.read(0x3003, 1) == 0x11
+
+    def test_value_masked_to_width(self):
+        mem = Memory()
+        mem.write(0x1000, 1, 0x1FF)
+        assert mem.read(0x1000, 1) == 0xFF
+
+    def test_unmapped_read_is_zero(self):
+        assert Memory().read(0x50000, 4) == 0
+
+    def test_strict_unmapped_read_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory(strict=True).read(0x50000, 4)
+
+    def test_misaligned_word_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().read(0x1001, 4)
+        with pytest.raises(MemoryFault):
+            Memory().write(0x1002, 4, 0)
+
+    def test_doubles(self):
+        mem = Memory()
+        mem.write_double(0x4000, 3.14159)
+        assert mem.read_double(0x4000) == 3.14159
+
+    def test_misaligned_double_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().write_double(0x4004, 1.0)
+
+
+class TestBulkAccess:
+    def test_cross_page_write_read(self):
+        mem = Memory()
+        data = bytes(range(256)) * 20  # spans pages
+        mem.write_bytes(0x0FFF, data)
+        assert mem.read_bytes(0x0FFF, len(data)) == data
+
+    def test_read_partially_unmapped(self):
+        mem = Memory()
+        mem.write_bytes(0x1000, b"ab")
+        assert mem.read_bytes(0x0FFE, 6) == b"\x00\x00ab\x00\x00"
+
+    def test_reserve_maps_pages(self):
+        mem = Memory()
+        mem.reserve(0x10000, 8192)
+        assert mem.is_mapped(0x10000)
+        assert mem.is_mapped(0x11000)
+        assert mem.mapped_bytes >= 8192
+
+    def test_cstring(self):
+        mem = Memory()
+        mem.write_bytes(0x1000, b"hello\x00junk")
+        assert mem.read_cstring(0x1000) == "hello"
+
+
+@given(addr=st.integers(0, 2**20).map(lambda a: a * 4),
+       value=st.integers(0, 2**32 - 1))
+def test_word_roundtrip_property(addr, value):
+    mem = Memory()
+    mem.write(addr, 4, value)
+    assert mem.read(addr, 4) == value
+
+
+@given(st.binary(min_size=1, max_size=512), st.integers(0, 2**16))
+def test_bulk_roundtrip_property(data, addr):
+    mem = Memory()
+    mem.write_bytes(addr, data)
+    assert mem.read_bytes(addr, len(data)) == data

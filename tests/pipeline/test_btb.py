@@ -1,0 +1,57 @@
+"""Branch target buffer tests."""
+
+from repro.pipeline.btb import BranchTargetBuffer
+
+
+class TestBTB:
+    def test_cold_predicts_not_taken(self):
+        btb = BranchTargetBuffer(64)
+        taken, target = btb.predict(0x400)
+        assert not taken and target == 0x404
+
+    def test_learns_taken_branch(self):
+        btb = BranchTargetBuffer(64)
+        assert not btb.update(0x400, True, 0x500)   # cold: mispredict
+        assert btb.update(0x400, True, 0x500)       # counter==2 -> taken
+
+    def test_counter_hysteresis(self):
+        btb = BranchTargetBuffer(64)
+        for __ in range(4):
+            btb.update(0x400, True, 0x500)
+        btb.update(0x400, False, 0x404)  # one not-taken: counter 3 -> 2
+        assert btb.predict(0x400)[0]     # still predicts taken
+
+    def test_wrong_target_is_mispredict(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x400, True, 0x500)
+        btb.update(0x400, True, 0x500)
+        # predicted taken to 0x500 but goes to 0x600 (jr-style)
+        assert not btb.update(0x400, True, 0x600)
+
+    def test_aliasing(self):
+        btb = BranchTargetBuffer(4)
+        btb.update(0x400, True, 0x500)
+        btb.update(0x400, True, 0x500)
+        alias = 0x400 + 4 * 4  # same index, different tag
+        assert not btb.predict(alias)[0]
+
+    def test_not_taken_branches_not_allocated(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x700, False, 0x704)
+        assert btb.update(0x700, False, 0x704)  # still correct, no entry
+
+    def test_accuracy_counter(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x100, True, 0x200)
+        btb.update(0x100, True, 0x200)
+        assert btb.lookups == 2
+        assert btb.mispredicts == 1
+        assert btb.accuracy == 0.5
+
+    def test_loop_branch_converges(self):
+        btb = BranchTargetBuffer(1024)
+        mispredicts = 0
+        for __ in range(100):
+            if not btb.update(0x400, True, 0x300):
+                mispredicts += 1
+        assert mispredicts <= 2

@@ -1,0 +1,89 @@
+"""Machine-configuration tests: the Table 5 baseline model."""
+
+from repro.fac.config import FacConfig
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import MachineConfig
+
+
+class TestTable5Defaults:
+    def test_front_end(self):
+        config = MachineConfig()
+        assert config.fetch_width == 4
+        assert config.issue_width == 4
+        assert config.btb_entries == 2048
+        assert config.branch_mispredict_penalty == 2
+
+    def test_caches(self):
+        config = MachineConfig()
+        for cache in (config.icache, config.dcache):
+            assert cache.size == 16 * 1024
+            assert cache.block_size == 32
+            assert cache.assoc == 1
+            assert cache.miss_latency == 6
+
+    def test_data_ports(self):
+        config = MachineConfig()
+        assert config.dcache_read_ports == 2
+        assert config.dcache_write_ports == 1
+        assert config.store_buffer_entries == 16
+
+    def test_functional_units(self):
+        config = MachineConfig()
+        assert config.int_alus == 4
+        assert config.load_store_units == 2
+        assert config.fp_adders == 2
+        assert config.int_mult_div_units == 1
+        assert config.fp_mult_div_units == 1
+
+    def test_latencies(self):
+        config = MachineConfig()
+        assert config.result_latency(OpClass.ALU) == 1
+        assert config.result_latency(OpClass.IMULT) == 3
+        assert config.result_latency(OpClass.IDIV) == 20
+        assert config.result_latency(OpClass.FPADD) == 2
+        assert config.result_latency(OpClass.FPMULT) == 4
+        assert config.result_latency(OpClass.FPDIV) == 12
+
+    def test_non_pipelined_units(self):
+        config = MachineConfig()
+        assert OpClass.IDIV in config.non_pipelined
+        assert OpClass.FPDIV in config.non_pipelined
+        assert OpClass.FPMULT not in config.non_pipelined
+
+    def test_baseline_has_no_fac(self):
+        assert MachineConfig().fac is None
+
+    def test_with_fac(self):
+        config = MachineConfig().with_fac(FacConfig(block_size=16))
+        assert config.fac.block_size == 16
+        assert config.issue_width == 4  # everything else preserved
+
+
+class TestSimResult:
+    def test_derived_metrics(self):
+        from repro.pipeline.result import SimResult
+
+        result = SimResult(cycles=1000, instructions=2500,
+                           loads=300, stores=100,
+                           dcache_accesses=400, dcache_misses=20,
+                           fac_mispredicted=40)
+        assert result.ipc == 2.5
+        assert result.dcache_miss_ratio == 0.05
+        assert result.memory_refs == 400
+        assert result.fac_extra_accesses == 40
+        assert result.bandwidth_overhead == 0.1
+
+    def test_speedup(self):
+        from repro.pipeline.result import SimResult
+
+        base = SimResult(cycles=2000)
+        fast = SimResult(cycles=1000)
+        assert fast.speedup_over(base) == 2.0
+
+    def test_zero_safe(self):
+        from repro.pipeline.result import SimResult
+
+        empty = SimResult()
+        assert empty.ipc == 0.0
+        assert empty.dcache_miss_ratio == 0.0
+        assert empty.bandwidth_overhead == 0.0

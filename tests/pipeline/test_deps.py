@@ -1,0 +1,107 @@
+"""Dependence-extraction tests."""
+
+from repro.isa.assembler import assemble
+from repro.pipeline.deps import FCC, HI, LO, sources_and_dests
+
+
+def deps(text: str):
+    return sources_and_dests(assemble(text).text[0])
+
+
+class TestIntegerDeps:
+    def test_r3(self):
+        sources, dests = deps("add $t0, $t1, $t2")
+        assert set(sources) == {9, 10}
+        assert dests == (8,)
+
+    def test_zero_register_excluded(self):
+        sources, dests = deps("add $t0, $zero, $t1")
+        assert 0 not in sources
+        sources, dests = deps("move $t0, $zero")
+        assert sources == ()
+
+    def test_immediate(self):
+        sources, dests = deps("addiu $t0, $sp, 8")
+        assert sources == (29,)
+        assert dests == (8,)
+
+    def test_lui_no_sources(self):
+        assert deps("lui $t0, 1")[0] == ()
+
+    def test_mult_writes_hi_lo(self):
+        sources, dests = deps("mult $t0, $t1")
+        assert set(dests) == {HI, LO}
+
+    def test_mfhi_mflo(self):
+        assert deps("mfhi $t0")[0] == (HI,)
+        assert deps("mflo $t0")[0] == (LO,)
+
+
+class TestMemoryDeps:
+    def test_load(self):
+        sources, dests = deps("lw $t0, 4($sp)")
+        assert sources == (29,)
+        assert dests == (8,)
+
+    def test_store_reads_value(self):
+        sources, dests = deps("sw $t0, 4($sp)")
+        assert set(sources) == {29, 8}
+        assert dests == ()
+
+    def test_indexed_load(self):
+        sources, dests = deps("lwx $t0, $t1($t2)")
+        assert set(sources) == {9, 10}
+        assert dests == (8,)
+
+    def test_indexed_store(self):
+        sources, dests = deps("swx $t0, $t1($t2)")
+        assert set(sources) == {8, 9, 10}
+
+    def test_postinc_load_writes_base(self):
+        sources, dests = deps("lwpi $t0, ($t1)+4")
+        assert sources == (9,)
+        assert set(dests) == {8, 9}
+
+    def test_fp_load(self):
+        sources, dests = deps("ldc1 $f4, 0($t1)")
+        assert sources == (9,)
+        assert dests == (32 + 4,)
+
+    def test_fp_store(self):
+        sources, dests = deps("sdc1 $f4, 0($t1)")
+        assert set(sources) == {9, 32 + 4}
+
+
+class TestControlDeps:
+    def test_branch_sources(self):
+        sources, dests = deps("x: beq $t0, $t1, x")
+        assert set(sources) == {8, 9}
+        assert dests == ()
+
+    def test_jal_writes_ra(self):
+        __, dests = deps("jal somewhere")
+        assert dests == (31,)
+
+    def test_jr_reads(self):
+        assert deps("jr $ra")[0] == (31,)
+
+    def test_fp_branch_reads_fcc(self):
+        assert deps("x: bc1t x")[0] == (FCC,)
+
+    def test_fp_compare_writes_fcc(self):
+        assert deps("c.lt.d $f2, $f4")[1] == (FCC,)
+
+
+class TestFPDeps:
+    def test_three_reg(self):
+        sources, dests = deps("add.d $f2, $f4, $f6")
+        assert set(sources) == {36, 38}
+        assert dests == (34,)
+
+    def test_moves(self):
+        sources, dests = deps("mtc1 $t0, $f4")
+        assert sources == (8,)
+        assert dests == (36,)
+        sources, dests = deps("mfc1 $t0, $f4")
+        assert sources == (36,)
+        assert dests == (8,)

@@ -1,0 +1,67 @@
+"""Pipeline-tracer and Figure 1 tests."""
+
+from repro.experiments.fig1_pipeline import run_fig1
+from repro.fac.config import FacConfig
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.tracer import trace_program
+
+
+def build(source):
+    return link([assemble(source, "t")], LinkOptions())
+
+
+class TestTracer:
+    SOURCE = """
+.text
+.globl __start
+__start:
+    addiu $t0, $zero, 1
+    addiu $t1, $t0, 1
+    li $v0, 10
+    syscall
+"""
+
+    def test_records_every_instruction(self):
+        run = trace_program(build(self.SOURCE))
+        assert len(run.entries) == 4  # li expands to one addiu
+        assert run.cycles > 0
+
+    def test_issue_cycles_monotonic(self):
+        run = trace_program(build(self.SOURCE))
+        issues = [issue for __, issue, __r, __a in run.entries]
+        assert issues == sorted(issues)
+
+    def test_render_contains_stages(self):
+        text = trace_program(build(self.SOURCE)).render(count=3)
+        assert "IF" in text and "ID" in text and "EX" in text and "WB" in text
+
+    def test_render_empty_window(self):
+        run = trace_program(build(self.SOURCE))
+        assert run.render(first=100) == "(empty trace)"
+
+    def test_memory_stage_rendered(self):
+        source = """
+.text
+.globl __start
+__start:
+    sw $zero, -8($sp)
+    lw $t0, -8($sp)
+    li $v0, 10
+    syscall
+"""
+        text = trace_program(build(source)).render(count=4)
+        assert "MEM" in text
+
+
+class TestFig1:
+    def test_baseline_stalls_fac_does_not(self):
+        result = run_fig1()
+        assert result.baseline_stall == 1
+        assert result.fac_stall == 0
+
+    def test_render(self):
+        text = run_fig1().render()
+        assert "traditional 5-stage pipeline" in text
+        assert "fast address calculation" in text

@@ -1,0 +1,77 @@
+"""Tests for the in-repo PEP 517/660 build backend."""
+
+import zipfile
+
+import pytest
+
+import build_backend
+
+
+@pytest.fixture
+def meta():
+    return build_backend._metadata()
+
+
+def test_metadata_from_setup_cfg(meta):
+    assert meta["name"] == "repro"
+    assert meta["version"]
+    assert any(req.startswith("numpy") for req in meta["requires"])
+
+
+def test_build_editable(tmp_path, meta):
+    name = build_backend.build_editable(str(tmp_path))
+    assert name.endswith("py3-none-any.whl")
+    with zipfile.ZipFile(tmp_path / name) as archive:
+        names = archive.namelist()
+        pth = [n for n in names if n.endswith(".pth")]
+        assert len(pth) == 1
+        target = archive.read(pth[0]).decode().strip()
+        assert target.endswith("src")
+        assert any(n.endswith("METADATA") for n in names)
+        assert any(n.endswith("RECORD") for n in names)
+
+
+def test_build_wheel_contains_package(tmp_path):
+    name = build_backend.build_wheel(str(tmp_path))
+    with zipfile.ZipFile(tmp_path / name) as archive:
+        names = archive.namelist()
+        assert "repro/__init__.py" in names
+        assert "repro/fac/predictor.py" in names
+        assert "repro/workloads/programs/compress.mc" in names
+        assert not any("__pycache__" in n for n in names)
+
+
+def test_record_hashes_verifiable(tmp_path):
+    import base64
+    import hashlib
+
+    name = build_backend.build_wheel(str(tmp_path))
+    with zipfile.ZipFile(tmp_path / name) as archive:
+        record_name = next(n for n in archive.namelist() if n.endswith("RECORD"))
+        for line in archive.read(record_name).decode().splitlines():
+            path, digest, __size = line.rsplit(",", 2)
+            if not digest:
+                continue
+            algorithm, __, expected = digest.partition("=")
+            assert algorithm == "sha256"
+            data = archive.read(path)
+            actual = base64.urlsafe_b64encode(
+                hashlib.sha256(data).digest()).rstrip(b"=").decode()
+            assert actual == expected, path
+
+
+def test_prepare_metadata(tmp_path):
+    info = build_backend.prepare_metadata_for_build_editable(str(tmp_path))
+    assert (tmp_path / info / "METADATA").exists()
+    assert (tmp_path / info / "WHEEL").exists()
+
+
+def test_build_sdist(tmp_path):
+    import tarfile
+
+    name = build_backend.build_sdist(str(tmp_path))
+    with tarfile.open(tmp_path / name) as archive:
+        names = archive.getnames()
+        assert any(n.endswith("setup.cfg") for n in names)
+        assert any("src/repro/__init__.py" in n for n in names)
+        assert not any("__pycache__" in n for n in names)

@@ -1,0 +1,74 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text('int main() { print_str("cli-ok\\n"); return 3; }')
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+.text
+.globl __start
+__start:
+    li $a0, 7
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+""")
+    return str(path)
+
+
+class TestRun:
+    def test_run_file(self, minic_file, capsys):
+        code = main(["run", minic_file])
+        assert code == 3
+        assert capsys.readouterr().out == "cli-ok\n"
+
+    def test_run_with_support(self, minic_file, capsys):
+        code = main(["run", "--software-support", minic_file])
+        assert code == 3
+        assert capsys.readouterr().out == "cli-ok\n"
+
+
+class TestAsm:
+    def test_asm_file(self, asm_file, capsys):
+        code = main(["asm", asm_file])
+        assert code == 0
+        assert capsys.readouterr().out == "7"
+
+
+class TestSuite:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "tomcatv" in out
+
+
+class TestBench:
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "yacr2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "prediction fail" in out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "nope"]) == 2
+
+
+class TestExperiment:
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "MISPREDICT" in capsys.readouterr().out
+
+    def test_unknown(self):
+        assert main(["experiment", "nope"]) == 2

@@ -1,0 +1,36 @@
+"""Error-type tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for exc in (errors.AssemblerError, errors.EncodingError, errors.LinkError,
+                errors.CompileError, errors.SimulationError, errors.MemoryFault,
+                errors.ConfigError):
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.MemoryFault, errors.SimulationError)
+
+
+def test_assembler_error_line():
+    err = errors.AssemblerError("bad operand", line=12)
+    assert "line 12" in str(err)
+    assert err.line == 12
+
+
+def test_compile_error_position():
+    err = errors.CompileError("oops", line=3, col=7)
+    assert "line 3" in str(err) and "col 7" in str(err)
+
+
+def test_memory_fault_fields():
+    err = errors.MemoryFault(0x1234, "misaligned")
+    assert err.address == 0x1234
+    assert "0x00001234" in str(err)
+    assert "misaligned" in str(err)
+
+
+def test_errors_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.LinkError("undefined symbol")

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "program output" in out
+    assert "speedup" in out
+
+
+def test_fac_circuit_demo():
+    out = run_example("fac_circuit_demo.py")
+    assert "MISPREDICT" in out
+    assert "GenCarry" in out
+    assert "Signal gallery" in out
+
+
+def test_compiler_tour():
+    out = run_example("compiler_tour.py")
+    assert "baseline compiler" in out
+    assert "with FAC software support" in out
+    assert "lookup() hot loop" in out
+
+
+def test_pipeline_trace():
+    out = run_example("pipeline_trace.py")
+    assert "Figure 1" in out
+    assert "list-walk loop" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_speedup_study_small_slice():
+    out = run_example("speedup_study.py", "yacr2", "perl")
+    assert "Figure 6" in out
+    assert "beats a perfect cache" in out

@@ -1,0 +1,111 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import bits
+
+
+class TestSignConversions:
+    def test_unsigned_wraps(self):
+        assert bits.to_unsigned32(-1) == 0xFFFFFFFF
+        assert bits.to_unsigned32(2**32) == 0
+        assert bits.to_unsigned32(5) == 5
+
+    def test_signed_interprets_msb(self):
+        assert bits.to_signed32(0xFFFFFFFF) == -1
+        assert bits.to_signed32(0x80000000) == -(2**31)
+        assert bits.to_signed32(0x7FFFFFFF) == 2**31 - 1
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip(self, value):
+        assert bits.to_signed32(bits.to_unsigned32(value)) == value
+
+    def test_sext(self):
+        assert bits.sext(0xFFFF, 16) == -1
+        assert bits.sext(0x7FFF, 16) == 0x7FFF
+        assert bits.sext(0b100, 3) == -4
+
+    def test_sext_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bits.sext(1, 0)
+
+
+class TestFields:
+    def test_bit(self):
+        assert bits.bit(0b1010, 1) == 1
+        assert bits.bit(0b1010, 0) == 0
+
+    def test_bits_field(self):
+        assert bits.bits(0xABCD, 15, 12) == 0xA
+        assert bits.bits(0xABCD, 3, 0) == 0xD
+
+    def test_bits_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            bits.bits(0, 0, 4)
+
+    def test_field_mask(self):
+        assert bits.field_mask(3, 0) == 0xF
+        assert bits.field_mask(7, 4) == 0xF0
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31), st.integers(0, 31))
+    def test_bits_matches_mask(self, value, a, b):
+        hi, lo = max(a, b), min(a, b)
+        assert bits.bits(value, hi, lo) == (value & bits.field_mask(hi, lo)) >> lo
+
+
+class TestCarryFreeAdd:
+    def test_is_or(self):
+        assert bits.carry_free_add(0b1010, 0b0101) == 0b1111
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_equals_sum_when_disjoint(self, a, b):
+        b &= ~a  # clear overlapping bits
+        assert bits.carry_free_add(a, b) == (a + b) & 0xFFFFFFFF
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_or_ge_xor(self, a, b):
+        # OR and XOR differ exactly on the carry-generating positions
+        assert bits.carry_free_add(a, b) == (a ^ b) | (a & b)
+
+
+class TestPow2Helpers:
+    def test_is_pow2(self):
+        assert bits.is_pow2(1)
+        assert bits.is_pow2(64)
+        assert not bits.is_pow2(0)
+        assert not bits.is_pow2(48)
+        assert not bits.is_pow2(-4)
+
+    def test_next_pow2(self):
+        assert bits.next_pow2(1) == 1
+        assert bits.next_pow2(3) == 4
+        assert bits.next_pow2(64) == 64
+        assert bits.next_pow2(65) == 128
+
+    def test_next_pow2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits.next_pow2(0)
+
+    def test_log2_exact(self):
+        assert bits.log2_exact(32) == 5
+        with pytest.raises(ValueError):
+            bits.log2_exact(33)
+
+    def test_align_up(self):
+        assert bits.align_up(13, 8) == 16
+        assert bits.align_up(16, 8) == 16
+        with pytest.raises(ValueError):
+            bits.align_up(13, 6)
+
+    def test_align_down(self):
+        assert bits.align_down(13, 8) == 8
+        assert bits.align_down(16, 8) == 16
+
+    @given(st.integers(0, 2**31), st.integers(0, 12))
+    def test_align_up_properties(self, value, shift):
+        alignment = 1 << shift
+        aligned = bits.align_up(value, alignment)
+        assert aligned >= value
+        assert aligned % alignment == 0
+        assert aligned - value < alignment

@@ -1,0 +1,111 @@
+"""Addressing-personality tests: each kernel must actually exhibit the
+behaviour its paper counterpart is known for (Section 2 / Table 1 /
+Section 5.4). These assertions are what makes the suite a meaningful
+stand-in for SPEC92."""
+
+import pytest
+
+from repro.experiments.common import analysis_for
+
+
+def profile(name, software=False):
+    return analysis_for(name, software).profile
+
+
+def stats32(name, software=False):
+    return analysis_for(name, software).predictions[32]
+
+
+def rr_load_share(name, software=False):
+    stats = stats32(name, software)
+    return (stats.loads - stats.norr_loads) / stats.loads
+
+
+class TestIntegerPersonalities:
+    def test_elvis_zero_offset_heavy(self):
+        """Paper: elvis has a very high zero-offset load rate and very
+        low failure rates."""
+        hist = profile("elvis").offset_hist["general"]
+        assert hist.count(0) / hist.total > 0.5
+
+    def test_espresso_zero_offsets_dominate(self):
+        hist = profile("espresso").offset_hist["general"]
+        assert hist.count(0) / hist.total > 0.5
+
+    def test_grep_uses_register_register(self):
+        """Paper: grep's small-array accesses are R+R mode."""
+        assert rr_load_share("grep") > 0.10
+
+    def test_gcc_stack_heavy(self):
+        """Tree recursion: gcc is the most stack-bound integer code."""
+        assert profile("gcc").load_fraction("stack") > 0.3
+
+    def test_gcc_fails_even_with_support(self):
+        """Paper Section 5.4: gcc's own storage allocator defeats the
+        alignment support."""
+        assert stats32("gcc", software=True).overall_failure_rate > 0.01
+
+    def test_xlisp_general_pointer_chasing(self):
+        hist = profile("xlisp").offset_hist["general"]
+        small = sum(hist.count(k) for k in range(5))  # offsets < 16 bytes
+        assert small / hist.total > 0.8
+
+    def test_compress_has_large_general_offsets(self):
+        """Hash-table probing produces large scaled offsets."""
+        assert rr_load_share("compress") > 0.10
+
+
+class TestFloatingPointPersonalities:
+    def test_ora_low_memory_traffic(self):
+        """Paper Table 1: ora's loads are a small fraction of instructions."""
+        analysis = analysis_for("ora", False)
+        assert analysis.profile.loads / analysis.instructions < 0.25
+
+    def test_alvinn_mostly_zero_offsets(self):
+        hist = profile("alvinn").offset_hist["general"]
+        assert hist.count(0) / hist.total > 0.8
+
+    def test_alvinn_near_perfect_with_support(self):
+        assert stats32("alvinn", software=True).overall_failure_rate < 0.02
+
+    def test_spice_register_register_failures(self):
+        """Paper: spice's index arrays defeat strength reduction; the
+        residual failures are all R+R."""
+        stats = stats32("spice", software=True)
+        assert stats.load_failure_rate > 0.2
+        assert stats.norr_load_failure_rate < 0.02
+
+    def test_tomcatv_register_register_heavy(self):
+        assert rr_load_share("tomcatv") > 0.5
+
+    def test_su2cor_computed_indices(self):
+        assert rr_load_share("su2cor") > 0.2
+
+    def test_doduc_global_scalar_heavy(self):
+        """FORTRAN-style code: lots of named global scalars via $gp."""
+        assert profile("doduc").load_fraction("global") > 0.35
+
+
+class TestSoftwareSupportStory:
+    """The aggregate Table 3 -> Table 4 movement, per program."""
+
+    @pytest.mark.parametrize("name", [
+        "compress", "eqntott", "sc", "doduc",
+    ])
+    def test_failures_drop_sharply(self, name):
+        before = stats32(name, False).overall_failure_rate
+        after = stats32(name, True).overall_failure_rate
+        assert before > 0.15
+        assert after < before / 2
+
+    @pytest.mark.parametrize("name", ["mdljdp2", "su2cor"])
+    def test_rr_heavy_programs_keep_rr_residue(self, name):
+        """Index gathers survive the alignment support (Section 5.4);
+        the constant-offset accesses do not."""
+        stats = stats32(name, True)
+        assert stats.overall_failure_rate < stats32(name, False).overall_failure_rate
+        assert stats.norr_load_failure_rate < 0.02
+
+    @pytest.mark.parametrize("name", ["elvis", "alvinn", "xlisp"])
+    def test_low_failure_programs_end_low(self, name):
+        assert stats32(name, True).overall_failure_rate < 0.05

@@ -1,0 +1,53 @@
+"""Benchmark-suite tests: every kernel compiles, runs, and is
+deterministic under both compiler configurations."""
+
+import pytest
+
+from repro.cpu import CPU
+from repro.workloads import BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS, build_benchmark, load_source
+
+
+def test_registry_complete():
+    assert len(BENCHMARKS) == 19
+    assert len(INT_BENCHMARKS) == 10
+    assert len(FP_BENCHMARKS) == 9
+
+
+def test_names_match_paper_table2():
+    expected = {
+        "compress", "eqntott", "espresso", "gcc", "sc", "xlisp",
+        "elvis", "grep", "perl", "yacr2",
+        "alvinn", "doduc", "ear", "mdljdp2", "mdljsp2", "ora",
+        "spice", "su2cor", "tomcatv",
+    }
+    assert set(BENCHMARKS) == expected
+
+
+def test_load_source_unknown():
+    with pytest.raises(KeyError):
+        load_source("nonexistent")
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_runs_correctly_baseline(name):
+    program = build_benchmark(name, software_support=False)
+    cpu = CPU(program)
+    cpu.run(10_000_000)
+    assert cpu.halted
+    assert cpu.exit_code == 0
+    assert cpu.stdout() == BENCHMARKS[name].expected_output
+
+
+@pytest.mark.parametrize("name", ["compress", "gcc", "xlisp", "alvinn",
+                                  "spice", "tomcatv"])
+def test_software_support_preserves_output(name):
+    program = build_benchmark(name, software_support=True)
+    cpu = CPU(program)
+    cpu.run(10_000_000)
+    assert cpu.stdout() == BENCHMARKS[name].expected_output
+
+
+def test_builds_are_cached():
+    first = build_benchmark("yacr2")
+    second = build_benchmark("yacr2")
+    assert first is second

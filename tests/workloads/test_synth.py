@@ -1,0 +1,64 @@
+"""Synthetic-stream generator tests."""
+
+from repro.workloads.synth import StreamSpec, alignment_sweep, failure_rate, generate
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = StreamSpec(seed=42)
+        first = list(generate(spec, 100))
+        second = list(generate(spec, 100))
+        assert first == second
+
+    def test_base_alignment_respected(self):
+        spec = StreamSpec(base_align_bits=6)
+        for base, __, __r in generate(spec, 500):
+            assert base % 64 == 0
+
+    def test_zero_offset_fraction(self):
+        spec = StreamSpec(zero_offset_pct=100)
+        assert all(offset == 0 for __, offset, __r in generate(spec, 200))
+        spec = StreamSpec(zero_offset_pct=0, max_offset_bits=8, seed=7)
+        zeros = sum(offset == 0 for __, offset, __r in generate(spec, 1000))
+        assert zeros < 50  # only accidental zeros from the uniform draw
+
+    def test_negative_fraction(self):
+        spec = StreamSpec(zero_offset_pct=0, negative_pct=100, seed=9)
+        negatives = sum(offset < 0 for __, offset, __r in generate(spec, 500))
+        assert negatives > 450
+
+    def test_offset_bound(self):
+        spec = StreamSpec(max_offset_bits=5, zero_offset_pct=0)
+        assert all(-32 < offset < 32 for __, offset, __r in generate(spec, 500))
+
+
+class TestFailureRates:
+    def test_zero_offsets_never_fail(self):
+        assert failure_rate(StreamSpec(zero_offset_pct=100)) == 0.0
+
+    def test_alignment_past_offsets_never_fails(self):
+        spec = StreamSpec(base_align_bits=10, max_offset_bits=8,
+                          zero_offset_pct=0)
+        assert failure_rate(spec) == 0.0
+
+    def test_unaligned_bases_fail_often(self):
+        spec = StreamSpec(base_align_bits=0, max_offset_bits=10,
+                          zero_offset_pct=0)
+        assert failure_rate(spec) > 0.3
+
+    def test_negative_register_offsets_always_fail(self):
+        spec = StreamSpec(zero_offset_pct=0, negative_pct=100,
+                          register_pct=100, base_align_bits=12,
+                          max_offset_bits=4)
+        # offsets that draw exactly zero still succeed (~1/16 here)
+        assert failure_rate(spec, count=2000) > 0.9
+
+    def test_sweep_monotone_decreasing(self):
+        sweep = alignment_sweep(max_offset_bits=8, align_range=range(0, 12),
+                                count=4000)
+        rates = [rate for __, rate in sweep]
+        # more alignment never hurts (allowing small sampling noise)
+        for before, after in zip(rates, rates[1:]):
+            assert after <= before + 0.02
+        # and past the offset width the failure rate is exactly zero
+        assert rates[-1] == 0.0
