@@ -2,16 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full experiments examples clean
+.PHONY: install test test-fast lint-self bench bench-full experiments examples clean
 
 install:
 	pip install -e .
 
-test:
+test: lint-self
 	$(PYTHON) -m pytest tests/
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+lint-self:          ## lint the repo itself (ruff when available)
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; ran compileall only"; \
+	fi
 
 bench:              ## representative 6-program slice (~5 min)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

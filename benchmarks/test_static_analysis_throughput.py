@@ -1,0 +1,86 @@
+"""Static-analysis throughput: the whole point of `repro lint` is that
+it answers predictability questions without simulating, so the analyzer
+must process instructions orders of magnitude faster than the
+functional simulator retires them.
+
+Run with ``-s`` to see the measured rates.
+"""
+
+import time
+
+from repro.analysis import analyze_static, lint_program
+from repro.cpu import CPU
+from repro.workloads import build_benchmark
+
+
+def test_static_analysis_throughput(benchmark):
+    program = build_benchmark("yacr2")
+    n = len(program.instructions)
+
+    def run():
+        analysis = analyze_static(program)
+        return len(analysis.sites)
+
+    sites = benchmark(run)
+    assert sites > 0
+    rate = n / benchmark.stats.stats.mean
+    benchmark.extra_info["instructions"] = n
+    benchmark.extra_info["instructions_per_sec"] = round(rate)
+    print(f"\nstatic analysis: {n} instructions, "
+          f"{rate:,.0f} instructions/sec")
+
+
+def test_lint_throughput(benchmark):
+    program = build_benchmark("yacr2")
+
+    def run():
+        return len(lint_program(program, name="yacr2").diagnostics)
+
+    diags = benchmark(run)
+    assert diags > 0
+
+
+def test_static_analysis_beats_simulation(benchmark):
+    """The static summary must arrive much faster than the dynamic one.
+
+    Each static instruction the analyzer classifies stands in for the
+    thousands of dynamic executions a simulator would need to observe,
+    so the analyzer's *effective* throughput — dynamic instructions
+    covered per second of analysis — must dwarf the simulator's
+    instructions-retired/sec.
+    """
+    program = build_benchmark("tomcatv")
+
+    benchmark(lambda: analyze_static(program))
+    analyze_seconds = benchmark.stats.stats.mean
+
+    cpu = CPU(program)
+    start = time.perf_counter()
+    cpu.run(500_000)
+    simulate_seconds = time.perf_counter() - start
+    dynamic = cpu.instructions_retired
+
+    simulate_rate = dynamic / simulate_seconds
+    effective_rate = dynamic / analyze_seconds
+    benchmark.extra_info["effective_inst_per_sec"] = round(effective_rate)
+    benchmark.extra_info["simulate_inst_per_sec"] = round(simulate_rate)
+    print(f"\nanalyze: {analyze_seconds * 1000:.1f} ms for the whole "
+          f"program   simulate: {simulate_seconds:.2f} s for {dynamic:,} "
+          f"instructions   effective: {effective_rate:,.0f} inst/s "
+          f"({effective_rate / simulate_rate:.0f}x simulation)")
+    assert effective_rate > 10 * simulate_rate
+
+
+def test_static_analysis_scales_across_suite(benchmark, suite):
+    """Analyzing the whole configured slice stays interactive (<10 s)."""
+    programs = [(name, build_benchmark(name)) for name in suite]
+
+    def run():
+        return sum(len(analyze_static(p).sites) for _, p in programs)
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    assert total > 0
+    assert elapsed < 10.0, f"static analysis of {suite} took {elapsed:.1f}s"
+    print(f"\n{len(suite)} programs, {total} memory sites "
+          f"in {elapsed:.2f}s")

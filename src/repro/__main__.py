@@ -6,6 +6,8 @@ Commands:
 * ``asm FILE.s``       -- assemble, link, and run raw assembly
 * ``suite``            -- list the benchmark registry
 * ``bench NAME``       -- run one benchmark and report timing/prediction
+* ``lint TARGET``      -- static FAC-predictability lint of a MiniC file,
+                          assembly file, or benchmark name
 * ``experiment WHICH`` -- regenerate a paper table/figure
                           (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
 """
@@ -13,9 +15,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.prediction import analyze_program
+from repro.analysis import analyze_program, lint_program
 from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
 from repro.cpu import CPU
 from repro.fac import FacConfig
@@ -85,6 +88,39 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Statically classify every memory access and report alignment lint.
+
+    Exit status: 0 when clean, 1 when warnings were found, 2 on usage
+    errors -- so the linter can gate CI like a conventional lint tool.
+    """
+    target = args.target
+    if target.endswith(".mc"):
+        with open(target) as handle:
+            program = compile_and_link(handle.read(), _options(args))
+    elif target.endswith(".s"):
+        with open(target) as handle:
+            program = link([assemble(handle.read(), target)], LinkOptions())
+    else:
+        from repro.workloads import BENCHMARKS, build_benchmark
+
+        if target not in BENCHMARKS:
+            print(f"unknown lint target {target!r}: expected a .mc/.s file "
+                  "or a benchmark name (see 'python -m repro suite')",
+                  file=sys.stderr)
+            return 2
+        program = build_benchmark(
+            target, software_support=args.software_support
+        )
+    config = FacConfig(cache_size=args.cache_size, block_size=args.block_size)
+    report = lint_program(program, config, name=target)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 1 if report.warnings else 0
+
+
 def cmd_experiment(args) -> int:
     from repro import experiments
 
@@ -136,6 +172,20 @@ def main(argv=None) -> int:
     p_bench.add_argument("name")
     p_bench.add_argument("--software-support", action="store_true")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="static FAC-predictability lint (repro.analysis.static_fac)"
+    )
+    p_lint.add_argument("target", help="MiniC file, assembly file, or "
+                                       "benchmark name")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report "
+                             "(schema: repro.analysis.reporting.LINT_SCHEMA)")
+    p_lint.add_argument("--software-support", action="store_true",
+                        help="compile with the paper's Section 4 support")
+    p_lint.add_argument("--cache-size", type=int, default=16 * 1024)
+    p_lint.add_argument("--block-size", type=int, default=32)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("which")

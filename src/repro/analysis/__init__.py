@@ -1,4 +1,5 @@
-"""Trace analyses: reference behaviour (Section 2) and prediction rates."""
+"""Trace analyses: reference behaviour (Section 2), prediction rates,
+and the static FAC-predictability pass (:mod:`repro.analysis.static_fac`)."""
 
 from repro.analysis.refclass import (
     OFFSET_BUCKETS,
@@ -6,7 +7,19 @@ from repro.analysis.refclass import (
     classify_base,
     offset_bucket,
 )
-from repro.analysis.prediction import PredictionStats, TraceAnalyzer
+from repro.analysis.prediction import (
+    PredictionStats,
+    TraceAnalysis,
+    TraceAnalyzer,
+    analyze_program,
+)
+from repro.analysis.static_fac import (
+    StaticAnalysis,
+    Verdict,
+    analyze_static,
+    check_soundness,
+    lint_program,
+)
 
 __all__ = [
     "OFFSET_BUCKETS",
@@ -14,5 +27,12 @@ __all__ = [
     "classify_base",
     "offset_bucket",
     "PredictionStats",
+    "TraceAnalysis",
     "TraceAnalyzer",
+    "analyze_program",
+    "StaticAnalysis",
+    "Verdict",
+    "analyze_static",
+    "check_soundness",
+    "lint_program",
 ]

@@ -85,14 +85,22 @@ class TraceAnalysis:
     memory_usage: int = 0
     instructions: int = 0
     stdout: str = ""
+    # {block_size: {pc: [accesses, failures]}} when per-PC tracking is on
+    per_pc: dict[int, dict[int, list[int]]] | None = None
 
 
 class TraceAnalyzer:
     """Single-pass trace analyzer."""
 
     def __init__(self, block_sizes: tuple[int, ...] = (16, 32),
-                 cache_size: int = 16 * 1024, full_tag_add: bool = True):
+                 cache_size: int = 16 * 1024, full_tag_add: bool = True,
+                 per_pc: bool = False):
         self.profile = ReferenceProfile()
+        # optional {block_size: {pc: [accesses, failures]}} tracking, used
+        # by the static-analysis soundness checks (repro.analysis.static_fac)
+        self.per_pc: dict[int, dict[int, list[int]]] | None = (
+            {bs: {} for bs in block_sizes} if per_pc else None
+        )
         self.predictors = {
             bs: FastAddressCalculator(
                 FacConfig(cache_size=cache_size, block_size=bs,
@@ -144,6 +152,10 @@ class TraceAnalyzer:
                     counts["large_neg_const"] += signals.large_neg_const
                     counts["neg_index_reg"] += signals.neg_index_reg
                     counts["tag_mismatch"] += signals.tag_mismatch
+            if self.per_pc is not None:
+                entry = self.per_pc[block_size].setdefault(rec.pc, [0, 0])
+                entry[0] += 1
+                entry[1] += failed
             if info.is_load:
                 stats.loads += 1
                 stats.load_failures += failed
@@ -167,14 +179,16 @@ class TraceAnalyzer:
             memory_usage=cpu.memory_usage,
             instructions=cpu.instructions_retired,
             stdout=cpu.stdout(),
+            per_pc=self.per_pc,
         )
 
 
 def analyze_program(program: Program, block_sizes: tuple[int, ...] = (16, 32),
-                    max_instructions: int = 50_000_000) -> TraceAnalysis:
+                    max_instructions: int = 50_000_000,
+                    per_pc: bool = False) -> TraceAnalysis:
     """Run ``program`` functionally and collect the full analysis."""
     cpu = CPU(program)
-    analyzer = TraceAnalyzer(block_sizes)
+    analyzer = TraceAnalyzer(block_sizes, per_pc=per_pc)
     observe = analyzer.observe
     step = cpu.step
     budget = max_instructions

@@ -1,8 +1,105 @@
-"""Plain-text table and series rendering for the experiment harnesses."""
+"""Plain-text table and series rendering for the experiment harnesses,
+plus the machine-readable schema shared by ``repro lint --json``."""
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+#: Structural schema (JSON-Schema subset) for ``repro lint --json`` output.
+#: Kept here so report producers and consumers share one definition;
+#: validate with :func:`validate_against_schema`.
+LINT_SCHEMA = {
+    "type": "object",
+    "required": ["program", "geometry", "summary", "diagnostics"],
+    "properties": {
+        "program": {"type": "string"},
+        "geometry": {
+            "type": "object",
+            "required": ["cache_size", "block_size", "full_tag_add"],
+            "properties": {
+                "cache_size": {"type": "integer"},
+                "block_size": {"type": "integer"},
+                "full_tag_add": {"type": "boolean"},
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": [
+                "sites", "always", "never", "data_dependent",
+                "unreachable", "warnings", "notes",
+            ],
+            "properties": {
+                "sites": {"type": "integer"},
+                "always": {"type": "integer"},
+                "never": {"type": "integer"},
+                "data_dependent": {"type": "integer"},
+                "unreachable": {"type": "integer"},
+                "warnings": {"type": "integer"},
+                "notes": {"type": "integer"},
+            },
+        },
+        "diagnostics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["code", "severity", "address", "message"],
+                "properties": {
+                    "code": {"type": "string"},
+                    "severity": {"enum": ["warning", "note"]},
+                    "address": {"type": "integer"},
+                    "function": {"type": ["string", "null"]},
+                    "message": {"type": "string"},
+                    "hint": {"type": ["string", "null"]},
+                },
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate_against_schema(value, schema: dict, path: str = "$") -> list[str]:
+    """Check ``value`` against the JSON-Schema subset used by
+    :data:`LINT_SCHEMA` (type/required/properties/items/enum). Returns a
+    list of human-readable problems; empty means valid."""
+    problems: list[str] = []
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            problems.append(f"{path}: {value!r} not in {schema['enum']}")
+        return problems
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            problems.append(f"{path}: expected {expected}, got "
+                            f"{type(value).__name__}")
+            return problems
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                problems.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                problems.extend(
+                    validate_against_schema(value[key], subschema,
+                                            f"{path}.{key}")
+                )
+    elif isinstance(value, list) and "items" in schema:
+        for position, item in enumerate(value):
+            problems.extend(
+                validate_against_schema(item, schema["items"],
+                                        f"{path}[{position}]")
+            )
+    return problems
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

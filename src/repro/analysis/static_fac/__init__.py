@@ -1,0 +1,41 @@
+"""Static FAC-predictability analysis (the `repro lint` engine).
+
+Classifies every load/store of a linked program as ALWAYS_PREDICTS,
+NEVER_PREDICTS, or DATA_DEPENDENT by abstract interpretation over a
+known-bits lattice, and derives alignment lint diagnostics with fix-it
+hints. See docs/static_analysis.md.
+"""
+
+from repro.analysis.static_fac.classify import (
+    Classification,
+    Geometry,
+    SIGNALS,
+    Verdict,
+)
+from repro.analysis.static_fac.interp import (
+    SiteReport,
+    SoundnessReport,
+    StaticAnalysis,
+    analyze_static,
+    check_soundness,
+)
+from repro.analysis.static_fac.lint import (
+    Diagnostic,
+    LintReport,
+    lint_program,
+)
+
+__all__ = [
+    "Classification",
+    "Diagnostic",
+    "Geometry",
+    "LintReport",
+    "SIGNALS",
+    "SiteReport",
+    "SoundnessReport",
+    "StaticAnalysis",
+    "Verdict",
+    "analyze_static",
+    "check_soundness",
+    "lint_program",
+]

@@ -1,0 +1,297 @@
+"""Alignment lint: diagnostics with fix-it hints on top of the verdicts.
+
+Diagnostic codes (documented in docs/static_analysis.md):
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+FAC101    warning   gp-relative access always mispredicts (global region
+                    placement makes the set-index OR carry)
+FAC102    warning   absolute-addressed global always mispredicts
+FAC201    warning   sp/fp-relative access may mispredict (frame layout
+                    leaves the stack pointer's low bits unknown)
+FAC202    warning   sp/fp-relative access always mispredicts
+FAC301    warning   negative constant offset exceeds one cache block
+FAC302    note      register index may be negative (inherent to reg+reg)
+FAC401    note      data-dependent access the toolchain cannot align
+FAC402    note      struct size is not a power of two (array strides
+                    break block alignment)
+FAC501    note      memory instruction in unreachable code
+========  ========  =====================================================
+
+Warnings are *actionable*: a compiler/linker policy change (the paper's
+Section 4 software support) removes them. Notes are informational and do
+not affect the lint exit status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.static_fac.classify import Verdict
+from repro.analysis.static_fac.interp import (
+    SiteReport,
+    StaticAnalysis,
+    analyze_static,
+)
+from repro.fac.config import FacConfig
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+from repro.isa.registers import Reg, reg_name
+from repro.utils.bits import next_pow2
+
+SEVERITY_WARNING = "warning"
+SEVERITY_NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored at a text address."""
+
+    code: str
+    severity: str
+    address: int          # 0 for program-level diagnostics
+    function: Optional[str]
+    message: str
+    hint: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "address": self.address,
+            "function": self.function,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        where = f"0x{self.address:08x}" if self.address else "program"
+        if self.function:
+            where += f" ({self.function})"
+        text = f"{self.severity}: {self.code}: {where}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """Full lint output for one program."""
+
+    program_name: str
+    analysis: StaticAnalysis
+    diagnostics: list[Diagnostic]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == SEVERITY_WARNING]
+
+    @property
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == SEVERITY_NOTE]
+
+    def to_json(self) -> dict:
+        """Machine-readable form, matching
+        :data:`repro.analysis.reporting.LINT_SCHEMA`."""
+        config = self.analysis.config
+        counts = self.analysis.counts()
+        return {
+            "program": self.program_name,
+            "geometry": {
+                "cache_size": config.cache_size,
+                "block_size": config.block_size,
+                "full_tag_add": config.full_tag_add,
+            },
+            "summary": {
+                "sites": len(self.analysis.sites),
+                "always": counts[Verdict.ALWAYS_PREDICTS.value],
+                "never": counts[Verdict.NEVER_PREDICTS.value],
+                "data_dependent": counts[Verdict.DATA_DEPENDENT.value],
+                "unreachable": counts[Verdict.UNREACHABLE.value],
+                "warnings": len(self.warnings),
+                "notes": len(self.notes),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        summary = self.to_json()["summary"]
+        lines.append(
+            f"{self.program_name}: {summary['sites']} memory sites: "
+            f"{summary['always']} always predict, "
+            f"{summary['never']} never predict, "
+            f"{summary['data_dependent']} data-dependent, "
+            f"{summary['unreachable']} unreachable "
+            f"({summary['warnings']} warnings, {summary['notes']} notes)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+
+def lint_program(
+    program: Program,
+    config: FacConfig | None = None,
+    name: str = "program",
+    analysis: StaticAnalysis | None = None,
+) -> LintReport:
+    """Run the static pass (unless given) and derive diagnostics."""
+    if analysis is None:
+        analysis = analyze_static(program, config)
+    diags: list[Diagnostic] = []
+    unreachable: dict[Optional[str], list[SiteReport]] = {}
+    for site in analysis.sites:
+        if site.verdict is Verdict.UNREACHABLE:
+            # Grouped below: per-site notes would drown the report in
+            # never-called runtime-library functions.
+            unreachable.setdefault(site.function, []).append(site)
+            continue
+        diag = _site_diagnostic(program, analysis, site)
+        if diag is not None:
+            diags.append(diag)
+    for func, sites in unreachable.items():
+        count = len(sites)
+        plural = "s" if count != 1 else ""
+        where = f"in `{func}` " if func else ""
+        diags.append(Diagnostic(
+            "FAC501", SEVERITY_NOTE, sites[0].addr, func,
+            f"{count} memory instruction{plural} {where}"
+            f"{'are' if count != 1 else 'is'} unreachable "
+            "(dead or never-called code); not analyzed",
+        ))
+    diags.extend(_struct_diagnostics(program, analysis))
+    return LintReport(program_name=name, analysis=analysis, diagnostics=diags)
+
+
+def _site_diagnostic(
+    program: Program, analysis: StaticAnalysis, site: SiteReport
+) -> Optional[Diagnostic]:
+    verdict = site.verdict
+    if verdict is Verdict.ALWAYS_PREDICTS:
+        return None
+    what = disassemble(site.inst)
+    config = analysis.config
+    signals = ", ".join(sorted(site.certain or site.possible))
+    if "large_neg_const" in site.certain:
+        return Diagnostic(
+            "FAC301", SEVERITY_WARNING, site.addr, site.function,
+            f"`{what}` always mispredicts: constant offset {site.offset} "
+            f"reaches below the base's {config.block_size}-byte block",
+            hint="fold the negative offset into the base register or "
+                 "restructure the access to use a non-negative offset",
+        )
+    base_reg = site.inst.rs
+    if site.mode == "c" and base_reg == Reg.GP:
+        if verdict is Verdict.NEVER_PREDICTS:
+            return _gp_diagnostic(program, config, site, what, signals)
+    if site.mode == "c" and base_reg in (Reg.SP, Reg.FP):
+        return _stack_diagnostic(program, config, site, what, signals)
+    if site.mode == "c" and verdict is Verdict.NEVER_PREDICTS \
+            and site.base[0] == 0xFFFFFFFF:
+        ea = (site.base[1] + site.offset) & 0xFFFFFFFF
+        symbol = _data_symbol_at(program, ea)
+        target = f"`{symbol}` " if symbol else ""
+        return Diagnostic(
+            "FAC102", SEVERITY_WARNING, site.addr, site.function,
+            f"`{what}` always mispredicts ({signals}): absolute access to "
+            f"{target}at 0x{ea:08x}",
+            hint="move the datum into the gp-addressable global region or "
+                 "relocate it to a block-aligned address",
+        )
+    if site.mode == "x" and "neg_index_reg" in site.possible:
+        return Diagnostic(
+            "FAC302", SEVERITY_NOTE, site.addr, site.function,
+            f"`{what}` mispredicts whenever {reg_name(site.inst.rx)} is "
+            "negative (register offsets cannot use the inverted-index trick)",
+        )
+    return Diagnostic(
+        "FAC401", SEVERITY_NOTE, site.addr, site.function,
+        f"`{what}` is data-dependent ({', '.join(sorted(site.possible))})",
+    )
+
+
+def _gp_diagnostic(program, config, site, what, signals) -> Diagnostic:
+    gp = program.gp_value
+    ea = (gp + site.offset) & 0xFFFFFFFF
+    symbol = _data_symbol_at(program, ea)
+    target = f"global `{symbol}`" if symbol else "the target"
+    offset = site.offset
+    facts = program.link_facts
+    if facts is not None and not facts.align_gp:
+        placement = (
+            f"$gp = 0x{gp:08x} has set-index bits set, so the "
+            "carry-free OR addition fails"
+        )
+    else:
+        placement = (
+            f"the offset crosses the set-index boundary for a "
+            f"{config.cache_size // 1024}KB/{config.block_size}B cache"
+        )
+    return Diagnostic(
+        "FAC101", SEVERITY_WARNING, site.addr, site.function,
+        f"`{what}` always mispredicts ({signals}): {target} is at "
+        f"GP{offset:+#x} (0x{ea:08x}) and {placement}",
+        hint="relink with align_gp (FacSoftwareOptions.enabled()) to place "
+             "the global region on a power-of-two boundary above the "
+             "largest gp offset",
+    )
+
+
+def _stack_diagnostic(program, config, site, what, signals) -> Diagnostic:
+    func = site.function
+    facts = program.frame_facts.get(func) if func else None
+    never = site.verdict is Verdict.NEVER_PREDICTS
+    code = "FAC202" if never else "FAC201"
+    reg = reg_name(site.inst.rs)
+    if never:
+        detail = (f"{reg}+{site.offset} provably carries into the "
+                  "set-index field")
+    else:
+        detail = (f"the analysis cannot prove {reg}+{site.offset} stays "
+                  "carry-free in the set-index field")
+    claim = "always mispredicts" if never else "may mispredict"
+    message = f"`{what}` {claim} ({signals}): {detail}"
+    if facts is not None:
+        aligned = next_pow2(max(facts.frame_size, 1))
+        hint = (
+            f"stack frame of `{func}` is {facts.frame_size} bytes "
+            f"(alignment {facts.frame_align}) — pad to {aligned} and align "
+            f"frames (FacSoftwareOptions.enabled()) so $sp-relative "
+            "offsets stay carry-free"
+        )
+    else:
+        hint = (
+            "align stack frames to a power of two no smaller than the "
+            "largest $sp-relative offset (the paper's Section 4 rules)"
+        )
+    return Diagnostic(code, SEVERITY_WARNING, site.addr, site.function,
+                      message, hint=hint)
+
+
+def _struct_diagnostics(
+    program: Program, analysis: StaticAnalysis
+) -> list[Diagnostic]:
+    diags = []
+    for name, size in sorted(program.struct_facts.items()):
+        if size > 0 and size & (size - 1):
+            diags.append(Diagnostic(
+                "FAC402", SEVERITY_NOTE, 0, None,
+                f"struct `{name}` is {size} bytes, not a power of two; "
+                "arrays of it stride across block-offset boundaries",
+                hint=f"pad `struct {name}` to {next_pow2(size)} bytes to "
+                     "keep element addresses block-aligned",
+            ))
+    return diags
+
+
+def _data_symbol_at(program: Program, address: int) -> Optional[str]:
+    for symbol in program.symbols.values():
+        if symbol.section == "text":
+            continue
+        span = max(symbol.size, 1)
+        if symbol.address <= address < symbol.address + span:
+            return symbol.name
+    return None

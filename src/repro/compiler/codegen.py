@@ -44,6 +44,7 @@ from repro.compiler.typesys import (
     decay,
 )
 from repro.errors import CompileError
+from repro.isa.program import FrameFacts
 from repro.utils.bits import is_pow2, log2_exact, next_pow2
 
 INT_TEMPS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9"]
@@ -104,6 +105,8 @@ class CodeGenerator:
         self.options = options
         self.lines: list[str] = []
         self.label_counter = 0
+        # per-function frame layout, for static analyses (repro lint)
+        self.frame_facts: dict[str, FrameFacts] = {}
 
     def emit(self, text: str) -> None:
         self.lines.append(text)
@@ -233,6 +236,15 @@ class FunctionCompiler:
         locals_list = self._collect_locals()
         self._assign_homes(locals_list)
         self._layout_frame(locals_list)
+        fac = self.options.fac
+        self.gen.frame_facts[self.func.name] = FrameFacts(
+            name=self.func.name,
+            frame_size=self.frame_size,
+            frame_align=fac.frame_align,
+            variable_frame=self.variable_frame,
+            align_target=(self.frame_align_target if self.variable_frame
+                          else fac.frame_align),
+        )
         self.gen.emit(f".globl {self.func.name}")
         self.gen.emit(f"{self.func.name}:")
         self._prologue()

@@ -47,6 +47,13 @@ def compile_units(
     generator = CodeGenerator(sema, options)
     asm_text = generator.generate(units)
     program_unit = assemble(asm_text, "program")
+    # layout metadata for static analyses (repro.analysis.static_fac)
+    program_unit.frame_facts = dict(generator.frame_facts)
+    program_unit.struct_facts = {
+        name: struct.size
+        for name, struct in sema.structs.items()
+        if struct.laid_out
+    }
     start_unit = assemble(START_ASM, "start")
     return [start_unit, program_unit], asm_text
 

@@ -66,6 +66,40 @@ class Symbol:
     section: str = "data"
 
 
+@dataclass(frozen=True)
+class FrameFacts:
+    """Stack-frame layout facts for one compiled function.
+
+    Recorded by the compiler's code generator and carried through the
+    object unit into the linked program so static analyses (for example
+    :mod:`repro.analysis.static_fac`) can reason about stack alignment
+    without re-deriving the prologue.
+    """
+
+    name: str
+    frame_size: int          # bytes subtracted from $sp (post rounding)
+    frame_align: int         # the FacSoftwareOptions.frame_align in force
+    variable_frame: bool     # prologue re-aligns $sp with an AND mask
+    align_target: int        # alignment the prologue guarantees for $sp
+
+
+@dataclass(frozen=True)
+class LinkFacts:
+    """Placement facts recorded by the linker.
+
+    These are the linker-controlled inputs to fast-address-calculation
+    predictability: where the gp-addressable global region landed, how it
+    was aligned, and the initial stack pointer's guaranteed alignment.
+    """
+
+    gp_value: int            # value loaded into $gp
+    gp_region_base: int      # base address of the global region
+    gp_region_size: int      # bytes of gp-addressable data
+    align_gp: bool           # paper Section 4 power-of-two relocation?
+    sp_value: int            # initial stack pointer
+    stack_align: int         # guaranteed alignment of the initial $sp
+
+
 @dataclass
 class ObjectUnit:
     """Assembled but not yet linked translation unit."""
@@ -77,6 +111,9 @@ class ObjectUnit:
     exported: set[str] = field(default_factory=set)
     # local text labels resolved to instruction indexes by the assembler
     text_labels: dict[str, int] = field(default_factory=dict)
+    # layout metadata from the compiler (empty for hand-written assembly)
+    frame_facts: dict[str, FrameFacts] = field(default_factory=dict)
+    struct_facts: dict[str, int] = field(default_factory=dict)  # name -> size
 
 
 class Program:
@@ -112,6 +149,10 @@ class Program:
         self.data_image: list[tuple[int, bytes]] = []
         self.bss_spans: list[tuple[int, int]] = []
         self.symbols: dict[str, Symbol] = {}
+        # optional layout metadata for static analyses
+        self.frame_facts: dict[str, FrameFacts] = {}
+        self.struct_facts: dict[str, int] = {}
+        self.link_facts: LinkFacts | None = None
 
     def instruction_at(self, address: int) -> Instruction:
         """Fetch the instruction stored at ``address``."""

@@ -23,7 +23,14 @@ from dataclasses import dataclass
 
 from repro.errors import LinkError
 from repro.isa.opcodes import Op
-from repro.isa.program import DataDef, ObjectUnit, Program, RelocKind, Symbol
+from repro.isa.program import (
+    DataDef,
+    LinkFacts,
+    ObjectUnit,
+    Program,
+    RelocKind,
+    Symbol,
+)
 from repro.mem.layout import DATA_BASE, STACK_TOP, TEXT_BASE
 from repro.utils.bits import align_up, next_pow2
 
@@ -92,6 +99,18 @@ class _Linker:
         )
         program.symbols = self.symbols
         self._build_data_image(program)
+        program.link_facts = LinkFacts(
+            gp_value=gp_value,
+            gp_region_base=self._gp_region_base,
+            gp_region_size=self._gp_region_size,
+            align_gp=self.options.align_gp,
+            sp_value=sp_value,
+            stack_align=(self.options.stack_align if self.options.align_stack
+                         else 8),
+        )
+        for unit in self.units:
+            program.frame_facts.update(unit.frame_facts)
+            program.struct_facts.update(unit.struct_facts)
         return program
 
     # ------------------------------------------------------------------ #
@@ -166,6 +185,8 @@ class _Linker:
             # has arbitrary low bits so carry-free addition often fails.
             region_base = align_up(cursor, 8)
         gp_value = region_base
+        self._gp_region_base = region_base
+        self._gp_region_size = region_size
 
         cursor = region_base
         for definition in gp_defs:

@@ -1,0 +1,138 @@
+"""Lint diagnostics, JSON schema round-trip, and the `repro lint` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.analysis.reporting import LINT_SCHEMA, validate_against_schema
+from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
+from repro.__main__ import main
+
+# A paper-Section-4-style program: gp-addressable globals whose region
+# lands on an arbitrary boundary, and a stack frame that is not padded.
+MISALIGNED_MC = """
+int total;
+int table[64];
+
+int sum(int n) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1)
+        acc = acc + table[i];
+    return acc;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1)
+        table[i] = i;
+    total = sum(64);
+    return 0;
+}
+"""
+
+
+def _build(software_support: bool):
+    options = CompilerOptions()
+    if software_support:
+        options = options.with_fac(FacSoftwareOptions.enabled())
+    return compile_and_link(MISALIGNED_MC, options)
+
+
+def test_misaligned_program_gets_actionable_diagnostics():
+    report = lint_program(_build(False), name="misaligned")
+    warnings = report.warnings
+    assert warnings, "expected alignment warnings without software support"
+    codes = {d.code for d in warnings}
+    assert codes & {"FAC101", "FAC201", "FAC202"}, codes
+    # fix-it hints must name the concrete remedy
+    hints = " ".join(d.hint or "" for d in warnings)
+    assert "FacSoftwareOptions.enabled()" in hints
+    assert any(d.function for d in warnings)
+
+
+def test_diagnostics_disappear_with_software_support():
+    report = lint_program(_build(True), name="aligned")
+    assert report.warnings == [], [d.render() for d in report.warnings]
+
+
+def test_stack_hint_names_frame_size():
+    program = _build(False)
+    report = lint_program(program, name="misaligned")
+    stack = [d for d in report.diagnostics if d.code in ("FAC201", "FAC202")]
+    if not stack:  # layout happens to be lucky -- still exercised elsewhere
+        pytest.skip("no stack diagnostics for this layout")
+    facts = program.frame_facts
+    diag = stack[0]
+    assert diag.function in facts
+    assert f"{facts[diag.function].frame_size} bytes" in diag.hint
+
+
+def test_json_schema_roundtrip():
+    report = lint_program(_build(False), name="misaligned")
+    payload = json.loads(json.dumps(report.to_json()))
+    assert validate_against_schema(payload, LINT_SCHEMA) == []
+    assert payload["summary"]["warnings"] == len(report.warnings)
+    assert payload["summary"]["sites"] == len(report.analysis.sites)
+    by_code = {d["code"] for d in payload["diagnostics"]}
+    assert by_code == {d.code for d in report.diagnostics}
+
+
+def test_schema_validator_rejects_malformed():
+    report = lint_program(_build(False), name="misaligned")
+    payload = report.to_json()
+    del payload["summary"]
+    assert validate_against_schema(payload, LINT_SCHEMA)
+    bad = report.to_json()
+    bad["diagnostics"][0]["severity"] = "fatal"
+    assert validate_against_schema(bad, LINT_SCHEMA)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+
+def _write_source(tmp_path):
+    path = tmp_path / "example.mc"
+    path.write_text(MISALIGNED_MC)
+    return str(path)
+
+
+def test_cli_lint_text(tmp_path, capsys):
+    status = main(["lint", _write_source(tmp_path)])
+    out = capsys.readouterr().out
+    assert status == 1  # warnings present
+    assert "warning: FAC" in out
+    assert "memory sites" in out
+
+
+def test_cli_lint_software_support_clean(tmp_path, capsys):
+    status = main(["lint", _write_source(tmp_path), "--software-support"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "warning:" not in out
+
+
+def test_cli_lint_json_roundtrip(tmp_path, capsys):
+    status = main(["lint", _write_source(tmp_path), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 1
+    assert validate_against_schema(payload, LINT_SCHEMA) == []
+    assert payload["summary"]["warnings"] > 0
+
+
+def test_cli_lint_benchmark_target(capsys):
+    status = main(["lint", "compress", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert status in (0, 1)
+    assert validate_against_schema(payload, LINT_SCHEMA) == []
+    assert payload["program"] == "compress"
+
+
+def test_cli_lint_unknown_target(capsys):
+    status = main(["lint", "no-such-benchmark"])
+    assert status == 2
+    assert "unknown lint target" in capsys.readouterr().err

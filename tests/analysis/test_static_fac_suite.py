@@ -1,0 +1,50 @@
+"""Suite-wide soundness: no ALWAYS_PREDICTS site may ever mispredict.
+
+This is the tentpole acceptance check — every workload in
+``repro.workloads.suite``, both compiler configurations, both paper
+block sizes. It simulates each program once, so it is marked slow;
+the fast single-benchmark version lives in test_static_fac.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_program, analyze_static, check_soundness
+from repro.fac.config import FacConfig
+from repro.workloads import BENCHMARKS, build_benchmark
+
+pytestmark = pytest.mark.slow
+
+# With-support sweep is restricted to a few programs to keep runtime sane;
+# the no-support sweep (the hard direction: misaligned everything) is full.
+WITH_SUPPORT_SLICE = ("compress", "xlisp", "tomcatv")
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_soundness_no_support(name):
+    _check(name, software_support=False)
+
+
+@pytest.mark.parametrize("name", WITH_SUPPORT_SLICE)
+def test_soundness_with_support(name):
+    _check(name, software_support=True)
+
+
+def _check(name: str, software_support: bool) -> None:
+    program = build_benchmark(name, software_support=software_support)
+    dynamic = analyze_program(program, block_sizes=(16, 32), per_pc=True)
+    for block_size in (16, 32):
+        analysis = analyze_static(program, FacConfig(block_size=block_size))
+        report = check_soundness(analysis, dynamic.per_pc[block_size])
+        assert report.sound, (
+            f"{name} bs={block_size}: "
+            f"ALWAYS violations {report.always_violations[:5]}, "
+            f"NEVER violations {report.never_violations[:5]}"
+        )
+        assert report.bounds_hold, (
+            f"{name} bs={block_size}: measured "
+            f"{report.measured_success_rate:.4f} outside "
+            f"[{report.success_rate_lower:.4f}, "
+            f"{report.success_rate_upper:.4f}]"
+        )

@@ -1,0 +1,112 @@
+"""Assembler/disassembler round-trip over every opcode.
+
+The static FAC analyzer (:mod:`repro.analysis.static_fac`) reasons about
+instruction records directly, so the textual pipeline must be a faithful
+bijection: assemble -> disassemble -> reassemble has to be a fixed point
+for every opcode in :data:`repro.isa.opcodes.OP_INFO`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import OP_INFO, Op
+from repro.isa.program import ObjectUnit
+
+# One canonical operand sample per assembler format key. Branch/jump
+# formats reference the local label "top" defined at the head of the
+# generated program.
+_SAMPLES = {
+    "r3": "$t0, $t1, $t2",
+    "sh": "$t0, $t1, 3",
+    "i2": "$t0, $t1, -4",
+    "lui": "$t0, 4660",
+    "md": "$t1, $t2",
+    "mf": "$t0",
+    "mc": "$t0, 8($sp)",
+    "mx": "$t0, $t1($t2)",
+    "mp": "$t0, ($t1)+4",
+    "fmc": "$f2, 8($sp)",
+    "fmx": "$f2, $t1($t2)",
+    "b2": "$t0, $t1, top",
+    "b1": "$t0, top",
+    "j": "top",
+    "jr": "$ra",
+    "jalr": "$ra, $t9",
+    "f3": "$f2, $f4, $f6",
+    "f2": "$f2, $f4",
+    "fcmp": "$f2, $f4",
+    "fb": "top",
+    "mtc1": "$t0, $f2",
+    "mfc1": "$t0, $f2",
+    "none": "",
+}
+
+# Immediate formats where a negative constant is not meaningful.
+_UNSIGNED_IMM_OPS = {Op.ANDI, Op.ORI, Op.XORI}
+
+_COMPARED_SLOTS = ("op", "rd", "rs", "rt", "rx", "fd", "fs", "ft",
+                   "imm", "target")
+
+
+def _sample_source() -> str:
+    lines = [".text", "top:"]
+    for op, info in OP_INFO.items():
+        operands = _SAMPLES[info.fmt]
+        if op in _UNSIGNED_IMM_OPS:
+            operands = operands.replace("-4", "4")
+        lines.append(f"    {info.mnemonic} {operands}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def _unit_to_text(unit: ObjectUnit) -> str:
+    """Render a unit back to assembly, naming resolved local branch
+    targets (the disassembler prints them as ``@index``)."""
+    targets = {
+        inst.target
+        for inst in unit.text
+        if inst.target is not None and inst.label is not None
+    }
+    lines = [".text"]
+    for index, inst in enumerate(unit.text):
+        if index in targets:
+            lines.append(f"T{index}:")
+        text = re.sub(r"@(\d+)", r"T\1", disassemble(inst))
+        lines.append("    " + text)
+    if len(unit.text) in targets:
+        lines.append(f"T{len(unit.text)}:")
+        lines.append("    nop")
+    return "\n".join(lines) + "\n"
+
+
+def test_sample_program_covers_every_opcode():
+    unit = assemble(_sample_source(), "samples")
+    assert {inst.op for inst in unit.text} == set(OP_INFO)
+
+
+def test_assemble_disassemble_reassemble_fixed_point():
+    unit1 = assemble(_sample_source(), "first")
+    text2 = _unit_to_text(unit1)
+    unit2 = assemble(text2, "second")
+    text3 = _unit_to_text(unit2)
+    assert text2 == text3, "disassembly is not a fixed point"
+
+    assert len(unit1.text) <= len(unit2.text)  # trailing-label nop pad
+    for inst1, inst2 in zip(unit1.text, unit2.text):
+        for slot in _COMPARED_SLOTS:
+            assert getattr(inst1, slot) == getattr(inst2, slot), (
+                f"{disassemble(inst1)!r}: {slot} diverged "
+                f"({getattr(inst1, slot)} != {getattr(inst2, slot)})"
+            )
+
+
+def test_roundtrip_every_opcode_individually():
+    unit1 = assemble(_sample_source(), "first")
+    unit2 = assemble(_unit_to_text(unit1), "second")
+    seen = set()
+    for inst1, inst2 in zip(unit1.text, unit2.text):
+        assert inst1.op == inst2.op
+        seen.add(inst1.op)
+    assert seen == set(OP_INFO)
