@@ -1,0 +1,91 @@
+"""Observability overhead gate.
+
+The telemetry layer's contract is that an **unattached** observer
+(``obs=None``) costs nearly nothing: every emission site is guarded by
+``if self.obs is not None``, so the disabled simulator must stay within
+5% of the throughput recorded before instrumentation landed
+(``benchmarks/obs_baseline.json``).
+
+The baseline is machine-specific, so the file carries a host
+fingerprint; on a different interpreter or machine the gate re-records
+the baseline instead of failing. Delete the file to force re-recording.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cpu import CPU
+from repro.fac import FacConfig
+from repro.pipeline import MachineConfig, PipelineSimulator
+from repro.workloads import build_benchmark
+
+BASELINE_PATH = Path(__file__).parent / "obs_baseline.json"
+BASELINE_SCHEMA = "repro.obs-baseline/1"
+WORKLOADS = ("compress", "xlisp", "tomcatv")
+MAX_REGRESSION = 0.05
+REPEATS = 3
+
+
+def fingerprint() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+    }
+
+
+def measure_instructions_per_second() -> float:
+    """Best-of-N throughput of the null-observer timing simulator."""
+    programs = [build_benchmark(name) for name in WORKLOADS]
+    best = 0.0
+    for _ in range(REPEATS):
+        instructions = 0
+        start = time.perf_counter()
+        for program in programs:
+            cpu = CPU(program)
+            pipe = PipelineSimulator(MachineConfig(fac=FacConfig()),
+                                     obs=None)
+            feed = pipe.feed
+            step = cpu.step
+            while not cpu.halted:
+                feed(step())
+            instructions += pipe.finalize().instructions
+        elapsed = time.perf_counter() - start
+        best = max(best, instructions / elapsed)
+    return best
+
+
+def record_baseline(rate: float) -> None:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "workloads": list(WORKLOADS),
+        "instructions_per_second": rate,
+        "fingerprint": fingerprint(),
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                             + "\n")
+
+
+def test_null_observer_overhead_within_budget():
+    rate = measure_instructions_per_second()
+    if not BASELINE_PATH.exists():
+        record_baseline(rate)
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if (baseline.get("schema") != BASELINE_SCHEMA
+            or baseline.get("fingerprint") != fingerprint()
+            or tuple(baseline.get("workloads", ())) != WORKLOADS):
+        # different host or stale format: re-record rather than compare
+        record_baseline(rate)
+        return
+    reference = baseline["instructions_per_second"]
+    slowdown = 1.0 - rate / reference
+    assert slowdown <= MAX_REGRESSION, (
+        f"instrumented simulator with obs=None runs at {rate:.0f} "
+        f"instr/s vs recorded baseline {reference:.0f} instr/s "
+        f"({100 * slowdown:.1f}% regression > {100 * MAX_REGRESSION:.0f}% "
+        f"budget)")

@@ -8,6 +8,10 @@ Commands:
 * ``bench NAME``       -- run one benchmark and report timing/prediction
 * ``lint TARGET``      -- static FAC-predictability lint of a MiniC file,
                           assembly file, or benchmark name
+* ``profile TARGET``   -- source-level FAC profile: hottest loads/stores
+                          with prediction rate, miss rate, replay cycles
+* ``trace TARGET``     -- structured event trace (Chrome/Perfetto JSON or
+                          JSON Lines)
 * ``experiment WHICH`` -- regenerate a paper table/figure
                           (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
 """
@@ -85,7 +89,45 @@ def cmd_bench(args) -> int:
     print(f"prediction fail  : loads {100 * stats.load_failure_rate:.1f}%  "
           f"stores {100 * stats.store_failure_rate:.1f}%")
     print(f"extra bandwidth  : {100 * fac.bandwidth_overhead:.2f}% of refs")
+    if args.snapshot is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        base.to_registry(registry, prefix="baseline")
+        fac.to_registry(registry, prefix="fac")
+        snapshot = registry.snapshot(meta={
+            "benchmark": args.name,
+            "software_support": bool(args.software_support),
+        })
+        path = args.snapshot or "BENCH_obs.json"
+        with open(path, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot : {path}")
     return 0
+
+
+def _load_target(args):
+    """Resolve a CLI target (MiniC file, assembly file, or benchmark name)
+    to a linked Program; shared by lint/profile/trace. Returns None and
+    prints a diagnostic when the target is unknown."""
+    target = args.target
+    if target.endswith(".mc"):
+        with open(target) as handle:
+            return compile_and_link(handle.read(), _options(args))
+    if target.endswith(".s"):
+        with open(target) as handle:
+            return link([assemble(handle.read(), target)], LinkOptions())
+    from repro.workloads import BENCHMARKS, build_benchmark
+
+    if target not in BENCHMARKS:
+        print(f"unknown target {target!r}: expected a .mc/.s file "
+              "or a benchmark name (see 'python -m repro suite')",
+              file=sys.stderr)
+        return None
+    return build_benchmark(
+        target, software_support=getattr(args, "software_support", False)
+    )
 
 
 def cmd_lint(args) -> int:
@@ -95,23 +137,9 @@ def cmd_lint(args) -> int:
     errors -- so the linter can gate CI like a conventional lint tool.
     """
     target = args.target
-    if target.endswith(".mc"):
-        with open(target) as handle:
-            program = compile_and_link(handle.read(), _options(args))
-    elif target.endswith(".s"):
-        with open(target) as handle:
-            program = link([assemble(handle.read(), target)], LinkOptions())
-    else:
-        from repro.workloads import BENCHMARKS, build_benchmark
-
-        if target not in BENCHMARKS:
-            print(f"unknown lint target {target!r}: expected a .mc/.s file "
-                  "or a benchmark name (see 'python -m repro suite')",
-                  file=sys.stderr)
-            return 2
-        program = build_benchmark(
-            target, software_support=args.software_support
-        )
+    program = _load_target(args)
+    if program is None:
+        return 2
     config = FacConfig(cache_size=args.cache_size, block_size=args.block_size)
     report = lint_program(program, config, name=target)
     if args.json:
@@ -119,6 +147,48 @@ def cmd_lint(args) -> int:
     else:
         print(report.render_text())
     return 1 if report.warnings else 0
+
+
+def cmd_profile(args) -> int:
+    """Source-level FAC profile (see :mod:`repro.obs.profile`)."""
+    from repro.obs.profile import profile_program
+
+    program = _load_target(args)
+    if program is None:
+        return 2
+    result = profile_program(
+        program,
+        name=args.target,
+        primary_block_size=args.block_size,
+        cache_size=args.cache_size,
+        max_instructions=args.max_instructions,
+    )
+    top = args.top or None  # --top 0 means "all sites"
+    if args.json:
+        print(json.dumps(result.to_json(top), indent=2))
+    else:
+        print(result.render_text(top=top))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Structured event trace (see :mod:`repro.obs.trace`)."""
+    from repro.obs.trace import trace_program
+
+    program = _load_target(args)
+    if program is None:
+        return 2
+    if args.output:
+        with open(args.output, "w") as stream:
+            result = trace_program(program, stream, fmt=args.format,
+                                   max_instructions=args.max_instructions)
+        print(f"{args.format} trace written to {args.output} "
+              f"({result.instructions} instructions, {result.cycles} cycles)",
+              file=sys.stderr)
+    else:
+        result = trace_program(program, sys.stdout, fmt=args.format,
+                               max_instructions=args.max_instructions)
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -171,6 +241,10 @@ def main(argv=None) -> int:
     p_bench = sub.add_parser("bench", help="run one benchmark with timing")
     p_bench.add_argument("name")
     p_bench.add_argument("--software-support", action="store_true")
+    p_bench.add_argument("--snapshot", nargs="?", const="BENCH_obs.json",
+                         default=None, metavar="FILE",
+                         help="write a versioned metrics snapshot "
+                              "(default FILE: BENCH_obs.json)")
     p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
@@ -186,6 +260,39 @@ def main(argv=None) -> int:
     p_lint.add_argument("--cache-size", type=int, default=16 * 1024)
     p_lint.add_argument("--block-size", type=int, default=32)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_profile = sub.add_parser(
+        "profile", help="source-level FAC profile (repro.obs.profile)"
+    )
+    p_profile.add_argument("target", help="MiniC file, assembly file, or "
+                                          "benchmark name")
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit the machine-readable report "
+                                "(schema: repro.obs.profile.PROFILE_SCHEMA)")
+    p_profile.add_argument("--top", type=int, default=20,
+                           help="rows to show (0 = all)")
+    p_profile.add_argument("--software-support", action="store_true",
+                           help="compile with the paper's Section 4 support")
+    p_profile.add_argument("--cache-size", type=int, default=16 * 1024)
+    p_profile.add_argument("--block-size", type=int, default=32)
+    p_profile.add_argument("--max-instructions", type=int, default=50_000_000)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace", help="structured event trace (repro.obs.trace)"
+    )
+    p_trace.add_argument("target", help="MiniC file, assembly file, or "
+                                        "benchmark name")
+    p_trace.add_argument("--format", choices=["chrome", "jsonl"],
+                         default="chrome",
+                         help="chrome = Perfetto-loadable trace-event JSON; "
+                              "jsonl = one event object per line")
+    p_trace.add_argument("-o", "--output", default=None,
+                         help="write to FILE instead of stdout")
+    p_trace.add_argument("--software-support", action="store_true",
+                         help="compile with the paper's Section 4 support")
+    p_trace.add_argument("--max-instructions", type=int, default=50_000_000)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("which")

@@ -1,9 +1,25 @@
 """Plain-text table and series rendering for the experiment harnesses,
-plus the machine-readable schema shared by ``repro lint --json``."""
+plus the machine-readable schemas shared by ``repro lint --json`` and
+the observability layer (``repro bench --snapshot``, ``repro profile
+--json`` -- see :mod:`repro.obs.metrics` and :mod:`repro.obs.profile`)."""
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+# Canonical metrics-snapshot schema; defined next to the registry so the
+# obs layer has no analysis dependency, re-exported here because report
+# producers and consumers historically import schemas from this module.
+from repro.obs.metrics import SNAPSHOT_SCHEMA, SNAPSHOT_VERSION
+
+__all__ = [
+    "LINT_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_VERSION",
+    "format_series",
+    "format_table",
+    "validate_against_schema",
+]
 
 #: Structural schema (JSON-Schema subset) for ``repro lint --json`` output.
 #: Kept here so report producers and consumers share one definition;

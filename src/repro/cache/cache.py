@@ -5,6 +5,11 @@ live in the simulated :class:`~repro.mem.memory.Memory` (timing and
 contents are decoupled, as in trace-driven simulators). The baseline
 machine of Table 5 uses 16 KB direct-mapped caches with 32-byte blocks
 and a 6-cycle miss latency.
+
+Statistics live in :mod:`repro.obs.metrics` containers (the uniform
+``as_dict()``/``merge()`` protocol); pass an
+:class:`~repro.obs.events.EventBus` as ``obs`` to stream per-access
+:class:`~repro.obs.events.CacheAccess` events.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.obs.events import CacheAccess
+from repro.obs.metrics import Counter, RatioStat
 from repro.utils.bits import is_pow2, log2_exact
 
 
@@ -51,19 +58,19 @@ class CacheConfig:
 class Cache:
     """Tag store with hit/miss and write-back accounting."""
 
-    def __init__(self, config: CacheConfig | None = None):
+    def __init__(self, config: CacheConfig | None = None, obs=None):
         self.config = config or CacheConfig()
         cfg = self.config
+        self.obs = obs
         self._offset_bits = cfg.offset_bits
         self._index_mask = cfg.num_sets - 1
         self._assoc = cfg.assoc
         # Per set: list of [tag, dirty] entries ordered most-recent first.
         self._sets: list[list[list]] = [[] for _ in range(cfg.num_sets)]
-        self.hits = 0
-        self.misses = 0
-        self.writebacks = 0
-        self.read_accesses = 0
-        self.write_accesses = 0
+        self._accesses = RatioStat(f"{cfg.name}.accesses")  # hit = True
+        self._writebacks = Counter(f"{cfg.name}.writebacks")
+        self._reads = Counter(f"{cfg.name}.reads")
+        self._writes = Counter(f"{cfg.name}.writes")
 
     # ------------------------------------------------------------------ #
 
@@ -83,50 +90,101 @@ class Cache:
         write-allocate policy); a dirty eviction increments
         ``writebacks``.
         """
-        if is_write:
-            self.write_accesses += 1
-        else:
-            self.read_accesses += 1
+        (self._writes if is_write else self._reads).incr()
         index, tag = self._locate(address)
         entries = self._sets[index]
         for position, entry in enumerate(entries):
             if entry[0] == tag:
-                self.hits += 1
+                self._accesses.record(True)
                 if is_write:
                     entry[1] = True
                 if position != 0:
                     entries.insert(0, entries.pop(position))
+                if self.obs is not None:
+                    self.obs.emit(CacheAccess(
+                        level=self.config.name, address=address,
+                        is_write=is_write, hit=True,
+                        evicted=False, writeback=False,
+                    ))
                 return True
-        self.misses += 1
-        if is_write and not self.config.write_allocate:
-            return False
-        if len(entries) >= self._assoc:
-            victim = entries.pop()
-            if victim[1]:
-                self.writebacks += 1
-        entries.insert(0, [tag, is_write and self.config.write_back])
+        self._accesses.record(False)
+        evicted = False
+        writeback = False
+        if not (is_write and not self.config.write_allocate):
+            if len(entries) >= self._assoc:
+                victim = entries.pop()
+                evicted = True
+                if victim[1]:
+                    writeback = True
+                    self._writebacks.incr()
+            entries.insert(0, [tag, is_write and self.config.write_back])
+        if self.obs is not None:
+            self.obs.emit(CacheAccess(
+                level=self.config.name, address=address,
+                is_write=is_write, hit=False,
+                evicted=evicted, writeback=writeback,
+            ))
         return False
 
     def invalidate_all(self) -> None:
         self._sets = [[] for _ in range(self.config.num_sets)]
 
     # ------------------------------------------------------------------ #
+    # statistics (metrics-protocol containers with legacy accessors)
+
+    @property
+    def hits(self) -> int:
+        return self._accesses.hits
+
+    @property
+    def misses(self) -> int:
+        return self._accesses.misses
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.count
+
+    @property
+    def read_accesses(self) -> int:
+        return self._reads.count
+
+    @property
+    def write_accesses(self) -> int:
+        return self._writes.count
 
     @property
     def accesses(self) -> int:
-        return self.hits + self.misses
+        return self._accesses.total
 
     @property
     def miss_ratio(self) -> float:
-        total = self.accesses
-        return self.misses / total if total else 0.0
+        return self._accesses.miss_ratio
+
+    def metrics(self) -> dict[str, object]:
+        """The stat containers, keyed by metric path."""
+        return {
+            metric.name: metric
+            for metric in (self._accesses, self._writebacks,
+                           self._reads, self._writes)
+        }
+
+    def as_dict(self) -> dict:
+        """Uniform protocol: every stat container, serialized."""
+        return {name: metric.as_dict()
+                for name, metric in sorted(self.metrics().items())}
+
+    def merge_stats(self, other: "Cache") -> None:
+        """Absorb another cache's counters (sharded-run aggregation)."""
+        self._accesses.merge(other._accesses)
+        self._writebacks.merge(other._writebacks)
+        self._reads.merge(other._reads)
+        self._writes.merge(other._writes)
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.writebacks = 0
-        self.read_accesses = 0
-        self.write_accesses = 0
+        self._accesses.reset()
+        self._writebacks.reset()
+        self._reads.reset()
+        self._writes.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         cfg = self.config

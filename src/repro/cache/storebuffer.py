@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.events import StoreBufferFullStall, StoreBufferInsert
+from repro.obs.metrics import Counter
+
 
 class StoreBufferEntry:
     __slots__ = ("address", "ready_cycle")
@@ -28,13 +31,14 @@ class StoreBufferEntry:
 class StoreBuffer:
     """FIFO of pending stores awaiting a free cache cycle."""
 
-    def __init__(self, capacity: int = 16):
+    def __init__(self, capacity: int = 16, obs=None):
         self.capacity = capacity
+        self.obs = obs
         self.entries: deque[StoreBufferEntry] = deque()
-        self.inserts = 0
-        self.full_stalls = 0
-        self.retires = 0
-        self.address_fixups = 0
+        self._inserts = Counter("sb.inserts")
+        self._full_stalls = Counter("sb.full_stalls")
+        self._retires = Counter("sb.retires")
+        self._address_fixups = Counter("sb.address_fixups")
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -47,23 +51,59 @@ class StoreBuffer:
         """Add a store; caller must have ensured space (or stalled)."""
         entry = StoreBufferEntry(address, cycle + 1)
         self.entries.append(entry)
-        self.inserts += 1
+        self._inserts.incr()
+        if self.obs is not None:
+            self.obs.emit(StoreBufferInsert(cycle=cycle,
+                                            occupancy=len(self.entries)))
         return entry
 
     def fixup_address(self, entry: StoreBufferEntry, address: int) -> None:
         """Replace a misspeculated address (FAC replay path)."""
         entry.address = address
-        self.address_fixups += 1
+        self._address_fixups.incr()
 
     def retire_one(self, cycle: int) -> StoreBufferEntry | None:
         """Retire the oldest ready entry, if any; returns it."""
         if self.entries and self.entries[0].ready_cycle <= cycle:
-            self.retires += 1
+            self._retires.incr()
             return self.entries.popleft()
         return None
 
-    def note_full_stall(self) -> None:
-        self.full_stalls += 1
+    def note_full_stall(self, cycle: int = 0) -> None:
+        self._full_stalls.incr()
+        if self.obs is not None:
+            self.obs.emit(StoreBufferFullStall(cycle=cycle))
+
+    # ------------------------------------------------------------------ #
+    # statistics (metrics-protocol containers with legacy accessors)
+
+    @property
+    def inserts(self) -> int:
+        return self._inserts.count
+
+    @property
+    def full_stalls(self) -> int:
+        return self._full_stalls.count
+
+    @property
+    def retires(self) -> int:
+        return self._retires.count
+
+    @property
+    def address_fixups(self) -> int:
+        return self._address_fixups.count
+
+    def as_dict(self) -> dict:
+        """Uniform metrics protocol (see :mod:`repro.obs.metrics`)."""
+        counters = (self._inserts, self._full_stalls, self._retires,
+                    self._address_fixups)
+        return {c.name: c.as_dict() for c in counters}
+
+    def merge_stats(self, other: "StoreBuffer") -> None:
+        self._inserts.merge(other._inserts)
+        self._full_stalls.merge(other._full_stalls)
+        self._retires.merge(other._retires)
+        self._address_fixups.merge(other._address_fixups)
 
     def drain_pending(self) -> int:
         """Number of entries still buffered (end-of-run accounting)."""

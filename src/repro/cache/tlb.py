@@ -11,11 +11,15 @@ Replacement uses a deterministic xorshift PRNG so runs are repeatable.
 
 from __future__ import annotations
 
+from repro.obs.events import TlbAccess
+from repro.obs.metrics import RatioStat
+
 
 class TLB:
     """Fully-associative TLB with random replacement."""
 
-    def __init__(self, entries: int = 64, page_size: int = 4096, seed: int = 0x2545F491):
+    def __init__(self, entries: int = 64, page_size: int = 4096,
+                 seed: int = 0x2545F491, obs=None):
         self.capacity = entries
         self.page_shift = (page_size - 1).bit_length()
         if 1 << self.page_shift != page_size:
@@ -23,8 +27,8 @@ class TLB:
         self._pages: set[int] = set()
         self._order: list[int] = []
         self._rng_state = seed or 1
-        self.hits = 0
-        self.misses = 0
+        self.obs = obs
+        self._accesses = RatioStat("tlb.accesses")
 
     def _rand(self) -> int:
         # xorshift32
@@ -39,9 +43,11 @@ class TLB:
         """Translate one address; returns True on TLB hit."""
         page = address >> self.page_shift
         if page in self._pages:
-            self.hits += 1
+            self._accesses.record(True)
+            if self.obs is not None:
+                self.obs.emit(TlbAccess(address=address, hit=True))
             return True
-        self.misses += 1
+        self._accesses.record(False)
         if len(self._order) >= self.capacity:
             victim_slot = self._rand() % self.capacity
             victim = self._order[victim_slot]
@@ -50,17 +56,32 @@ class TLB:
         else:
             self._order.append(page)
         self._pages.add(page)
+        if self.obs is not None:
+            self.obs.emit(TlbAccess(address=address, hit=False))
         return False
 
     @property
+    def hits(self) -> int:
+        return self._accesses.hits
+
+    @property
+    def misses(self) -> int:
+        return self._accesses.misses
+
+    @property
     def accesses(self) -> int:
-        return self.hits + self.misses
+        return self._accesses.total
 
     @property
     def miss_ratio(self) -> float:
-        total = self.accesses
-        return self.misses / total if total else 0.0
+        return self._accesses.miss_ratio
+
+    def as_dict(self) -> dict:
+        """Uniform metrics protocol (see :mod:`repro.obs.metrics`)."""
+        return {self._accesses.name: self._accesses.as_dict()}
+
+    def merge_stats(self, other: "TLB") -> None:
+        self._accesses.merge(other._accesses)
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self._accesses.reset()

@@ -107,9 +107,22 @@ class CodeGenerator:
         self.label_counter = 0
         # per-function frame layout, for static analyses (repro lint)
         self.frame_facts: dict[str, FrameFacts] = {}
+        # source attribution (.loc directives -> Program.line_table)
+        self.current_file: str | None = None
+        self._last_loc: tuple[str, int] | None = None
 
     def emit(self, text: str) -> None:
         self.lines.append(text)
+
+    def emit_loc(self, line: int) -> None:
+        """Mark subsequent text as coming from ``line`` of the current
+        source file (deduplicated; feeds ``Program.line_table``)."""
+        if not line or self.current_file is None:
+            return
+        loc = (self.current_file, line)
+        if loc != self._last_loc:
+            self._last_loc = loc
+            self.emit(f".loc {self.current_file} {line}")
 
     def new_label(self, hint: str) -> str:
         self.label_counter += 1
@@ -120,9 +133,11 @@ class CodeGenerator:
     def generate(self, units: list[ast.TranslationUnit]) -> str:
         self.emit(".text")
         for unit in units:
+            self.current_file = unit.name
             for decl in unit.decls:
                 if isinstance(decl, ast.FuncDef) and decl.body is not None:
                     FunctionCompiler(self, decl).compile()
+        self.current_file = None
         self._emit_data(units)
         return "\n".join(self.lines) + "\n"
 
@@ -245,6 +260,7 @@ class FunctionCompiler:
             align_target=(self.frame_align_target if self.variable_frame
                           else fac.frame_align),
         )
+        self.gen.emit_loc(self.func.line)
         self.gen.emit(f".globl {self.func.name}")
         self.gen.emit(f"{self.func.name}:")
         self._prologue()
@@ -487,6 +503,7 @@ class FunctionCompiler:
             self._gen_stmt(stmt)
 
     def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        self.gen.emit_loc(stmt.line)
         if isinstance(stmt, ast.Block):
             self._gen_block(stmt)
         elif isinstance(stmt, ast.ExprStmt):

@@ -45,9 +45,12 @@ class TraceRecord:
 class CPU:
     """Architectural simulator bound to one linked program."""
 
-    def __init__(self, program: Program, memory: Memory | None = None):
+    def __init__(self, program: Program, memory: Memory | None = None,
+                 obs=None):
         self.program = program
         self.memory = memory or Memory()
+        # Optional EventBus (repro.obs); used for Syscall events.
+        self.obs = obs
         self.state = ArchState()
         self.output: list[str] = []
         self.halted = False

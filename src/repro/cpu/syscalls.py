@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.isa.registers import Reg
+from repro.obs.events import Syscall
 from repro.utils.bits import to_signed32
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,10 +36,24 @@ SYS_PRINT_CHAR = 11
 SYS_EXIT2 = 17
 
 
+SERVICE_NAMES = {
+    SYS_PRINT_INT: "print_int",
+    SYS_PRINT_DOUBLE: "print_double",
+    SYS_PRINT_STRING: "print_string",
+    SYS_SBRK: "sbrk",
+    SYS_EXIT: "exit",
+    SYS_PRINT_CHAR: "print_char",
+    SYS_EXIT2: "exit2",
+}
+
+
 def handle_syscall(cpu: "CPU") -> None:
     """Execute the syscall selected by ``$v0`` on ``cpu``."""
     state = cpu.state
     service = state.regs[Reg.V0]
+    if cpu.obs is not None:
+        cpu.obs.emit(Syscall(pc=state.pc, service=service,
+                             name=SERVICE_NAMES.get(service, "unknown")))
     if service == SYS_PRINT_INT:
         cpu.output.append(str(to_signed32(state.regs[Reg.A0])))
     elif service == SYS_PRINT_DOUBLE:

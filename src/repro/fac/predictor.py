@@ -62,6 +62,27 @@ class FailureSignals:
             or self.tag_mismatch
         )
 
+    @property
+    def primary_reason(self) -> str | None:
+        """Human-readable name of the dominant failure cause, or None.
+
+        Several signals can fire at once; the priority order reports the
+        most *specific* cause first (the one software support targets):
+        a large negative constant or negative register offset explains
+        the failure outright, otherwise the carry behaviour does.
+        """
+        if self.large_neg_const:
+            return "large-negative-offset"
+        if self.neg_index_reg:
+            return "negative-register"
+        if self.gen_carry:
+            return "carry-into-index"
+        if self.overflow:
+            return "block-carry-out"
+        if self.tag_mismatch:
+            return "tag-mismatch"
+        return None
+
 
 @dataclass(frozen=True)
 class Prediction:

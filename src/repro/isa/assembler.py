@@ -158,6 +158,19 @@ class _Assembler:
         if name in (".text", ".data", ".sdata"):
             self.section = name[1:]
             self.current_def = None
+        elif name == ".loc":
+            # ``.loc file line``: subsequent text maps to this source
+            # position (until the next ``.loc``). Mirrors the GNU as
+            # directive; feeds Program.line_table through the linker.
+            tokens = rest.split()
+            if len(tokens) != 2:
+                raise AssemblerError(".loc needs file and line", line)
+            mark = (len(self.unit.text), tokens[0], _parse_int(tokens[1], line))
+            marks = self.unit.line_marks
+            if marks and marks[-1][0] == mark[0]:
+                marks[-1] = mark  # no instructions since the last mark
+            else:
+                marks.append(mark)
         elif name == ".globl" or name == ".global":
             self.unit.exported.add(rest.strip())
         elif name == ".word":

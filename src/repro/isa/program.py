@@ -9,6 +9,7 @@ lays out the global region, resolves relocations, and returns a
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -114,6 +115,9 @@ class ObjectUnit:
     # layout metadata from the compiler (empty for hand-written assembly)
     frame_facts: dict[str, FrameFacts] = field(default_factory=dict)
     struct_facts: dict[str, int] = field(default_factory=dict)  # name -> size
+    # source attribution from ``.loc`` directives: (inst index, file, line).
+    # Each mark covers instructions until the next mark (or unit end).
+    line_marks: list[tuple[int, str, int]] = field(default_factory=list)
 
 
 class Program:
@@ -153,6 +157,10 @@ class Program:
         self.frame_facts: dict[str, FrameFacts] = {}
         self.struct_facts: dict[str, int] = {}
         self.link_facts: LinkFacts | None = None
+        # merged source line table: (address, file, line), address-sorted.
+        # A ``file`` of "" marks an attribution gap (hand-written startup
+        # code, units assembled without ``.loc`` directives).
+        self.line_table: list[tuple[int, str, int]] = []
 
     def instruction_at(self, address: int) -> Instruction:
         """Fetch the instruction stored at ``address``."""
@@ -165,6 +173,25 @@ class Program:
 
     def symbol_address(self, name: str) -> int:
         return self.symbols[name].address
+
+    def source_of(self, address: int) -> tuple[str, int] | None:
+        """Map a text address to ``(file, line)`` via the line table.
+
+        Returns None for addresses outside the text segment, in an
+        attribution gap, or when the program was linked without any
+        ``.loc`` information.
+        """
+        if not self.line_table:
+            return None
+        if not self.text_base <= address < self.text_base + self.text_size:
+            return None
+        index = bisect_right(self.line_table, (address, "￿", 0)) - 1
+        if index < 0:
+            return None
+        _, file, line = self.line_table[index]
+        if not file:
+            return None
+        return file, line
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -74,6 +74,7 @@ class _Linker:
         self.options = options
         self.symbols: dict[str, Symbol] = {}
         self.text = []
+        self.line_table: list[tuple[int, str, int]] = []
         self.unit_bases: dict[int, int] = {}  # id(unit) -> text base addr
         self.def_addr: dict[int, int] = {}    # id(DataDef) -> placed address
 
@@ -111,6 +112,7 @@ class _Linker:
         for unit in self.units:
             program.frame_facts.update(unit.frame_facts)
             program.struct_facts.update(unit.struct_facts)
+        program.line_table = self.line_table
         return program
 
     # ------------------------------------------------------------------ #
@@ -120,6 +122,14 @@ class _Linker:
         base = self.options.text_base
         for unit in self.units:
             self.unit_bases[id(unit)] = base
+            # Merge ``.loc`` marks into the program-wide line table. A
+            # unit whose text does not open with a mark gets a gap entry
+            # so the previous unit's attribution cannot spill into it.
+            if unit.text and not (unit.line_marks
+                                  and unit.line_marks[0][0] == 0):
+                self.line_table.append((base, "", 0))
+            for index, file, line in unit.line_marks:
+                self.line_table.append((base + index * 4, file, line))
             for offset, inst in enumerate(unit.text):
                 inst.addr = base + offset * 4
                 self.text.append(inst)

@@ -1,0 +1,81 @@
+"""``repro.obs`` -- the unified telemetry layer.
+
+Three pillars:
+
+* :mod:`repro.obs.events` -- typed structured events and the
+  :class:`~repro.obs.events.EventBus` threaded through the simulator
+  stack (pipeline, caches, TLB, store buffer, CPU),
+* :mod:`repro.obs.metrics` -- the hierarchical metrics registry with the
+  uniform ``as_dict()``/``merge()`` container protocol and versioned
+  snapshots,
+* :mod:`repro.obs.sinks` -- pluggable event consumers: null, in-memory,
+  JSONL, and Chrome trace-event JSON (Perfetto-loadable).
+
+Higher-level drivers live in submodules imported on demand (they pull in
+the whole simulator stack): :mod:`repro.obs.profile` for source-level FAC
+profiling (``repro profile``) and :mod:`repro.obs.trace` for event-stream
+capture (``repro trace``).
+
+The default is observability *off*: every producer takes ``obs=None``
+and guards each emission with one attribute test, keeping the
+un-instrumented hot path within a few percent of the pre-obs simulator
+(``benchmarks/test_obs_overhead.py`` enforces the bound).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    BranchResolved,
+    CacheAccess,
+    Event,
+    EventBus,
+    FacPredict,
+    FacReplay,
+    InstRetired,
+    MemAccess,
+    StoreBufferFullStall,
+    StoreBufferInsert,
+    Syscall,
+    TlbAccess,
+)
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    SNAPSHOT_VERSION,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RatioStat,
+    safe_ratio,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CollectingSink,
+    JsonlSink,
+    NullSink,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "BranchResolved",
+    "CacheAccess",
+    "Event",
+    "EventBus",
+    "FacPredict",
+    "FacReplay",
+    "InstRetired",
+    "MemAccess",
+    "StoreBufferFullStall",
+    "StoreBufferInsert",
+    "Syscall",
+    "TlbAccess",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_VERSION",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "RatioStat",
+    "safe_ratio",
+    "ChromeTraceSink",
+    "CollectingSink",
+    "JsonlSink",
+    "NullSink",
+]

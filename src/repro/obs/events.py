@@ -1,0 +1,189 @@
+"""Typed structured events and the bus that carries them.
+
+Every observable action in the simulator stack is a small dataclass with
+a class-level ``kind`` tag. Producers (pipeline, caches, TLB, store
+buffer, CPU) hold an optional :class:`EventBus` and guard every emission
+with ``if obs is not None`` -- when observability is off (the default)
+the only cost is that one attribute test, so the un-instrumented hot
+path stays within a few percent of the pre-instrumentation simulator
+(enforced by ``benchmarks/test_obs_overhead.py``).
+
+Event taxonomy (full field reference in docs/observability.md):
+
+==================  ====================================================
+kind                meaning
+==================  ====================================================
+``inst.retired``    one instruction through the timing pipeline (stage
+                    occupancy: issue/ready/mem cycles, issue slot)
+``fac.predict``     one speculative EX-stage address calculation, with
+                    the verification outcome and failure *reason*
+``fac.replay``      the MEM-stage replay an unsuccessful prediction
+                    forces (1 extra cycle, plus a burned cache port)
+``mem.access``      one data-cache access with everything the profiler
+                    needs: pc, ea, hit, speculation outcome, latency
+``cache.access``    tag-store activity on any cache (hit/miss/eviction/
+                    writeback), from :class:`repro.cache.cache.Cache`
+``tlb.access``      data-TLB translation hit/miss
+``sb.insert``       a store entered the store buffer
+``sb.full_stall``   pipeline stalled on a full store buffer
+``branch``          conditional branch resolved (taken, BTB outcome)
+``syscall``         system call retired by the functional simulator
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+class Event:
+    """Base class: ``kind`` tag plus a cheap dict serializer."""
+
+    kind = "event"
+    __slots__ = ()
+
+    def as_dict(self) -> dict:
+        out = {"event": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(slots=True)
+class InstRetired(Event):
+    """Pipeline stage occupancy of one retired instruction."""
+
+    kind = "inst.retired"
+    seq: int            # retirement index (0-based)
+    pc: int
+    op: str             # mnemonic
+    issue: int          # EX cycle (IF = issue-2, ID = issue-1)
+    ready: int          # result-ready cycle (WB)
+    mem: int | None     # cache-access cycle for memory ops, else None
+    slot: int           # issue slot within the cycle (0..issue_width-1)
+
+
+@dataclass(slots=True)
+class FacPredict(Event):
+    """One speculative address calculation and its verification."""
+
+    kind = "fac.predict"
+    pc: int
+    cycle: int
+    is_store: bool
+    success: bool
+    reason: str | None  # primary failure reason, None on success
+
+
+@dataclass(slots=True)
+class FacReplay(Event):
+    """MEM-stage replay forced by a failed prediction."""
+
+    kind = "fac.replay"
+    pc: int
+    cycle: int          # the replay (MEM) cycle
+    penalty: int        # extra result-latency cycles (1)
+
+
+@dataclass(slots=True)
+class MemAccess(Event):
+    """One data-cache access as the pipeline timed it."""
+
+    kind = "mem.access"
+    pc: int
+    cycle: int          # issue (EX) cycle
+    ea: int
+    is_store: bool
+    hit: bool
+    speculated: bool    # attempted in EX via fast address calculation
+    fac_success: bool | None  # None when not speculated
+    fac_reason: str | None
+    result_ready: int
+
+
+@dataclass(slots=True)
+class CacheAccess(Event):
+    """Tag-store activity on one cache."""
+
+    kind = "cache.access"
+    level: str          # config.name: 'icache', 'dcache', ...
+    address: int
+    is_write: bool
+    hit: bool
+    evicted: bool       # a victim block was replaced
+    writeback: bool     # ... and it was dirty
+
+
+@dataclass(slots=True)
+class TlbAccess(Event):
+    kind = "tlb.access"
+    address: int
+    hit: bool
+
+
+@dataclass(slots=True)
+class StoreBufferInsert(Event):
+    kind = "sb.insert"
+    cycle: int
+    occupancy: int      # entries after the insert
+
+
+@dataclass(slots=True)
+class StoreBufferFullStall(Event):
+    kind = "sb.full_stall"
+    cycle: int
+
+
+@dataclass(slots=True)
+class BranchResolved(Event):
+    kind = "branch"
+    pc: int
+    cycle: int
+    taken: bool
+    mispredicted: bool
+
+
+@dataclass(slots=True)
+class Syscall(Event):
+    kind = "syscall"
+    pc: int
+    service: int
+    name: str
+
+
+#: kind -> event class, for sinks that reconstruct events.
+EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (
+        InstRetired, FacPredict, FacReplay, MemAccess, CacheAccess,
+        TlbAccess, StoreBufferInsert, StoreBufferFullStall,
+        BranchResolved, Syscall,
+    )
+}
+
+
+class EventBus:
+    """Fan-out from producers to sinks.
+
+    A bus with no sinks is legal and nearly free, but the supported
+    zero-overhead idiom is to pass ``obs=None`` to producers -- then not
+    even the event objects are constructed.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks: list | tuple = ()):
+        self.sinks = list(sinks)
+
+    def attach(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.handle(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

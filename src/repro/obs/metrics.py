@@ -1,0 +1,316 @@
+"""Hierarchical metrics registry with a uniform container protocol.
+
+Every metric implements the same small protocol:
+
+* ``as_dict()``  -- a JSON-serializable, self-describing dict
+                    (``{"type": ..., ...}``),
+* ``merge(other)`` -- absorb another instance of the same type
+                    (sharded / multi-run aggregation),
+* ``reset()``    -- zero the metric in place.
+
+Three concrete metrics cover everything the simulators need:
+
+* :class:`Counter`   -- a monotonically increasing event count,
+* :class:`RatioStat` -- hits over accesses (cache hit ratio,
+                       prediction accuracy),
+* :class:`Histogram` -- sparse integer histogram with CDF support
+                       (offset sizes, replay penalties, load-use
+                       distances).
+
+These are the canonical definitions; :mod:`repro.utils.stats` re-exports
+them for backwards compatibility.
+
+A :class:`MetricsRegistry` names metrics hierarchically with dot-separated
+paths (``"fac.replay_penalty"``) and serializes to a **versioned snapshot**
+(:data:`SNAPSHOT_VERSION`); the structural schema lives in
+:data:`SNAPSHOT_SCHEMA` and is shared with
+:mod:`repro.analysis.reporting`. Snapshots are deterministic: paths are
+sorted, histogram keys are sorted, and no wall-clock fields are emitted
+unless the caller passes them explicitly in ``meta``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+#: Version tag carried by every snapshot. Bump the trailing integer when
+#: the snapshot structure changes incompatibly (see docs/observability.md
+#: for the version policy).
+SNAPSHOT_VERSION = "repro.metrics/1"
+
+#: Structural schema (the JSON-Schema subset understood by
+#: :func:`repro.analysis.reporting.validate_against_schema`) for
+#: :meth:`MetricsRegistry.snapshot` output.
+SNAPSHOT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "meta", "metrics"],
+    "properties": {
+        "schema": {"type": "string"},
+        "meta": {"type": "object"},
+        "metrics": {"type": "object"},
+    },
+}
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, or 0.0 for an empty denominator.
+
+    The one aggregation idiom every stats consumer used to hand-roll.
+    """
+    return numerator / denominator if denominator else 0.0
+
+
+class Counter:
+    """A named event counter with a convenient ``rate`` helper."""
+
+    __slots__ = ("name", "count")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.count += amount
+
+    def rate(self, total: int) -> float:
+        """Return count / total, or 0.0 when ``total`` is zero."""
+        return safe_ratio(self.count, total)
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "count": self.count}
+
+    def merge(self, other: "Counter") -> None:
+        self.count += other.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name}={self.count})"
+
+
+class RatioStat:
+    """Hits over accesses, e.g. cache hit ratio or prediction accuracy."""
+
+    __slots__ = ("name", "hits", "total")
+
+    kind = "ratio"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.total = 0
+
+    def record(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def misses(self) -> int:
+        return self.total - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return safe_ratio(self.hits, self.total)
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - self.hit_ratio if self.total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.total = 0
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "hits": self.hits, "total": self.total}
+
+    def merge(self, other: "RatioStat") -> None:
+        self.hits += other.hits
+        self.total += other.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RatioStat({self.name}: {self.hits}/{self.total})"
+
+
+class Histogram:
+    """Sparse integer histogram with cumulative-distribution support.
+
+    Used for the paper's Figure 3 offset-size distributions and the
+    profiler's replay-penalty / load-use-distance distributions.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counts: dict[int, int] = defaultdict(int)
+
+    def record(self, key: int, amount: int = 1) -> None:
+        self._counts[key] += amount
+
+    def count(self, key: int) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def keys(self) -> Iterator[int]:
+        return iter(sorted(self._counts))
+
+    def items(self) -> Iterable[tuple[int, int]]:
+        return sorted(self._counts.items())
+
+    def cumulative(self, keys: Iterable[int]) -> list[float]:
+        """Fraction of samples with key <= k, for each k in ``keys``.
+
+        ``keys`` must be given in ascending order.
+        """
+        total = self.total
+        if total == 0:
+            return [0.0 for _ in keys]
+        items = sorted(self._counts.items())
+        result = []
+        running = 0
+        idx = 0
+        for k in keys:
+            while idx < len(items) and items[idx][0] <= k:
+                running += items[idx][1]
+                idx += 1
+            result.append(running / total)
+        return result
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def as_dict(self) -> dict:
+        # JSON keys must be strings; sort numerically for determinism.
+        return {
+            "type": self.kind,
+            "counts": {str(k): v for k, v in sorted(self._counts.items())},
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        for key, amount in other._counts.items():
+            self._counts[key] += amount
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Histogram({self.name}, n={self.total}, bins={len(self)})"
+
+
+_METRIC_TYPES = {cls.kind: cls for cls in (Counter, RatioStat, Histogram)}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with dot-path hierarchy.
+
+    Paths are plain strings (``"dcache.accesses"``); the hierarchy is a
+    naming convention, not a tree of objects, which keeps lookups cheap
+    and snapshots flat.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    # -------------------------------------------------------------- #
+    # get-or-create accessors
+
+    def _get(self, path: str, cls):
+        metric = self._metrics.get(path)
+        if metric is None:
+            metric = cls(path)
+            self._metrics[path] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {path!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        return self._get(path, Counter)
+
+    def ratio(self, path: str) -> RatioStat:
+        return self._get(path, RatioStat)
+
+    def histogram(self, path: str) -> Histogram:
+        return self._get(path, Histogram)
+
+    # -------------------------------------------------------------- #
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def paths(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def subtree(self, prefix: str) -> dict[str, object]:
+        """All metrics whose path starts with ``prefix + '.'``."""
+        dotted = prefix + "."
+        return {p: m for p, m in sorted(self._metrics.items())
+                if p.startswith(dotted)}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Absorb ``other``; same-path metrics must be the same type."""
+        for path, metric in other._metrics.items():
+            self._get(path, type(metric)).merge(metric)
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -------------------------------------------------------------- #
+    # snapshots
+
+    def snapshot(self, meta: dict | None = None) -> dict:
+        """Versioned, deterministic JSON form of every metric.
+
+        No wall-clock or host fields are added: two runs of the same
+        deterministic workload produce byte-identical snapshots. Callers
+        that *want* timestamps put them in ``meta`` explicitly.
+        """
+        return {
+            "schema": SNAPSHOT_VERSION,
+            "meta": dict(meta or {}),
+            "metrics": {
+                path: metric.as_dict()
+                for path, metric in sorted(self._metrics.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        if snapshot.get("schema") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot schema {snapshot.get('schema')!r}; "
+                f"expected {SNAPSHOT_VERSION!r}"
+            )
+        registry = cls()
+        for path, payload in snapshot.get("metrics", {}).items():
+            metric_cls = _METRIC_TYPES.get(payload.get("type"))
+            if metric_cls is None:
+                raise ValueError(f"unknown metric type {payload.get('type')!r}")
+            metric = registry._get(path, metric_cls)
+            if metric_cls is Counter:
+                metric.count = int(payload["count"])
+            elif metric_cls is RatioStat:
+                metric.hits = int(payload["hits"])
+                metric.total = int(payload["total"])
+            else:
+                for key, amount in payload["counts"].items():
+                    metric.record(int(key), int(amount))
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<MetricsRegistry {len(self._metrics)} metrics>"

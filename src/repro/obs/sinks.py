@@ -1,0 +1,175 @@
+"""Event sinks: null, collecting, JSONL, and Chrome trace-event JSON.
+
+Sinks implement one method, ``handle(event)``, plus an optional
+``close()`` called by :meth:`repro.obs.events.EventBus.close`. Output is
+deterministic: events are written in emission order, dict fields in
+dataclass field order, and no wall-clock values are recorded.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import (
+    Event,
+    FacReplay,
+    InstRetired,
+    MemAccess,
+    Syscall,
+)
+
+
+class NullSink:
+    """Discards everything. The explicit form of 'tracing off'.
+
+    Producers given ``obs=None`` never even build event objects; a bus
+    with only a NullSink pays event construction but writes nothing --
+    useful for measuring instrumentation cost in isolation.
+    """
+
+    __slots__ = ()
+
+    def handle(self, event: Event) -> None:
+        pass
+
+
+class CollectingSink:
+    """Buffers events in memory; the workhorse for tests and profilers."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: list[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink:
+    """One JSON object per line, in emission order.
+
+    ``stream`` is any text file-like object; the sink does not close it
+    (the caller owns the handle).
+    """
+
+    __slots__ = ("stream", "count")
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.count = 0
+
+    def handle(self, event: Event) -> None:
+        self.stream.write(json.dumps(event.as_dict(), separators=(",", ":")))
+        self.stream.write("\n")
+        self.count += 1
+
+
+class ChromeTraceSink:
+    """Chrome trace-event JSON, loadable in Perfetto / chrome://tracing.
+
+    Rendering model (one process, cycle == 1 microsecond):
+
+    * each retired instruction is a complete ("X") slice on the thread
+      of its issue slot, from IF (``issue - 2``) through WB,
+    * FAC replays, data/instruction cache misses, and syscalls are
+      instant ("i") events on dedicated threads,
+    * thread names are emitted as metadata ("M") events up front.
+
+    ``labels`` optionally maps pc -> display string (disassembly); when
+    absent the mnemonic is used.
+    """
+
+    _FAC_TID = 100
+    _MISS_TID = 101
+    _SYSCALL_TID = 102
+
+    def __init__(self, stream, labels: dict[int, str] | None = None):
+        self.stream = stream
+        self.labels = labels or {}
+        self._events: list[dict] = []
+        self._tids: set[int] = set()
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, InstRetired):
+            start = event.issue - 2
+            end = max(event.ready, event.issue + 1)
+            name = self.labels.get(event.pc) or event.op
+            args = {
+                "pc": f"0x{event.pc:08x}",
+                "issue": event.issue,
+                "ready": event.ready,
+            }
+            if event.mem is not None:
+                args["mem"] = event.mem
+            self._tids.add(event.slot)
+            self._events.append({
+                "name": name, "cat": "pipeline", "ph": "X",
+                "ts": start, "dur": end - start,
+                "pid": 0, "tid": event.slot, "args": args,
+            })
+        elif isinstance(event, FacReplay):
+            self._tids.add(self._FAC_TID)
+            self._events.append({
+                "name": "FAC replay", "cat": "fac", "ph": "i", "s": "t",
+                "ts": event.cycle, "pid": 0, "tid": self._FAC_TID,
+                "args": {"pc": f"0x{event.pc:08x}",
+                         "penalty": event.penalty},
+            })
+        elif isinstance(event, MemAccess):
+            if not event.hit:
+                self._tids.add(self._MISS_TID)
+                self._events.append({
+                    "name": "dcache miss", "cat": "cache",
+                    "ph": "i", "s": "t", "ts": event.cycle, "pid": 0,
+                    "tid": self._MISS_TID,
+                    "args": {"pc": f"0x{event.pc:08x}",
+                             "ea": f"0x{event.ea:08x}",
+                             "write": event.is_store},
+                })
+        elif isinstance(event, Syscall):
+            self._tids.add(self._SYSCALL_TID)
+            self._events.append({
+                "name": f"syscall {event.name}", "cat": "os",
+                "ph": "i", "s": "t", "ts": 0, "pid": 0,
+                "tid": self._SYSCALL_TID,
+                "args": {"pc": f"0x{event.pc:08x}",
+                         "service": event.service},
+            })
+
+    # -------------------------------------------------------------- #
+
+    def _metadata(self) -> list[dict]:
+        names = {
+            self._FAC_TID: "FAC replays",
+            self._MISS_TID: "cache misses",
+            self._SYSCALL_TID: "syscalls",
+        }
+        meta = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "repro pipeline"},
+        }]
+        for tid in sorted(self._tids):
+            label = names.get(tid, f"issue slot {tid}")
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": label},
+            })
+        return meta
+
+    def close(self) -> None:
+        """Write the accumulated trace as one JSON document."""
+        if self._closed:
+            return
+        self._closed = True
+        document = {
+            "displayTimeUnit": "ms",
+            "traceEvents": self._metadata() + self._events,
+        }
+        json.dump(document, self.stream, separators=(",", ":"))
+        self.stream.write("\n")

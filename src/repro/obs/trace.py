@@ -1,0 +1,53 @@
+"""Event-stream capture: the engine behind ``repro trace``.
+
+Runs one timing simulation with an attached sink and writes the event
+stream to a file-like object, either as JSON Lines (one event per line,
+in emission order) or as a Chrome trace-event JSON document loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from repro.fac.config import FacConfig
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+from repro.obs.events import EventBus
+from repro.obs.sinks import ChromeTraceSink, JsonlSink
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.pipeline import simulate_program
+from repro.pipeline.result import SimResult
+
+FORMATS = ("chrome", "jsonl")
+
+
+def disasm_labels(program: Program) -> dict[int, str]:
+    """pc -> disassembly text for every instruction (trace slice names)."""
+    base = program.text_base
+    return {
+        base + index * 4: disassemble(inst)
+        for index, inst in enumerate(program.instructions)
+    }
+
+
+def trace_program(
+    program: Program,
+    stream,
+    fmt: str = "chrome",
+    config: MachineConfig | None = None,
+    max_instructions: int = 50_000_000,
+) -> SimResult:
+    """Simulate ``program`` on the FAC machine, streaming events to
+    ``stream`` in the requested format. Returns the timing result."""
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r}; choose from {FORMATS}")
+    if config is None:
+        config = MachineConfig(fac=FacConfig())
+    if fmt == "chrome":
+        sink = ChromeTraceSink(stream, labels=disasm_labels(program))
+    else:
+        sink = JsonlSink(stream)
+    bus = EventBus([sink])
+    result = simulate_program(program, config,
+                              max_instructions=max_instructions, obs=bus)
+    bus.close()
+    return result

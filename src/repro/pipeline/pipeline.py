@@ -42,6 +42,15 @@ from repro.cpu.executor import CPU, TraceRecord
 from repro.fac.predictor import FastAddressCalculator
 from repro.isa.opcodes import Op, OpClass, OP_INFO
 from repro.isa.program import Program
+from repro.obs.events import (
+    BranchResolved,
+    FacPredict,
+    FacReplay,
+    InstRetired,
+    MemAccess,
+    StoreBufferFullStall,
+    StoreBufferInsert,
+)
 from repro.pipeline.btb import BranchTargetBuffer
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.deps import NUM_SLOTS, sources_and_dests
@@ -66,11 +75,15 @@ _FU_CLASS = {
 class PipelineSimulator:
     """Issue-cycle assignment engine; feed() one trace record at a time."""
 
-    def __init__(self, config: MachineConfig | None = None):
+    def __init__(self, config: MachineConfig | None = None, obs=None):
         self.config = config or MachineConfig()
         cfg = self.config
-        self.icache = Cache(cfg.icache)
-        self.dcache = Cache(cfg.dcache)
+        # Optional EventBus. Every emission below is guarded by an
+        # ``is not None`` test so the disabled path costs one attribute
+        # check (bounded by benchmarks/test_obs_overhead.py).
+        self.obs = obs
+        self.icache = Cache(cfg.icache, obs=obs)
+        self.dcache = Cache(cfg.dcache, obs=obs)
         self.btb = BranchTargetBuffer(cfg.btb_entries)
         self.fac = FastAddressCalculator(cfg.fac) if cfg.fac is not None else None
         self.result = SimResult()
@@ -103,6 +116,9 @@ class PipelineSimulator:
         # optional per-instruction trace: (rec, issue_cycle, ready_cycle,
         # mem_access_cycle or None); enabled by attaching a list
         self.trace: list | None = None
+        # observability bookkeeping (only touched when obs is attached)
+        self._seq = 0
+        self._fac_outcome: tuple[bool | None, str | None] = (None, None)
 
     # ------------------------------------------------------------------ #
     # resource helpers
@@ -211,6 +227,8 @@ class PipelineSimulator:
                     if len(self._store_buffer) >= cfg.store_buffer_entries:
                         # forced retirement stalls the pipeline one cycle
                         self.result.store_buffer_full_stalls += 1
+                        if self.obs is not None:
+                            self.obs.emit(StoreBufferFullStall(cycle=cycle))
                         self._store_buffer.popleft()
                         cycle += 1
                         continue
@@ -242,6 +260,14 @@ class PipelineSimulator:
         if self.trace is not None:
             access = self._mem_plan[1] if (is_load or is_store) else None
             self.trace.append((rec, cycle, ready, access))
+        if self.obs is not None:
+            self.obs.emit(InstRetired(
+                seq=self._seq, pc=rec.pc, op=info.mnemonic,
+                issue=cycle, ready=ready,
+                mem=self._mem_plan[1] if (is_load or is_store) else None,
+                slot=self._issued_in_cycle - 1,
+            ))
+            self._seq += 1
         if ready > self._final_cycle:
             self._final_cycle = ready
         if cycle + 1 > self._final_cycle:
@@ -306,14 +332,25 @@ class PipelineSimulator:
             self._claim_port(is_store, access_cycle)
             if self.fac is not None and not cfg.one_cycle_loads:
                 self.result.fac_not_speculated += 1
+            self._fac_outcome = (None, None)
             result_ready = access_cycle + 1 + miss_penalty
         else:
             result_ready = self._execute_fac_memory(rec, cycle, is_store,
                                                     miss_penalty, info)
+        if self.obs is not None:
+            fac_success, fac_reason = self._fac_outcome
+            self.obs.emit(MemAccess(
+                pc=rec.pc, cycle=cycle, ea=rec.ea, is_store=is_store,
+                hit=hit, speculated=speculate, fac_success=fac_success,
+                fac_reason=fac_reason, result_ready=result_ready,
+            ))
         if is_store:
             # the store's "result" is its tag probe; dependents (none,
             # stores write no register) are unaffected. Buffer the data.
             self._store_buffer.append(result_ready)
+            if self.obs is not None:
+                self.obs.emit(StoreBufferInsert(
+                    cycle=cycle, occupancy=len(self._store_buffer)))
             result_ready = cycle + 1
         if postinc:
             # base register writeback is available like an ALU result
@@ -332,6 +369,7 @@ class PipelineSimulator:
         if info.mem_mode == "p":
             # post-increment: the effective address IS the base register.
             self._claim_port(is_store, cycle)
+            self._fac_outcome = (True, None)
             return cycle + 1 + miss_penalty
         offset = rec.offset_value if info.mem_mode == "c" \
             else to_signed32(rec.offset_value)
@@ -340,6 +378,11 @@ class PipelineSimulator:
         self.result.fac_speculated += 1
         self._claim_port(is_store, cycle)
         if prediction.success:
+            self._fac_outcome = (True, None)
+            if self.obs is not None:
+                self.obs.emit(FacPredict(pc=rec.pc, cycle=cycle,
+                                         is_store=is_store,
+                                         success=True, reason=None))
             return cycle + 1 + miss_penalty
         # replay with the non-speculative address in MEM
         self.result.fac_mispredicted += 1
@@ -350,6 +393,13 @@ class PipelineSimulator:
         self._mispredict_cycle = cycle
         self._mispredict_was_load = not is_store
         self._claim_port(is_store, cycle + 1)
+        if self.obs is not None:
+            reason = prediction.signals.primary_reason
+            self._fac_outcome = (False, reason)
+            self.obs.emit(FacPredict(pc=rec.pc, cycle=cycle,
+                                     is_store=is_store,
+                                     success=False, reason=reason))
+            self.obs.emit(FacReplay(pc=rec.pc, cycle=cycle + 1, penalty=1))
         return cycle + 2 + miss_penalty
 
     # ------------------------------------------------------------------ #
@@ -366,6 +416,9 @@ class PipelineSimulator:
         taken = bool(rec.taken)
         self.result.branches += 1
         correct = self.btb.update(rec.pc, taken, rec.next_pc)
+        if self.obs is not None:
+            self.obs.emit(BranchResolved(pc=rec.pc, cycle=cycle, taken=taken,
+                                         mispredicted=not correct))
         if not correct:
             self.result.branch_mispredicts += 1
             self._fetch_ready = max(
@@ -394,10 +447,11 @@ def simulate_program(
     program: Program,
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
+    obs=None,
 ) -> SimResult:
     """Run ``program`` functionally and time it on the pipeline model."""
-    cpu = CPU(program)
-    pipe = PipelineSimulator(config)
+    cpu = CPU(program, obs=obs)
+    pipe = PipelineSimulator(config, obs=obs)
     feed = pipe.feed
     step = cpu.step
     budget = max_instructions

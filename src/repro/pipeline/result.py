@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+from repro.obs.metrics import safe_ratio
 
 
 @dataclass
@@ -43,15 +45,15 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        return safe_ratio(self.instructions, self.cycles)
 
     @property
     def dcache_miss_ratio(self) -> float:
-        return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
+        return safe_ratio(self.dcache_misses, self.dcache_accesses)
 
     @property
     def icache_miss_ratio(self) -> float:
-        return self.icache_misses / self.icache_accesses if self.icache_accesses else 0.0
+        return safe_ratio(self.icache_misses, self.icache_accesses)
 
     @property
     def memory_refs(self) -> int:
@@ -65,13 +67,58 @@ class SimResult:
     @property
     def effective_load_latency(self) -> float:
         """Average cycles from load issue to result availability."""
-        return self.load_latency_sum / self.loads if self.loads else 0.0
+        return safe_ratio(self.load_latency_sum, self.loads)
 
     @property
     def bandwidth_overhead(self) -> float:
         """Table 6 metric: extra accesses as a fraction of total refs."""
-        return self.fac_extra_accesses / self.memory_refs if self.memory_refs else 0.0
+        return safe_ratio(self.fac_extra_accesses, self.memory_refs)
 
     def speedup_over(self, baseline: "SimResult") -> float:
         """Execution-time speedup of this run relative to ``baseline``."""
-        return baseline.cycles / self.cycles if self.cycles else 0.0
+        return safe_ratio(baseline.cycles, self.cycles)
+
+    # ------------------------------------------------------------------ #
+    # uniform metrics protocol (see repro.obs.metrics)
+
+    def as_dict(self) -> dict:
+        """Every raw counter field as a metrics-protocol dict.
+
+        Derived ratios are intentionally excluded: they are recomputed
+        from the merged counters, never averaged.
+        """
+        out = {}
+        for f in fields(self):
+            if f.name == "extras":
+                continue
+            out[f.name] = {"type": "counter", "value": getattr(self, f.name)}
+        return out
+
+    def merge(self, other: "SimResult") -> None:
+        """Sum another run's counters into this one (sharded workloads).
+
+        ``cycles`` adds as if the runs were executed back-to-back;
+        ``extras`` entries from ``other`` win on key collision.
+        """
+        for f in fields(self):
+            if f.name == "extras":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self.extras.update(other.extras)
+
+    def to_registry(self, registry, prefix: str = "sim") -> None:
+        """Record every counter into a
+        :class:`~repro.obs.metrics.MetricsRegistry` under ``prefix``."""
+        for f in fields(self):
+            if f.name == "extras":
+                continue
+            registry.counter(f"{prefix}.{f.name}").incr(getattr(self, f.name))
+        registry.ratio(f"{prefix}.dcache").hits = \
+            self.dcache_accesses - self.dcache_misses
+        registry.ratio(f"{prefix}.dcache").total = self.dcache_accesses
+        registry.ratio(f"{prefix}.icache").hits = \
+            self.icache_accesses - self.icache_misses
+        registry.ratio(f"{prefix}.icache").total = self.icache_accesses
+        registry.ratio(f"{prefix}.fac").hits = \
+            self.fac_speculated - self.fac_mispredicted
+        registry.ratio(f"{prefix}.fac").total = self.fac_speculated

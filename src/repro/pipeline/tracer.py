@@ -38,8 +38,8 @@ class TracedRun:
         if not window:
             return "(empty trace)"
         start_cycle = min(issue - 2 for __, issue, __r, __a in window)
-        end_cycle = max(max(ready, issue + 1) for __, __i, ready, __a in window
-                        for issue in [__i])
+        end_cycle = max(max(ready, issue + 1)
+                        for __, issue, ready, __a in window)
         width = 5
         header = "cycle".ljust(label_width) + "".join(
             str(c - start_cycle + 1).center(width)

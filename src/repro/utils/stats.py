@@ -1,120 +1,18 @@
-"""Small statistics containers shared by the simulators and analyses."""
+"""Statistics containers -- compatibility re-export.
 
-from __future__ import annotations
+The canonical definitions moved to :mod:`repro.obs.metrics` when the
+telemetry layer absorbed them (they gained the uniform
+``as_dict()``/``merge()`` protocol and the :class:`MetricsRegistry`
+there). Import from ``repro.obs.metrics`` in new code.
+"""
 
-from collections import defaultdict
-from typing import Iterable, Iterator
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RatioStat,
+    safe_ratio,
+)
 
-
-class Counter:
-    """A named event counter with a convenient ``rate`` helper."""
-
-    __slots__ = ("name", "count")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.count = 0
-
-    def incr(self, amount: int = 1) -> None:
-        self.count += amount
-
-    def rate(self, total: int) -> float:
-        """Return count / total, or 0.0 when ``total`` is zero."""
-        return self.count / total if total else 0.0
-
-    def reset(self) -> None:
-        self.count = 0
-
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Counter({self.name}={self.count})"
-
-
-class RatioStat:
-    """Hits over accesses, e.g. cache hit ratio or prediction accuracy."""
-
-    __slots__ = ("name", "hits", "total")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.hits = 0
-        self.total = 0
-
-    def record(self, hit: bool) -> None:
-        self.total += 1
-        if hit:
-            self.hits += 1
-
-    @property
-    def misses(self) -> int:
-        return self.total - self.hits
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.total if self.total else 0.0
-
-    @property
-    def miss_ratio(self) -> float:
-        return 1.0 - self.hit_ratio if self.total else 0.0
-
-    def reset(self) -> None:
-        self.hits = 0
-        self.total = 0
-
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"RatioStat({self.name}: {self.hits}/{self.total})"
-
-
-class Histogram:
-    """Sparse integer histogram with cumulative-distribution support.
-
-    Used for the paper's Figure 3 offset-size distributions.
-    """
-
-    def __init__(self, name: str = ""):
-        self.name = name
-        self._counts: dict[int, int] = defaultdict(int)
-
-    def record(self, key: int, amount: int = 1) -> None:
-        self._counts[key] += amount
-
-    def count(self, key: int) -> int:
-        return self._counts.get(key, 0)
-
-    @property
-    def total(self) -> int:
-        return sum(self._counts.values())
-
-    def keys(self) -> Iterator[int]:
-        return iter(sorted(self._counts))
-
-    def items(self) -> Iterable[tuple[int, int]]:
-        return sorted(self._counts.items())
-
-    def cumulative(self, keys: Iterable[int]) -> list[float]:
-        """Fraction of samples with key <= k, for each k in ``keys``.
-
-        ``keys`` must be given in ascending order.
-        """
-        total = self.total
-        if total == 0:
-            return [0.0 for _ in keys]
-        items = sorted(self._counts.items())
-        result = []
-        running = 0
-        idx = 0
-        for k in keys:
-            while idx < len(items) and items[idx][0] <= k:
-                running += items[idx][1]
-                idx += 1
-            result.append(running / total)
-        return result
-
-    def merge(self, other: "Histogram") -> None:
-        for key, amount in other._counts.items():
-            self._counts[key] += amount
-
-    def __len__(self) -> int:
-        return len(self._counts)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Histogram({self.name}, n={self.total}, bins={len(self)})"
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "RatioStat",
+           "safe_ratio"]

@@ -135,4 +135,4 @@ def test_cli_lint_benchmark_target(capsys):
 def test_cli_lint_unknown_target(capsys):
     status = main(["lint", "no-such-benchmark"])
     assert status == 2
-    assert "unknown lint target" in capsys.readouterr().err
+    assert "unknown target" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Source line table: .loc directives through the linker to source_of."""
+
+from repro.compiler import CompilerOptions, compile_and_link
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+
+ANNOTATED = """
+.text
+.globl __start
+__start:
+    .loc demo.mc 3
+    addiu $t0, $zero, 1
+    addiu $t1, $t0, 1
+    .loc demo.mc 5
+    addiu $t2, $t1, 1
+    li $v0, 10
+    syscall
+"""
+
+PLAIN = """
+.text
+.globl helper
+helper:
+    addiu $t3, $zero, 9
+    jr $ra
+"""
+
+
+class TestLocDirective:
+    def test_marks_recorded_per_instruction_index(self):
+        unit = assemble(ANNOTATED, "t")
+        assert unit.line_marks == [(0, "demo.mc", 3), (2, "demo.mc", 5)]
+
+    def test_same_index_replaces_previous_mark(self):
+        source = """
+.text
+    .loc a.mc 1
+    .loc a.mc 2
+    addiu $t0, $zero, 1
+"""
+        unit = assemble(source, "t")
+        assert unit.line_marks == [(0, "a.mc", 2)]
+
+
+class TestLinkedLineTable:
+    def test_table_addresses_and_lookup(self):
+        program = link([assemble(ANNOTATED, "t")], LinkOptions())
+        base = program.text_base
+        assert (base, "demo.mc", 3) in program.line_table
+        assert (base + 8, "demo.mc", 5) in program.line_table
+        # addresses between marks inherit the preceding mark
+        assert program.source_of(base + 4) == ("demo.mc", 3)
+        assert program.source_of(base + 8) == ("demo.mc", 5)
+
+    def test_gap_entry_isolates_unannotated_unit(self):
+        # an unannotated unit linked after an annotated one must not
+        # inherit the first unit's trailing attribution
+        program = link([assemble(ANNOTATED, "a"), assemble(PLAIN, "b")],
+                       LinkOptions())
+        helper_addr = program.symbols["helper"].address
+        assert program.source_of(helper_addr) is None
+        gap = [entry for entry in program.line_table if entry[1] == ""]
+        assert gap and gap[0][0] == helper_addr
+
+    def test_out_of_range_and_empty_table(self):
+        program = link([assemble(ANNOTATED, "t")], LinkOptions())
+        assert program.source_of(0) is None
+        assert program.source_of(program.text_base - 4) is None
+        bare = link([assemble(PLAIN + "\n.globl __start\n__start:\n"
+                              "    li $v0, 10\n    syscall\n", "t")],
+                    LinkOptions())
+        assert bare.line_table[:1] in ([], [(bare.text_base, "", 0)])
+        assert bare.source_of(bare.text_base) is None
+
+
+class TestCompilerEmitsLoc:
+    SOURCE = """
+int main() {
+    int x;
+    x = 1;
+    x = x + 2;
+    print_int(x);
+    return 0;
+}
+"""
+
+    def test_compiled_program_has_attribution(self):
+        program = compile_and_link(self.SOURCE, CompilerOptions())
+        main_addr = program.symbols["main"].address
+        located = program.source_of(main_addr)
+        assert located is not None
+        file, line = located
+        assert line >= 1
+        # distinct statements map to distinct lines somewhere in main
+        lines = {program.source_of(main_addr + off)
+                 for off in range(0, 64, 4)}
+        assert len({loc for loc in lines if loc}) >= 2

@@ -1,0 +1,34 @@
+"""Regenerate the golden trace files for test_determinism.py.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/obs/make_golden.py
+
+Review the diff before committing -- a golden change means the event
+vocabulary or field layout changed, which is a compatibility event for
+downstream consumers of ``repro trace``.
+"""
+
+import io
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from obs.test_determinism import GOLDEN_DIR, golden_program  # noqa: E402
+
+from repro.obs.trace import trace_program  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for fmt, filename in (("jsonl", "trace_small.jsonl"),
+                          ("chrome", "trace_small.chrome.json")):
+        stream = io.StringIO()
+        trace_program(golden_program(), stream, fmt=fmt)
+        (GOLDEN_DIR / filename).write_text(stream.getvalue())
+        print(f"wrote {GOLDEN_DIR / filename}")
+
+
+if __name__ == "__main__":
+    main()

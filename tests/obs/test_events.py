@@ -1,0 +1,60 @@
+"""Event dataclasses and the bus."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventBus,
+    FacPredict,
+    FacReplay,
+    InstRetired,
+    MemAccess,
+    Syscall,
+)
+from repro.obs.sinks import CollectingSink, NullSink
+
+
+class TestEvents:
+    def test_as_dict_carries_kind_and_fields(self):
+        event = FacPredict(pc=0x400000, cycle=7, is_store=False,
+                           success=False, reason="carry-into-index")
+        payload = event.as_dict()
+        assert payload["event"] == "fac.predict"
+        assert payload["pc"] == 0x400000
+        assert payload["reason"] == "carry-into-index"
+
+    def test_as_dict_field_order_is_declaration_order(self):
+        event = FacReplay(pc=1, cycle=2, penalty=1)
+        assert list(event.as_dict()) == ["event", "pc", "cycle", "penalty"]
+
+    def test_event_types_registry_covers_kinds(self):
+        assert EVENT_TYPES["inst.retired"] is InstRetired
+        assert EVENT_TYPES["mem.access"] is MemAccess
+        assert EVENT_TYPES["syscall"] is Syscall
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+    def test_events_are_slotted(self):
+        event = FacReplay(pc=1, cycle=2, penalty=1)
+        with pytest.raises((AttributeError, TypeError)):
+            event.arbitrary = 1
+
+
+class TestEventBus:
+    def test_fan_out_to_every_sink(self):
+        one, two = CollectingSink(), CollectingSink()
+        bus = EventBus([one, two])
+        bus.emit(FacReplay(pc=1, cycle=2, penalty=1))
+        assert len(one.events) == len(two.events) == 1
+
+    def test_attach_and_by_kind(self):
+        bus = EventBus()
+        sink = CollectingSink()
+        bus.attach(sink)
+        bus.emit(FacReplay(pc=1, cycle=2, penalty=1))
+        bus.emit(Syscall(pc=4, service=10, name="exit"))
+        assert [e.kind for e in sink.by_kind("syscall")] == ["syscall"]
+
+    def test_close_tolerates_sinks_without_close(self):
+        bus = EventBus([NullSink(), CollectingSink()])
+        bus.close()  # must not raise

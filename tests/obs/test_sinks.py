@@ -1,0 +1,119 @@
+"""Sink behaviour: null, collecting, JSONL lines, Chrome documents."""
+
+import io
+import json
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventBus,
+    FacReplay,
+    InstRetired,
+    MemAccess,
+    Syscall,
+)
+from repro.obs.sinks import ChromeTraceSink, CollectingSink, JsonlSink, NullSink
+
+
+def sample_events():
+    return [
+        InstRetired(seq=0, pc=0x400000, op="lw", issue=3, ready=5,
+                    mem=4, slot=0),
+        MemAccess(pc=0x400000, cycle=4, ea=0x7FFF0000, is_store=False,
+                  hit=False, speculated=True, fac_success=False,
+                  fac_reason="carry-into-index", result_ready=10),
+        FacReplay(pc=0x400000, cycle=5, penalty=1),
+        Syscall(pc=0x400010, service=10, name="exit"),
+    ]
+
+
+class TestNullAndCollecting:
+    def test_null_sink_discards(self):
+        sink = NullSink()
+        for event in sample_events():
+            sink.handle(event)  # nothing observable, must not raise
+
+    def test_collecting_sink_preserves_order(self):
+        sink = CollectingSink()
+        events = sample_events()
+        for event in events:
+            sink.handle(event)
+        assert sink.events == events
+        assert len(sink.by_kind("mem.access")) == 1
+
+
+class TestJsonlSink:
+    def test_one_parseable_line_per_event(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        for event in sample_events():
+            sink.handle(event)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == sink.count == len(sample_events())
+        payloads = [json.loads(line) for line in lines]
+        assert [p["event"] for p in payloads] == [
+            "inst.retired", "mem.access", "fac.replay", "syscall"]
+
+    def test_events_reconstructable_via_registry(self):
+        stream = io.StringIO()
+        bus = EventBus([JsonlSink(stream)])
+        originals = sample_events()
+        for event in originals:
+            bus.emit(event)
+        rebuilt = []
+        for line in stream.getvalue().splitlines():
+            payload = json.loads(line)
+            cls = EVENT_TYPES[payload.pop("event")]
+            rebuilt.append(cls(**payload))
+        assert rebuilt == originals
+
+
+class TestChromeTraceSink:
+    def _document(self, events):
+        stream = io.StringIO()
+        sink = ChromeTraceSink(stream, labels={0x400000: "lw $t0, 0($a0)"})
+        for event in events:
+            sink.handle(event)
+        sink.close()
+        return json.loads(stream.getvalue())
+
+    def test_valid_document_with_metadata(self):
+        doc = self._document(sample_events())
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"repro pipeline", "FAC replays", "cache misses",
+                "syscalls"} <= names
+
+    def test_retired_instruction_becomes_complete_slice(self):
+        doc = self._document(sample_events())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        slice_ = slices[0]
+        assert slice_["name"] == "lw $t0, 0($a0)"  # label wins over op
+        assert slice_["ts"] == 1 and slice_["dur"] == 4  # IF..WB
+        assert slice_["args"]["mem"] == 4
+
+    def test_replays_and_misses_are_instants(self):
+        doc = self._document(sample_events())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        by_name = {e["name"]: e for e in instants}
+        assert by_name["FAC replay"]["tid"] == 100
+        assert by_name["dcache miss"]["tid"] == 101
+        assert by_name["syscall exit"]["tid"] == 102
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_cache_hits_not_recorded(self):
+        hit = MemAccess(pc=0x400000, cycle=4, ea=0, is_store=False,
+                        hit=True, speculated=False, fac_success=None,
+                        fac_reason=None, result_ready=5)
+        doc = self._document([hit])
+        assert [e for e in doc["traceEvents"] if e["ph"] == "i"] == []
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        sink = ChromeTraceSink(stream)
+        sink.handle(FacReplay(pc=1, cycle=2, penalty=1))
+        sink.close()
+        first = stream.getvalue()
+        sink.close()
+        assert stream.getvalue() == first

@@ -1,0 +1,62 @@
+"""``repro trace`` output: Chrome documents and JSONL streams."""
+
+import io
+import json
+
+from repro.obs.events import EVENT_TYPES
+from repro.obs.trace import FORMATS, disasm_labels, trace_program
+from repro.workloads.suite import build_benchmark
+
+import pytest
+
+
+def test_formats_constant():
+    assert set(FORMATS) == {"chrome", "jsonl"}
+    with pytest.raises(ValueError):
+        trace_program(build_benchmark("compress"), io.StringIO(),
+                      fmt="binary")
+
+
+def test_disasm_labels_cover_text_segment():
+    program = build_benchmark("compress")
+    labels = disasm_labels(program)
+    assert len(labels) == len(program.instructions)
+    assert min(labels) == program.text_base
+    assert all(isinstance(text, str) and text for text in labels.values())
+
+
+def test_chrome_trace_shows_fac_replays():
+    program = build_benchmark("compress")
+    stream = io.StringIO()
+    result = trace_program(program, stream, fmt="chrome")
+    doc = json.loads(stream.getvalue())
+    events = doc["traceEvents"]
+    replays = [e for e in events if e["name"] == "FAC replay"]
+    assert replays, "compress must exercise the FAC replay path"
+    assert all(e["ph"] == "i" and e["tid"] == 100 for e in replays)
+    # one complete slice per retired instruction
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == result.instructions
+    # slice names are real disassembly, not bare mnemonics
+    assert any("$" in e["name"] for e in slices)
+    # the replay-thread name metadata is present for Perfetto
+    meta_names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert "FAC replays" in meta_names
+
+
+def test_jsonl_events_reconstructable():
+    program = build_benchmark("compress")
+    stream = io.StringIO()
+    result = trace_program(program, stream, fmt="jsonl",
+                           max_instructions=2000)
+    lines = stream.getvalue().splitlines()
+    assert lines
+    kinds = set()
+    for line in lines:
+        payload = json.loads(line)
+        cls = EVENT_TYPES[payload.pop("event")]
+        event = cls(**payload)  # field names round-trip exactly
+        kinds.add(event.kind)
+    assert "inst.retired" in kinds and "mem.access" in kinds
+    retired = sum(1 for line in lines if '"inst.retired"' in line)
+    assert retired == result.instructions

@@ -55,6 +55,84 @@ __start:
         assert "MEM" in text
 
 
+    # warmed-up load-use hazard (the Figure 1 shape): the block is hot,
+    # so the only stall is the untolerated 1-cycle load latency
+    HAZARD = """
+.text
+.globl __start
+__start:
+    lw   $t9, %gprel(seed)($gp)
+    lw   $t8, %gprel(seed)($gp)   # warm the block: next access hits
+    lw   $t3, %gprel(seed)($gp)
+    subu $t4, $t3, $t3
+    li $v0, 10
+    syscall
+.sdata
+seed: .word 0x100
+"""
+
+    def _hazard_program(self):
+        return link([assemble(self.HAZARD, "t")], LinkOptions(align_gp=True))
+
+    def test_render_stall_marker(self):
+        # a cold-miss load makes the dependent wait many cycles in
+        # decode; the chart marks the waiting cycles with '--'
+        source = """
+.text
+.globl __start
+__start:
+    lw $t0, -8($sp)
+    addiu $t1, $t0, 1
+    li $v0, 10
+    syscall
+"""
+        text = trace_program(build(source), MachineConfig()).render(count=2)
+        assert "--" in text
+
+    def test_fac_removes_load_use_stall(self):
+        # warmed block: baseline load-use gap is 2 cycles, FAC's is 1
+        base = trace_program(self._hazard_program(), MachineConfig())
+        fac = trace_program(self._hazard_program(),
+                            MachineConfig(fac=FacConfig()))
+        assert base.issue_cycle(3) - base.issue_cycle(2) == 2
+        assert fac.issue_cycle(3) - fac.issue_cycle(2) == 1
+
+    def test_render_windowed(self):
+        run = trace_program(build(self.SOURCE))
+        text = run.render(first=1, count=2)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two instructions
+        # the window's own earliest IF is re-based to cycle 1
+        assert lines[0].split()[1] == "1"
+        assert "IF" in lines[1]
+
+    def test_end_cycle_covers_slow_instruction(self):
+        # a non-pipelined divide's WB lands far beyond the later
+        # instructions' issue cycles; the chart must still reach it
+        source = """
+.text
+.globl __start
+__start:
+    addiu $t0, $zero, 40
+    addiu $t1, $zero, 5
+    div $t0, $t1
+    addiu $t2, $zero, 7
+    li $v0, 10
+    syscall
+"""
+        run = trace_program(build(source))
+        text = run.render(count=4)
+        div_row = next(line for line in text.splitlines()
+                       if line.startswith("div"))
+        assert "WB" in div_row
+        issue = run.issue_cycle(2)
+        ready = run.entries[2][2]
+        assert ready - issue == MachineConfig().latency_idiv
+        # header spans through the divide's writeback cycle
+        header_cols = text.splitlines()[0].split()
+        assert int(header_cols[-1]) >= ready - (run.issue_cycle(0) - 2)
+
+
 class TestFig1:
     def test_baseline_stalls_fac_does_not(self):
         result = run_fig1()
