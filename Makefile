@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint-self bench bench-full experiments examples clean
+.PHONY: install test test-fast lint-self bench bench-full experiments farm examples clean
 
 install:
 	pip install -e .
@@ -32,9 +32,13 @@ experiments:        ## print every table/figure on the full suite
 		$(PYTHON) -m repro experiment $$which; echo; \
 	done
 
+JOBS ?= 4
+farm:               ## parallel, artifact-cached full sweep (docs/experiments.md)
+	$(PYTHON) -m repro farm run --jobs $(JOBS)
+
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .repro-farm src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

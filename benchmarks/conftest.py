@@ -19,6 +19,26 @@ from repro.workloads import BENCHMARKS
 DEFAULT_SLICE = ("compress", "grep", "xlisp", "alvinn", "spice", "tomcatv")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _session_farm_store(tmp_path_factory):
+    """One farm store for the whole benchmark session: harnesses that
+    share cells (e.g. table3 and table4 both need the baseline sims)
+    reuse each other's artifacts, but nothing leaks into the repo or
+    across pytest invocations."""
+    from repro.farm import api
+
+    root = tmp_path_factory.mktemp("farm-store")
+    previous = os.environ.get(api.ENV_DIR)
+    os.environ[api.ENV_DIR] = str(root)
+    api.clear_memo()
+    yield
+    if previous is None:
+        os.environ.pop(api.ENV_DIR, None)
+    else:
+        os.environ[api.ENV_DIR] = previous
+    api.clear_memo()
+
+
 def harness_suite() -> tuple[str, ...]:
     env = os.environ.get("REPRO_SUITE", "").strip()
     if env.lower() == "all":

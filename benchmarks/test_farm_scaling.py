@@ -1,0 +1,107 @@
+"""Farm acceptance harness: parallel speedup, warm-cache re-runs, and
+crash isolation on a real experiment grid.
+
+The grid is 4 benchmarks x 4 machine flavours (16 sim cells plus the
+shared build/trace chains). The speedup assertion compares a 4-worker
+pool against a single worker and requires >= 2x on the same grid; on
+hosts without enough cores to make that physically possible the speedup
+test skips (the cache and isolation properties still run everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.common import MACHINES, MAX_INSTRUCTIONS
+from repro.farm import ArtifactStore, Cell, plan_jobs, run_graph
+
+GRID_BENCHMARKS = ("eqntott", "yacr2", "espresso", "compress")
+GRID_FLAVOURS = ("base", "1cyc", "fac16", "fac32")
+
+SPEEDUP_FLOOR = 2.0
+MIN_CORES = 4
+
+
+def grid_cells() -> list[Cell]:
+    return [Cell("sim", name, False, flavour)
+            for name in GRID_BENCHMARKS
+            for flavour in GRID_FLAVOURS]
+
+
+def build_graph():
+    return plan_jobs(grid_cells(), MACHINES, MAX_INSTRUCTIONS)
+
+
+def test_grid_is_large_enough():
+    graph = build_graph()
+    assert len(GRID_BENCHMARKS) >= 4 and len(GRID_FLAVOURS) >= 4
+    assert len(graph.cell_jobs) == 16
+    # plus one build and one trace per benchmark
+    assert len(graph.jobs) == 16 + 2 * len(GRID_BENCHMARKS)
+
+
+@pytest.mark.slow
+def test_parallel_speedup_over_serial(tmp_path):
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES:
+        pytest.skip(f"host has {cores} core(s); a >= {SPEEDUP_FLOOR}x "
+                    f"pool speedup needs >= {MIN_CORES}")
+    graph = build_graph()
+
+    serial_store = ArtifactStore(tmp_path / "serial")
+    start = time.monotonic()
+    serial = run_graph(graph, serial_store, jobs=1, timeout=600)
+    serial_elapsed = time.monotonic() - start
+    assert serial.ok, serial.summary()
+
+    parallel_store = ArtifactStore(tmp_path / "parallel")
+    start = time.monotonic()
+    parallel = run_graph(graph, parallel_store, jobs=4, timeout=600)
+    parallel_elapsed = time.monotonic() - start
+    assert parallel.ok, parallel.summary()
+
+    speedup = serial_elapsed / parallel_elapsed
+    print(f"\n[farm-scaling] serial {serial_elapsed:.1f}s, "
+          f"4 workers {parallel_elapsed:.1f}s, speedup {speedup:.2f}x")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"4-worker sweep only {speedup:.2f}x faster than serial "
+        f"({parallel_elapsed:.1f}s vs {serial_elapsed:.1f}s)")
+
+
+@pytest.mark.slow
+def test_warm_rerun_recomputes_nothing(tmp_path):
+    graph = build_graph()
+    store = ArtifactStore(tmp_path / "store")
+    cold = run_graph(graph, store, jobs=2, timeout=600)
+    assert cold.ok, cold.summary()
+    assert cold.computed == len(graph.jobs)
+
+    warm = run_graph(graph, store, jobs=2, timeout=600)
+    assert warm.ok, warm.summary()
+    assert warm.computed == 0, warm.summary()
+    assert warm.hits == len(graph.jobs)
+    assert warm.elapsed < cold.elapsed / 10
+
+
+@pytest.mark.slow
+def test_injected_crash_leaves_sweep_completed(tmp_path, monkeypatch):
+    # kill every worker attempt of one build: its chain fails, the other
+    # 3 benchmarks' 12 sim cells all complete
+    monkeypatch.setenv("REPRO_FARM_TEST_CRASH", "build:espresso")
+    graph = build_graph()
+    store = ArtifactStore(tmp_path / "store")
+    result = run_graph(graph, store, jobs=2, timeout=600, retries=1)
+    assert not result.ok
+    failed_ids = {o.job_id for o in result.failed}
+    assert failed_ids == {
+        "build:espresso", "trace:espresso",
+        *(f"sim:espresso:{flavour}" for flavour in GRID_FLAVOURS),
+    }
+    for name in GRID_BENCHMARKS:
+        if name == "espresso":
+            continue
+        for flavour in GRID_FLAVOURS:
+            assert result.outcomes[f"sim:{name}:{flavour}"].ok

@@ -14,6 +14,8 @@ Commands:
                           JSON Lines)
 * ``experiment WHICH`` -- regenerate a paper table/figure
                           (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
+* ``farm ...``         -- parallel, artifact-cached experiment sweeps
+                          (``farm run``, ``farm status``, ``farm gc``)
 """
 
 from __future__ import annotations
@@ -297,6 +299,10 @@ def main(argv=None) -> int:
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("which")
     p_exp.set_defaults(func=cmd_experiment)
+
+    from repro.farm.cli import add_farm_parser
+
+    add_farm_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -12,6 +12,7 @@ from repro.analysis.prediction import (
     TraceAnalysis,
     TraceAnalyzer,
     analyze_program,
+    analyze_trace,
 )
 from repro.analysis.static_fac import (
     StaticAnalysis,
@@ -30,6 +31,7 @@ __all__ = [
     "TraceAnalysis",
     "TraceAnalyzer",
     "analyze_program",
+    "analyze_trace",
     "StaticAnalysis",
     "Verdict",
     "analyze_static",

@@ -170,15 +170,25 @@ class TraceAnalyzer:
                     stats.norr_store_failures += failed
 
     def finish(self, cpu: CPU) -> TraceAnalysis:
+        return self.result(memory_usage=cpu.memory_usage,
+                           instructions=cpu.instructions_retired,
+                           stdout=cpu.stdout())
+
+    def result(self, memory_usage: int = 0, instructions: int | None = None,
+               stdout: str = "") -> TraceAnalysis:
+        """Finish without a live CPU (trace-replay path): the functional
+        facts a trace does not carry are passed in explicitly.
+        ``instructions`` defaults to the observed record count."""
         return TraceAnalysis(
             profile=self.profile,
             predictions=self.stats,
             icache_miss_ratio=self.icache.miss_ratio,
             dcache_miss_ratio=self.dcache.miss_ratio,
             tlb_miss_ratio=self.tlb.miss_ratio,
-            memory_usage=cpu.memory_usage,
-            instructions=cpu.instructions_retired,
-            stdout=cpu.stdout(),
+            memory_usage=memory_usage,
+            instructions=(self.profile.instructions
+                          if instructions is None else instructions),
+            stdout=stdout,
             per_pc=self.per_pc,
         )
 
@@ -196,3 +206,22 @@ def analyze_program(program: Program, block_sizes: tuple[int, ...] = (16, 32),
         observe(step())
         budget -= 1
     return analyzer.finish(cpu)
+
+
+def analyze_trace(program: Program, trace_path: str,
+                  block_sizes: tuple[int, ...] = (16, 32),
+                  per_pc: bool = False, memory_usage: int = 0,
+                  stdout: str = "") -> TraceAnalysis:
+    """Collect the full analysis from a recorded trace
+    (:mod:`repro.cpu.tracefile`) instead of a live execution.
+
+    One functional capture drives any number of analyzer geometries
+    without re-interpreting the program; ``memory_usage`` and ``stdout``
+    come from the trace artifact's metadata when available."""
+    from repro.cpu.tracefile import replay_trace
+
+    analyzer = TraceAnalyzer(block_sizes, per_pc=per_pc)
+    observe = analyzer.observe
+    for rec in replay_trace(program, trace_path):
+        observe(rec)
+    return analyzer.result(memory_usage=memory_usage, stdout=stdout)

@@ -47,10 +47,16 @@ def program_crc(program: Program) -> int:
 
 
 def record_trace(program: Program, path: str,
-                 max_instructions: int = 50_000_000) -> int:
+                 max_instructions: int = 50_000_000,
+                 cpu: CPU | None = None) -> int:
     """Execute ``program`` and write its trace to ``path``; returns the
-    number of instructions recorded."""
-    cpu = CPU(program)
+    number of instructions recorded.
+
+    Pass a fresh ``cpu`` to keep the executor afterwards -- the farm
+    reads ``memory_usage`` and captured stdout off it for the trace
+    artifact's metadata."""
+    if cpu is None:
+        cpu = CPU(program)
     text_base = program.text_base
     count = 0
     with gzip.open(path, "wb") as stream:
@@ -85,12 +91,21 @@ def record_trace(program: Program, path: str,
     return count
 
 
+def _read(stream, size: int, path: str) -> bytes:
+    """Read from the compressed stream, converting gzip-level corruption
+    (bad magic, CRC failure, truncated member) into SimulationError."""
+    try:
+        return stream.read(size)
+    except (OSError, EOFError) as exc:
+        raise SimulationError(f"{path}: corrupt trace file ({exc})") from exc
+
+
 def replay_trace(program: Program, path: str) -> Iterator[TraceRecord]:
     """Yield the recorded trace as :class:`TraceRecord` objects."""
     instructions = program.instructions
     text_base = program.text_base
     with gzip.open(path, "rb") as stream:
-        header = stream.read(_HEADER.size)
+        header = _read(stream, _HEADER.size, path)
         if len(header) != _HEADER.size:
             raise SimulationError(f"{path}: truncated trace header")
         magic, version, __, crc, __reserved, entry = _HEADER.unpack(header)
@@ -105,7 +120,7 @@ def replay_trace(program: Program, path: str) -> Iterator[TraceRecord]:
         if entry != program.entry:
             raise SimulationError(f"{path}: entry point mismatch")
         while True:
-            raw = stream.read(_RECORD.size)
+            raw = _read(stream, _RECORD.size, path)
             if not raw:
                 return
             if len(raw) != _RECORD.size:
@@ -113,7 +128,11 @@ def replay_trace(program: Program, path: str) -> Iterator[TraceRecord]:
             index, ea, base, offset, flags, delta = _RECORD.unpack(raw)
             pc = text_base + index * 4
             if flags & _FLAG_FAR_TARGET:
-                extra = stream.read(4)
+                extra = _read(stream, 4, path)
+                if len(extra) != 4:
+                    raise SimulationError(
+                        f"{path}: truncated far-target record"
+                    )
                 next_pc = struct.unpack("<I", extra)[0]
             else:
                 next_pc = pc + delta * 4
@@ -132,12 +151,19 @@ def replay_trace(program: Program, path: str) -> Iterator[TraceRecord]:
             )
 
 
-def simulate_trace(program: Program, path: str, config=None):
-    """Time a recorded trace on the pipeline model."""
+def simulate_trace(program: Program, path: str, config=None,
+                   memory_usage: int = 0):
+    """Time a recorded trace on the pipeline model.
+
+    ``memory_usage`` is not in the trace (it is a property of the
+    functional run, not of any one record); callers that captured it at
+    record time pass it through so the resulting
+    :class:`~repro.pipeline.result.SimResult` matches a live
+    :func:`~repro.pipeline.pipeline.simulate_program` run exactly."""
     from repro.pipeline.pipeline import PipelineSimulator
 
     pipe = PipelineSimulator(config)
     feed = pipe.feed
     for rec in replay_trace(program, path):
         feed(rec)
-    return pipe.finalize()
+    return pipe.finalize(memory_usage=memory_usage)

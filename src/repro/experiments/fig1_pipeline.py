@@ -69,6 +69,11 @@ class Fig1Result:
         ])
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Figure 1 is a worked micro-example; it needs no farm cells."""
+    return set()
+
+
 def run_fig1() -> Fig1Result:
     program = link([assemble(FIGURE1_ASM, "fig1")], LinkOptions(align_gp=True))
     baseline = trace_program(program, MachineConfig())

@@ -42,6 +42,15 @@ class Fig2Result:
         return format_table(headers, rows, title="Figure 2: IPC by load-latency model")
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Figure 2 reads the four load-latency idealizations per benchmark."""
+    from repro.farm import Cell
+
+    return {Cell("sim", name, False, config)
+            for name in common.suite_names(benchmarks)
+            for config in CONFIGS}
+
+
 def run_fig2(benchmarks=None) -> Fig2Result:
     names = common.suite_names(benchmarks)
     result = Fig2Result()

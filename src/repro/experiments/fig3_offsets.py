@@ -40,6 +40,14 @@ class Fig3Result:
         return self.curves[program][ref_class][1 + bucket]
 
 
+def farm_cells(benchmarks=None, software_support: bool = False) -> set:
+    """The farm cells (analyses) Figure 3 reads."""
+    from repro.farm import Cell
+
+    return {Cell("analysis", name, software_support)
+            for name in (benchmarks or DEFAULT_PROGRAMS)}
+
+
 def run_fig3(benchmarks=None, software_support: bool = False) -> Fig3Result:
     names = benchmarks or DEFAULT_PROGRAMS
     result = Fig3Result()

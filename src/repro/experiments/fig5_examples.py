@@ -55,6 +55,11 @@ class Fig5Result:
         return "\n".join(lines)
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Figure 5 exercises the predictor directly; no farm cells."""
+    return set()
+
+
 def run_fig5() -> Fig5Result:
     fac = FastAddressCalculator(FacConfig(cache_size=16 * 1024, block_size=16))
     result = Fig5Result()

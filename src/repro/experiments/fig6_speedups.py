@@ -49,6 +49,19 @@ class Fig6Result:
                             title="Figure 6: speedup over baseline execution time")
 
 
+def farm_cells(benchmarks=None, reg_reg_speculation: bool = True) -> set:
+    """Figure 6 reads the baseline plus four FAC design points."""
+    from repro.farm import Cell
+
+    points = DESIGN_POINTS if reg_reg_speculation else DESIGN_POINTS_NORR
+    cells = set()
+    for name in common.suite_names(benchmarks):
+        cells.add(Cell("sim", name, False, "base"))
+        for _, software, machine in points:
+            cells.add(Cell("sim", name, software, machine))
+    return cells
+
+
 def run_fig6(benchmarks=None, reg_reg_speculation: bool = True) -> Fig6Result:
     names = common.suite_names(benchmarks)
     points = DESIGN_POINTS if reg_reg_speculation else DESIGN_POINTS_NORR

@@ -40,6 +40,14 @@ class SignalsResult:
         return max(SIGNALS, key=lambda s: self.rates[name][s])
 
 
+def farm_cells(benchmarks=None, software_support: bool = False) -> set:
+    """The farm cells (analyses) the signals diagnostic reads."""
+    from repro.farm import Cell
+
+    return {Cell("analysis", name, software_support)
+            for name in common.suite_names(benchmarks)}
+
+
 def run_signals(benchmarks=None, software_support: bool = False) -> SignalsResult:
     names = common.suite_names(benchmarks)
     result = SignalsResult()

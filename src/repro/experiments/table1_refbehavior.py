@@ -43,6 +43,14 @@ class Table1Result:
                                   "(load breakdown by reference type)")
 
 
+def farm_cells(benchmarks=None, software_support: bool = False) -> set:
+    """The farm cells (analyses) Table 1 reads."""
+    from repro.farm import Cell
+
+    return {Cell("analysis", name, software_support)
+            for name in common.suite_names(benchmarks)}
+
+
 def run_table1(benchmarks=None, software_support: bool = False) -> Table1Result:
     names = common.suite_names(benchmarks)
     result = Table1Result()

@@ -75,6 +75,17 @@ def collect_rows(names, software_support: bool) -> list[Table3Row]:
     return rows
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Table 3 reads one analysis and one baseline sim per benchmark."""
+    from repro.farm import Cell
+
+    cells = set()
+    for name in common.suite_names(benchmarks):
+        cells.add(Cell("analysis", name, False))
+        cells.add(Cell("sim", name, False, "base"))
+    return cells
+
+
 def run_table3(benchmarks=None) -> Table3Result:
     names = common.suite_names(benchmarks)
     return Table3Result(rows=collect_rows(names, software_support=False))

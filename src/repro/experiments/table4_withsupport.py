@@ -60,6 +60,18 @@ def _pct(new: float, old: float) -> float:
     return 100.0 * (new - old) / old if old else 0.0
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Table 4 compares the supported and unsupported builds."""
+    from repro.farm import Cell
+
+    cells = set()
+    for name in common.suite_names(benchmarks):
+        for software in (False, True):
+            cells.add(Cell("analysis", name, software))
+            cells.add(Cell("sim", name, software, "base"))
+    return cells
+
+
 def run_table4(benchmarks=None) -> Table4Result:
     names = common.suite_names(benchmarks)
     result = Table4Result()

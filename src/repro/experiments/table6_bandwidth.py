@@ -41,6 +41,15 @@ class Table6Result:
                   "(R+R speculation on/off x software support)")
 
 
+def farm_cells(benchmarks=None) -> set:
+    """Table 6 reads the R+R on/off x software on/off sims."""
+    from repro.farm import Cell
+
+    return {Cell("sim", name, software, machine)
+            for name in common.suite_names(benchmarks)
+            for _, software, machine in COLUMNS}
+
+
 def run_table6(benchmarks=None) -> Table6Result:
     names = common.suite_names(benchmarks)
     result = Table6Result()

@@ -1,0 +1,47 @@
+"""repro.farm -- parallel, artifact-cached experiment execution.
+
+The farm models every experiment cell as a typed job in a dependency
+graph (``build -> trace -> analyze/simulate``), runs the graph across a
+``multiprocessing`` worker pool, and persists every result in a
+content-addressed on-disk artifact store keyed by deterministic
+fingerprints.  Warm re-runs are pure cache hits; a crashed or timed-out
+worker fails only its cell, never the sweep.
+
+Layers (each its own module):
+
+=================  ====================================================
+module             responsibility
+=================  ====================================================
+``fingerprint``    deterministic digests of sources and configurations
+``store``          content-addressed artifact store with LRU eviction
+``snapshots``      SimResult/TraceAnalysis <-> ``repro.metrics/1`` JSON
+``jobs``           typed job specs, the cell planner, job execution
+``scheduler``      the worker pool: timeouts, retries, crash recovery
+``progress``       live one-line progress sink for farm events
+``api``            store-backed ``analysis_for``/``sim_for`` used by
+                   :mod:`repro.experiments.common`
+=================  ====================================================
+
+See docs/experiments.md for the job graph, fingerprinting and
+invalidation rules, and failure semantics.
+"""
+
+from repro.farm.fingerprint import FARM_SCHEMA, config_digest, fingerprint
+from repro.farm.jobs import Cell, JobGraph, JobSpec, plan_jobs
+from repro.farm.scheduler import FarmRunResult, JobOutcome, run_graph
+from repro.farm.store import ArtifactStore, default_store_root
+
+__all__ = [
+    "ArtifactStore",
+    "Cell",
+    "FARM_SCHEMA",
+    "FarmRunResult",
+    "JobGraph",
+    "JobOutcome",
+    "JobSpec",
+    "config_digest",
+    "default_store_root",
+    "fingerprint",
+    "plan_jobs",
+    "run_graph",
+]

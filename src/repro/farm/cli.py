@@ -1,0 +1,218 @@
+"""``python -m repro farm`` -- drive experiment sweeps through the farm.
+
+Subcommands:
+
+* ``farm run``    -- plan the cells behind one or more figures, execute
+                     the job graph across a worker pool, then (unless
+                     ``--no-render``) render each figure from the now-warm
+                     store.
+* ``farm status`` -- store location, per-kind artifact counts/bytes, and
+                     the last run's summary.
+* ``farm gc``     -- evict artifacts (LRU under ``--max-size``, or
+                     everything with ``--all``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.farm.jobs import plan_jobs
+from repro.farm.progress import ProgressSink
+from repro.farm.scheduler import run_graph
+from repro.farm.store import ArtifactStore, default_store_root
+
+#: figure name -> (harness module name, runner attribute).
+HARNESSES = {
+    "fig1": ("fig1_pipeline", "run_fig1"),
+    "fig2": ("fig2_ipc", "run_fig2"),
+    "fig3": ("fig3_offsets", "run_fig3"),
+    "fig5": ("fig5_examples", "run_fig5"),
+    "fig6": ("fig6_speedups", "run_fig6"),
+    "table1": ("table1_refbehavior", "run_table1"),
+    "table3": ("table3_nosupport", "run_table3"),
+    "table4": ("table4_withsupport", "run_table4"),
+    "table6": ("table6_bandwidth", "run_table6"),
+    "signals": ("signals_report", "run_signals"),
+}
+
+#: Runners whose signature has no ``benchmarks`` parameter.
+_NO_BENCHMARKS = ("fig1", "fig5")
+
+
+def _split_csv(value: str | None) -> list[str] | None:
+    if not value:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def parse_size(text: str) -> int:
+    """Parse ``500M``-style sizes (K/M/G suffixes, powers of 1024)."""
+    text = text.strip()
+    multiplier = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        multiplier = suffixes[text[-1].lower()]
+        text = text[:-1]
+    return int(float(text) * multiplier)
+
+
+def _store_for(args) -> ArtifactStore:
+    root = getattr(args, "store", None) or default_store_root()
+    return ArtifactStore(root)
+
+
+def cmd_farm_run(args) -> int:
+    import importlib
+
+    from repro.experiments import common
+    from repro.obs.events import EventBus
+
+    figures = _split_csv(args.figures) or sorted(HARNESSES)
+    unknown = [f for f in figures if f not in HARNESSES]
+    if unknown:
+        print(f"unknown figure(s) {unknown}; choose from {sorted(HARNESSES)}",
+              file=sys.stderr)
+        return 2
+    benchmarks = _split_csv(args.suite)
+    if benchmarks:
+        bad = [b for b in benchmarks if b not in common.suite_names(None)]
+        if bad:
+            print(f"unknown benchmark(s) {bad}; see 'python -m repro suite'",
+                  file=sys.stderr)
+            return 2
+
+    modules = {}
+    cells = set()
+    for figure in figures:
+        module_name, _ = HARNESSES[figure]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        modules[figure] = module
+        cells |= module.farm_cells(benchmarks)
+
+    store = _store_for(args)
+    graph = plan_jobs(cells, common.MACHINES,
+                      max_instructions=common.MAX_INSTRUCTIONS)
+    print(f"[farm] {len(cells)} cells -> {len(graph.jobs)} jobs "
+          f"(store: {store.root}, workers: {args.jobs})", file=sys.stderr)
+
+    bus = EventBus()
+    progress = ProgressSink(sys.stderr, enabled=not args.quiet)
+    bus.attach(progress)
+    try:
+        result = run_graph(graph, store, jobs=args.jobs,
+                           timeout=args.timeout, retries=args.retries,
+                           obs=bus)
+    finally:
+        progress.close()
+
+    summary = result.summary()
+    summary["figures"] = figures
+    summary["benchmarks"] = benchmarks or sorted(common.suite_names(None))
+    store.write_last_run(summary)
+    if args.summary_json:
+        with open(args.summary_json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(f"[farm] {summary['total']} jobs: {summary['hits']} hits, "
+          f"{summary['computed']} computed, {len(summary['failed'])} failed "
+          f"({summary['elapsed_seconds']}s)", file=sys.stderr)
+    for job_id in summary["failed"]:
+        print(f"[farm] FAILED {job_id}: {summary['errors'][job_id]}",
+              file=sys.stderr)
+
+    if not args.no_render and not summary["failed"]:
+        # Figures read through common.*_for, which hits the warm store.
+        for figure in figures:
+            _, runner_name = HARNESSES[figure]
+            runner = getattr(modules[figure], runner_name)
+            if figure in _NO_BENCHMARKS:
+                print(runner().render())
+            else:
+                print(runner(benchmarks).render())
+            print()
+    return 1 if summary["failed"] else 0
+
+
+def cmd_farm_status(args) -> int:
+    store = _store_for(args)
+    stats = store.stats()
+    if args.json:
+        print(json.dumps({"stats": stats, "last_run": store.read_last_run()},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"store: {stats['root']}")
+    if not stats["kinds"]:
+        print("  (empty)")
+    for kind, bucket in sorted(stats["kinds"].items()):
+        print(f"  {kind:10s} {bucket['count']:5d} artifacts  "
+              f"{bucket['bytes'] / 1024:10.1f} KiB")
+    total = stats["total"]
+    print(f"  {'total':10s} {total['count']:5d} artifacts  "
+          f"{total['bytes'] / 1024:10.1f} KiB")
+    last = store.read_last_run()
+    if last:
+        print(f"last run: {last.get('total', '?')} jobs, "
+              f"{last.get('hits', '?')} hits, "
+              f"{last.get('computed', '?')} computed, "
+              f"{len(last.get('failed', []))} failed "
+              f"({last.get('elapsed_seconds', '?')}s)")
+    return 0
+
+
+def cmd_farm_gc(args) -> int:
+    store = _store_for(args)
+    if not args.all and args.max_size is None:
+        print("farm gc: pass --max-size SIZE or --all", file=sys.stderr)
+        return 2
+    if args.all:
+        evicted, freed = store.gc(clear=True)
+    else:
+        evicted, freed = store.gc(max_size=parse_size(args.max_size))
+    print(f"[farm] evicted {evicted} artifacts, freed {freed / 1024:.1f} KiB")
+    return 0
+
+
+def add_farm_parser(sub) -> None:
+    """Register the ``farm`` subcommand on a ``__main__`` subparser set."""
+    p_farm = sub.add_parser(
+        "farm", help="parallel, artifact-cached experiment execution"
+    )
+    farm_sub = p_farm.add_subparsers(dest="farm_command", required=True)
+
+    p_run = farm_sub.add_parser("run", help="execute an experiment sweep")
+    p_run.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker-pool width (default 1)")
+    p_run.add_argument("--suite", default=None, metavar="NAMES",
+                       help="comma-separated benchmark subset (default: all)")
+    p_run.add_argument("--figures", default=None, metavar="LIST",
+                       help="comma-separated figures "
+                            f"(default: all of {','.join(sorted(HARNESSES))})")
+    p_run.add_argument("--timeout", type=float, default=600.0,
+                       help="per-job attempt timeout, seconds (default 600)")
+    p_run.add_argument("--retries", type=int, default=1,
+                       help="extra attempts after a crash/timeout (default 1)")
+    p_run.add_argument("--store", default=None, metavar="DIR",
+                       help="artifact store root (default: $REPRO_FARM_DIR "
+                            "or .repro-farm/)")
+    p_run.add_argument("--summary-json", default=None, metavar="FILE",
+                       help="also write the run summary JSON to FILE")
+    p_run.add_argument("--no-render", action="store_true",
+                       help="skip rendering figures after the sweep")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress the live progress line")
+    p_run.set_defaults(func=cmd_farm_run)
+
+    p_status = farm_sub.add_parser("status", help="store and last-run summary")
+    p_status.add_argument("--store", default=None, metavar="DIR")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=cmd_farm_status)
+
+    p_gc = farm_sub.add_parser("gc", help="evict artifacts")
+    p_gc.add_argument("--max-size", default=None, metavar="SIZE",
+                      help="evict LRU-first until the store fits SIZE "
+                           "(K/M/G suffixes)")
+    p_gc.add_argument("--all", action="store_true",
+                      help="remove every artifact")
+    p_gc.add_argument("--store", default=None, metavar="DIR")
+    p_gc.set_defaults(func=cmd_farm_gc)

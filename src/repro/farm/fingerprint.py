@@ -1,0 +1,82 @@
+"""Deterministic fingerprints for farm artifacts.
+
+Every artifact key is a SHA-256 over a canonical JSON encoding of the
+inputs that determine the artifact's content:
+
+* the farm schema version (:data:`FARM_SCHEMA`) and the package version
+  -- bumping either invalidates the whole store,
+* the benchmark's MiniC source text digest and the
+  :class:`~repro.compiler.options.CompilerOptions` digest (build
+  manifests),
+* the built program's text CRC
+  (:func:`repro.cpu.tracefile.program_crc`) -- downstream artifacts are
+  keyed by what was *actually compiled*, so a compiler change that does
+  not alter the emitted code keeps its traces and simulations,
+* the :class:`~repro.pipeline.config.MachineConfig` /
+  :class:`~repro.fac.config.FacConfig` digests (simulations), and the
+  analyzer geometry (analyses),
+* the instruction budget.
+
+Configurations are frozen dataclasses; :func:`config_digest` walks them
+into canonical JSON (sorted keys, no whitespace) so the digest is stable
+across processes and Python hash seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import repro
+
+#: Version tag mixed into every fingerprint *and* stored in artifact
+#: metadata. Bump the trailing integer when the artifact layout, the
+#: snapshot encodings, or the simulator's observable behaviour change
+#: incompatibly -- old artifacts then simply stop matching.
+FARM_SCHEMA = "repro.farm/1"
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-encodable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.fields(value)
+        return {
+            "__dataclass__": type(value).__name__,
+            **{f.name: _canonical(getattr(value, f.name)) for f in fields},
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, frozenset):
+        return sorted(str(v) for v in value)
+    raise TypeError(f"cannot fingerprint {type(value).__name__}: {value!r}")
+
+
+def config_digest(obj) -> str:
+    """SHA-256 hex digest of a configuration object (frozen dataclass,
+    dict, or any nesting of JSON-able values)."""
+    encoded = json.dumps(_canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def fingerprint(*parts) -> str:
+    """Combine heterogeneous parts into one artifact key.
+
+    The schema and package versions are always mixed in, so any
+    incompatible change invalidates every key at once.
+    """
+    payload = json.dumps(
+        [FARM_SCHEMA, repro.__version__] + [_canonical(p) for p in parts],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def source_digest(text: str) -> str:
+    """Digest of one benchmark's MiniC source text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

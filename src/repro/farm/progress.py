@@ -1,0 +1,74 @@
+"""Live one-line progress display for farm sweeps.
+
+A :class:`ProgressSink` attached to the scheduler's event bus rewrites a
+single status line (``\\r``) as jobs complete::
+
+    [farm] 37/64 done | 21 hits 15 computed 1 failed | sim:gcc:fac32
+
+It is an event *sink* like any other (:mod:`repro.obs.sinks`): attach it
+to the same bus as a ``JsonlSink`` to get a machine log and the human
+line from one stream of events.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.events import (
+    Event,
+    FarmJobFailed,
+    FarmJobFinished,
+    FarmJobScheduled,
+    FarmJobStarted,
+)
+
+
+class ProgressSink:
+    """Renders farm lifecycle events as one self-rewriting status line."""
+
+    def __init__(self, stream=None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.total = 0
+        self.done = 0
+        self.hits = 0
+        self.computed = 0
+        self.failed = 0
+        self.last = ""
+        self._dirty = False
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, FarmJobScheduled):
+            self.total += 1
+        elif isinstance(event, FarmJobStarted):
+            self.last = event.job_id
+        elif isinstance(event, FarmJobFinished):
+            self.done += 1
+            if event.cached:
+                self.hits += 1
+            else:
+                self.computed += 1
+            self.last = event.job_id
+        elif isinstance(event, FarmJobFailed):
+            self.done += 1
+            self.failed += 1
+            self.last = f"{event.job_id} FAILED"
+        else:
+            return
+        self._render()
+
+    def _render(self) -> None:
+        if not self.enabled:
+            return
+        line = (f"[farm] {self.done}/{self.total} done | "
+                f"{self.hits} hits {self.computed} computed "
+                f"{self.failed} failed | {self.last}")
+        self.stream.write("\r" + line[:119].ljust(119))
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -1,0 +1,374 @@
+"""The farm's execution engine: a multiprocessing worker pool with
+per-job timeouts, bounded retries, and graceful degradation.
+
+Design:
+
+* The parent owns the job graph. A job becomes *ready* when every
+  dependency has completed; ready jobs are first checked against the
+  artifact store (a hit completes instantly, no worker involved), then
+  dispatched to an idle worker.
+* Each worker is a separate process with its own task queue; results
+  come back over one shared queue. Workers are spawned lazily -- a
+  fully warm re-run never forks at all.
+* A worker that dies mid-job (crash, OOM kill) or exceeds the per-job
+  timeout is terminated and replaced; the job is retried up to
+  ``retries`` extra attempts, then failed. A job that raises a Python
+  exception fails immediately (re-running deterministic code cannot
+  help). A failed job fails its dependents (``upstream failed``) but
+  never the sweep: every other cell still completes.
+* Lifecycle events (``farm.scheduled`` / ``farm.started`` /
+  ``farm.finished`` / ``farm.failed``) are emitted on an optional
+  :class:`repro.obs.events.EventBus`.
+
+Test hooks (used by the crash/timeout regression tests): a worker whose
+job id contains ``$REPRO_FARM_TEST_CRASH`` exits hard with ``os._exit``;
+one matching ``$REPRO_FARM_TEST_HANG`` sleeps forever (until the
+scheduler's timeout kills it).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.farm.jobs import JobGraph, JobSpec, artifact_ready, execute_job
+from repro.farm.store import ArtifactStore
+from repro.obs.events import (
+    FarmJobFailed,
+    FarmJobFinished,
+    FarmJobScheduled,
+    FarmJobStarted,
+)
+
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job."""
+
+    job_id: str
+    kind: str
+    status: str             # 'hit' | 'done' | 'failed'
+    key: str | None = None
+    error: str | None = None
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("hit", "done")
+
+
+@dataclass
+class FarmRunResult:
+    """Everything one sweep produced, cell by cell."""
+
+    outcomes: dict[str, JobOutcome] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "hit")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "done")
+
+    @property
+    def failed(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes.values() if o.status == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> dict:
+        """JSON-able run summary (written to ``<store>/runs/last.json``)."""
+        return {
+            "total": len(self.outcomes),
+            "hits": self.hits,
+            "computed": self.computed,
+            "failed": sorted(o.job_id for o in self.failed),
+            "errors": {o.job_id: o.error for o in self.failed},
+            "elapsed_seconds": round(self.elapsed, 3),
+        }
+
+
+# ------------------------------------------------------------------ #
+# worker side
+
+def _worker_main(worker_id: int, store_root: str, task_q, result_q) -> None:
+    store = ArtifactStore(store_root)
+    crash = os.environ.get("REPRO_FARM_TEST_CRASH", "")
+    hang = os.environ.get("REPRO_FARM_TEST_HANG", "")
+    while True:
+        spec = task_q.get()
+        if spec is None:
+            return
+        if crash and crash in spec.job_id:
+            os._exit(66)
+        if hang and hang in spec.job_id:
+            time.sleep(3600)
+        try:
+            key = execute_job(spec, store)
+            result_q.put((worker_id, spec.job_id, "ok", key, None))
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            result_q.put((worker_id, spec.job_id, "error", None,
+                          f"{type(exc).__name__}: {exc}"))
+
+
+class _Worker:
+    """One pool slot: process handle, private task queue, in-flight job."""
+
+    def __init__(self, ctx, index: int, store_root: str, result_q):
+        self.index = index
+        self.task_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(index, store_root, self.task_q, result_q),
+            daemon=True,
+            name=f"repro-farm-{index}",
+        )
+        self.process.start()
+        self.job: JobSpec | None = None
+        self.started_at = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def assign(self, spec: JobSpec) -> None:
+        self.job = spec
+        self.started_at = time.monotonic()
+        self.task_q.put(spec)
+
+    def release(self) -> None:
+        self.job = None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, kill: bool = False) -> None:
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        elif self.process.is_alive():
+            try:
+                self.task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self.task_q.close()
+
+
+# ------------------------------------------------------------------ #
+# parent side
+
+class _GraphRun:
+    def __init__(self, graph: JobGraph, store: ArtifactStore, jobs: int,
+                 timeout: float | None, retries: int, obs=None):
+        self.graph = graph
+        self.store = store
+        self.max_workers = max(1, jobs)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.obs = obs
+        self.outcomes: dict[str, JobOutcome] = {}
+        self.attempts: dict[str, int] = {}
+        self.waiting: dict[str, set[str]] = {}
+        self.ready: list[str] = []
+        self.workers: list[_Worker] = []
+        self.ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        self.result_q = self.ctx.Queue()
+
+    # ---------------- events ---------------- #
+
+    def _emit(self, event) -> None:
+        if self.obs is not None:
+            self.obs.emit(event)
+
+    # ---------------- completion ---------------- #
+
+    def _finish(self, spec: JobSpec, status: str, key: str | None = None,
+                error: str | None = None) -> None:
+        self.outcomes[spec.job_id] = JobOutcome(
+            job_id=spec.job_id, kind=spec.kind, status=status, key=key,
+            error=error, attempts=self.attempts.get(spec.job_id, 0),
+        )
+        if status == "failed":
+            self._emit(FarmJobFailed(
+                job_id=spec.job_id, job_kind=spec.kind,
+                error=error or "unknown",
+                attempts=self.attempts.get(spec.job_id, 0)))
+        else:
+            self._emit(FarmJobFinished(
+                job_id=spec.job_id, job_kind=spec.kind,
+                cached=(status == "hit")))
+        self._propagate(spec.job_id, failed=(status == "failed"))
+
+    def _propagate(self, done_id: str, failed: bool) -> None:
+        for job_id, deps in list(self.waiting.items()):
+            if done_id not in deps:
+                continue
+            if failed:
+                del self.waiting[job_id]
+                spec = self.graph.jobs[job_id]
+                self._finish(spec, "failed",
+                             error=f"upstream failed: {done_id}")
+            else:
+                deps.discard(done_id)
+                if not deps:
+                    del self.waiting[job_id]
+                    self.ready.append(job_id)
+
+    # ---------------- dispatch ---------------- #
+
+    def _try_complete_from_store(self, spec: JobSpec) -> bool:
+        try:
+            key = artifact_ready(spec, self.store)
+        except Exception:
+            # e.g. an unknown benchmark name: let a worker run the job
+            # and report the real error as that cell's failure
+            return False
+        if key is None:
+            return False
+        self._finish(spec, "hit", key=key)
+        return True
+
+    def _idle_worker(self) -> _Worker | None:
+        for worker in self.workers:
+            if worker.idle and worker.alive():
+                return worker
+        for worker in self.workers:
+            if worker.idle and not worker.alive():
+                return self._respawn(worker)
+        if len(self.workers) < self.max_workers:
+            worker = _Worker(self.ctx, len(self.workers),
+                             str(self.store.root), self.result_q)
+            self.workers.append(worker)
+            return worker
+        return None
+
+    def _respawn(self, worker: _Worker) -> _Worker:
+        position = self.workers.index(worker)
+        worker.stop(kill=True)
+        replacement = _Worker(self.ctx, worker.index, str(self.store.root),
+                              self.result_q)
+        self.workers[position] = replacement
+        return replacement
+
+    def _dispatch_ready(self) -> None:
+        still_ready = []
+        for job_id in self.ready:
+            if job_id in self.outcomes:
+                continue  # a late result resolved it while queued for retry
+            spec = self.graph.jobs[job_id]
+            if self._try_complete_from_store(spec):
+                continue
+            worker = self._idle_worker()
+            if worker is None:
+                still_ready.append(job_id)
+                continue
+            self.attempts[job_id] = self.attempts.get(job_id, 0) + 1
+            worker.assign(spec)
+            self._emit(FarmJobStarted(
+                job_id=job_id, job_kind=spec.kind, worker=worker.index,
+                attempt=self.attempts[job_id]))
+        self.ready = still_ready
+
+    def _retry_or_fail(self, spec: JobSpec, reason: str) -> None:
+        if self.attempts.get(spec.job_id, 0) <= self.retries:
+            self.ready.append(spec.job_id)
+        else:
+            self._finish(spec, "failed", error=reason)
+
+    # ---------------- supervision ---------------- #
+
+    def _drain_results(self) -> None:
+        import queue as queue_mod
+
+        try:
+            while True:
+                worker_id, job_id, status, key, error = \
+                    self.result_q.get(timeout=_POLL_SECONDS)
+                for worker in self.workers:
+                    if worker.index == worker_id and worker.job is not None \
+                            and worker.job.job_id == job_id:
+                        worker.release()
+                        break
+                if job_id in self.outcomes:
+                    continue  # late result after a kill/retry resolved it
+                spec = self.graph.jobs[job_id]
+                if status == "ok":
+                    self._finish(spec, "done", key=key)
+                else:
+                    self._finish(spec, "failed", error=error)
+        except queue_mod.Empty:
+            pass
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
+        for worker in list(self.workers):
+            spec = worker.job
+            if spec is None:
+                continue
+            if not worker.alive():
+                worker.release()
+                self._respawn(worker)
+                if spec.job_id not in self.outcomes:
+                    self._retry_or_fail(
+                        spec, "worker crashed "
+                        f"(attempt {self.attempts.get(spec.job_id, 0)})")
+            elif self.timeout and now - worker.started_at > self.timeout:
+                worker.release()
+                self._respawn(worker)
+                if spec.job_id not in self.outcomes:
+                    self._retry_or_fail(
+                        spec, f"timed out after {self.timeout:g}s "
+                        f"(attempt {self.attempts.get(spec.job_id, 0)})")
+
+    # ---------------- main loop ---------------- #
+
+    def run(self) -> FarmRunResult:
+        start = time.monotonic()
+        for job_id, spec in self.graph.jobs.items():
+            self._emit(FarmJobScheduled(job_id=job_id, job_kind=spec.kind))
+            deps = set(spec.deps)
+            if deps:
+                self.waiting[job_id] = deps
+            else:
+                self.ready.append(job_id)
+        try:
+            while len(self.outcomes) < len(self.graph.jobs):
+                self._dispatch_ready()
+                if len(self.outcomes) == len(self.graph.jobs):
+                    break
+                self._drain_results()
+                self._check_workers()
+        finally:
+            for worker in self.workers:
+                worker.stop(kill=any(w.job is not None
+                                     for w in self.workers))
+            self.result_q.close()
+        return FarmRunResult(outcomes=self.outcomes,
+                             elapsed=time.monotonic() - start)
+
+
+def run_graph(graph: JobGraph, store: ArtifactStore, jobs: int = 1,
+              timeout: float | None = None, retries: int = 1,
+              obs=None) -> FarmRunResult:
+    """Execute a job graph; never raises for individual cell failures.
+
+    ``jobs`` is the worker-pool width (>= 1; workers spawn lazily, so a
+    fully warm run costs no forks). ``timeout`` is per job attempt, in
+    seconds (None = unbounded). ``retries`` bounds *extra* attempts
+    after a crash or timeout; Python-level exceptions are deterministic
+    and fail immediately.
+    """
+    return _GraphRun(graph, store, jobs, timeout, retries, obs).run()

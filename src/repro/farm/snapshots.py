@@ -1,0 +1,144 @@
+"""Serialize simulation results and trace analyses as ``repro.metrics/1``
+snapshots (the PR 2 observability format).
+
+The farm persists every computed cell as a versioned metrics snapshot:
+raw counters and histograms go in the ``metrics`` section through a
+:class:`~repro.obs.metrics.MetricsRegistry`; the handful of values that
+are not integer counters (miss *ratios*, captured stdout, the
+``extras`` dict) ride in ``meta``. Encoding is deterministic -- sorted
+keys, no wall-clock fields -- so a parallel farm run and a serial
+in-process run produce byte-identical snapshots for the same cell
+(enforced by ``tests/farm/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.analysis.prediction import PredictionStats, TraceAnalysis
+from repro.analysis.refclass import GENERAL, GLOBAL, STACK, ReferenceProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline.result import SimResult
+
+_REF_CLASSES = (GLOBAL, STACK, GENERAL)
+
+_PRED_COUNTERS = (
+    "loads", "stores", "load_failures", "store_failures",
+    "norr_loads", "norr_stores", "norr_load_failures", "norr_store_failures",
+)
+
+_ANALYSIS_META_FLOATS = (
+    "icache_miss_ratio", "dcache_miss_ratio", "tlb_miss_ratio",
+)
+
+
+# ------------------------------------------------------------------ #
+# SimResult
+
+def sim_to_snapshot(result: SimResult, meta: dict | None = None) -> dict:
+    """Encode one :class:`SimResult` as a ``repro.metrics/1`` snapshot."""
+    registry = MetricsRegistry()
+    result.to_registry(registry, prefix="sim")
+    merged = dict(meta or {})
+    merged["extras"] = {k: result.extras[k] for k in sorted(result.extras)}
+    return registry.snapshot(meta=merged)
+
+
+def sim_from_snapshot(snapshot: dict) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`sim_to_snapshot` output."""
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    kwargs = {}
+    for f in fields(SimResult):
+        if f.name == "extras":
+            continue
+        path = f"sim.{f.name}"
+        if path not in registry:
+            raise ValueError(f"sim snapshot missing counter {path!r}")
+        kwargs[f.name] = registry.counter(path).count
+    result = SimResult(**kwargs)
+    result.extras.update(snapshot.get("meta", {}).get("extras", {}))
+    return result
+
+
+# ------------------------------------------------------------------ #
+# TraceAnalysis
+
+def analysis_to_snapshot(analysis: TraceAnalysis,
+                         meta: dict | None = None) -> dict:
+    """Encode one :class:`TraceAnalysis` as a ``repro.metrics/1`` snapshot.
+
+    ``per_pc`` tables are *not* serialized -- they exist only for the
+    static-analysis soundness checks, which run their own analyses.
+    """
+    registry = MetricsRegistry()
+    profile = analysis.profile
+    registry.counter("profile.instructions").incr(profile.instructions)
+    registry.counter("profile.loads").incr(profile.loads)
+    registry.counter("profile.stores").incr(profile.stores)
+    for ref_class in _REF_CLASSES:
+        registry.counter(f"profile.load_class.{ref_class}").incr(
+            profile.load_class[ref_class])
+        registry.counter(f"profile.store_class.{ref_class}").incr(
+            profile.store_class[ref_class])
+        registry.histogram(f"profile.offsets.{ref_class}").merge(
+            profile.offset_hist[ref_class])
+    for block_size, stats in analysis.predictions.items():
+        prefix = f"pred.{block_size}"
+        for name in _PRED_COUNTERS:
+            registry.counter(f"{prefix}.{name}").incr(getattr(stats, name))
+        for signal, count in stats.signal_counts.items():
+            registry.counter(f"{prefix}.signals.{signal}").incr(count)
+    merged = dict(meta or {})
+    merged["block_sizes"] = sorted(analysis.predictions)
+    merged["memory_usage"] = analysis.memory_usage
+    merged["instructions"] = analysis.instructions
+    merged["stdout"] = analysis.stdout
+    for name in _ANALYSIS_META_FLOATS:
+        merged[name] = getattr(analysis, name)
+    return registry.snapshot(meta=merged)
+
+
+def analysis_from_snapshot(snapshot: dict) -> TraceAnalysis:
+    """Rebuild a :class:`TraceAnalysis` (``per_pc`` is always None)."""
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    meta = snapshot.get("meta", {})
+
+    profile = ReferenceProfile()
+    profile.instructions = registry.counter("profile.instructions").count
+    profile.loads = registry.counter("profile.loads").count
+    profile.stores = registry.counter("profile.stores").count
+    for ref_class in _REF_CLASSES:
+        profile.load_class[ref_class] = \
+            registry.counter(f"profile.load_class.{ref_class}").count
+        profile.store_class[ref_class] = \
+            registry.counter(f"profile.store_class.{ref_class}").count
+        hist_path = f"profile.offsets.{ref_class}"
+        if hist_path in registry:
+            profile.offset_hist[ref_class].merge(
+                registry.histogram(hist_path))
+
+    predictions: dict[int, PredictionStats] = {}
+    for block_size in meta.get("block_sizes", ()):
+        prefix = f"pred.{block_size}"
+        stats = PredictionStats(block_size=block_size)
+        for name in _PRED_COUNTERS:
+            path = f"{prefix}.{name}"
+            if path not in registry:
+                raise ValueError(f"analysis snapshot missing {path!r}")
+            setattr(stats, name, registry.counter(path).count)
+        for signal in stats.signal_counts:
+            stats.signal_counts[signal] = \
+                registry.counter(f"{prefix}.signals.{signal}").count
+        predictions[block_size] = stats
+
+    return TraceAnalysis(
+        profile=profile,
+        predictions=predictions,
+        icache_miss_ratio=meta.get("icache_miss_ratio", 0.0),
+        dcache_miss_ratio=meta.get("dcache_miss_ratio", 0.0),
+        tlb_miss_ratio=meta.get("tlb_miss_ratio", 0.0),
+        memory_usage=meta.get("memory_usage", 0),
+        instructions=meta.get("instructions", 0),
+        stdout=meta.get("stdout", ""),
+        per_pc=None,
+    )

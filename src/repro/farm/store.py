@@ -1,0 +1,282 @@
+"""Content-addressed on-disk artifact store.
+
+Layout (all under one root directory, default ``.repro-farm/``)::
+
+    <root>/objects/<kind>/<key[:2]>/<key>/meta.json    # always present
+    <root>/objects/<kind>/<key[:2]>/<key>/<payload>    # optional payload
+    <root>/runs/last.json                              # last run summary
+    <root>/tmp/                                        # staging area
+
+``kind`` is one of ``build``, ``trace``, ``analysis``, ``sim``; ``key``
+is a fingerprint hex digest (see :mod:`repro.farm.fingerprint`).
+
+Writes are atomic: an artifact is staged under ``tmp/`` and published
+with a single ``os.rename``, so concurrent workers computing the same
+key race harmlessly -- the loser discards its copy. Reads touch the
+artifact's ``meta.json`` mtime, which :meth:`ArtifactStore.gc` uses for
+least-recently-used eviction.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+_META = "meta.json"
+KINDS = ("build", "trace", "analysis", "sim")
+
+#: Environment variable naming the store root.
+ENV_DIR = "REPRO_FARM_DIR"
+#: Set to ``off``/``0``/``disabled`` to run without any on-disk store.
+ENV_TOGGLE = "REPRO_FARM"
+
+DEFAULT_DIRNAME = ".repro-farm"
+
+
+def store_enabled() -> bool:
+    return os.environ.get(ENV_TOGGLE, "").strip().lower() not in (
+        "off", "0", "disabled", "no",
+    )
+
+
+def default_store_root() -> Path:
+    """Resolve the artifact-store root.
+
+    Order: ``$REPRO_FARM_DIR`` if set; else ``$XDG_CACHE_HOME/repro-farm``
+    if ``XDG_CACHE_HOME`` is set; else ``.repro-farm/`` in the current
+    directory (gitignored).
+    """
+    env = os.environ.get(ENV_DIR, "").strip()
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    if xdg:
+        return Path(xdg) / "repro-farm"
+    return Path(DEFAULT_DIRNAME)
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One stored artifact, as enumerated by :meth:`ArtifactStore.ls`."""
+
+    kind: str
+    key: str
+    path: Path
+    size: int       # bytes, meta + payload
+    mtime: float    # of meta.json (touched on read)
+
+
+class ArtifactStore:
+    """Content-addressed store with atomic publication and LRU gc."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -------------------------------------------------------------- #
+    # paths
+
+    def _object_dir(self, kind: str, key: str) -> Path:
+        return self.root / "objects" / kind / key[:2] / key
+
+    def _tmp_dir(self) -> Path:
+        tmp = self.root / "tmp"
+        tmp.mkdir(parents=True, exist_ok=True)
+        return tmp
+
+    def scratch(self, name: str) -> Path:
+        """A staging path on the store's filesystem (so the final
+        ``os.rename`` publication stays atomic)."""
+        return self._tmp_dir() / f"{os.getpid()}-{name}"
+
+    def runs_dir(self) -> Path:
+        runs = self.root / "runs"
+        runs.mkdir(parents=True, exist_ok=True)
+        return runs
+
+    # -------------------------------------------------------------- #
+    # reads
+
+    def has(self, kind: str, key: str) -> bool:
+        return (self._object_dir(kind, key) / _META).is_file()
+
+    def get_meta(self, kind: str, key: str) -> dict | None:
+        """Load an artifact's metadata, touching it for LRU purposes."""
+        meta_path = self._object_dir(kind, key) / _META
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        try:
+            os.utime(meta_path)
+        except OSError:
+            pass
+        return meta
+
+    def payload_path(self, kind: str, key: str, name: str) -> Path | None:
+        """Path of a payload file, or None when absent."""
+        path = self._object_dir(kind, key) / name
+        return path if path.is_file() else None
+
+    def get_json(self, kind: str, key: str, name: str = "snapshot.json"):
+        """Load a JSON payload (with the LRU touch), or None."""
+        if self.get_meta(kind, key) is None:
+            return None
+        path = self._object_dir(kind, key) / name
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def get_bytes(self, kind: str, key: str, name: str) -> bytes | None:
+        path = self._object_dir(kind, key) / name
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    # -------------------------------------------------------------- #
+    # writes
+
+    def put(self, kind: str, key: str, meta: dict,
+            payloads: dict[str, str | Path | bytes] | None = None) -> Path:
+        """Atomically publish an artifact.
+
+        ``payloads`` maps payload file names to either a source path
+        (moved into the artifact) or raw bytes. Returns the artifact
+        directory; if another process already published ``key``, the
+        existing artifact wins and the staged copy is discarded.
+        """
+        final = self._object_dir(kind, key)
+        if (final / _META).is_file():
+            return final
+        stage = self._tmp_dir() / f"{os.getpid()}-{kind}-{key[:16]}"
+        if stage.exists():
+            shutil.rmtree(stage, ignore_errors=True)
+        stage.mkdir(parents=True)
+        try:
+            for name, src in (payloads or {}).items():
+                dst = stage / name
+                if isinstance(src, bytes):
+                    dst.write_bytes(src)
+                else:
+                    shutil.move(str(src), str(dst))
+            with open(stage / _META, "w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            final.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(stage, final)
+            except OSError as exc:
+                if exc.errno not in (errno.ENOTEMPTY, errno.EEXIST,
+                                     errno.ENOTDIR):
+                    raise
+                # concurrent publication won the race; ours is equivalent
+                shutil.rmtree(stage, ignore_errors=True)
+        finally:
+            shutil.rmtree(stage, ignore_errors=True)
+        return final
+
+    def put_json(self, kind: str, key: str, obj, meta: dict,
+                 name: str = "snapshot.json") -> Path:
+        """Publish a JSON payload with deterministic byte encoding."""
+        encoded = (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+        return self.put(kind, key, meta, payloads={name: encoded})
+
+    # -------------------------------------------------------------- #
+    # enumeration / gc
+
+    def ls(self) -> list[ArtifactInfo]:
+        objects = self.root / "objects"
+        found = []
+        if not objects.is_dir():
+            return found
+        for kind_dir in sorted(objects.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for shard in sorted(kind_dir.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for obj in sorted(shard.iterdir()):
+                    meta = obj / _META
+                    if not meta.is_file():
+                        continue
+                    size = sum(f.stat().st_size
+                               for f in obj.iterdir() if f.is_file())
+                    found.append(ArtifactInfo(
+                        kind=kind_dir.name, key=obj.name, path=obj,
+                        size=size, mtime=meta.stat().st_mtime,
+                    ))
+        return found
+
+    def stats(self) -> dict:
+        """Per-kind artifact counts and byte totals."""
+        per_kind: dict[str, dict] = {}
+        total = {"count": 0, "bytes": 0}
+        for info in self.ls():
+            bucket = per_kind.setdefault(info.kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += info.size
+            total["count"] += 1
+            total["bytes"] += info.size
+        return {"root": str(self.root), "kinds": per_kind, "total": total}
+
+    def remove(self, kind: str, key: str) -> bool:
+        path = self._object_dir(kind, key)
+        if not path.is_dir():
+            return False
+        shutil.rmtree(path, ignore_errors=True)
+        return True
+
+    def gc(self, max_size: int | None = None,
+           clear: bool = False) -> tuple[int, int]:
+        """Evict artifacts; returns ``(evicted_count, freed_bytes)``.
+
+        ``clear=True`` removes everything. Otherwise artifacts are
+        evicted least-recently-used first until the store fits within
+        ``max_size`` bytes. The staging area is always emptied.
+        """
+        shutil.rmtree(self.root / "tmp", ignore_errors=True)
+        artifacts = self.ls()
+        evicted = freed = 0
+        if clear:
+            for info in artifacts:
+                self.remove(info.kind, info.key)
+                evicted += 1
+                freed += info.size
+            return evicted, freed
+        if max_size is None:
+            return 0, 0
+        total = sum(info.size for info in artifacts)
+        for info in sorted(artifacts, key=lambda i: (i.mtime, i.key)):
+            if total <= max_size:
+                break
+            self.remove(info.kind, info.key)
+            evicted += 1
+            freed += info.size
+            total -= info.size
+        return evicted, freed
+
+    # -------------------------------------------------------------- #
+    # run summaries (for ``repro farm status``)
+
+    def write_last_run(self, summary: dict) -> None:
+        path = self.runs_dir() / "last.json"
+        with open(path, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def read_last_run(self) -> dict | None:
+        try:
+            with open(self.root / "runs" / "last.json") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArtifactStore({str(self.root)!r})"

@@ -28,6 +28,10 @@ kind                meaning
 ``sb.full_stall``   pipeline stalled on a full store buffer
 ``branch``          conditional branch resolved (taken, BTB outcome)
 ``syscall``         system call retired by the functional simulator
+``farm.scheduled``  an experiment job entered the farm's job graph
+``farm.started``    a farm job was dispatched to a worker (store miss)
+``farm.finished``   a farm job completed (``cached`` = artifact hit)
+``farm.failed``     a farm job failed permanently; the sweep continues
 ==================  ====================================================
 """
 
@@ -151,6 +155,50 @@ class Syscall(Event):
     name: str
 
 
+# ------------------------------------------------------------------ #
+# farm lifecycle events (repro.farm.scheduler)
+
+@dataclass(slots=True)
+class FarmJobScheduled(Event):
+    """A job entered the farm's graph (before hit/miss is known)."""
+
+    kind = "farm.scheduled"
+    job_id: str
+    job_kind: str       # build | trace | analysis | sim
+
+
+@dataclass(slots=True)
+class FarmJobStarted(Event):
+    """A job was dispatched to a worker (store miss)."""
+
+    kind = "farm.started"
+    job_id: str
+    job_kind: str
+    worker: int         # worker index, -1 for inline execution
+    attempt: int        # 1-based
+
+
+@dataclass(slots=True)
+class FarmJobFinished(Event):
+    """A job completed: from the store (``cached``) or computed."""
+
+    kind = "farm.finished"
+    job_id: str
+    job_kind: str
+    cached: bool        # True = artifact-store hit, nothing ran
+
+
+@dataclass(slots=True)
+class FarmJobFailed(Event):
+    """A job failed permanently (error, crash, timeout, or upstream)."""
+
+    kind = "farm.failed"
+    job_id: str
+    job_kind: str
+    error: str
+    attempts: int
+
+
 #: kind -> event class, for sinks that reconstruct events.
 EVENT_TYPES = {
     cls.kind: cls
@@ -158,6 +206,7 @@ EVENT_TYPES = {
         InstRetired, FacPredict, FacReplay, MemAccess, CacheAccess,
         TlbAccess, StoreBufferInsert, StoreBufferFullStall,
         BranchResolved, Syscall,
+        FarmJobScheduled, FarmJobStarted, FarmJobFinished, FarmJobFailed,
     )
 }
 

@@ -10,6 +10,18 @@ from repro.isa.assembler import assemble
 from repro.linker import LinkOptions, link
 
 
+@pytest.fixture(autouse=True)
+def _isolated_farm_store(tmp_path, monkeypatch):
+    """Point the farm artifact store at a per-test directory so tests
+    never write ``.repro-farm/`` into the repo or see stale artifacts."""
+    from repro.farm import api
+
+    monkeypatch.setenv("REPRO_FARM_DIR", str(tmp_path / "farm-store"))
+    api.clear_memo()
+    yield
+    api.clear_memo()
+
+
 def run_minic(source: str, options: CompilerOptions | None = None,
               max_instructions: int = 5_000_000) -> CPU:
     """Compile, link, and run a MiniC program; returns the halted CPU."""

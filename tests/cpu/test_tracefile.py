@@ -82,6 +82,127 @@ class TestValidation:
             list(replay_trace(program, path))
 
 
+class TestCorruptTraces:
+    """Edge cases in the on-disk format: tampered headers, truncated
+    records, gzip-level corruption, and the far-target extra word."""
+
+    @staticmethod
+    def _header(program, crc=None):
+        from repro.cpu.tracefile import _HEADER, _MAGIC, _VERSION
+
+        crc = program_crc(program) if crc is None else crc
+        return _HEADER.pack(_MAGIC, _VERSION, 0, crc, 0, program.entry)
+
+    @staticmethod
+    def _record(index, ea=0, base=0, offset=0, flags=0, delta=0):
+        from repro.cpu.tracefile import _RECORD
+
+        return _RECORD.pack(index, ea, base, offset, flags, delta)
+
+    def _write(self, tmp_path, payload: bytes) -> str:
+        import gzip
+
+        path = str(tmp_path / "crafted.fact.gz")
+        with gzip.open(path, "wb") as stream:
+            stream.write(payload)
+        return path
+
+    def test_tampered_crc_rejected(self, program, tmp_path):
+        bad_crc = (program_crc(program) ^ 1) & 0xFFFFFFFF
+        path = self._write(tmp_path, self._header(program, crc=bad_crc))
+        with pytest.raises(SimulationError, match="different program"):
+            list(replay_trace(program, path))
+
+    def test_truncated_header_rejected(self, program, tmp_path):
+        path = self._write(tmp_path, self._header(program)[:7])
+        with pytest.raises(SimulationError, match="truncated trace header"):
+            list(replay_trace(program, path))
+
+    def test_truncated_record_rejected(self, program, tmp_path):
+        path = self._write(
+            tmp_path, self._header(program) + self._record(0)[:5])
+        with pytest.raises(SimulationError, match="truncated trace record"):
+            list(replay_trace(program, path))
+
+    def test_far_target_extra_word_roundtrips(self, program, tmp_path):
+        # A far target (branch delta outside the i16 range) stores the
+        # absolute next pc as an extra little-endian u32 after the record.
+        import struct
+
+        from repro.cpu.tracefile import _FLAG_FAR_TARGET
+
+        far_pc = program.text_base + 0x7FFF00
+        path = self._write(
+            tmp_path,
+            self._header(program)
+            + self._record(0, flags=_FLAG_FAR_TARGET)
+            + struct.pack("<I", far_pc))
+        records = list(replay_trace(program, path))
+        assert len(records) == 1
+        assert records[0].next_pc == far_pc
+        assert records[0].pc == program.text_base
+        assert records[0].inst is program.instructions[0]
+
+    def test_recorded_far_target_survives_roundtrip(self, tmp_path):
+        # jr through a register lands far from the sequential pc, which
+        # record_trace must encode via the far-target path.
+        from repro.cpu.tracefile import _FLAG_FAR_TARGET
+        from repro.isa.assembler import assemble
+        from repro.linker import LinkOptions, link
+
+        filler = "    nop\n" * 33000   # > 2**15 instructions of padding
+        source = (
+            ".text\n"
+            ".globl __start\n"
+            "__start:\n"
+            "    j far_away\n"
+            + filler
+            + "far_away:\n"
+            "    li $v0, 10\n"
+            "    syscall\n"
+        )
+        program = link([assemble(source, "t")], LinkOptions())
+        path = str(tmp_path / "far.fact.gz")
+        record_trace(program, path)
+        live = []
+        cpu = CPU(program)
+        while not cpu.halted:
+            live.append(cpu.step())
+        replayed = list(replay_trace(program, path))
+        assert [r.next_pc for r in replayed] == [r.next_pc for r in live]
+        assert any(abs(r.next_pc - r.pc) >= 2**17 for r in replayed), \
+            "test program no longer exercises " + str(_FLAG_FAR_TARGET)
+
+    def test_truncated_far_target_word_rejected(self, program, tmp_path):
+        from repro.cpu.tracefile import _FLAG_FAR_TARGET
+
+        path = self._write(
+            tmp_path,
+            self._header(program)
+            + self._record(0, flags=_FLAG_FAR_TARGET)
+            + b"\x01\x02")
+        with pytest.raises(SimulationError, match="truncated far-target"):
+            list(replay_trace(program, path))
+
+    def test_not_gzip_rejected(self, program, tmp_path):
+        path = str(tmp_path / "plain.fact.gz")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a gzip stream at all")
+        with pytest.raises(SimulationError, match="corrupt trace file"):
+            list(replay_trace(program, path))
+
+    def test_truncated_gzip_stream_rejected(self, program, trace_path,
+                                            tmp_path):
+        # cut a valid compressed file mid-member: decompression hits EOF
+        with open(trace_path, "rb") as handle:
+            data = handle.read()
+        path = str(tmp_path / "cut.fact.gz")
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(SimulationError):
+            list(replay_trace(program, path))
+
+
 class TestLargeIndexOffsets:
     def test_unsigned_index_register_values_roundtrip(self, tmp_path):
         # an index register holding a value >= 2**31 must replay with

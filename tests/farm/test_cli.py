@@ -1,0 +1,78 @@
+"""``python -m repro farm`` CLI tests."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "cli-store")
+
+
+class TestStatus:
+    def test_empty_store(self, store_dir, capsys):
+        assert main(["farm", "status", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "(empty)" in out
+
+    def test_json_output(self, store_dir, capsys):
+        assert main(["farm", "status", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["total"] == {"count": 0, "bytes": 0}
+        assert payload["last_run"] is None
+
+
+class TestGc:
+    def test_requires_bound_or_all(self, store_dir, capsys):
+        assert main(["farm", "gc", "--store", store_dir]) == 2
+
+    def test_gc_all_on_empty_store(self, store_dir, capsys):
+        assert main(["farm", "gc", "--store", store_dir, "--all"]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+
+
+class TestRunValidation:
+    def test_unknown_figure(self, store_dir, capsys):
+        assert main(["farm", "run", "--store", store_dir,
+                     "--figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_unknown_benchmark(self, store_dir, capsys):
+        assert main(["farm", "run", "--store", store_dir,
+                     "--suite", "quake3"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_cell_free_figure(self, store_dir, capsys):
+        # fig5 is self-contained: zero cells, still renders
+        assert main(["farm", "run", "--store", store_dir, "--quiet",
+                     "--figures", "fig5"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+
+    def test_cold_then_warm_sweep(self, store_dir, tmp_path, capsys):
+        summary_path = str(tmp_path / "summary.json")
+        args = ["farm", "run", "--store", store_dir, "--jobs", "2",
+                "--quiet", "--suite", "eqntott", "--figures", "table3",
+                "--summary-json", summary_path]
+        assert main(args) == 0
+        cold = json.loads(open(summary_path).read())
+        assert cold["computed"] == cold["total"] > 0
+        assert cold["failed"] == []
+        assert "Table 3" in capsys.readouterr().out
+
+        assert main(args) == 0
+        warm = json.loads(open(summary_path).read())
+        assert warm["hits"] == warm["total"] == cold["total"]
+        assert warm["computed"] == 0
+
+        # status now reports artifacts and the last run
+        assert main(["farm", "status", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "last run:" in out
+        for kind in ("build", "trace", "analysis", "sim"):
+            assert kind in out

@@ -1,0 +1,55 @@
+"""Fingerprint tests: stability, sensitivity, canonicalization."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, FacSoftwareOptions
+from repro.fac import FacConfig
+from repro.farm.fingerprint import config_digest, fingerprint, source_digest
+from repro.pipeline.config import MachineConfig
+
+
+class TestStability:
+    def test_fingerprint_is_deterministic(self):
+        parts = ("sim", "compress", 123, MachineConfig())
+        assert fingerprint(*parts) == fingerprint(*parts)
+
+    def test_digest_is_hex_sha256(self):
+        key = fingerprint("x")
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_dict_ordering_is_canonical(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_frozenset_ordering_is_canonical(self):
+        assert config_digest(frozenset({1, 2, 3})) == \
+            config_digest(frozenset({3, 1, 2}))
+
+
+class TestSensitivity:
+    def test_every_part_matters(self):
+        base = fingerprint("trace", "compress", 99, 10_000)
+        assert fingerprint("sim", "compress", 99, 10_000) != base
+        assert fingerprint("trace", "grep", 99, 10_000) != base
+        assert fingerprint("trace", "compress", 98, 10_000) != base
+        assert fingerprint("trace", "compress", 99, 10_001) != base
+
+    def test_machine_config_field_change_invalidates(self):
+        base = config_digest(MachineConfig())
+        fac = config_digest(MachineConfig(fac=FacConfig()))
+        assert base != fac
+        assert config_digest(MachineConfig(fac=FacConfig(block_size=16))) != fac
+
+    def test_compiler_options_change_invalidates(self):
+        plain = config_digest(CompilerOptions())
+        supported = config_digest(
+            CompilerOptions(fac=FacSoftwareOptions.enabled()))
+        assert plain != supported
+
+    def test_source_digest_tracks_text(self):
+        assert source_digest("int main(){}") == source_digest("int main(){}")
+        assert source_digest("int main(){}") != source_digest("int main(){ }")
+
+    def test_unserializable_part_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())

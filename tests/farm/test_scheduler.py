@@ -1,0 +1,151 @@
+"""Worker-pool scheduler tests: cold/warm sweeps, crash isolation,
+timeout kills, and lifecycle events."""
+
+import pytest
+
+from repro.farm import ArtifactStore, Cell, plan_jobs, run_graph
+from repro.fac import FacConfig
+from repro.obs.events import EventBus
+from repro.pipeline.config import MachineConfig
+
+MAX_INSTRUCTIONS = 10_000_000
+MACHINES = {"base": MachineConfig(), "fac32": MachineConfig(fac=FacConfig())}
+
+
+def small_graph():
+    cells = {
+        Cell("analysis", "eqntott"),
+        Cell("sim", "eqntott", False, "base"),
+        Cell("sim", "eqntott", False, "fac32"),
+    }
+    return plan_jobs(cells, MACHINES, MAX_INSTRUCTIONS)
+
+
+def two_benchmark_graph():
+    cells = {
+        Cell("sim", "eqntott", False, "base"),
+        Cell("sim", "yacr2", False, "base"),
+    }
+    return plan_jobs(cells, MACHINES, MAX_INSTRUCTIONS)
+
+
+class _Recorder:
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+
+class TestSweep:
+    def test_cold_then_warm(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        graph = small_graph()
+        cold = run_graph(graph, store, jobs=2, timeout=120)
+        assert cold.ok
+        assert cold.computed == len(graph.jobs)
+        assert cold.hits == 0
+        warm = run_graph(graph, store, jobs=2, timeout=120)
+        assert warm.ok
+        assert warm.hits == len(graph.jobs)
+        assert warm.computed == 0
+        assert warm.elapsed < 1.0
+
+    def test_serial_pool_equivalent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        graph = small_graph()
+        result = run_graph(graph, store, jobs=1, timeout=120)
+        assert result.ok and result.computed == len(graph.jobs)
+
+    def test_summary_shape(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(small_graph(), store, jobs=2, timeout=120)
+        summary = result.summary()
+        assert summary["total"] == 5
+        assert summary["computed"] == 5
+        assert summary["failed"] == []
+        assert summary["elapsed_seconds"] > 0
+
+    def test_lifecycle_events(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        bus = EventBus()
+        recorder = _Recorder()
+        bus.attach(recorder)
+        graph = small_graph()
+        run_graph(graph, store, jobs=2, timeout=120, obs=bus)
+        kinds = [e.kind for e in recorder.events]
+        assert kinds.count("farm.scheduled") == len(graph.jobs)
+        assert kinds.count("farm.finished") == len(graph.jobs)
+        assert kinds.count("farm.started") == len(graph.jobs)
+        assert "farm.failed" not in kinds
+        # warm re-run: finished events carry cached=True, nothing starts
+        recorder.events.clear()
+        run_graph(graph, store, jobs=2, timeout=120, obs=bus)
+        finished = [e for e in recorder.events if e.kind == "farm.finished"]
+        assert len(finished) == len(graph.jobs)
+        assert all(e.cached for e in finished)
+        assert not any(e.kind == "farm.started" for e in recorder.events)
+
+
+class TestFailureIsolation:
+    def test_crashed_worker_fails_cell_not_sweep(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_TEST_CRASH", "build:yacr2")
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(two_benchmark_graph(), store, jobs=2,
+                           timeout=60, retries=1)
+        assert not result.ok
+        build = result.outcomes["build:yacr2"]
+        assert build.status == "failed"
+        assert "crashed" in build.error
+        assert build.attempts == 2            # one initial + one retry
+        assert result.outcomes["trace:yacr2"].error.startswith("upstream")
+        assert result.outcomes["sim:yacr2:base"].error.startswith("upstream")
+        assert result.outcomes["sim:eqntott:base"].ok
+
+    def test_hung_worker_killed_by_timeout(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_TEST_HANG", "trace:yacr2")
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(two_benchmark_graph(), store, jobs=2,
+                           timeout=2, retries=0)
+        assert not result.ok
+        hung = result.outcomes["trace:yacr2"]
+        assert hung.status == "failed"
+        assert "timed out" in hung.error
+        assert result.outcomes["sim:eqntott:base"].ok
+
+    def test_failed_cell_reported_in_summary(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_TEST_CRASH", "build:yacr2")
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(two_benchmark_graph(), store, jobs=2,
+                           timeout=60, retries=0)
+        summary = result.summary()
+        assert "build:yacr2" in summary["failed"]
+        assert "crashed" in summary["errors"]["build:yacr2"]
+        # the surviving chain really completed
+        assert result.outcomes["sim:eqntott:base"].ok
+
+    def test_retry_succeeds_after_transient_crash(self, tmp_path,
+                                                  monkeypatch):
+        # The crash hook fires on every attempt, so with retries=0 the
+        # job fails after exactly one attempt -- bounded, no infinite
+        # respawn loop.
+        monkeypatch.setenv("REPRO_FARM_TEST_CRASH", "build:eqntott")
+        store = ArtifactStore(tmp_path / "store")
+        graph = plan_jobs({Cell("sim", "eqntott", False, "base")},
+                          MACHINES, MAX_INSTRUCTIONS)
+        result = run_graph(graph, store, jobs=1, timeout=60, retries=0)
+        assert result.outcomes["build:eqntott"].attempts == 1
+        assert result.outcomes["build:eqntott"].status == "failed"
+
+
+class TestValidation:
+    def test_python_exception_fails_without_retry(self, tmp_path):
+        # an unknown benchmark raises inside the worker: deterministic,
+        # so one attempt only
+        graph = plan_jobs({Cell("analysis", "no-such-benchmark")}, MACHINES,
+                          MAX_INSTRUCTIONS)
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(graph, store, jobs=1, timeout=60, retries=5)
+        assert not result.ok
+        for outcome in result.outcomes.values():
+            assert outcome.attempts <= 1

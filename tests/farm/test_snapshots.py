@@ -1,0 +1,111 @@
+"""Snapshot round-trip tests: SimResult and TraceAnalysis survive the
+``repro.metrics/1`` encoding exactly."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.compiler import compile_and_link
+from repro.fac import FacConfig
+from repro.farm.snapshots import (
+    analysis_from_snapshot,
+    analysis_to_snapshot,
+    sim_from_snapshot,
+    sim_to_snapshot,
+)
+from repro.pipeline import MachineConfig, simulate_program
+from repro.pipeline.result import SimResult
+
+SOURCE = """
+int data[128];
+int main() {
+    int i, sum = 0;
+    for (i = 0; i < 128; i++) { data[i] = i * 3; }
+    for (i = 0; i < 128; i++) { sum += data[i]; }
+    print_int(sum);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_and_link(SOURCE)
+
+
+class TestSimSnapshot:
+    def test_roundtrip_preserves_every_field(self, program):
+        result = simulate_program(program, MachineConfig(fac=FacConfig()))
+        rebuilt = sim_from_snapshot(sim_to_snapshot(result))
+        assert dataclasses.asdict(rebuilt) == dataclasses.asdict(result)
+
+    def test_extras_survive(self, program):
+        result = simulate_program(program, MachineConfig())
+        result.extras["btb_accuracy"] = 0.875
+        rebuilt = sim_from_snapshot(sim_to_snapshot(result))
+        assert rebuilt.extras["btb_accuracy"] == 0.875
+
+    def test_meta_carries_cell_identity(self, program):
+        result = simulate_program(program, MachineConfig())
+        snapshot = sim_to_snapshot(result, meta={"name": "x", "machine": "base"})
+        assert snapshot["meta"]["name"] == "x"
+        assert snapshot["meta"]["machine"] == "base"
+
+    def test_missing_counter_rejected(self, program):
+        result = simulate_program(program, MachineConfig())
+        snapshot = sim_to_snapshot(result)
+        del snapshot["metrics"]["sim.cycles"]
+        with pytest.raises(ValueError, match="sim.cycles"):
+            sim_from_snapshot(snapshot)
+
+    def test_derived_properties_match(self, program):
+        result = simulate_program(program, MachineConfig(fac=FacConfig()))
+        rebuilt = sim_from_snapshot(sim_to_snapshot(result))
+        assert rebuilt.ipc == result.ipc
+        assert rebuilt.bandwidth_overhead == result.bandwidth_overhead
+
+
+class TestAnalysisSnapshot:
+    @pytest.fixture(scope="class")
+    def analysis(self, program):
+        return analyze_program(program, block_sizes=(16, 32))
+
+    def test_roundtrip_profile(self, analysis):
+        rebuilt = analysis_from_snapshot(analysis_to_snapshot(analysis))
+        assert rebuilt.profile.instructions == analysis.profile.instructions
+        assert rebuilt.profile.loads == analysis.profile.loads
+        assert rebuilt.profile.stores == analysis.profile.stores
+        assert rebuilt.profile.load_class == analysis.profile.load_class
+        assert rebuilt.profile.store_class == analysis.profile.store_class
+        for ref_class, hist in analysis.profile.offset_hist.items():
+            assert list(rebuilt.profile.offset_hist[ref_class].items()) == \
+                list(hist.items())
+
+    def test_roundtrip_predictions(self, analysis):
+        rebuilt = analysis_from_snapshot(analysis_to_snapshot(analysis))
+        assert set(rebuilt.predictions) == set(analysis.predictions)
+        for block_size, stats in analysis.predictions.items():
+            got = rebuilt.predictions[block_size]
+            assert dataclasses.asdict(got) == dataclasses.asdict(stats)
+
+    def test_roundtrip_scalars(self, analysis):
+        rebuilt = analysis_from_snapshot(analysis_to_snapshot(analysis))
+        assert rebuilt.instructions == analysis.instructions
+        assert rebuilt.memory_usage == analysis.memory_usage
+        assert rebuilt.stdout == analysis.stdout
+        assert rebuilt.icache_miss_ratio == analysis.icache_miss_ratio
+        assert rebuilt.dcache_miss_ratio == analysis.dcache_miss_ratio
+        assert rebuilt.tlb_miss_ratio == analysis.tlb_miss_ratio
+
+    def test_per_pc_not_serialized(self, program):
+        analysis = analyze_program(program, block_sizes=(32,), per_pc=True)
+        assert analysis.per_pc is not None
+        rebuilt = analysis_from_snapshot(analysis_to_snapshot(analysis))
+        assert rebuilt.per_pc is None
+
+    def test_missing_counter_rejected(self, analysis):
+        snapshot = analysis_to_snapshot(analysis)
+        del snapshot["metrics"]["pred.32.loads"]
+        with pytest.raises(ValueError, match="pred.32.loads"):
+            analysis_from_snapshot(snapshot)
