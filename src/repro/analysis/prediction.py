@@ -140,12 +140,13 @@ class TraceAnalyzer:
             if mode == "p":
                 failed = False
             else:
-                prediction = predictor.predict(
-                    rec.base_value, offset, mode == "x"
-                )
-                failed = not prediction.success
+                # allocation-free verdict first; only failures (rare)
+                # materialize the Prediction for its signal breakdown
+                failed = predictor.fails(rec.base_value, offset, mode == "x")
                 if failed:
-                    signals = prediction.signals
+                    signals = predictor.predict(
+                        rec.base_value, offset, mode == "x"
+                    ).signals
                     counts = stats.signal_counts
                     counts["overflow"] += signals.overflow
                     counts["gen_carry"] += signals.gen_carry
@@ -168,6 +169,22 @@ class TraceAnalyzer:
                 if mode != "x":
                     stats.norr_stores += 1
                     stats.norr_store_failures += failed
+
+    # ------------------------------------------------------------------ #
+    # streaming trace protocol (CPU.run_trace / tracefile.replay_into)
+
+    trace_mem = observe
+    trace_branch = observe
+
+    def trace_plain(self, pc, inst) -> None:
+        """Record-free fast lane: for a non-memory, non-branch
+        instruction :meth:`observe` only counts it and probes the
+        icache model."""
+        self.profile.instructions += 1
+        iblock = pc >> 5
+        if iblock != self._last_iblock:
+            self._last_iblock = iblock
+            self.icache.access(pc)
 
     def finish(self, cpu: CPU) -> TraceAnalysis:
         return self.result(memory_usage=cpu.memory_usage,
@@ -195,16 +212,26 @@ class TraceAnalyzer:
 
 def analyze_program(program: Program, block_sizes: tuple[int, ...] = (16, 32),
                     max_instructions: int = 50_000_000,
-                    per_pc: bool = False) -> TraceAnalysis:
-    """Run ``program`` functionally and collect the full analysis."""
+                    per_pc: bool = False,
+                    engine: str = "predecoded") -> TraceAnalysis:
+    """Run ``program`` functionally and collect the full analysis.
+
+    ``engine="predecoded"`` streams the execution through
+    :meth:`CPU.run_trace` (no per-instruction record allocation for
+    non-memory, non-branch instructions); ``engine="step"`` keeps the
+    legacy decode-per-step loop. Both produce identical analyses.
+    """
     cpu = CPU(program)
     analyzer = TraceAnalyzer(block_sizes, per_pc=per_pc)
-    observe = analyzer.observe
-    step = cpu.step
-    budget = max_instructions
-    while not cpu.halted and budget > 0:
-        observe(step())
-        budget -= 1
+    if engine == "step":
+        observe = analyzer.observe
+        step = cpu.step
+        budget = max_instructions
+        while not cpu.halted and budget > 0:
+            observe(step())
+            budget -= 1
+    else:
+        cpu.run_trace(analyzer, max_instructions)
     return analyzer.finish(cpu)
 
 
@@ -218,10 +245,8 @@ def analyze_trace(program: Program, trace_path: str,
     One functional capture drives any number of analyzer geometries
     without re-interpreting the program; ``memory_usage`` and ``stdout``
     come from the trace artifact's metadata when available."""
-    from repro.cpu.tracefile import replay_trace
+    from repro.cpu.tracefile import replay_into
 
     analyzer = TraceAnalyzer(block_sizes, per_pc=per_pc)
-    observe = analyzer.observe
-    for rec in replay_trace(program, trace_path):
-        observe(rec)
+    replay_into(program, trace_path, analyzer)
     return analyzer.result(memory_usage=memory_usage, stdout=stdout)

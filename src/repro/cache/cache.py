@@ -63,6 +63,7 @@ class Cache:
         cfg = self.config
         self.obs = obs
         self._offset_bits = cfg.offset_bits
+        self._index_bits = cfg.index_bits
         self._index_mask = cfg.num_sets - 1
         self._assoc = cfg.assoc
         # Per set: list of [tag, dirty] entries ordered most-recent first.
@@ -76,7 +77,7 @@ class Cache:
 
     def _locate(self, address: int) -> tuple[int, int]:
         block = address >> self._offset_bits
-        return block & self._index_mask, block >> self.config.index_bits
+        return block & self._index_mask, block >> self._index_bits
 
     def probe(self, address: int) -> bool:
         """Non-destructive lookup: would this access hit?"""

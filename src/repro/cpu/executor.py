@@ -64,6 +64,9 @@ class CPU:
         self.state.reset(program.entry, program.gp_value, program.sp_value)
         self._insts = program.instructions
         self._text_base = program.text_base
+        # predecoded handler tables (repro.cpu.predecode), built lazily:
+        # many callers only ever step()
+        self._tables = None
 
     def _load_image(self) -> None:
         for address, payload in self.program.data_image:
@@ -86,30 +89,162 @@ class CPU:
         stack = self.program.sp_value - self.sp_min
         return static + heap + stack
 
-    def run(self, max_instructions: int = 100_000_000) -> int:
-        """Run until exit or the instruction budget; returns retired count."""
-        step = self.step
-        budget = max_instructions
-        while not self.halted and budget > 0:
-            step()
-            budget -= 1
-        if not self.halted and budget == 0 and max_instructions > 0:
+    def run(self, max_instructions: int = 100_000_000,
+            engine: str = "predecoded") -> int:
+        """Run until exit or the instruction budget; returns retired count.
+
+        ``engine`` selects the interpreter: ``"predecoded"`` (default)
+        drives the threaded-dispatch tables of :mod:`repro.cpu.predecode`;
+        ``"step"`` keeps the legacy per-instruction decode loop (used by
+        the equivalence suite and for re-measuring baselines).
+        """
+        if engine == "step":
+            executed = 0
+            step = self.step
+            budget = max_instructions
+            while not self.halted and budget > 0:
+                step()
+                budget -= 1
+                executed += 1
+        else:
+            executed = self.run_trace(None, max_instructions)
+        if not self.halted and executed >= max_instructions > 0:
             raise SimulationError(
                 f"instruction budget exhausted after {max_instructions} instructions"
             )
         return self.instructions_retired
+
+    def _handler_tables(self):
+        tables = self._tables
+        if tables is None:
+            from repro.cpu.predecode import build_tables
+            tables = self._tables = build_tables(self)
+        return tables
+
+    def run_trace(self, consumer=None, max_instructions: int = 100_000_000) -> int:
+        """Drive the predecoded engine, streaming outcomes to ``consumer``.
+
+        The consumer declares what it needs by providing any of three
+        optional methods (looked up once, before the loop starts):
+
+        * ``trace_plain(pc, inst)`` -- called after every retired
+          instruction that is neither a memory op nor a branch/jump; no
+          :class:`TraceRecord` is allocated for these,
+        * ``trace_mem(rec)`` -- called with a full :class:`TraceRecord`
+          for every load/store,
+        * ``trace_branch(rec)`` -- called with a full record for every
+          branch/jump.
+
+        A record handed to a hook is identical (field for field) to what
+        the legacy ``step()`` would have returned for that instruction.
+        With ``consumer=None`` (or a consumer with none of the hooks)
+        the loop runs architecture-only at full speed. Returns the
+        number of instructions retired by this call; stops on halt or
+        when ``max_instructions`` is reached, leaving ``state.pc`` ready
+        for a subsequent ``step()``/``run_trace()``.
+        """
+        from repro.cpu.predecode import HALT, OFF_TEXT
+
+        if self.halted:
+            return 0
+        run_table, trace_table = self._handler_tables()
+        pre = self.program.predecoded()
+        kinds = pre.kinds
+        pcs = pre.pcs
+        insts = self._insts
+        state = self.state
+        text_base = self._text_base
+        n_insts = len(run_table)
+        limit = max_instructions
+
+        pc = state.pc
+        index = (pc - text_base) >> 2
+        if limit > 0 and not 0 <= index < n_insts:
+            raise SimulationError(f"pc 0x{pc:08x} outside text segment")
+
+        plain_cb = getattr(consumer, "trace_plain", None)
+        mem_cb = getattr(consumer, "trace_mem", None)
+        branch_cb = getattr(consumer, "trace_branch", None)
+
+        n = 0
+        try:
+            if plain_cb is None and mem_cb is None and branch_cb is None:
+                while index >= 0 and n < limit:
+                    index = run_table[index]()
+                    n += 1
+            else:
+                while index >= 0 and n < limit:
+                    kind = kinds[index]
+                    if kind == 0:
+                        i0 = index
+                        index = run_table[i0]()
+                        n += 1
+                        if plain_cb is not None:
+                            plain_cb(pcs[i0], insts[i0])
+                    elif kind == 1:
+                        if mem_cb is not None:
+                            rec = trace_table[index]()
+                            index += 1
+                            n += 1
+                            mem_cb(rec)
+                        else:
+                            index = run_table[index]()
+                            n += 1
+                    else:
+                        if branch_cb is not None:
+                            rec = trace_table[index]()
+                            n += 1
+                            branch_cb(rec)
+                            npc = rec.next_pc
+                            idx = (npc - text_base) >> 2
+                            if 0 <= idx < n_insts:
+                                index = idx
+                            else:
+                                state.pc = npc
+                                index = OFF_TEXT
+                        else:
+                            index = run_table[index]()
+                            n += 1
+        except IndexError:
+            # a plain/memory handler fell off the end of the text segment
+            if index >= n_insts:
+                self.instructions_retired += n
+                state.pc = text_base + (index << 2)
+                raise SimulationError(
+                    f"pc 0x{state.pc:08x} outside text segment"
+                ) from None
+            self.instructions_retired += n
+            if 0 <= index < n_insts:
+                state.pc = text_base + (index << 2)
+            raise
+        except BaseException:
+            # faulting instruction did not retire; leave state.pc on it
+            self.instructions_retired += n
+            if 0 <= index < n_insts:
+                state.pc = text_base + (index << 2)
+            raise
+
+        self.instructions_retired += n
+        if index >= 0:
+            state.pc = text_base + (index << 2)
+        elif index == OFF_TEXT and n < limit:
+            # the transfer retired (and was streamed); executing the
+            # errant pc is what fails, exactly as a subsequent step()
+            raise SimulationError(f"pc 0x{state.pc:08x} outside text segment")
+        # on HALT the syscall handler placed state.pc after the syscall
+        return n
 
     def step(self) -> TraceRecord:
         """Execute one instruction and return its trace record."""
         state = self.state
         pc = state.pc
         index = (pc - self._text_base) >> 2
+        if index < 0:
+            raise SimulationError(f"pc 0x{pc:08x} outside text segment")
         try:
             inst = self._insts[index]
         except IndexError:
             raise SimulationError(f"pc 0x{pc:08x} outside text segment") from None
-        if index < 0:
-            raise SimulationError(f"pc 0x{pc:08x} outside text segment")
 
         regs = state.regs
         op = inst.op

@@ -26,8 +26,10 @@ class ArchState:
         self.pc = 0
 
     def reset(self, entry: int, gp: int, sp: int) -> None:
-        self.regs = [0] * 32
-        self.fregs = [0.0] * 32
+        # in-place: the predecoded handler closures (repro.cpu.predecode)
+        # capture these list objects, so they must never be rebound
+        self.regs[:] = [0] * 32
+        self.fregs[:] = [0.0] * 32
         self.hi = 0
         self.lo = 0
         self.fcc = False

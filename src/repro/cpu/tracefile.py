@@ -23,6 +23,7 @@ from typing import Iterator
 
 from repro.cpu.executor import CPU, TraceRecord
 from repro.errors import SimulationError
+from repro.isa.opcodes import OP_INFO
 from repro.isa.program import Program
 
 _MAGIC = b"FACT"   # Fast Address Calculation Trace
@@ -36,6 +37,8 @@ _FLAG_TAKEN = 2
 _FLAG_HAS_TAKEN = 4
 _FLAG_FAR_TARGET = 8   # next pc stored as an extra u32
 
+_U32 = struct.Struct("<I")
+
 
 def program_crc(program: Program) -> int:
     """A cheap fingerprint of the text segment."""
@@ -46,48 +49,130 @@ def program_crc(program: Program) -> int:
     return crc & 0xFFFFFFFF
 
 
+class _TraceWriter:
+    """Streaming consumer (see :meth:`CPU.run_trace`) that serializes
+    records as they retire.
+
+    A plain record's bytes depend only on its pc -- ``(index, 0, 0, 0,
+    flags=0, delta=1)`` -- so they are packed once per static
+    instruction and reused. Writes are batched; zlib's output is
+    independent of write chunking, so the compressed stream is
+    byte-identical to the legacy record-at-a-time writer.
+    """
+
+    __slots__ = ("_stream", "_text_base", "_plain", "_chunks", "count")
+
+    _FLUSH_EVERY = 4096  # records buffered between stream writes
+
+    def __init__(self, stream, text_base: int):
+        self._stream = stream
+        self._text_base = text_base
+        self._plain: dict[int, bytes] = {}
+        self._chunks: list[bytes] = []
+        self.count = 0
+
+    def trace_plain(self, pc, inst) -> None:
+        data = self._plain.get(pc)
+        if data is None:
+            data = self._plain[pc] = _RECORD.pack(
+                (pc - self._text_base) >> 2, 0, 0, 0, 0, 1)
+        chunks = self._chunks
+        chunks.append(data)
+        self.count += 1
+        if len(chunks) >= self._FLUSH_EVERY:
+            self._stream.write(b"".join(chunks))
+            del chunks[:]
+
+    def _append(self, rec) -> None:
+        flags = 0
+        ea = 0
+        if rec.ea is not None:
+            flags |= _FLAG_HAS_EA
+            ea = rec.ea
+        if rec.taken is not None:
+            flags |= _FLAG_HAS_TAKEN
+            if rec.taken:
+                flags |= _FLAG_TAKEN
+        delta = rec.next_pc - rec.pc
+        far = not (-32768 <= delta // 4 < 32768) or delta % 4 != 0
+        if far:
+            flags |= _FLAG_FAR_TARGET
+        chunks = self._chunks
+        chunks.append(_RECORD.pack(
+            (rec.pc - self._text_base) >> 2, ea, rec.base_value,
+            rec.offset_value if -(2**31) <= rec.offset_value < 2**31
+            else rec.offset_value - 2**32,
+            flags, 0 if far else delta // 4,
+        ))
+        if far:
+            chunks.append(_U32.pack(rec.next_pc))
+        self.count += 1
+        if len(chunks) >= self._FLUSH_EVERY:
+            self._stream.write(b"".join(chunks))
+            del chunks[:]
+
+    trace_mem = _append
+    trace_branch = _append
+
+    def flush(self) -> None:
+        if self._chunks:
+            self._stream.write(b"".join(self._chunks))
+            del self._chunks[:]
+
+
 def record_trace(program: Program, path: str,
                  max_instructions: int = 50_000_000,
-                 cpu: CPU | None = None) -> int:
+                 cpu: CPU | None = None,
+                 engine: str = "predecoded") -> int:
     """Execute ``program`` and write its trace to ``path``; returns the
     number of instructions recorded.
 
     Pass a fresh ``cpu`` to keep the executor afterwards -- the farm
     reads ``memory_usage`` and captured stdout off it for the trace
-    artifact's metadata."""
+    artifact's metadata. Both engines produce byte-identical files:
+    the gzip header is written with a zero mtime and no embedded
+    filename, so the bytes are a pure function of the execution."""
     if cpu is None:
         cpu = CPU(program)
     text_base = program.text_base
-    count = 0
-    with gzip.open(path, "wb") as stream:
+    with open(path, "wb") as raw, \
+            gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                          mtime=0) as stream:
         stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, program_crc(program),
                                   0, program.entry))
-        budget = max_instructions
-        while not cpu.halted and budget > 0:
-            rec = cpu.step()
-            budget -= 1
-            count += 1
-            flags = 0
-            ea = 0
-            if rec.ea is not None:
-                flags |= _FLAG_HAS_EA
-                ea = rec.ea
-            if rec.taken is not None:
-                flags |= _FLAG_HAS_TAKEN
-                if rec.taken:
-                    flags |= _FLAG_TAKEN
-            delta = rec.next_pc - rec.pc
-            far = not (-32768 <= delta // 4 < 32768) or delta % 4 != 0
-            if far:
-                flags |= _FLAG_FAR_TARGET
-            stream.write(_RECORD.pack(
-                (rec.pc - text_base) >> 2, ea, rec.base_value,
-                rec.offset_value if -(2**31) <= rec.offset_value < 2**31
-                else rec.offset_value - 2**32,
-                flags, 0 if far else delta // 4,
-            ))
-            if far:
-                stream.write(struct.pack("<I", rec.next_pc))
+        if engine == "step":
+            count = 0
+            budget = max_instructions
+            while not cpu.halted and budget > 0:
+                rec = cpu.step()
+                budget -= 1
+                count += 1
+                flags = 0
+                ea = 0
+                if rec.ea is not None:
+                    flags |= _FLAG_HAS_EA
+                    ea = rec.ea
+                if rec.taken is not None:
+                    flags |= _FLAG_HAS_TAKEN
+                    if rec.taken:
+                        flags |= _FLAG_TAKEN
+                delta = rec.next_pc - rec.pc
+                far = not (-32768 <= delta // 4 < 32768) or delta % 4 != 0
+                if far:
+                    flags |= _FLAG_FAR_TARGET
+                stream.write(_RECORD.pack(
+                    (rec.pc - text_base) >> 2, ea, rec.base_value,
+                    rec.offset_value if -(2**31) <= rec.offset_value < 2**31
+                    else rec.offset_value - 2**32,
+                    flags, 0 if far else delta // 4,
+                ))
+                if far:
+                    stream.write(struct.pack("<I", rec.next_pc))
+        else:
+            writer = _TraceWriter(stream, text_base)
+            cpu.run_trace(writer, max_instructions)
+            writer.flush()
+            count = writer.count
     return count
 
 
@@ -151,6 +236,83 @@ def replay_trace(program: Program, path: str) -> Iterator[TraceRecord]:
             )
 
 
+def replay_into(program: Program, path: str, consumer) -> int:
+    """Stream a recorded trace into ``consumer``'s trace hooks.
+
+    The consumer protocol matches :meth:`CPU.run_trace`: optional
+    ``trace_plain(pc, inst)`` / ``trace_mem(rec)`` / ``trace_branch(rec)``
+    methods, looked up once. No :class:`TraceRecord` is allocated for
+    plain records (nor for any record whose hook is absent), and the
+    stream is parsed from a buffered window instead of two reads per
+    record. Returns the total number of records in the trace.
+    """
+    instructions = program.instructions
+    text_base = program.text_base
+    plain_cb = getattr(consumer, "trace_plain", None)
+    mem_cb = getattr(consumer, "trace_mem", None)
+    branch_cb = getattr(consumer, "trace_branch", None)
+    # index-register offsets are register *values*: restore the
+    # executor's unsigned view (constants stay signed)
+    is_x = [OP_INFO[inst.op].mem_mode == "x" for inst in instructions]
+    rec_size = _RECORD.size
+    unpack = _RECORD.unpack_from
+    count = 0
+    with gzip.open(path, "rb") as stream:
+        header = _read(stream, _HEADER.size, path)
+        if len(header) != _HEADER.size:
+            raise SimulationError(f"{path}: truncated trace header")
+        magic, version, __, crc, __reserved, entry = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise SimulationError(f"{path}: not a trace file")
+        if version != _VERSION:
+            raise SimulationError(f"{path}: unsupported trace version {version}")
+        if crc != program_crc(program):
+            raise SimulationError(
+                f"{path}: trace was recorded against a different program"
+            )
+        if entry != program.entry:
+            raise SimulationError(f"{path}: entry point mismatch")
+        buf = b""
+        pos = 0
+        while True:
+            if len(buf) - pos < rec_size + 4:
+                buf = buf[pos:] + _read(stream, 1 << 18, path)
+                pos = 0
+                if not buf:
+                    return count
+                if len(buf) < rec_size:
+                    raise SimulationError(f"{path}: truncated trace record")
+            index, ea, base, offset, flags, delta = unpack(buf, pos)
+            pos += rec_size
+            pc = text_base + index * 4
+            if flags & _FLAG_FAR_TARGET:
+                if len(buf) - pos < 4:
+                    buf = buf[pos:] + _read(stream, 1 << 18, path)
+                    pos = 0
+                    if len(buf) < 4:
+                        raise SimulationError(
+                            f"{path}: truncated far-target record"
+                        )
+                next_pc = _U32.unpack_from(buf, pos)[0]
+                pos += 4
+            else:
+                next_pc = pc + delta * 4
+            count += 1
+            if flags & _FLAG_HAS_EA:
+                if mem_cb is not None:
+                    if offset < 0 and is_x[index]:
+                        offset &= 0xFFFFFFFF
+                    mem_cb(TraceRecord(pc, instructions[index], ea, base,
+                                       offset, None, next_pc))
+            elif flags & _FLAG_HAS_TAKEN:
+                if branch_cb is not None:
+                    branch_cb(TraceRecord(pc, instructions[index], None,
+                                          base, offset,
+                                          bool(flags & _FLAG_TAKEN), next_pc))
+            elif plain_cb is not None:
+                plain_cb(pc, instructions[index])
+
+
 def simulate_trace(program: Program, path: str, config=None,
                    memory_usage: int = 0):
     """Time a recorded trace on the pipeline model.
@@ -163,7 +325,5 @@ def simulate_trace(program: Program, path: str, config=None,
     from repro.pipeline.pipeline import PipelineSimulator
 
     pipe = PipelineSimulator(config)
-    feed = pipe.feed
-    for rec in replay_trace(program, path):
-        feed(rec)
+    replay_into(program, path, pipe)
     return pipe.finalize(memory_usage=memory_usage)

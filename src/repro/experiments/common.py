@@ -10,6 +10,13 @@ deserialized results is held in memory, so the full 19-benchmark x
 8-flavour sweep no longer accumulates every ``SimResult`` and
 ``TraceAnalysis`` at once (the old unbounded ``lru_cache``s did).
 
+All cells execute on the predecoded fast-dispatch engine
+(:mod:`repro.cpu.predecode`): traces are captured through
+:meth:`CPU.run_trace` and replayed through
+:func:`repro.cpu.tracefile.replay_into`, which is bit-for-bit equivalent
+to the legacy ``step()`` loop (see docs/performance.md) -- snapshots
+produced before this engine existed remain valid cache hits.
+
 Set ``REPRO_SUITE`` to a comma-separated subset (e.g.
 ``REPRO_SUITE=compress,alvinn``) to bound harness run time,
 ``REPRO_FARM_DIR`` to relocate the artifact store, and ``REPRO_FARM=off``

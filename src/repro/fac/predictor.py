@@ -178,6 +178,45 @@ class FastAddressCalculator:
             signals=signals,
         )
 
+    def fails(self, base: int, offset: int, offset_is_reg: bool) -> bool:
+        """Allocation-free verification verdict for one access.
+
+        Returns exactly ``not self.predict(...).success`` -- the OR of
+        the failure signals -- without building the ``Prediction`` and
+        ``FailureSignals`` dataclasses. This is the hot path of the
+        timing model and the trace analyzer; callers that need the
+        individual signals (failure accounting, observer reasons) call
+        :meth:`predict` afterwards, which only happens on the rare
+        mispredictions.
+        """
+        base &= MASK32
+        ofs_bits = offset & MASK32
+        block_mask = self._block_mask
+        block_sum = (base & block_mask) + (ofs_bits & block_mask)
+        carry_out = block_sum >> self._b
+
+        if offset_is_reg or offset >= 0:
+            if offset_is_reg and offset < 0:
+                return True                      # neg_index_reg
+            if carry_out == 1:
+                return True                      # overflow
+            ofs_index = ofs_bits & self._index_mask
+        else:
+            if (offset >> self._b) != -1:
+                return True                      # large_neg_const
+            if carry_out == 0:
+                return True                      # overflow (borrow)
+            ofs_bits = ~ofs_bits                 # inverted index/tag fields
+            ofs_index = ofs_bits & self._index_mask
+
+        if (base & self._index_mask) & ofs_index:
+            return True                          # gen_carry
+        if not self.config.full_tag_add:
+            pred_tag = (base & self._tag_mask) | (ofs_bits & self._tag_mask)
+            if pred_tag != ((base + offset) & MASK32 & self._tag_mask):
+                return True                      # tag_mismatch
+        return False
+
     # ------------------------------------------------------------------ #
 
     def should_speculate(self, offset_is_reg: bool, is_store: bool) -> bool:

@@ -4,6 +4,13 @@ Pages are allocated lazily as 4 KB ``bytearray`` chunks. Reads from
 never-written pages return zeros (matching bss semantics); a ``strict``
 memory instead raises :class:`~repro.errors.MemoryFault`, which the test
 suite uses to catch wild accesses.
+
+The scalar paths memoize the last-touched ``(page_num, page)`` pair for
+reads and writes separately: the interpreter's accesses cluster heavily
+on one stack or data page, so the common case skips the page-dict probe
+entirely and goes straight to a cached ``Struct.unpack_from``/
+``pack_into`` bound method. Pages are created once and mutated in place,
+never replaced, which is what makes caching the ``bytearray`` safe.
 """
 
 from __future__ import annotations
@@ -20,6 +27,16 @@ _STRUCT_U = {1: struct.Struct("<B"), 2: struct.Struct("<H"), 4: struct.Struct("<
 _STRUCT_S = {1: struct.Struct("<b"), 2: struct.Struct("<h"), 4: struct.Struct("<i")}
 _STRUCT_D = struct.Struct("<d")
 
+# Bound methods hoisted out of the access paths (no per-call dict probe
+# or descriptor lookup).
+_UNPACK_U = {w: s.unpack_from for w, s in _STRUCT_U.items()}
+_UNPACK_S = {w: s.unpack_from for w, s in _STRUCT_S.items()}
+_PACK_U = {w: s.pack_into for w, s in _STRUCT_U.items()}
+_UNPACK_U32 = _STRUCT_U[4].unpack_from
+_PACK_U32 = _STRUCT_U[4].pack_into
+_UNPACK_D = _STRUCT_D.unpack_from
+_PACK_D = _STRUCT_D.pack_into
+
 
 class Memory:
     """The simulated physical memory."""
@@ -28,6 +45,11 @@ class Memory:
         self._pages: dict[int, bytearray] = {}
         self.strict = strict
         self.pages_touched = 0
+        # last-page memoization (reads and writes tracked separately)
+        self._rpage_num = -1
+        self._rpage: bytearray | None = None
+        self._wpage_num = -1
+        self._wpage: bytearray | None = None
 
     # ------------------------------------------------------------------ #
     # page plumbing
@@ -93,51 +115,125 @@ class Memory:
 
     # ------------------------------------------------------------------ #
     # scalar access
+    #
+    # An aligned 1/2/4/8-byte access never crosses a 4 KB page, so after
+    # the alignment check the whole value lives in one page and a single
+    # unpack_from/pack_into suffices.
 
     def read(self, address: int, width: int, signed: bool = False) -> int:
         """Read a 1/2/4-byte integer."""
         if address & (width - 1):
             raise MemoryFault(address, f"misaligned {width}-byte read")
-        in_page = address & _PAGE_MASK
-        page = self._page_for_read(address >> _PAGE_SHIFT, address)
-        if in_page + width <= PAGE_SIZE:
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._rpage_num:
+            page = self._rpage
+        else:
+            page = self._pages.get(page_num)
             if page is None:
+                if self.strict:
+                    raise MemoryFault(address, "read of unmapped page")
                 return 0
-            packer = _STRUCT_S[width] if signed else _STRUCT_U[width]
-            return packer.unpack_from(page, in_page)[0]
-        raw = self.read_bytes(address, width)
-        return int.from_bytes(raw, "little", signed=signed)
+            self._rpage_num = page_num
+            self._rpage = page
+        unpack = _UNPACK_S[width] if signed else _UNPACK_U[width]
+        return unpack(page, address & _PAGE_MASK)[0]
 
     def write(self, address: int, width: int, value: int) -> None:
         """Write a 1/2/4-byte integer (value is masked to the width)."""
         if address & (width - 1):
             raise MemoryFault(address, f"misaligned {width}-byte write")
-        in_page = address & _PAGE_MASK
-        if in_page + width <= PAGE_SIZE:
-            page = self._page_for_write(address >> _PAGE_SHIFT)
-            mask = (1 << (8 * width)) - 1
-            _STRUCT_U[width].pack_into(page, in_page, value & mask)
-            return
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._wpage_num:
+            page = self._wpage
+        else:
+            page = self._page_for_write(page_num)
+            self._wpage_num = page_num
+            self._wpage = page
         mask = (1 << (8 * width)) - 1
-        self.write_bytes(address, (value & mask).to_bytes(width, "little"))
+        _PACK_U[width](page, address & _PAGE_MASK, value & mask)
+
+    def read_u32(self, address: int) -> int:
+        """Aligned unsigned word read (the interpreter's ``lw`` path)."""
+        if address & 3:
+            raise MemoryFault(address, "misaligned 4-byte read")
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._rpage_num:
+            page = self._rpage
+        else:
+            page = self._pages.get(page_num)
+            if page is None:
+                if self.strict:
+                    raise MemoryFault(address, "read of unmapped page")
+                return 0
+            self._rpage_num = page_num
+            self._rpage = page
+        return _UNPACK_U32(page, address & _PAGE_MASK)[0]
+
+    def write_u32(self, address: int, value: int) -> None:
+        """Aligned word write (the interpreter's ``sw`` path)."""
+        if address & 3:
+            raise MemoryFault(address, "misaligned 4-byte write")
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._wpage_num:
+            page = self._wpage
+        else:
+            page = self._page_for_write(page_num)
+            self._wpage_num = page_num
+            self._wpage = page
+        _PACK_U32(page, address & _PAGE_MASK, value & 0xFFFFFFFF)
 
     def read_double(self, address: int) -> float:
         if address & 7:
             raise MemoryFault(address, "misaligned 8-byte read")
-        raw = self.read_bytes(address, 8)
-        return _STRUCT_D.unpack(raw)[0]
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._rpage_num:
+            page = self._rpage
+        else:
+            page = self._pages.get(page_num)
+            if page is None:
+                if self.strict:
+                    raise MemoryFault(address, "read of unmapped page")
+                return 0.0
+            self._rpage_num = page_num
+            self._rpage = page
+        return _UNPACK_D(page, address & _PAGE_MASK)[0]
 
     def write_double(self, address: int, value: float) -> None:
         if address & 7:
             raise MemoryFault(address, "misaligned 8-byte write")
-        self.write_bytes(address, _STRUCT_D.pack(value))
+        page_num = address >> _PAGE_SHIFT
+        if page_num == self._wpage_num:
+            page = self._wpage
+        else:
+            page = self._page_for_write(page_num)
+            self._wpage_num = page_num
+            self._wpage = page
+        _PACK_D(page, address & _PAGE_MASK, value)
 
     def read_cstring(self, address: int, limit: int = 1 << 16) -> str:
-        """Read a NUL-terminated string (for syscall emulation)."""
+        """Read a NUL-terminated string (for syscall emulation).
+
+        Scans for the terminator one page at a time with
+        ``bytearray.find`` rather than one byte per ``struct``
+        round-trip; strings may span page boundaries, and an unmapped
+        tail reads as zeros (i.e. terminates the string) exactly as the
+        byte-at-a-time path did. At most ``limit`` bytes are consumed.
+        """
         out = bytearray()
-        for i in range(limit):
-            byte = self.read(address + i, 1)
-            if byte == 0:
+        addr = address
+        remaining = limit
+        while remaining > 0:
+            page_num = addr >> _PAGE_SHIFT
+            in_page = addr & _PAGE_MASK
+            span = min(PAGE_SIZE - in_page, remaining)
+            page = self._page_for_read(page_num, addr)
+            if page is None:
+                break  # zeros: the string terminates here
+            nul = page.find(0, in_page, in_page + span)
+            if nul >= 0:
+                out += page[in_page:nul]
                 break
-            out.append(byte)
+            out += page[in_page:in_page + span]
+            addr += span
+            remaining -= span
         return out.decode("latin-1")

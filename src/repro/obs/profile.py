@@ -252,39 +252,61 @@ class ProfileResult:
         return None
 
 
-def _load_use_distances(program: Program, analyzer: TraceAnalyzer,
-                        histogram: Histogram,
-                        max_instructions: int) -> CPU:
-    """One functional pass feeding ``analyzer`` and the distance histogram.
+class _DistanceTracker:
+    """:meth:`CPU.run_trace` consumer chaining a :class:`TraceAnalyzer`
+    with the load-use distance histogram.
 
     Distance = retired instructions between a load and the first
     consumer of its destination register (1 = back-to-back use).
+    Register dependences are static per instruction, so they are
+    resolved once per text word instead of once per retirement.
     """
-    cpu = CPU(program)
-    observe = analyzer.observe
-    step = cpu.step
-    record = histogram.record
-    pending: dict[int, int] = {}  # register slot -> load retirement index
-    index = 0
-    budget = max_instructions
-    while not cpu.halted and budget > 0:
-        rec = step()
-        observe(rec)
-        inst = rec.inst
-        sources, dests = sources_and_dests(inst)
+
+    def __init__(self, analyzer: TraceAnalyzer, histogram: Histogram):
+        self._analyzer = analyzer
+        self._record = histogram.record
+        self._pending: dict[int, int] = {}  # register slot -> load index
+        self._index = 0
+        self._deps: dict[int, tuple] = {}   # id(inst) -> (srcs, dests, load)
+
+    def _track(self, inst) -> None:
+        deps = self._deps.get(id(inst))
+        if deps is None:
+            sources, dests = sources_and_dests(inst)
+            deps = self._deps[id(inst)] = (sources, dests, inst.info.is_load)
+        sources, dests, is_load = deps
+        pending = self._pending
+        index = self._index
         if pending:
             for slot in sources:
                 start = pending.pop(slot, None)
                 if start is not None:
-                    record(index - start)
-        if inst.info.is_load:
+                    self._record(index - start)
+        if is_load:
             for slot in dests:
                 pending[slot] = index
         else:
             for slot in dests:
                 pending.pop(slot, None)
-        index += 1
-        budget -= 1
+        self._index = index + 1
+
+    def trace_plain(self, pc, inst) -> None:
+        self._analyzer.trace_plain(pc, inst)
+        self._track(inst)
+
+    def trace_mem(self, rec) -> None:
+        self._analyzer.observe(rec)
+        self._track(rec.inst)
+
+    trace_branch = trace_mem
+
+
+def _load_use_distances(program: Program, analyzer: TraceAnalyzer,
+                        histogram: Histogram,
+                        max_instructions: int) -> CPU:
+    """One functional pass feeding ``analyzer`` and the distance histogram."""
+    cpu = CPU(program)
+    cpu.run_trace(_DistanceTracker(analyzer, histogram), max_instructions)
     return cpu
 
 
@@ -313,12 +335,9 @@ def profile_program(
     fac = FacConfig(cache_size=cache_size, block_size=primary_block_size)
     sim_cpu = CPU(program)
     pipe = PipelineSimulator(MachineConfig(fac=fac), obs=bus)
-    feed = pipe.feed
-    step = sim_cpu.step
-    budget = max_instructions
-    while not sim_cpu.halted and budget > 0:
-        feed(step())
-        budget -= 1
+    # the attached observer makes the pipeline's plain-instruction fast
+    # lane defer to full feed(), so the event stream is unchanged
+    sim_cpu.run_trace(pipe, max_instructions)
     sim = pipe.finalize(memory_usage=sim_cpu.memory_usage)
 
     # 3. static pass: lint verdict per site

@@ -95,6 +95,10 @@ class PipelineSimulator:
             "fpa": cfg.fp_adders,
             "fpm": cfg.fp_mult_div_units,
         }
+        # per-static-instruction facts, keyed by id(inst); the tuple keeps
+        # the instruction alive so the id can never be recycled
+        self._facts: dict[int, tuple] = {}
+        self._non_pipelined = cfg.non_pipelined
         self._reg_ready = [0] * NUM_SLOTS
         self._cur_cycle = 0
         self._issued_in_cycle = 0
@@ -172,14 +176,39 @@ class PipelineSimulator:
         self._sb_cursor = max(self._sb_cursor, min(cycle, upto))
 
     # ------------------------------------------------------------------ #
+    # per-instruction facts
+
+    def _make_facts(self, inst) -> tuple:
+        """Precompute everything ``feed`` needs that is static per
+        instruction: functional unit, limits, latency, dependence slots.
+        Cached by ``id(inst)``; the tuple holds ``inst`` to pin the id."""
+        info = OP_INFO[inst.op]
+        klass = info.klass
+        fu = _FU_CLASS[klass]
+        sources, dests = sources_and_dests(inst)
+        facts = (
+            inst, info, fu, self._fu_limit[fu],
+            self.config.result_latency(klass),
+            klass in self._non_pipelined,       # occupies its unit
+            fu in self._unit_free,              # unit has a busy-until
+            sources, dests,
+            info.is_load, info.is_store, info.mem_mode == "p",
+            klass is OpClass.BRANCH or klass is OpClass.JUMP,
+        )
+        self._facts[id(inst)] = facts
+        return facts
+
+    # ------------------------------------------------------------------ #
 
     def feed(self, rec: TraceRecord) -> int:
         """Assign an issue cycle to one retired instruction."""
         cfg = self.config
         inst = rec.inst
-        info = OP_INFO[inst.op]
-        klass = info.klass
-        fu = _FU_CLASS[klass]
+        facts = self._facts.get(id(inst))
+        if facts is None:
+            facts = self._make_facts(inst)
+        (_, info, fu, fu_limit, latency, non_pipelined, unit_tracked,
+         sources, dests, is_load, is_store, postinc, is_ctrl) = facts
 
         # ---- fetch constraints ------------------------------------------
         iblock = rec.pc >> self._iblock_shift
@@ -193,32 +222,25 @@ class PipelineSimulator:
 
         earliest = max(self._fetch_ready, self._cur_cycle)
         # ---- data hazards ------------------------------------------------
-        sources, dests = sources_and_dests(inst)
+        reg_ready = self._reg_ready
         for slot in sources:
-            ready = self._reg_ready[slot]
+            ready = reg_ready[slot]
             if ready > earliest:
                 earliest = ready
 
         # ---- structural hazards -----------------------------------------
-        is_load = info.is_load
-        is_store = info.is_store
-        postinc = info.mem_mode == "p"
         cycle = earliest
         while True:
-            if cycle > self._cur_cycle:
-                issue_used = 0
-                fu_used = 0
-            else:
-                issue_used = self._issued_in_cycle
-                fu_used = self._fu_used[fu]
-            if issue_used >= cfg.issue_width or fu_used >= self._fu_limit[fu]:
+            if cycle <= self._cur_cycle and (
+                    self._issued_in_cycle >= cfg.issue_width
+                    or self._fu_used[fu] >= fu_limit):
                 cycle += 1
                 continue
-            if fu in self._unit_free and self._unit_free[fu] > cycle:
+            if unit_tracked and self._unit_free[fu] > cycle:
                 cycle = self._unit_free[fu]
                 continue
             if is_load or is_store:
-                plan = self._plan_access(rec, cycle, is_store)
+                plan = self._plan_access(rec, cycle, is_store, info)
                 if plan is None:
                     cycle += 1
                     continue
@@ -238,20 +260,20 @@ class PipelineSimulator:
         self._advance_cycle(cycle)
         self._issued_in_cycle += 1
         self._fu_used[fu] += 1
-        if klass in cfg.non_pipelined:
-            self._unit_free[fu] = cycle + cfg.result_latency(klass)
+        if non_pipelined:
+            self._unit_free[fu] = cycle + latency
 
         # ---- execute ------------------------------------------------------
         if is_load or is_store:
-            ready = self._execute_memory(rec, cycle, postinc)
+            ready = self._execute_memory(rec, cycle, is_store, info)
             if is_load:
                 self.result.load_latency_sum += ready - cycle
         else:
-            ready = cycle + cfg.result_latency(klass)
-            if klass in (OpClass.BRANCH, OpClass.JUMP):
+            ready = cycle + latency
+            if is_ctrl:
                 self._execute_branch(rec, cycle)
         for slot in dests:
-            self._reg_ready[slot] = ready
+            reg_ready[slot] = ready
         if postinc:
             # the base-register writeback is a simple ALU result
             pass  # handled in _execute_memory via dests ordering
@@ -276,10 +298,96 @@ class PipelineSimulator:
         return cycle
 
     # ------------------------------------------------------------------ #
+    # streaming trace protocol (CPU.run_trace consumers)
+
+    # memory and control-flow instructions need the full record; the
+    # generic path already handles them
+    trace_mem = feed
+    trace_branch = feed
+
+    def trace_plain(self, pc, inst) -> None:
+        """Record-free fast lane for instructions that are neither
+        memory ops nor branches: the ALU/mult/FP/system subset of
+        :meth:`feed`, cycle-for-cycle identical, with the memory and
+        control-flow arms compiled out. When an instruction trace or an
+        event bus is attached the full path runs instead (both need a
+        real :class:`TraceRecord`)."""
+        if self.trace is not None or self.obs is not None:
+            self.feed(TraceRecord(pc, inst, None, 0, 0, None, pc + 4))
+            return
+        facts = self._facts.get(id(inst))
+        if facts is None:
+            facts = self._make_facts(inst)
+        (_, _, fu, fu_limit, latency, non_pipelined, unit_tracked,
+         sources, dests, _, _, _, _) = facts
+
+        # ---- fetch constraints ----
+        iblock = pc >> self._iblock_shift
+        if iblock != self._last_iblock:
+            self._last_iblock = iblock
+            self.result.icache_accesses += 1
+            if not self.icache.access(pc):
+                self.result.icache_misses += 1
+                self._fetch_ready = max(self._fetch_ready, self._cur_cycle) \
+                    + self.config.icache.miss_latency
+
+        # ---- data hazards ----
+        cur = self._cur_cycle
+        earliest = self._fetch_ready
+        if cur > earliest:
+            earliest = cur
+        reg_ready = self._reg_ready
+        for slot in sources:
+            ready = reg_ready[slot]
+            if ready > earliest:
+                earliest = ready
+
+        # ---- structural hazards ----
+        cycle = earliest
+        while True:
+            if cycle <= cur and (
+                    self._issued_in_cycle >= self.config.issue_width
+                    or self._fu_used[fu] >= fu_limit):
+                cycle += 1
+                continue
+            if unit_tracked and self._unit_free[fu] > cycle:
+                cycle = self._unit_free[fu]
+                continue
+            break
+
+        if cycle > cur:
+            # inlined _advance_cycle + the issue bookkeeping
+            self._cur_cycle = cycle
+            self._issued_in_cycle = 1
+            fu_used = self._fu_used
+            for key in fu_used:
+                fu_used[key] = 0
+            fu_used[fu] = 1
+        else:
+            self._issued_in_cycle += 1
+            self._fu_used[fu] += 1
+        if non_pipelined:
+            self._unit_free[fu] = cycle + latency
+
+        # ---- execute ----
+        ready = cycle + latency
+        for slot in dests:
+            reg_ready[slot] = ready
+        self.result.instructions += 1
+        if ready > self._final_cycle:
+            self._final_cycle = ready
+        if cycle + 1 > self._final_cycle:
+            self._final_cycle = cycle + 1
+        if self._store_buffer:
+            self._drain_store_buffer(cycle)
+        elif cycle > self._sb_cursor:
+            self._sb_cursor = cycle
+
+    # ------------------------------------------------------------------ #
     # memory
 
     def _plan_access(self, rec: TraceRecord, cycle: int,
-                     is_store: bool) -> tuple[bool, int] | None:
+                     is_store: bool, info) -> tuple[bool, int] | None:
         """Decide (speculate?, cache-access cycle) for an access issuing
         at ``cycle``, honouring port availability.
 
@@ -292,15 +400,14 @@ class PipelineSimulator:
         port_free = self._store_port_free if is_store else self._load_port_free
         if self.config.one_cycle_loads:
             return (False, cycle) if port_free(cycle) else None
-        if self.fac is not None and self._would_speculate(rec, cycle) \
+        if self.fac is not None and self._would_speculate(rec, cycle, info) \
                 and port_free(cycle):
             return (True, cycle)
         if port_free(cycle + 1):
             return (False, cycle + 1)
         return None
 
-    def _would_speculate(self, rec: TraceRecord, cycle: int) -> bool:
-        info = OP_INFO[rec.inst.op]
+    def _would_speculate(self, rec: TraceRecord, cycle: int, info) -> bool:
         if info.mem_mode == "p":
             return True  # address is the raw base register: always exact
         if not self.fac.should_speculate(info.mem_mode == "x", info.is_store):
@@ -313,10 +420,9 @@ class PipelineSimulator:
                 return False
         return True
 
-    def _execute_memory(self, rec: TraceRecord, cycle: int, postinc: bool) -> int:
+    def _execute_memory(self, rec: TraceRecord, cycle: int,
+                        is_store: bool, info) -> int:
         cfg = self.config
-        info = OP_INFO[rec.inst.op]
-        is_store = info.is_store
         if is_store:
             self.result.stores += 1
         else:
@@ -352,9 +458,6 @@ class PipelineSimulator:
                 self.obs.emit(StoreBufferInsert(
                     cycle=cycle, occupancy=len(self._store_buffer)))
             result_ready = cycle + 1
-        if postinc:
-            # base register writeback is available like an ALU result
-            pass
         return result_ready
 
     def _claim_port(self, is_store: bool, cycle: int) -> None:
@@ -373,11 +476,13 @@ class PipelineSimulator:
             return cycle + 1 + miss_penalty
         offset = rec.offset_value if info.mem_mode == "c" \
             else to_signed32(rec.offset_value)
-        prediction = self.fac.predict(rec.base_value, offset,
-                                      info.mem_mode == "x")
+        # allocation-free verdict on the hot path; the full Prediction
+        # (with its FailureSignals) is only materialized on failure when
+        # an observer wants the reason
+        failed = self.fac.fails(rec.base_value, offset, info.mem_mode == "x")
         self.result.fac_speculated += 1
         self._claim_port(is_store, cycle)
-        if prediction.success:
+        if not failed:
             self._fac_outcome = (True, None)
             if self.obs is not None:
                 self.obs.emit(FacPredict(pc=rec.pc, cycle=cycle,
@@ -394,6 +499,8 @@ class PipelineSimulator:
         self._mispredict_was_load = not is_store
         self._claim_port(is_store, cycle + 1)
         if self.obs is not None:
+            prediction = self.fac.predict(rec.base_value, offset,
+                                          info.mem_mode == "x")
             reason = prediction.signals.primary_reason
             self._fac_outcome = (False, reason)
             self.obs.emit(FacPredict(pc=rec.pc, cycle=cycle,
@@ -448,14 +555,23 @@ def simulate_program(
     config: MachineConfig | None = None,
     max_instructions: int = 50_000_000,
     obs=None,
+    engine: str = "predecoded",
 ) -> SimResult:
-    """Run ``program`` functionally and time it on the pipeline model."""
+    """Run ``program`` functionally and time it on the pipeline model.
+
+    ``engine="predecoded"`` streams the predecoded interpreter straight
+    into the pipeline's trace hooks; ``engine="step"`` keeps the legacy
+    step-and-feed loop. Both produce identical results.
+    """
     cpu = CPU(program, obs=obs)
     pipe = PipelineSimulator(config, obs=obs)
-    feed = pipe.feed
-    step = cpu.step
-    budget = max_instructions
-    while not cpu.halted and budget > 0:
-        feed(step())
-        budget -= 1
+    if engine == "step":
+        feed = pipe.feed
+        step = cpu.step
+        budget = max_instructions
+        while not cpu.halted and budget > 0:
+            feed(step())
+            budget -= 1
+    else:
+        cpu.run_trace(pipe, max_instructions)
     return pipe.finalize(memory_usage=cpu.memory_usage)

@@ -7,6 +7,7 @@ from repro.cpu import CPU
 from repro.cpu.tracefile import (
     program_crc,
     record_trace,
+    replay_into,
     replay_trace,
     simulate_trace,
 )
@@ -60,6 +61,84 @@ class TestRoundTrip:
             assert replayed.cycles == live.cycles
             assert replayed.instructions == live.instructions
             assert replayed.fac_mispredicted == live.fac_mispredicted
+
+
+class TestEngines:
+    """The streaming writer (predecoded engine) and the legacy step loop
+    must produce byte-identical files, and ``replay_into`` must hand
+    consumers the same records ``replay_trace`` yields."""
+
+    def test_engines_write_identical_bytes(self, program, tmp_path):
+        step_path = str(tmp_path / "step.fact.gz")
+        pre_path = str(tmp_path / "predecoded.fact.gz")
+        count_a = record_trace(program, step_path, engine="step")
+        count_b = record_trace(program, pre_path, engine="predecoded")
+        assert count_a == count_b
+        with open(step_path, "rb") as a, open(pre_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_bytes_do_not_depend_on_path(self, program, tmp_path):
+        short = str(tmp_path / "a.gz")
+        long = str(tmp_path / "a-much-longer-file-name.fact.gz")
+        record_trace(program, short)
+        record_trace(program, long)
+        with open(short, "rb") as a, open(long, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_replay_into_matches_replay_trace(self, program, trace_path):
+        class Full:
+            def __init__(self):
+                self.records = []
+
+            def trace_plain(self, pc, inst):
+                self.records.append((pc, inst, None, None))
+
+            def trace_mem(self, rec):
+                self.records.append((rec.pc, rec.inst, rec.ea, rec.taken))
+
+            trace_branch = trace_mem
+
+        consumer = Full()
+        count = replay_into(program, trace_path, consumer)
+        reference = list(replay_trace(program, trace_path))
+        assert count == len(reference)
+        assert len(consumer.records) == len(reference)
+        for (pc, inst, ea, taken), want in zip(consumer.records, reference):
+            assert pc == want.pc and inst is want.inst
+            assert ea == want.ea and taken == want.taken
+
+    def test_replay_into_partial_consumer(self, program, trace_path):
+        class MemOnly:
+            def __init__(self):
+                self.eas = []
+
+            def trace_mem(self, rec):
+                self.eas.append(rec.ea)
+
+        consumer = MemOnly()
+        count = replay_into(program, trace_path, consumer)
+        reference = list(replay_trace(program, trace_path))
+        assert count == len(reference)
+        assert consumer.eas == \
+            [r.ea for r in reference if r.ea is not None]
+
+    def test_replay_into_validates_program(self, trace_path):
+        other = compile_and_link("int main() { return 1; }")
+        with pytest.raises(SimulationError, match="different program"):
+            replay_into(other, trace_path, object())
+
+    def test_replay_into_truncated_record(self, program, tmp_path):
+        import gzip
+
+        from repro.cpu.tracefile import _HEADER, _MAGIC, _RECORD, _VERSION
+
+        path = str(tmp_path / "cut.fact.gz")
+        header = _HEADER.pack(_MAGIC, _VERSION, 0, program_crc(program), 0,
+                              program.entry)
+        with gzip.open(path, "wb") as stream:
+            stream.write(header + _RECORD.pack(0, 0, 0, 0, 0, 1)[:5])
+        with pytest.raises(SimulationError, match="truncated trace record"):
+            replay_into(program, path, object())
 
 
 class TestValidation:

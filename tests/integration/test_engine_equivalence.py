@@ -1,0 +1,90 @@
+"""Whole-stack cross-engine equivalence on a real suite benchmark.
+
+The predecoded fast-dispatch engine must be bit-for-bit equivalent to
+the legacy ``step()`` interpreter everywhere results leave the
+simulator: ``repro.metrics/1`` snapshots, stdout, and tracefile bytes.
+``tools/check_sim_equivalence.py`` runs the same checks over the whole
+suite (the CI ``sim-equivalence`` job); this keeps one benchmark's
+worth in tier-1.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.prediction import analyze_program, analyze_trace
+from repro.cpu import CPU
+from repro.cpu.tracefile import record_trace, simulate_trace
+from repro.fac import FacConfig
+from repro.farm.snapshots import analysis_to_snapshot, sim_to_snapshot
+from repro.pipeline import MachineConfig, simulate_program
+from repro.workloads import build_benchmark
+
+BENCH = "compress"
+BUDGET = 120_000
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_benchmark(BENCH, software_support=False)
+
+
+def canon(snapshot):
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def test_tracefiles_and_state_identical(program, tmp_path):
+    cpus = {}
+    blobs = {}
+    for engine in ("step", "predecoded"):
+        path = tmp_path / f"{engine}.fact.gz"
+        cpu = CPU(program)
+        record_trace(program, str(path), BUDGET, cpu=cpu, engine=engine)
+        cpus[engine] = cpu
+        blobs[engine] = path.read_bytes()
+    assert blobs["step"] == blobs["predecoded"]
+    a, b = cpus["step"], cpus["predecoded"]
+    assert a.state.snapshot() == b.state.snapshot()
+    assert a.stdout() == b.stdout()
+    assert a.instructions_retired == b.instructions_retired
+    assert a.memory_usage == b.memory_usage
+
+
+def test_analysis_snapshots_identical(program, tmp_path):
+    live = {
+        engine: canon(analysis_to_snapshot(
+            analyze_program(program, per_pc=True, max_instructions=BUDGET,
+                            engine=engine),
+            meta={"cell": "equivalence"}))
+        for engine in ("step", "predecoded")
+    }
+    assert live["step"] == live["predecoded"]
+
+    path = tmp_path / "trace.fact.gz"
+    cpu = CPU(program)
+    record_trace(program, str(path), BUDGET, cpu=cpu)
+    replayed = canon(analysis_to_snapshot(
+        analyze_trace(program, str(path), per_pc=True,
+                      memory_usage=cpu.memory_usage, stdout=cpu.stdout()),
+        meta={"cell": "equivalence"}))
+    assert live["predecoded"] == replayed
+
+
+def test_sim_snapshots_identical(program, tmp_path):
+    path = tmp_path / "trace.fact.gz"
+    cpu = CPU(program)
+    record_trace(program, str(path), BUDGET, cpu=cpu)
+    for machine in (MachineConfig(), MachineConfig(fac=FacConfig())):
+        live = {
+            engine: canon(sim_to_snapshot(
+                simulate_program(program, machine, max_instructions=BUDGET,
+                                 engine=engine),
+                meta={"cell": "equivalence"}))
+            for engine in ("step", "predecoded")
+        }
+        assert live["step"] == live["predecoded"]
+        traced = canon(sim_to_snapshot(
+            simulate_trace(program, str(path), machine,
+                           memory_usage=cpu.memory_usage),
+            meta={"cell": "equivalence"}))
+        assert live["predecoded"] == traced

@@ -99,3 +99,150 @@ def test_bulk_roundtrip_property(data, addr):
     mem = Memory()
     mem.write_bytes(addr, data)
     assert mem.read_bytes(addr, len(data)) == data
+
+
+class TestPageMemoization:
+    """The scalar fast paths memoize the last-touched page; these pin the
+    cases where a stale memo would be observable."""
+
+    def test_read_after_page_created_by_write(self):
+        mem = Memory()
+        assert mem.read(0x5000, 4) == 0  # unmapped: not cached
+        mem.write(0x5000, 4, 0xCAFEBABE)
+        assert mem.read(0x5000, 4) == 0xCAFEBABE
+
+    def test_alternating_pages(self):
+        mem = Memory()
+        mem.write(0x1000, 4, 1)
+        mem.write(0x2000, 4, 2)
+        mem.write(0x1004, 4, 3)
+        assert mem.read(0x2000, 4) == 2
+        assert mem.read(0x1000, 4) == 1
+        assert mem.read(0x1004, 4) == 3
+
+    def test_write_memo_sees_bulk_writes(self):
+        mem = Memory()
+        mem.write(0x3000, 4, 0x11111111)       # memoize the page
+        mem.write_bytes(0x3000, b"\xEF\xBE\xAD\xDE")
+        assert mem.read(0x3000, 4) == 0xDEADBEEF
+
+    def test_read_u32_write_u32_roundtrip(self):
+        mem = Memory()
+        mem.write_u32(0x4000, 0x12345678)
+        assert mem.read_u32(0x4000) == 0x12345678
+        assert mem.read(0x4000, 4) == 0x12345678
+        mem.write(0x4004, 4, 0x9ABCDEF0)
+        assert mem.read_u32(0x4004) == 0x9ABCDEF0
+
+    def test_fast_word_paths_check_alignment(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.read_u32(0x4002)
+        with pytest.raises(MemoryFault):
+            mem.write_u32(0x4001, 0)
+
+    def test_fast_word_paths_strict(self):
+        mem = Memory(strict=True)
+        with pytest.raises(MemoryFault):
+            mem.read_u32(0x80000)
+        assert Memory().read_u32(0x80000) == 0
+
+
+class TestCrossPageAndStrictEdges:
+    """Edge cases the interpreter fast path must preserve."""
+
+    def test_cross_page_scalar_views_of_bulk_data(self):
+        # 2/4/8-byte values written across a page boundary via the bulk
+        # path read back correctly through every scalar width.
+        mem = Memory()
+        payload = bytes(range(1, 17))
+        mem.write_bytes(0x1FF8, payload)  # straddles 0x2000
+        for width in (1, 2, 4):
+            for offset in range(0, 16 - width, width):
+                addr = 0x1FF8 + offset
+                if addr & (width - 1):
+                    continue
+                expect = int.from_bytes(payload[offset:offset + width],
+                                        "little")
+                assert mem.read(addr, width) == expect
+        assert mem.read_double(0x2000) == pytest.approx(
+            _STRUCT_D_unpack(payload[8:16]))
+
+    def test_cross_page_bulk_write_through_scalar_writes(self):
+        mem = Memory()
+        mem.write(0x2FFC, 4, 0x04030201)
+        mem.write(0x3000, 4, 0x08070605)
+        assert mem.read_bytes(0x2FFC, 8) == bytes(range(1, 9))
+
+    def test_double_roundtrip_at_page_boundary(self):
+        mem = Memory()
+        mem.write_double(0x4FF8, -2.5)
+        assert mem.read_double(0x4FF8) == -2.5
+        mem.write_double(0x5000, 7.25)
+        assert mem.read_double(0x5000) == 7.25
+
+    def test_strict_faults_scalar_and_bulk(self):
+        mem = Memory(strict=True)
+        with pytest.raises(MemoryFault):
+            mem.read(0x9000, 1)
+        with pytest.raises(MemoryFault):
+            mem.read(0x9000, 2)
+        with pytest.raises(MemoryFault):
+            mem.read_double(0x9000)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0x9000, 16)
+        # a partially-mapped bulk read faults on the unmapped page
+        mem.write_bytes(0xA000, b"x" * 4)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0xAFFE, 4)
+
+    def test_reserved_bss_pages_read_as_zero(self):
+        mem = Memory(strict=True)
+        mem.reserve(0x20000, 4096 + 1)
+        assert mem.read(0x20000, 4) == 0
+        assert mem.read(0x21000, 4) == 0  # second page of the span
+        assert mem.read_double(0x20008) == 0.0
+        assert mem.read_bytes(0x20FF0, 32) == bytes(32)
+
+
+class TestCString:
+    def test_spans_page_boundary(self):
+        mem = Memory()
+        text = b"A" * 4100  # crosses one boundary
+        mem.write_bytes(0x0F00, text + b"\x00")
+        assert mem.read_cstring(0x0F00) == "A" * 4100
+
+    def test_nul_exactly_at_page_boundary(self):
+        mem = Memory()
+        mem.write_bytes(0x1FFC, b"abcd")
+        mem.write_bytes(0x2000, b"\x00rest")
+        assert mem.read_cstring(0x1FFC) == "abcd"
+
+    def test_unmapped_tail_terminates(self):
+        mem = Memory()
+        mem.write_bytes(0x2FFD, b"abc")  # fills to 0x2fff inclusive
+        assert mem.read_cstring(0x2FFD) == "abc"
+
+    def test_unmapped_start_is_empty(self):
+        assert Memory().read_cstring(0x7000) == ""
+
+    def test_strict_unmapped_tail_faults(self):
+        mem = Memory(strict=True)
+        mem.write_bytes(0x3FFD, b"abc")
+        with pytest.raises(MemoryFault):
+            mem.read_cstring(0x3FFD)
+
+    def test_limit_without_nul(self):
+        mem = Memory()
+        mem.write_bytes(0x1000, b"Z" * 64)
+        assert mem.read_cstring(0x1000, limit=16) == "Z" * 16
+
+    def test_latin1_payload(self):
+        mem = Memory()
+        mem.write_bytes(0x1000, bytes([0xE9, 0x20, 0xFF, 0x00]))
+        assert mem.read_cstring(0x1000) == "\xe9 \xff"
+
+
+def _STRUCT_D_unpack(raw: bytes) -> float:
+    import struct as _s
+    return _s.unpack("<d", raw)[0]

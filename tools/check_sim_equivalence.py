@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Cross-engine equivalence checker: legacy ``step()`` vs predecoded.
+
+For each requested benchmark this verifies, bit for bit:
+
+1. ``record_trace`` output bytes under ``engine="step"`` and
+   ``engine="predecoded"`` (plus the executor's final architectural
+   state, stdout, and retired-instruction count),
+2. ``TraceAnalysis`` ``repro.metrics/1`` snapshots from both live
+   engines *and* from replaying the recorded tracefile,
+3. ``SimResult`` snapshots from both live engines and from the
+   trace-replay path, across several machine flavours.
+
+Run with no arguments for one representative benchmark (the CI
+``sim-equivalence`` job), name benchmarks explicitly, or pass ``all``
+for the full 19-program suite::
+
+    python tools/check_sim_equivalence.py
+    python tools/check_sim_equivalence.py compress tomcatv
+    python tools/check_sim_equivalence.py --max-instructions 500000 all
+
+Exits non-zero on the first benchmark with any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+os.environ.setdefault("REPRO_FARM", "off")
+
+from repro.analysis.prediction import analyze_program, analyze_trace
+from repro.cpu.executor import CPU
+from repro.cpu.tracefile import record_trace, simulate_trace
+from repro.fac.config import FacConfig
+from repro.farm.snapshots import analysis_to_snapshot, sim_to_snapshot
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.pipeline import simulate_program
+from repro.workloads.suite import BENCHMARKS, build_benchmark
+
+MACHINES = {
+    "base": MachineConfig(),
+    "fac32": MachineConfig(fac=FacConfig(block_size=32)),
+    "fac16norr": MachineConfig(fac=FacConfig(block_size=16,
+                                             speculate_reg_reg=False)),
+}
+
+
+def canon(snapshot: dict) -> str:
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def check_benchmark(name: str, max_instructions: int, scratch: str) -> list[str]:
+    problems: list[str] = []
+    program = build_benchmark(name, software_support=False)
+
+    # 1. tracefile bytes + final executor state
+    paths = {}
+    cpus = {}
+    for engine in ("step", "predecoded"):
+        path = os.path.join(scratch, f"{name}-{engine}.fact.gz")
+        cpu = CPU(program)
+        record_trace(program, path, max_instructions, cpu=cpu, engine=engine)
+        paths[engine], cpus[engine] = path, cpu
+    with open(paths["step"], "rb") as a, open(paths["predecoded"], "rb") as b:
+        if a.read() != b.read():
+            problems.append("tracefile bytes differ")
+    a, b = cpus["step"], cpus["predecoded"]
+    if (a.instructions_retired != b.instructions_retired
+            or a.stdout() != b.stdout()
+            or a.memory_usage != b.memory_usage
+            or a.state.snapshot() != b.state.snapshot()):
+        problems.append("executor state differs after record_trace")
+
+    # 2. analysis snapshots: live x2 + replay
+    live = {
+        engine: canon(analysis_to_snapshot(
+            analyze_program(program, per_pc=True,
+                            max_instructions=max_instructions,
+                            engine=engine),
+            meta={"cell": "equivalence"}))
+        for engine in ("step", "predecoded")
+    }
+    replayed = canon(analysis_to_snapshot(
+        analyze_trace(program, paths["predecoded"], per_pc=True,
+                      memory_usage=b.memory_usage, stdout=b.stdout()),
+        meta={"cell": "equivalence"}))
+    if live["step"] != live["predecoded"]:
+        problems.append("analysis snapshots differ between live engines")
+    if live["predecoded"] != replayed:
+        problems.append("analysis snapshot differs between live and replay")
+
+    # 3. timing snapshots: live x2 + replay, several flavours
+    for label, machine in MACHINES.items():
+        sims = {
+            engine: canon(sim_to_snapshot(
+                simulate_program(program, machine,
+                                 max_instructions=max_instructions,
+                                 engine=engine),
+                meta={"cell": "equivalence"}))
+            for engine in ("step", "predecoded")
+        }
+        traced = canon(sim_to_snapshot(
+            simulate_trace(program, paths["predecoded"], machine,
+                           memory_usage=b.memory_usage),
+            meta={"cell": "equivalence"}))
+        if sims["step"] != sims["predecoded"]:
+            problems.append(f"sim snapshots differ between engines ({label})")
+        if sims["predecoded"] != traced:
+            problems.append(f"sim snapshot differs live vs replay ({label})")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="*", default=["compress"],
+                        help="benchmark names, or 'all' (default: compress)")
+    parser.add_argument("--max-instructions", type=int, default=300_000)
+    args = parser.parse_args(argv)
+
+    names = tuple(args.benchmarks)
+    if names == ("all",):
+        names = tuple(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown benchmarks: {unknown}")
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="sim-equivalence-") as scratch:
+        for name in names:
+            problems = check_benchmark(name, args.max_instructions, scratch)
+            if problems:
+                failures += 1
+                for problem in problems:
+                    print(f"{name}: FAIL - {problem}")
+            else:
+                print(f"{name}: ok")
+    if failures:
+        print(f"{failures}/{len(names)} benchmarks diverged", file=sys.stderr)
+        return 1
+    print(f"all {len(names)} benchmarks bit-for-bit equivalent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
