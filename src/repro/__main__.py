@@ -12,6 +12,15 @@ Commands:
                           with prediction rate, miss rate, replay cycles
 * ``trace TARGET``     -- structured event trace (Chrome/Perfetto JSON or
                           JSON Lines)
+* ``pipeview TARGET``  -- pipeline flight recorder: ANSI waterfall of the
+                          trailing execution window (``--around pc:X`` /
+                          ``--around cycle:N`` to centre it elsewhere)
+* ``explain TARGET``   -- FAC misprediction root-cause report for one or
+                          all memory sites (``--pc X`` / ``--line F:N``)
+* ``diff OLD NEW``     -- compare two ``repro.metrics/1`` snapshots under
+                          per-metric gates; nonzero exit on violation
+* ``report``           -- static HTML dashboard of a suite sweep from
+                          farm artifacts
 * ``experiment WHICH`` -- regenerate a paper table/figure
                           (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
 * ``farm ...``         -- parallel, artifact-cached experiment sweeps
@@ -167,9 +176,9 @@ def cmd_profile(args) -> int:
     )
     top = args.top or None  # --top 0 means "all sites"
     if args.json:
-        print(json.dumps(result.to_json(top), indent=2))
+        print(json.dumps(result.to_json(top, sort=args.sort), indent=2))
     else:
-        print(result.render_text(top=top))
+        print(result.render_text(top=top, sort=args.sort))
     return 0
 
 
@@ -190,6 +199,143 @@ def cmd_trace(args) -> int:
     else:
         result = trace_program(program, sys.stdout, fmt=args.format,
                                max_instructions=args.max_instructions)
+    return 0
+
+
+def cmd_pipeview(args) -> int:
+    """Flight-recorder waterfall (see :mod:`repro.obs.flight`)."""
+    from repro.obs.flight import record_flight
+
+    program = _load_target(args)
+    if program is None:
+        return 2
+    around_pc = around_cycle = None
+    if args.around:
+        spec = args.around
+        try:
+            if spec.startswith("pc:"):
+                around_pc = int(spec[3:], 0)
+            elif spec.startswith("cycle:"):
+                around_cycle = int(spec[6:])
+            elif spec.lower().startswith("0x"):
+                around_pc = int(spec, 16)
+            else:
+                around_cycle = int(spec)
+        except ValueError:
+            print(f"bad --around {spec!r}: expected pc:0xADDR, cycle:N, "
+                  "a hex pc, or a decimal cycle", file=sys.stderr)
+            return 2
+    recorder, result = record_flight(
+        program, window_cycles=args.window,
+        around_pc=around_pc, around_cycle=around_cycle,
+        max_instructions=args.max_instructions,
+    )
+    if args.chrome:
+        with open(args.chrome, "w") as stream:
+            recorder.to_chrome(stream)
+        print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+    if args.dump:
+        sys.stdout.write(recorder.dump())
+    else:
+        color = (sys.stdout.isatty() if args.color is None else args.color)
+        sys.stdout.write(recorder.render(color=color))
+    print(f"[{result.instructions} instructions, {result.cycles} cycles, "
+          f"window {args.window} cycles]", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """FAC misprediction root-cause report (see :mod:`repro.obs.explain`)."""
+    from repro.fac.predictor import FastAddressCalculator
+    from repro.obs.explain import (
+        explain_program,
+        render_report,
+        resolve_line,
+    )
+
+    program = _load_target(args)
+    if program is None:
+        return 2
+    config = FacConfig(cache_size=args.cache_size, block_size=args.block_size)
+    pcs = None
+    if args.pc is not None:
+        try:
+            pcs = {int(args.pc, 0)}
+        except ValueError:
+            print(f"bad --pc {args.pc!r}", file=sys.stderr)
+            return 2
+        if args.line is not None:
+            print("--pc and --line are mutually exclusive", file=sys.stderr)
+            return 2
+    elif args.line is not None:
+        filename, sep, lineno = args.line.rpartition(":")
+        if not sep or not lineno.isdigit():
+            print(f"bad --line {args.line!r}: expected FILE:N",
+                  file=sys.stderr)
+            return 2
+        matches = resolve_line(program, filename, int(lineno))
+        if not matches:
+            print(f"no instructions found at {args.line}", file=sys.stderr)
+            return 2
+        pcs = set(matches)
+    report = explain_program(program, config, pcs=pcs,
+                             max_instructions=args.max_instructions)
+    if pcs is not None and not report.sites:
+        print("the selected instructions performed no memory accesses",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "schema": "repro.explain/1",
+            "program": args.target,
+            "sites": [site.to_dict() for site in report.sites],
+        }, indent=2))
+    else:
+        sys.stdout.write(render_report(report, FastAddressCalculator(config)))
+    return 0 if all(site.consistent for site in report.sites) else 1
+
+
+def cmd_diff(args) -> int:
+    """Gate one metrics snapshot against another (see :mod:`repro.obs.diff`)."""
+    from repro.obs.diff import (
+        diff_snapshots,
+        load_gates,
+        load_snapshot,
+        render_diff,
+    )
+
+    old = load_snapshot(args.old)
+    new = load_snapshot(args.new)
+    gates = load_gates(args.gate) if args.gate else None
+    result = diff_snapshots(old, new, gates)
+    sys.stdout.write(render_diff(result, show_all=args.all))
+    return 0 if result.ok else 1
+
+
+def cmd_report(args) -> int:
+    """Static HTML dashboard of a suite sweep (see :mod:`repro.obs.report`)."""
+    from repro.farm.snapshots import suite_snapshot
+    from repro.obs.diff import load_snapshot
+    from repro.obs.report import write_report
+
+    if args.from_snapshot:
+        snapshot = load_snapshot(args.from_snapshot)
+    else:
+        benchmarks = None
+        if args.suite:
+            benchmarks = [n.strip() for n in args.suite.split(",")
+                          if n.strip()]
+        machines = tuple(n.strip() for n in args.machines.split(",")
+                         if n.strip())
+        snapshot = suite_snapshot(benchmarks, machines=machines,
+                                  software=args.software_support)
+    if args.snapshot:
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep snapshot written to {args.snapshot}", file=sys.stderr)
+    index = write_report(args.out, snapshot)
+    print(f"report written to {index}", file=sys.stderr)
     return 0
 
 
@@ -273,6 +419,12 @@ def main(argv=None) -> int:
                                 "(schema: repro.obs.profile.PROFILE_SCHEMA)")
     p_profile.add_argument("--top", type=int, default=20,
                            help="rows to show (0 = all)")
+    p_profile.add_argument("--sort",
+                           choices=["replays", "misses", "predict_rate"],
+                           default="replays",
+                           help="ranking: replay cycles (default), dcache "
+                                "misses, or worst prediction rate first; "
+                                "ties always break by pc")
     p_profile.add_argument("--software-support", action="store_true",
                            help="compile with the paper's Section 4 support")
     p_profile.add_argument("--cache-size", type=int, default=16 * 1024)
@@ -295,6 +447,86 @@ def main(argv=None) -> int:
                          help="compile with the paper's Section 4 support")
     p_trace.add_argument("--max-instructions", type=int, default=50_000_000)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_pipeview = sub.add_parser(
+        "pipeview", help="pipeline flight-recorder waterfall (repro.obs.flight)"
+    )
+    p_pipeview.add_argument("target", help="MiniC file, assembly file, or "
+                                           "benchmark name")
+    p_pipeview.add_argument("--around", default=None, metavar="PC|CYCLE",
+                            help="centre the window: pc:0xADDR / a hex pc "
+                                 "freezes half a window after that pc "
+                                 "retires; cycle:N / a decimal freezes at "
+                                 "cycle N + window/2")
+    p_pipeview.add_argument("--window", type=int, default=64,
+                            help="window size in cycles (default 64)")
+    p_pipeview.add_argument("--dump", action="store_true",
+                            help="deterministic one-line-per-instruction "
+                                 "dump instead of the waterfall")
+    p_pipeview.add_argument("--chrome", default=None, metavar="FILE",
+                            help="also export the window as Chrome trace "
+                                 "JSON with named stage tracks")
+    p_pipeview.add_argument("--color", action=argparse.BooleanOptionalAction,
+                            default=None,
+                            help="force ANSI colour on/off (default: tty)")
+    p_pipeview.add_argument("--software-support", action="store_true",
+                            help="compile with the paper's Section 4 support")
+    p_pipeview.add_argument("--max-instructions", type=int,
+                            default=50_000_000)
+    p_pipeview.set_defaults(func=cmd_pipeview)
+
+    p_explain = sub.add_parser(
+        "explain", help="FAC misprediction root-cause report (repro.obs.explain)"
+    )
+    p_explain.add_argument("target", help="MiniC file, assembly file, or "
+                                          "benchmark name")
+    p_explain.add_argument("--pc", default=None, metavar="ADDR",
+                           help="explain only the site at this text address")
+    p_explain.add_argument("--line", default=None, metavar="FILE:N",
+                           help="explain the site(s) at this source line")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the machine-readable report")
+    p_explain.add_argument("--software-support", action="store_true",
+                           help="compile with the paper's Section 4 support")
+    p_explain.add_argument("--cache-size", type=int, default=16 * 1024)
+    p_explain.add_argument("--block-size", type=int, default=32)
+    p_explain.add_argument("--max-instructions", type=int,
+                           default=50_000_000)
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_diff = sub.add_parser(
+        "diff", help="gate two repro.metrics/1 snapshots (repro.obs.diff)"
+    )
+    p_diff.add_argument("old", help="baseline snapshot JSON")
+    p_diff.add_argument("new", help="candidate snapshot JSON")
+    p_diff.add_argument("--gate", default=None, metavar="GATES.toml",
+                        help="per-metric thresholds; without it any change "
+                             "at all is a violation")
+    p_diff.add_argument("--all", action="store_true",
+                        help="list unchanged metrics too")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_report = sub.add_parser(
+        "report", help="static HTML dashboard of a suite sweep "
+                       "(repro.obs.report)"
+    )
+    p_report.add_argument("--suite", default=None, metavar="A,B,...",
+                          help="benchmarks to sweep (default: $REPRO_SUITE "
+                               "or all)")
+    p_report.add_argument("--machines", default="base,fac32",
+                          metavar="M,N,...",
+                          help="machine flavours (default base,fac32)")
+    p_report.add_argument("--out", default="report", metavar="DIR",
+                          help="output directory (default ./report)")
+    p_report.add_argument("--snapshot", default=None, metavar="FILE",
+                          help="also write the sweep snapshot JSON here "
+                               "(the input for a later 'repro diff')")
+    p_report.add_argument("--from-snapshot", default=None, metavar="FILE",
+                          help="render an existing sweep snapshot instead "
+                               "of computing one")
+    p_report.add_argument("--software-support", action="store_true",
+                          help="build the suite with Section 4 support")
+    p_report.set_defaults(func=cmd_report)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("which")

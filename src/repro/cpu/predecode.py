@@ -65,6 +65,9 @@ KIND_PLAIN = 0   # ALU / mult-div / FP / system: no TraceRecord needed
 KIND_MEM = 1     # loads & stores: always fall through, carry an ea
 KIND_CTRL = 2    # branches & jumps: carry the taken/next-pc outcome
 
+#: Kind code -> short name, for dumps and diagnostics.
+KIND_NAMES = {KIND_PLAIN: "plain", KIND_MEM: "mem", KIND_CTRL: "ctrl"}
+
 # Negative sentinels returned in place of a next-instruction index.
 HALT = -1
 OFF_TEXT = -2

@@ -40,6 +40,17 @@ from repro.utils.bits import MASK32
 
 _TAG_TOP = 32
 
+#: Signal name -> the human-readable label used in events, diagnostics,
+#: and ``repro explain`` output, in :meth:`FailureSignals.primary_reason`
+#: priority order (most specific cause first).
+SIGNAL_LABELS = {
+    "large_neg_const": "large-negative-offset",
+    "neg_index_reg": "negative-register",
+    "gen_carry": "carry-into-index",
+    "overflow": "block-carry-out",
+    "tag_mismatch": "tag-mismatch",
+}
+
 
 @dataclass(frozen=True)
 class FailureSignals:

@@ -98,6 +98,43 @@ def analysis_to_snapshot(analysis: TraceAnalysis,
     return registry.snapshot(meta=merged)
 
 
+def suite_snapshot(benchmarks=None, machines=("base", "fac32"),
+                   software: bool = False) -> dict:
+    """One merged ``repro.metrics/1`` snapshot for a whole suite sweep.
+
+    Per benchmark, the functional prediction rates land under
+    ``<bench>.pred<bs>`` (a ratio: successful predictions over
+    speculated accesses) and every requested machine flavour's
+    :class:`SimResult` under ``<bench>.<machine>.*`` -- including the
+    ``<bench>.<machine>.fac`` prediction-rate ratio the regression gate
+    watches. All cells come from the artifact store (computed on miss),
+    so re-running the same sweep is cheap and byte-identical
+    (``repro diff`` on two such runs exits clean).
+    """
+    from repro.experiments import common  # lazy: avoids an import cycle
+
+    names = common.suite_names(benchmarks)
+    registry = MetricsRegistry()
+    for name in names:
+        analysis = common.analysis_for(name, software)
+        for block_size, stats in sorted(analysis.predictions.items()):
+            speculated = stats.loads + stats.stores
+            failures = stats.load_failures + stats.store_failures
+            ratio = registry.ratio(f"{name}.pred{block_size}")
+            ratio.hits = speculated - failures
+            ratio.total = speculated
+        for machine in machines:
+            result = common.sim_for(name, software, machine)
+            result.to_registry(registry, prefix=f"{name}.{machine}")
+    meta = {
+        "kind": "suite-sweep",
+        "benchmarks": list(names),
+        "machines": list(machines),
+        "software": software,
+    }
+    return registry.snapshot(meta=meta)
+
+
 def analysis_from_snapshot(snapshot: dict) -> TraceAnalysis:
     """Rebuild a :class:`TraceAnalysis` (``per_pc`` is always None)."""
     registry = MetricsRegistry.from_snapshot(snapshot)

@@ -13,8 +13,13 @@ Three pillars:
 
 Higher-level drivers live in submodules imported on demand (they pull in
 the whole simulator stack): :mod:`repro.obs.profile` for source-level FAC
-profiling (``repro profile``) and :mod:`repro.obs.trace` for event-stream
-capture (``repro trace``).
+profiling (``repro profile``), :mod:`repro.obs.trace` for event-stream
+capture (``repro trace``), :mod:`repro.obs.flight` for the bounded
+pipeline flight recorder (``repro pipeview``), :mod:`repro.obs.explain`
+for the misprediction root-cause explainer (``repro explain``),
+:mod:`repro.obs.diff` for gated snapshot comparison (``repro diff``),
+and :mod:`repro.obs.report` for the static HTML dashboard
+(``repro report``).
 
 The default is observability *off*: every producer takes ``obs=None``
 and guards each emission with one attribute test, keeping the

@@ -1,0 +1,245 @@
+"""Snapshot diffing with per-metric gates: the engine behind
+``repro diff OLD.json NEW.json [--gate gates.toml]``.
+
+Both inputs are ``repro.metrics/1`` snapshots (a single sim, an
+analysis, or a whole farm sweep merged into one registry). Metrics are
+flattened to numeric leaves:
+
+* counter   -> ``path`` = count
+* ratio     -> ``path.hits``, ``path.total``, and the derived
+               ``path.ratio`` (hits/total)
+* histogram -> ``path.total`` (sample count) and ``path.bins``
+               (distinct keys); individual bins are too noisy to gate
+
+and each leaf is checked against the first matching gate. Gates live in
+a TOML file::
+
+    [default]
+    max_rel_delta = 0.0          # strict: any change is a violation
+
+    [[gate]]
+    pattern = "*.fac.ratio"      # fnmatch over the leaf path
+    max_rel_delta = 0.01         # 1% relative movement allowed
+    direction = "down"           # violate only when the value drops
+
+    [[gate]]
+    pattern = "*.instructions"
+    ignore = true                # never gate this leaf
+
+``direction`` is ``"any"`` (default), ``"up"`` (only increases can
+violate -- cycle counts, miss counts), or ``"down"`` (only decreases --
+prediction rates, hit ratios). A leaf present on one side only is a
+violation unless an ``ignore`` gate matches it. With no gate file every
+leaf gets the strict default, so a byte-identical re-run diffs clean and
+any drift at all fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.obs.metrics import SNAPSHOT_VERSION
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Gate:
+    pattern: str
+    max_rel_delta: float = 0.0
+    direction: str = "any"          # "any" | "up" | "down"
+    ignore: bool = False
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    path: str
+    old: float | None               # None: absent on that side
+    new: float | None
+    rel_delta: float                # 0.0 when equal; inf from-zero growth
+    gate: Gate
+    violation: bool
+
+    @property
+    def changed(self) -> bool:
+        return self.old != self.new
+
+
+@dataclass
+class DiffResult:
+    entries: list[DiffEntry]
+    old_meta: dict
+    new_meta: dict
+
+    @property
+    def violations(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.violation]
+
+    @property
+    def changed(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.changed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+DEFAULT_GATE = Gate(pattern="*")
+
+
+def load_gates(path: str) -> list[Gate]:
+    """Parse a gates.toml file into an ordered gate list; the implicit
+    catch-all default (from ``[default]``, or strict) goes last."""
+    import tomllib
+
+    with open(path, "rb") as handle:
+        doc = tomllib.load(handle)
+    gates = []
+    for raw in doc.get("gate", []):
+        if "pattern" not in raw:
+            raise ValueError("every [[gate]] needs a pattern")
+        gates.append(Gate(
+            pattern=str(raw["pattern"]),
+            max_rel_delta=float(raw.get("max_rel_delta", 0.0)),
+            direction=str(raw.get("direction", "any")),
+            ignore=bool(raw.get("ignore", False)),
+        ))
+    default = doc.get("default", {})
+    gates.append(Gate(
+        pattern="*",
+        max_rel_delta=float(default.get("max_rel_delta", 0.0)),
+        direction=str(default.get("direction", "any")),
+        ignore=bool(default.get("ignore", False)),
+    ))
+    for gate in gates:
+        if gate.direction not in ("any", "up", "down"):
+            raise ValueError(f"gate {gate.pattern!r}: bad direction "
+                             f"{gate.direction!r}")
+    return gates
+
+
+def flatten_snapshot(snapshot: dict) -> dict[str, float]:
+    """Numeric leaves of one ``repro.metrics/1`` snapshot."""
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot schema {schema!r}; "
+                         f"expected {SNAPSHOT_VERSION!r}")
+    flat: dict[str, float] = {}
+    for path, payload in snapshot.get("metrics", {}).items():
+        kind = payload.get("type")
+        if kind == "counter":
+            flat[path] = payload["count"]
+        elif kind == "ratio":
+            hits = payload["hits"]
+            total = payload["total"]
+            flat[path + ".hits"] = hits
+            flat[path + ".total"] = total
+            flat[path + ".ratio"] = hits / total if total else 0.0
+        elif kind == "histogram":
+            counts = payload.get("counts", {})
+            flat[path + ".total"] = sum(counts.values())
+            flat[path + ".bins"] = len(counts)
+        else:
+            raise ValueError(f"unknown metric type {kind!r} at {path!r}")
+    return flat
+
+
+def _match_gate(path: str, gates: list[Gate]) -> Gate:
+    for gate in gates:
+        if fnmatchcase(path, gate.pattern):
+            return gate
+    return DEFAULT_GATE
+
+
+def _violates(old: float, new: float, rel: float, gate: Gate) -> bool:
+    if gate.ignore:
+        return False
+    if new == old:
+        return False
+    if gate.direction == "up" and new < old:
+        return False
+    if gate.direction == "down" and new > old:
+        return False
+    return abs(rel) > gate.max_rel_delta
+
+
+def diff_snapshots(old: dict, new: dict,
+                   gates: list[Gate] | None = None) -> DiffResult:
+    """Flatten and compare two snapshots under the gate list."""
+    gates = gates if gates is not None else [DEFAULT_GATE]
+    old_flat = flatten_snapshot(old)
+    new_flat = flatten_snapshot(new)
+    entries = []
+    for path in sorted(set(old_flat) | set(new_flat)):
+        a = old_flat.get(path, _MISSING)
+        b = new_flat.get(path, _MISSING)
+        gate = _match_gate(path, gates)
+        if a is _MISSING or b is _MISSING:
+            entries.append(DiffEntry(
+                path=path,
+                old=None if a is _MISSING else a,
+                new=None if b is _MISSING else b,
+                rel_delta=float("inf"),
+                gate=gate,
+                violation=not gate.ignore,
+            ))
+            continue
+        if a == b:
+            rel = 0.0
+        elif a == 0:
+            rel = float("inf")
+        else:
+            rel = (b - a) / abs(a)
+        entries.append(DiffEntry(
+            path=path, old=a, new=b, rel_delta=rel, gate=gate,
+            violation=_violates(a, b, rel, gate),
+        ))
+    return DiffResult(entries=entries,
+                      old_meta=old.get("meta", {}),
+                      new_meta=new.get("meta", {}))
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ------------------------------------------------------------------ #
+# rendering
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "(absent)"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6f}"
+    return f"{int(value)}"
+
+
+def render_diff(result: DiffResult, show_all: bool = False) -> str:
+    lines = []
+    shown = result.entries if show_all else result.changed
+    for entry in shown:
+        mark = "FAIL" if entry.violation else ("  ~ " if entry.changed
+                                               else "  = ")
+        if entry.old is None or entry.new is None:
+            delta = ""
+        elif entry.rel_delta == float("inf"):
+            delta = "  (from zero)"
+        else:
+            delta = f"  ({entry.rel_delta:+.4%})"
+        lines.append(f"{mark} {entry.path}: {_fmt(entry.old)} -> "
+                     f"{_fmt(entry.new)}{delta}"
+                     + (f"  [gate {entry.gate.pattern} "
+                        f"±{entry.gate.max_rel_delta:.2%} "
+                        f"{entry.gate.direction}]"
+                        if entry.violation else ""))
+    n_viol = len(result.violations)
+    lines.append(
+        f"{len(result.entries)} metrics compared, "
+        f"{len(result.changed)} changed, {n_viol} gate violation"
+        + ("" if n_viol == 1 else "s")
+    )
+    return "\n".join(lines) + "\n"

@@ -169,15 +169,29 @@ class ProfileResult:
     def replay_cycles(self) -> int:
         return sum(site.replay_cycles for site in self.sites)
 
-    def hottest(self, top: int | None = None) -> list[SiteProfile]:
-        """Sites ordered by replay cost, then traffic (deterministic)."""
-        ranked = sorted(
-            self.sites,
-            key=lambda s: (-s.replay_cycles, -s.accesses, s.pc),
-        )
+    #: ``--sort`` orders. Every key ends in ``s.pc`` so ties (including
+    #: all-zero columns) break deterministically by address.
+    SORT_KEYS = {
+        "replays": lambda s: (-s.replay_cycles, -s.accesses, s.pc),
+        "misses": lambda s: (-s.misses, -s.accesses, s.pc),
+        "predict_rate": lambda s: (s.prediction_rate, -s.accesses, s.pc),
+    }
+
+    def hottest(self, top: int | None = None,
+                sort: str = "replays") -> list[SiteProfile]:
+        """Sites ranked by ``sort`` -- replay cost (default), dcache
+        misses, or worst prediction rate first -- tie-broken by pc."""
+        try:
+            key = self.SORT_KEYS[sort]
+        except KeyError:
+            raise ValueError(
+                f"unknown sort {sort!r}; choose from "
+                f"{sorted(self.SORT_KEYS)}") from None
+        ranked = sorted(self.sites, key=key)
         return ranked[:top] if top else ranked
 
-    def to_json(self, top: int | None = None) -> dict:
+    def to_json(self, top: int | None = None,
+                sort: str = "replays") -> dict:
         sites = [
             {
                 "pc": site.pc,
@@ -197,7 +211,7 @@ class ProfileResult:
                     for bs, pair in sorted(site.counts.items())
                 },
             }
-            for site in self.hottest(top)
+            for site in self.hottest(top, sort)
         ]
         return {
             "schema": "repro.profile/1",
@@ -218,11 +232,11 @@ class ProfileResult:
             ),
         }
 
-    def render_text(self, top: int = 20) -> str:
+    def render_text(self, top: int = 20, sort: str = "replays") -> str:
         from repro.analysis.reporting import format_table
 
         rows = []
-        for site in self.hottest(top):
+        for site in self.hottest(top, sort):
             rows.append((
                 f"0x{site.pc:08x}",
                 site.disasm,

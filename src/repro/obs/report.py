@@ -1,0 +1,149 @@
+"""Static HTML dashboard from farm artifacts: ``repro report``.
+
+The report is built from one suite-sweep snapshot
+(:func:`repro.farm.snapshots.suite_snapshot`) -- either computed on the
+spot through the artifact store or loaded from a previously saved JSON
+file -- and rendered as a single self-contained ``index.html``: plain
+tables, no scripts, no external assets, deterministic byte output for
+identical snapshots (safe to diff in CI and to publish as a build
+artifact). The raw snapshot rides along as ``snapshot.json`` so the
+dashboard is also the input of a later ``repro diff``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+
+from repro.obs.diff import flatten_snapshot
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e8f; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0 2rem; }
+th, td { border: 1px solid #c5c8e8; padding: .35rem .7rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eef0fb; }
+td.name, th.name { text-align: left; font-weight: 600; }
+.bad  { background: #fde8e8; }
+.good { background: #e8f7ec; }
+pre { background: #f6f7fb; padding: 1rem; overflow-x: auto;
+      font-size: .85rem; }
+.meta { color: #666; font-size: .9rem; }
+"""
+
+
+def _fmt_ratio(value: float) -> str:
+    return f"{100.0 * value:.2f}%"
+
+
+def _get(flat: dict, path: str, default: float = 0.0) -> float:
+    return flat.get(path, default)
+
+
+def build_report_html(snapshot: dict) -> str:
+    """Render one suite-sweep snapshot as a self-contained HTML page."""
+    flat = flatten_snapshot(snapshot)
+    meta = snapshot.get("meta", {})
+    benchmarks = meta.get("benchmarks", [])
+    machines = meta.get("machines", [])
+
+    out = ["<!doctype html>", "<html><head><meta charset='utf-8'>",
+           "<title>repro suite report</title>",
+           f"<style>{_CSS}</style></head><body>",
+           "<h1>repro suite report</h1>",
+           "<p class='meta'>Fast address calculation suite sweep &mdash; "
+           f"benchmarks: {html.escape(', '.join(benchmarks) or '(none)')}; "
+           f"machines: {html.escape(', '.join(machines) or '(none)')}; "
+           f"software support: {'on' if meta.get('software') else 'off'}"
+           "</p>"]
+
+    # ---- timing table: one row per benchmark ----------------------- #
+    if benchmarks and machines:
+        base = machines[0]
+        out.append("<h2>Timing</h2><table><tr><th class='name'>benchmark"
+                   "</th>")
+        for machine in machines:
+            out.append(f"<th>{html.escape(machine)} cycles</th>"
+                       f"<th>{html.escape(machine)} IPC</th>")
+        if len(machines) > 1:
+            out.append(f"<th>speedup vs {html.escape(base)}</th>")
+        out.append("<th>dcache miss</th></tr>")
+        for name in benchmarks:
+            out.append(f"<tr><td class='name'>{html.escape(name)}</td>")
+            base_cycles = _get(flat, f"{name}.{base}.cycles")
+            last_cycles = base_cycles
+            for machine in machines:
+                cycles = _get(flat, f"{name}.{machine}.cycles")
+                insts = _get(flat, f"{name}.{machine}.instructions")
+                ipc = insts / cycles if cycles else 0.0
+                out.append(f"<td>{int(cycles)}</td><td>{ipc:.3f}</td>")
+                last_cycles = cycles
+            if len(machines) > 1:
+                speedup = base_cycles / last_cycles if last_cycles else 0.0
+                klass = "good" if speedup >= 1.0 else "bad"
+                out.append(f"<td class='{klass}'>{speedup:.3f}&times;</td>")
+            miss = 1.0 - _get(flat, f"{name}.{base}.dcache.ratio")
+            out.append(f"<td>{_fmt_ratio(miss)}</td></tr>")
+        out.append("</table>")
+
+    # ---- prediction table ------------------------------------------ #
+    if benchmarks:
+        pred_cols = sorted({
+            path.split(".")[1]
+            for path in flat
+            if path.count(".") == 2 and path.split(".")[1].startswith("pred")
+            and path.endswith(".ratio")
+        })
+        fac_machines = [m for m in machines
+                        if f"{benchmarks[0]}.{m}.fac.ratio" in flat
+                        and _get(flat, f"{benchmarks[0]}.{m}.fac.total")]
+        if pred_cols or fac_machines:
+            out.append("<h2>FAC prediction rates</h2><table>"
+                       "<tr><th class='name'>benchmark</th>")
+            for col in pred_cols:
+                out.append(f"<th>{html.escape(col)} (functional)</th>")
+            for machine in fac_machines:
+                out.append(f"<th>{html.escape(machine)} (timed)</th>"
+                           f"<th>{html.escape(machine)} replays</th>")
+            out.append("</tr>")
+            for name in benchmarks:
+                out.append(f"<tr><td class='name'>{html.escape(name)}</td>")
+                for col in pred_cols:
+                    rate = _get(flat, f"{name}.{col}.ratio")
+                    out.append(f"<td>{_fmt_ratio(rate)}</td>")
+                for machine in fac_machines:
+                    rate = _get(flat, f"{name}.{machine}.fac.ratio")
+                    replays = _get(flat,
+                                   f"{name}.{machine}.fac_mispredicted")
+                    out.append(f"<td>{_fmt_ratio(rate)}</td>"
+                               f"<td>{int(replays)}</td>")
+                out.append("</tr>")
+            out.append("</table>")
+
+    # ---- raw leaves, grep-able ------------------------------------- #
+    out.append("<h2>All metrics</h2><pre>")
+    for path in sorted(flat):
+        value = flat[path]
+        if isinstance(value, float) and not value.is_integer():
+            out.append(f"{html.escape(path)} = {value:.6f}")
+        else:
+            out.append(f"{html.escape(path)} = {int(value)}")
+    out.append("</pre></body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_report(out_dir: str, snapshot: dict) -> str:
+    """Write ``index.html`` + ``snapshot.json`` under ``out_dir``;
+    returns the path of the HTML file."""
+    os.makedirs(out_dir, exist_ok=True)
+    index = os.path.join(out_dir, "index.html")
+    with open(index, "w", encoding="utf-8") as handle:
+        handle.write(build_report_html(snapshot))
+    with open(os.path.join(out_dir, "snapshot.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return index

@@ -92,6 +92,45 @@ class ChromeTraceSink:
         self._events: list[dict] = []
         self._tids: set[int] = set()
         self._closed = False
+        # explicitly registered tracks: (pid, tid) -> (name, sort_index)
+        # and pid -> (name, sort_index); auto-discovered tids on pid 0
+        # get default labels in _metadata()
+        self._tracks: dict[tuple[int, int], tuple[str, int]] = {}
+        self._processes: dict[int, tuple[str, int]] = {}
+
+    # -------------------------------------------------------------- #
+    # explicit track registration (used by FlightRecorder.to_chrome and
+    # any producer that wants named, ordered tracks in Perfetto)
+
+    def register_process(self, pid: int, name: str,
+                         sort_index: int | None = None) -> None:
+        self._processes[pid] = (name, pid if sort_index is None else sort_index)
+
+    def register_track(self, pid: int, tid: int, name: str,
+                       sort_index: int | None = None) -> None:
+        self._tracks[(pid, tid)] = (name, tid if sort_index is None else sort_index)
+
+    def emit_slice(self, name: str, cat: str, ts: int, dur: int,
+                   pid: int, tid: int, args: dict | None = None) -> None:
+        """Append one complete ("X") slice on an arbitrary track."""
+        event = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": ts, "dur": dur, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def emit_instant(self, name: str, cat: str, ts: int,
+                     pid: int, tid: int, args: dict | None = None) -> None:
+        """Append one thread-scoped instant ("i") event."""
+        event = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": ts, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
 
     # -------------------------------------------------------------- #
 
@@ -145,20 +184,48 @@ class ChromeTraceSink:
     # -------------------------------------------------------------- #
 
     def _metadata(self) -> list[dict]:
+        """Process/thread naming + ordering metadata ("M") events.
+
+        Perfetto shows bare numeric pids/tids unless a trace carries
+        ``process_name`` / ``thread_name`` metadata, and orders tracks
+        arbitrarily without ``*_sort_index`` -- so every track this sink
+        ever touched gets all of name, process label, and sort index.
+        """
         names = {
             self._FAC_TID: "FAC replays",
             self._MISS_TID: "cache misses",
             self._SYSCALL_TID: "syscalls",
         }
-        meta = [{
-            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
-            "args": {"name": "repro pipeline"},
-        }]
-        for tid in sorted(self._tids):
-            label = names.get(tid, f"issue slot {tid}")
+        processes = dict(self._processes)
+        if self._tids or not processes:
+            processes.setdefault(0, ("repro pipeline", 0))
+        tracks = dict(self._tracks)
+        for tid in self._tids:
+            tracks.setdefault(
+                (0, tid), (names.get(tid, f"issue slot {tid}"), tid))
+        for pid, _tid in tracks:
+            processes.setdefault(pid, (f"process {pid}", pid))
+
+        meta = []
+        for pid in sorted(processes):
+            pname, psort = processes[pid]
             meta.append({
-                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
-                "args": {"name": label},
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": pname},
+            })
+            meta.append({
+                "name": "process_sort_index", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"sort_index": psort},
+            })
+        for pid, tid in sorted(tracks):
+            tname, tsort = tracks[(pid, tid)]
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+            meta.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"sort_index": tsort},
             })
         return meta
 

@@ -120,6 +120,11 @@ class PipelineSimulator:
         # optional per-instruction trace: (rec, issue_cycle, ready_cycle,
         # mem_access_cycle or None); enabled by attaching a list
         self.trace: list | None = None
+        # optional flight-recorder ring tap: (slots, cap, seq_cell), see
+        # repro.obs.flight. The pipeline writes ring slots inline so the
+        # recorder adds no call frames to the hot loops; detached cost
+        # is one attribute test per instruction.
+        self._flight: tuple | None = None
         # observability bookkeeping (only touched when obs is attached)
         self._seq = 0
         self._fac_outcome: tuple[bool | None, str | None] = (None, None)
@@ -264,13 +269,19 @@ class PipelineSimulator:
             self._unit_free[fu] = cycle + latency
 
         # ---- execute ------------------------------------------------------
+        fr = self._flight
+        pre = 0
         if is_load or is_store:
+            if fr is not None:
+                pre = self.result.dcache_misses
             ready = self._execute_memory(rec, cycle, is_store, info)
             if is_load:
                 self.result.load_latency_sum += ready - cycle
         else:
             ready = cycle + latency
             if is_ctrl:
+                if fr is not None:
+                    pre = self.result.branch_mispredicts
                 self._execute_branch(rec, cycle)
         for slot in dests:
             reg_ready[slot] = ready
@@ -279,6 +290,28 @@ class PipelineSimulator:
             pass  # handled in _execute_memory via dests ordering
 
         self.result.instructions += 1
+        if fr is not None:
+            slots, cap, cell = fr
+            seq = cell[0]
+            slot = slots[seq % cap]
+            slot[0] = rec.pc
+            slot[3] = cycle
+            slot[4] = ready
+            if is_load or is_store:
+                slot[1] = rec
+                slot[2] = 1
+                slot[5] = self._mem_plan[1]
+                slot[6] = self._fac_outcome[0]
+                slot[7] = 0 if self.result.dcache_misses != pre else 1
+            elif is_ctrl:
+                slot[1] = rec
+                slot[2] = 2
+                slot[6] = None
+                slot[7] = 1 if self.result.branch_mispredicts != pre else 0
+            else:
+                slot[1] = rec.inst
+                slot[2] = 0
+            cell[0] = seq + 1
         if self.trace is not None:
             access = self._mem_plan[1] if (is_load or is_store) else None
             self.trace.append((rec, cycle, ready, access))
@@ -382,6 +415,17 @@ class PipelineSimulator:
             self._drain_store_buffer(cycle)
         elif cycle > self._sb_cursor:
             self._sb_cursor = cycle
+        fr = self._flight
+        if fr is not None:
+            slots, cap, cell = fr
+            seq = cell[0]
+            slot = slots[seq % cap]
+            slot[0] = pc
+            slot[1] = inst
+            slot[2] = 0
+            slot[3] = cycle
+            slot[4] = ready
+            cell[0] = seq + 1
 
     # ------------------------------------------------------------------ #
     # memory
@@ -498,6 +542,10 @@ class PipelineSimulator:
         self._mispredict_cycle = cycle
         self._mispredict_was_load = not is_store
         self._claim_port(is_store, cycle + 1)
+        # the outcome must be readable by wrapping consumers (e.g. the
+        # flight recorder) even without an event bus; the reason stays
+        # lazy -- None means "failed, signals not materialized"
+        self._fac_outcome = (False, None)
         if self.obs is not None:
             prediction = self.fac.predict(rec.base_value, offset,
                                           info.mem_mode == "x")

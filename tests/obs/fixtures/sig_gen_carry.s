@@ -1,0 +1,19 @@
+# FAC verification-failure fixture: 'gen_carry' (carry-into-index).
+#
+# buf is aligned to the 16KB cache span (index and block fields zero).
+# base = buf+0x20 and offset 0x20 both have address bit 5 set -- the
+# lowest set-index bit -- so the carry-free OR addition in addr[13:5]
+# sees a generated carry (both operand bits set at the same position).
+# Both block offsets are zero, so no block carry-out can fire.
+.data
+.align 14
+buf:    .space 128
+
+.text
+.globl __start
+__start:
+        la    $t1, buf
+        addiu $t1, $t1, 0x20      # base: index bit 5 set, block offset 0
+        lw    $t0, 0x20($t1)      # offset also has index bit 5 -> replay
+        li    $v0, 10
+        syscall

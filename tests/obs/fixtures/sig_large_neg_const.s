@@ -1,0 +1,23 @@
+# FAC verification-failure fixture: 'large_neg_const'
+# (large-negative-offset).
+#
+# The circuit only accommodates negative constant offsets that stay
+# within the base's cache block (offset >> B == -1). -60 >> 5 == -2, so
+# the large-negative detector fires. buf is aligned to the 16KB cache
+# span and the operands are chosen so nothing else does: base block
+# offset 28 plus (-60 & 31) == 4 produces a block carry-out (no borrow,
+# so 'overflow' stays quiet), and the inverted offset index field
+# (bit 5) shares no bits with the base's index field (bit 6 only).
+# The effective address buf+92-60 = buf+32 stays inside buf.
+.data
+.align 14
+buf:    .space 128
+
+.text
+.globl __start
+__start:
+        la    $t1, buf
+        addiu $t1, $t1, 92        # base: block offset 28, index bit 6
+        lw    $t0, -60($t1)       # -60 >> 5 != -1 -> replay
+        li    $v0, 10
+        syscall

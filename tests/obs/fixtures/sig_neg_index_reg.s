@@ -1,0 +1,21 @@
+# FAC verification-failure fixture: 'neg_index_reg' (negative-register).
+#
+# Register offsets arrive too late for the index-field inversion trick,
+# so any negative index register fails verification outright. buf is
+# aligned to the 16KB cache span; with $t2 = -32 the offset's index
+# field is all-ones and overlaps the base's bit 5, so 'gen_carry'
+# co-fires deterministically -- the tests assert on primary_reason,
+# which ranks the register sign as the more specific cause.
+.data
+.align 14
+buf:    .space 128
+
+.text
+.globl __start
+__start:
+        la    $t1, buf
+        addiu $t1, $t1, 0x20      # base: index bit 5 set
+        li    $t2, -32            # negative index register
+        lwx   $t0, $t2($t1)       # addr = $t1 + $t2 -> replay
+        li    $v0, 10
+        syscall

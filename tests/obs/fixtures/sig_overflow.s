@@ -1,0 +1,21 @@
+# FAC verification-failure fixture: 'overflow' (block-carry-out).
+#
+# Geometry (default FacConfig): 32-byte blocks -> B=5, 16KB cache -> S=14.
+# buf is aligned to the full 16KB cache span, so its set-index and
+# block-offset fields are exactly zero and the operands below are the
+# whole story. base = buf+24 has block offset 24 and zero index bits;
+# the +12 constant offset keeps its index field zero too, so the only
+# failure condition that can fire is the block adder's carry-out:
+# 24 + 12 = 36 >= 32.
+.data
+.align 14
+buf:    .space 128
+
+.text
+.globl __start
+__start:
+        la    $t1, buf
+        addiu $t1, $t1, 24        # base: block offset 24, index bits 0
+        lw    $t0, 12($t1)        # 24+12 carries out of addr[4:0] -> replay
+        li    $v0, 10
+        syscall

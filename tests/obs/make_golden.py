@@ -16,7 +16,9 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 from obs.test_determinism import GOLDEN_DIR, golden_program  # noqa: E402
+from obs.test_flight import loop_program  # noqa: E402
 
+from repro.obs.flight import record_flight  # noqa: E402
 from repro.obs.trace import trace_program  # noqa: E402
 
 
@@ -28,6 +30,9 @@ def main() -> None:
         trace_program(golden_program(), stream, fmt=fmt)
         (GOLDEN_DIR / filename).write_text(stream.getvalue())
         print(f"wrote {GOLDEN_DIR / filename}")
+    recorder, _ = record_flight(loop_program(), window_cycles=32)
+    (GOLDEN_DIR / "flight_small.txt").write_text(recorder.dump())
+    print(f"wrote {GOLDEN_DIR / 'flight_small.txt'}")
 
 
 if __name__ == "__main__":

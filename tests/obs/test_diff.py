@@ -1,0 +1,169 @@
+"""Snapshot diff engine: flattening, gate matching, exit semantics.
+
+The acceptance contract: with no gate file a byte-identical rerun diffs
+clean, and an injected >=1% prediction-rate regression under a 1%
+``down`` gate is a violation.
+"""
+
+import pytest
+
+from repro.obs.diff import (
+    Gate,
+    diff_snapshots,
+    flatten_snapshot,
+    load_gates,
+    render_diff,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def snapshot(fac_hits=900, fac_total=1000, cycles=5000, extra=None):
+    registry = MetricsRegistry()
+    registry.counter("bench.fac32.cycles").incr(cycles)
+    ratio = registry.ratio("bench.fac32.fac")
+    for _ in range(fac_hits):
+        ratio.record(True)
+    for _ in range(fac_total - fac_hits):
+        ratio.record(False)
+    histogram = registry.histogram("bench.fac32.offsets")
+    histogram.record(4, 2)
+    histogram.record(-8)
+    if extra:
+        registry.counter(extra).incr(1)
+    return registry.snapshot(meta={"kind": "test"})
+
+
+class TestFlatten:
+    def test_counter_ratio_histogram_leaves(self):
+        flat = flatten_snapshot(snapshot())
+        assert flat["bench.fac32.cycles"] == 5000
+        assert flat["bench.fac32.fac.hits"] == 900
+        assert flat["bench.fac32.fac.total"] == 1000
+        assert flat["bench.fac32.fac.ratio"] == pytest.approx(0.9)
+        assert flat["bench.fac32.offsets.total"] == 3
+        assert flat["bench.fac32.offsets.bins"] == 2
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            flatten_snapshot({"schema": "bogus/9", "metrics": {}})
+
+
+class TestStrictDefault:
+    def test_identical_snapshots_pass(self):
+        result = diff_snapshots(snapshot(), snapshot())
+        assert result.ok
+        assert result.changed == []
+
+    def test_any_change_fails_without_gates(self):
+        result = diff_snapshots(snapshot(), snapshot(cycles=5001))
+        assert not result.ok
+        assert [e.path for e in result.violations] == ["bench.fac32.cycles"]
+
+
+class TestGates:
+    def test_tolerance_within_threshold_passes(self):
+        gates = [Gate(pattern="bench.*", max_rel_delta=0.05)]
+        result = diff_snapshots(snapshot(), snapshot(cycles=5100), gates)
+        assert result.ok
+        assert len(result.changed) == 1
+
+    def test_prediction_rate_regression_violates_down_gate(self):
+        gates = [Gate(pattern="*.fac.ratio", max_rel_delta=0.01,
+                      direction="down"),
+                 Gate(pattern="*", ignore=True)]
+        # 900/1000 -> 880/1000 is a 2.2% relative drop
+        result = diff_snapshots(snapshot(), snapshot(fac_hits=880), gates)
+        assert [e.path for e in result.violations] == ["bench.fac32.fac.ratio"]
+
+    def test_direction_down_ignores_improvement(self):
+        gates = [Gate(pattern="*.fac.ratio", max_rel_delta=0.01,
+                      direction="down"),
+                 Gate(pattern="*", ignore=True)]
+        result = diff_snapshots(snapshot(), snapshot(fac_hits=950), gates)
+        assert result.ok
+
+    def test_direction_up_ignores_decrease(self):
+        gates = [Gate(pattern="*.cycles", max_rel_delta=0.0, direction="up"),
+                 Gate(pattern="*", ignore=True)]
+        assert diff_snapshots(snapshot(), snapshot(cycles=4000), gates).ok
+        assert not diff_snapshots(snapshot(), snapshot(cycles=6000),
+                                  gates).ok
+
+    def test_first_matching_gate_wins(self):
+        gates = [Gate(pattern="bench.fac32.cycles", ignore=True),
+                 Gate(pattern="*.cycles", max_rel_delta=0.0)]
+        result = diff_snapshots(snapshot(), snapshot(cycles=9999), gates)
+        assert result.ok
+
+    def test_missing_metric_is_a_violation(self):
+        result = diff_snapshots(snapshot(), snapshot(extra="bench.new"),
+                                [Gate(pattern="*", max_rel_delta=10.0)])
+        viol = result.violations
+        assert [e.path for e in viol] == ["bench.new"]
+        assert viol[0].old is None and viol[0].new == 1
+
+    def test_missing_metric_can_be_ignored(self):
+        gates = [Gate(pattern="bench.new", ignore=True),
+                 Gate(pattern="*", max_rel_delta=10.0)]
+        assert diff_snapshots(snapshot(), snapshot(extra="bench.new"),
+                              gates).ok
+
+    def test_from_zero_growth_is_infinite_delta(self):
+        gates = [Gate(pattern="*", max_rel_delta=1e9)]
+        result = diff_snapshots(snapshot(cycles=0), snapshot(cycles=1),
+                                gates)
+        entry = next(e for e in result.entries
+                     if e.path == "bench.fac32.cycles")
+        assert entry.rel_delta == float("inf")
+        assert entry.violation
+
+
+class TestGateFile:
+    def test_load_gates_orders_default_last(self, tmp_path):
+        path = tmp_path / "gates.toml"
+        path.write_text(
+            '[default]\nmax_rel_delta = 0.5\n\n'
+            '[[gate]]\npattern = "*.fac.ratio"\n'
+            'max_rel_delta = 0.01\ndirection = "down"\n\n'
+            '[[gate]]\npattern = "*.instructions"\nignore = true\n'
+        )
+        gates = load_gates(str(path))
+        assert [g.pattern for g in gates] == ["*.fac.ratio",
+                                              "*.instructions", "*"]
+        assert gates[0].direction == "down"
+        assert gates[1].ignore
+        assert gates[2].max_rel_delta == 0.5
+
+    def test_load_gates_rejects_bad_direction(self, tmp_path):
+        path = tmp_path / "gates.toml"
+        path.write_text('[[gate]]\npattern = "x"\ndirection = "sideways"\n')
+        with pytest.raises(ValueError, match="direction"):
+            load_gates(str(path))
+
+    def test_load_gates_requires_pattern(self, tmp_path):
+        path = tmp_path / "gates.toml"
+        path.write_text('[[gate]]\nmax_rel_delta = 0.1\n')
+        with pytest.raises(ValueError, match="pattern"):
+            load_gates(str(path))
+
+
+class TestRendering:
+    def test_violation_lines_name_the_gate(self):
+        gates = [Gate(pattern="*.fac.ratio", max_rel_delta=0.01,
+                      direction="down"),
+                 Gate(pattern="*", ignore=True)]
+        result = diff_snapshots(snapshot(), snapshot(fac_hits=880), gates)
+        text = render_diff(result)
+        assert "FAIL bench.fac32.fac.ratio" in text
+        assert "[gate *.fac.ratio" in text
+        assert "1 gate violation" in text
+
+    def test_clean_diff_summary(self):
+        text = render_diff(diff_snapshots(snapshot(), snapshot()))
+        assert "0 gate violations" in text
+        assert "FAIL" not in text
+
+    def test_show_all_includes_unchanged(self):
+        result = diff_snapshots(snapshot(), snapshot())
+        assert "  =  bench.fac32.cycles" in render_diff(result,
+                                                        show_all=True)

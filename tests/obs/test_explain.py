@@ -1,0 +1,165 @@
+"""Root-cause explainer engine: selection, decoding, cross-checks.
+
+Signal-accuracy per failure class is covered by
+``test_signals_fixtures.py``; this file tests the engine mechanics --
+site selection by pc and source line, bit-field decoding, the JSON
+shape, and the rendered output.
+"""
+
+from pathlib import Path
+
+from repro.fac.config import FacConfig
+from repro.fac.predictor import FastAddressCalculator
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
+from repro.obs.explain import (
+    explain_program,
+    render_report,
+    render_site,
+    resolve_line,
+    split_fields,
+)
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+MIXED_SOURCE = """
+.data
+.align 14
+buf:    .space 128
+
+.text
+.globl __start
+__start:
+        la    $t1, buf
+        addiu $t1, $t1, 24
+        .loc mixed.c 10
+        lw    $t0, 12($t1)
+        .loc mixed.c 11
+        lw    $t2, 0($t1)
+        .loc mixed.c 12
+        sw    $t2, 4($t1)
+        .loc mixed.c 14
+        li    $v0, 10
+        syscall
+"""
+
+
+def mixed_program():
+    return link([assemble(MIXED_SOURCE, "mixed.s")], LinkOptions())
+
+
+class TestSplitFields:
+    def test_default_geometry(self):
+        # b=5, s=14: tag addr[31:14], index addr[13:5], block addr[4:0]
+        tag, index, block = split_fields(0x10004C37, 5, 14)
+        assert block == 0x17
+        assert index == (0x10004C37 >> 5) & 0x1FF
+        assert tag == 0x10004C37 >> 14
+
+    def test_fields_recompose(self):
+        addr = 0x1234ABCD
+        tag, index, block = split_fields(addr, 5, 14)
+        assert (tag << 14) | (index << 5) | block == addr
+
+
+class TestSiteCollection:
+    def test_every_memory_site_is_reported(self):
+        report = explain_program(mixed_program())
+        assert len(report.sites) == 3
+        assert [s.is_store for s in report.sites] == [False, False, True]
+        assert all(s.accesses == 1 for s in report.sites)
+
+    def test_sites_sorted_by_pc(self):
+        report = explain_program(mixed_program())
+        pcs = [s.pc for s in report.sites]
+        assert pcs == sorted(pcs)
+
+    def test_pc_filter_narrows_to_one_site(self):
+        full = explain_program(mixed_program())
+        target = full.sites[1].pc
+        narrowed = explain_program(mixed_program(), pcs={target})
+        assert [s.pc for s in narrowed.sites] == [target]
+
+    def test_site_at(self):
+        report = explain_program(mixed_program())
+        site = report.sites[0]
+        assert report.site_at(site.pc) is site
+        assert report.site_at(0xdead) is None
+
+    def test_source_locations_attached(self):
+        report = explain_program(mixed_program())
+        assert [site.source for site in report.sites] == [
+            "mixed.c:10", "mixed.c:11", "mixed.c:12"]
+
+
+class TestResolveLine:
+    def test_matches_exact_and_suffix_filename(self):
+        program = mixed_program()
+        report = explain_program(program)
+        site = report.sites[0]
+        assert resolve_line(program, "mixed.c", 10) == [site.pc]
+        assert resolve_line(program, "nope.c", 10) == []
+
+    def test_unknown_line_is_empty(self):
+        assert resolve_line(mixed_program(), "mixed.c", 9999) == []
+
+
+class TestCrossChecks:
+    def test_mixed_program_is_fully_consistent(self):
+        report = explain_program(mixed_program())
+        assert all(site.consistent for site in report.sites)
+        assert all(site.cross_mismatches == 0 for site in report.sites)
+
+    def test_failing_site_replay_cost_matches_failures(self):
+        source = (FIXTURE_DIR / "sig_overflow.s").read_text()
+        program = link([assemble(source, "sig_overflow.s")], LinkOptions())
+        report = explain_program(program)
+        site = next(s for s in report.sites if s.failures)
+        assert site.replay_cycles == site.failures == 1
+
+
+class TestSerialization:
+    def test_to_dict_shape(self):
+        report = explain_program(mixed_program())
+        payload = report.sites[0].to_dict()
+        for key in ("pc", "disasm", "mode", "accesses", "speculated",
+                    "failures", "replay_cycles", "signal_counts",
+                    "observed_signals", "static_verdict", "diagnostics",
+                    "consistent", "example"):
+            assert key in payload
+        assert payload["consistent"] is True
+
+    def test_failure_example_serialized(self):
+        source = (FIXTURE_DIR / "sig_gen_carry.s").read_text()
+        program = link([assemble(source, "sig_gen_carry.s")], LinkOptions())
+        report = explain_program(program)
+        site = next(s for s in report.sites if s.failures)
+        example = site.to_dict()["example"]
+        assert example["primary"] == "carry-into-index"
+        assert example["signals"] == ["gen_carry"]
+        assert example["actual"] == (example["base"] + example["offset"])
+
+
+class TestRendering:
+    def test_site_render_decodes_bit_fields(self):
+        source = (FIXTURE_DIR / "sig_overflow.s").read_text()
+        program = link([assemble(source, "sig_overflow.s")], LinkOptions())
+        report = explain_program(program)
+        fac = FastAddressCalculator(FacConfig())
+        site = next(s for s in report.sites if s.failures)
+        text = render_site(site, fac)
+        for needle in ("base", "offset", "actual", "predicted",
+                       "tag=0x", "index=0x", "block=0x",
+                       "block-carry-out", "agree"):
+            assert needle in text, needle
+
+    def test_report_footer_totals(self):
+        report = explain_program(mixed_program())
+        text = render_report(report, FastAddressCalculator(FacConfig()))
+        assert "3 sites" in text
+        assert f"{report.instructions} instructions retired" in text
+
+    def test_empty_selection_renders_message(self):
+        report = explain_program(mixed_program(), pcs={0x123})
+        text = render_report(report, FastAddressCalculator(FacConfig()))
+        assert "no memory accesses matched" in text

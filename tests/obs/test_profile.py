@@ -87,3 +87,45 @@ def test_site_lookup_and_summary_consistency():
     assert profile.site_at(0) is None
     assert profile.replay_cycles == sum(s.replay_cycles
                                         for s in profile.sites)
+
+
+class TestSortOrders:
+    """``--sort`` semantics: each key ranks its own column, ties break
+    deterministically by pc."""
+
+    def test_sort_misses_ranks_miss_column(self):
+        profile = profiled("compress")
+        ranked = profile.hottest(sort="misses")
+        keys = [(-s.misses, -s.accesses, s.pc) for s in ranked]
+        assert keys == sorted(keys)
+
+    def test_sort_predict_rate_puts_worst_sites_first(self):
+        profile = profiled("compress")
+        ranked = profile.hottest(sort="predict_rate")
+        keys = [(s.prediction_rate, -s.accesses, s.pc) for s in ranked]
+        assert keys == sorted(keys)
+        rates = [s.prediction_rate for s in ranked]
+        assert rates[0] == min(rates)
+
+    def test_unknown_sort_raises(self):
+        with pytest.raises(ValueError, match="unknown sort"):
+            profiled("compress").hottest(sort="alphabetical")
+
+    def test_top_truncates_after_sorting(self):
+        profile = profiled("compress")
+        assert profile.hottest(top=3, sort="misses") == \
+            profile.hottest(sort="misses")[:3]
+
+    def test_to_json_respects_sort_and_top(self):
+        profile = profiled("compress")
+        payload = profile.to_json(top=4, sort="predict_rate")
+        expected = [s.pc for s in profile.hottest(top=4,
+                                                  sort="predict_rate")]
+        assert [s["pc"] for s in payload["sites"]] == expected
+
+    def test_equal_sites_tie_break_by_pc(self):
+        profile = profiled("compress")
+        for sort in ("replays", "misses", "predict_rate"):
+            ranked = profile.hottest(sort=sort)
+            a = profile.hottest(sort=sort)
+            assert [s.pc for s in ranked] == [s.pc for s in a]

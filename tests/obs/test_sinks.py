@@ -80,9 +80,16 @@ class TestChromeTraceSink:
         doc = self._document(sample_events())
         assert doc["displayTimeUnit"] == "ms"
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        names = {e["args"]["name"] for e in meta}
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] in ("process_name", "thread_name")}
         assert {"repro pipeline", "FAC replays", "cache misses",
                 "syscalls"} <= names
+        # every named track also carries an ordering hint for Perfetto
+        sorted_tracks = {(e["pid"], e["tid"]) for e in meta
+                         if e["name"] == "thread_sort_index"}
+        named_tracks = {(e["pid"], e["tid"]) for e in meta
+                        if e["name"] == "thread_name"}
+        assert sorted_tracks == named_tracks
 
     def test_retired_instruction_becomes_complete_slice(self):
         doc = self._document(sample_events())

@@ -40,7 +40,9 @@ def test_chrome_trace_shows_fac_replays():
     # slice names are real disassembly, not bare mnemonics
     assert any("$" in e["name"] for e in slices)
     # the replay-thread name metadata is present for Perfetto
-    meta_names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    meta_names = {e["args"]["name"] for e in events
+                  if e["ph"] == "M"
+                  and e["name"] in ("process_name", "thread_name")}
     assert "FAC replays" in meta_names
 
 
