@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint-self bench bench-full experiments farm examples clean
+.PHONY: install test test-fast lint-self sanitize bench bench-full experiments farm examples clean
 
 install:
 	pip install -e .
@@ -20,6 +20,9 @@ lint-self:          ## lint the repo itself (ruff when available)
 	else \
 		echo "ruff not installed; ran compileall only"; \
 	fi
+
+sanitize:           ## whole-program sanitizer gate: suite clean + fixtures caught
+	$(PYTHON) tools/sanitize_suite.py --sarif sanitize.sarif
 
 bench:              ## representative 6-program slice (~5 min)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,83 @@
+"""Framework-extraction regression harness.
+
+Compares the :mod:`repro.analysis.absint`-based analyzer against the
+frozen pre-framework interpreter (``benchmarks/_legacy_static_fac.py``)
+over the benchmark suite:
+
+* **verdict equality** — the port must preserve every site verdict (and
+  its signal sets) bit-for-bit; fixpoints of monotone transfer
+  functions are unique, so any drift is a solver or domain bug;
+* **throughput** — the pluggable-domain indirection may cost at most
+  1.2x the monolithic analyzer's wall-clock (min-of-N, suite-wide).
+
+Run with ``-s`` to see the measured ratio.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+import _legacy_static_fac as legacy  # noqa: E402
+
+from repro.analysis import analyze_static  # noqa: E402
+from repro.workloads import build_benchmark  # noqa: E402
+
+SLOWDOWN_BUDGET = 1.2
+TIMING_ROUNDS = 5
+
+
+def test_verdicts_identical_to_preframework_analyzer(suite):
+    for name in suite:
+        program = build_benchmark(name)
+        old = legacy.analyze_static(program)
+        new = analyze_static(program)
+        assert len(old.sites) == len(new.sites), name
+        for before, after in zip(old.sites, new.sites):
+            assert before.addr == after.addr, name
+            assert before.verdict == after.verdict, (
+                f"{name}: verdict drift at 0x{before.addr:08x}: "
+                f"{before.verdict} -> {after.verdict}"
+            )
+            assert before.possible == after.possible, name
+            assert before.certain == after.certain, name
+        assert old.reachable_blocks == new.reachable_blocks, name
+        assert old.total_blocks == new.total_blocks, name
+
+
+def _min_seconds(fn, rounds=TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_framework_overhead_within_budget(suite):
+    programs = [build_benchmark(name) for name in suite]
+    # warm both paths once (CFG caches, imports) before timing
+    for program in programs:
+        legacy.analyze_static(program)
+        analyze_static(program)
+
+    def run_legacy():
+        for program in programs:
+            legacy.analyze_static(program)
+
+    def run_framework():
+        for program in programs:
+            analyze_static(program)
+
+    old = _min_seconds(run_legacy)
+    new = _min_seconds(run_framework)
+    ratio = new / old
+    print(f"\nabsint framework overhead: legacy {old * 1e3:.1f} ms, "
+          f"framework {new * 1e3:.1f} ms, ratio {ratio:.3f} "
+          f"(budget {SLOWDOWN_BUDGET}x, {len(programs)} programs)")
+    assert ratio <= SLOWDOWN_BUDGET, (
+        f"framework analyzer is {ratio:.2f}x the pre-port analyzer "
+        f"(budget {SLOWDOWN_BUDGET}x)"
+    )

@@ -8,6 +8,9 @@ Commands:
 * ``bench NAME``       -- run one benchmark and report timing/prediction
 * ``lint TARGET``      -- static FAC-predictability lint of a MiniC file,
                           assembly file, or benchmark name
+* ``sanitize TARGET``  -- whole-program static sanitizer: calling
+                          convention, stack discipline, data bounds, and
+                          control-flow integrity (``--json``/``--sarif``)
 * ``profile TARGET``   -- source-level FAC profile: hottest loads/stores
                           with prediction rate, miss rate, replay cycles
 * ``trace TARGET``     -- structured event trace (Chrome/Perfetto JSON or
@@ -141,15 +144,32 @@ def _load_target(args):
     )
 
 
+def _usage_error_json(schema: str, target: str) -> dict:
+    """Machine-readable usage-error payload: ``--json`` consumers get the
+    same schema-tagged shape on exit 2 instead of an empty stdout."""
+    return {
+        "schema": schema,
+        "program": target,
+        "error": f"unknown target {target!r}: expected a .mc/.s file "
+                 "or a benchmark name",
+    }
+
+
 def cmd_lint(args) -> int:
     """Statically classify every memory access and report alignment lint.
 
     Exit status: 0 when clean, 1 when warnings were found, 2 on usage
-    errors -- so the linter can gate CI like a conventional lint tool.
+    errors -- identical for text and ``--json`` output, so the linter
+    can gate CI like a conventional lint tool.
     """
+    from repro.analysis.reporting import LINT_SCHEMA_VERSION
+
     target = args.target
     program = _load_target(args)
     if program is None:
+        if args.json:
+            print(json.dumps(_usage_error_json(LINT_SCHEMA_VERSION, target),
+                             indent=2))
         return 2
     config = FacConfig(cache_size=args.cache_size, block_size=args.block_size)
     report = lint_program(program, config, name=target)
@@ -158,6 +178,34 @@ def cmd_lint(args) -> int:
     else:
         print(report.render_text())
     return 1 if report.warnings else 0
+
+
+def cmd_sanitize(args) -> int:
+    """Whole-program static sanitizer (convention/stack/bounds/cfi).
+
+    Exit status mirrors ``lint``: 0 clean, 1 when any finding was
+    produced, 2 on usage errors.
+    """
+    from repro.analysis.sanitize import SANITIZE_SCHEMA_VERSION, \
+        sanitize_program
+
+    target = args.target
+    program = _load_target(args)
+    if program is None:
+        if args.json:
+            print(json.dumps(
+                _usage_error_json(SANITIZE_SCHEMA_VERSION, target), indent=2))
+        return 2
+    report = sanitize_program(program, name=target)
+    if args.sarif is not None:
+        with open(args.sarif, "w") as handle:
+            handle.write(report.sarif_text())
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
 
 
 def cmd_profile(args) -> int:
@@ -408,6 +456,22 @@ def main(argv=None) -> int:
     p_lint.add_argument("--cache-size", type=int, default=16 * 1024)
     p_lint.add_argument("--block-size", type=int, default=32)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_sanitize = sub.add_parser(
+        "sanitize",
+        help="whole-program static sanitizer (repro.analysis.sanitize)",
+    )
+    p_sanitize.add_argument("target", help="MiniC file, assembly file, or "
+                            "benchmark name")
+    p_sanitize.add_argument("--json", action="store_true",
+                            help="emit the machine-readable report "
+                            "(schema repro.sanitize/1)")
+    p_sanitize.add_argument("--sarif", metavar="FILE", default=None,
+                            help="also write a SARIF 2.1.0 document to FILE")
+    p_sanitize.add_argument("--software-support", action="store_true",
+                            help="build benchmark targets with the paper's "
+                            "Section 4 software support")
+    p_sanitize.set_defaults(func=cmd_sanitize)
 
     p_profile = sub.add_parser(
         "profile", help="source-level FAC profile (repro.obs.profile)"

@@ -1,5 +1,8 @@
 """Trace analyses: reference behaviour (Section 2), prediction rates,
-and the static FAC-predictability pass (:mod:`repro.analysis.static_fac`)."""
+the static FAC-predictability pass (:mod:`repro.analysis.static_fac`),
+and the whole-program sanitizer (:mod:`repro.analysis.sanitize`), both
+built on the abstract-interpretation framework
+(:mod:`repro.analysis.absint`)."""
 
 from repro.analysis.refclass import (
     OFFSET_BUCKETS,
@@ -21,6 +24,11 @@ from repro.analysis.static_fac import (
     check_soundness,
     lint_program,
 )
+from repro.analysis.sanitize import (
+    SanitizeReport,
+    convention_clobbers,
+    sanitize_program,
+)
 
 __all__ = [
     "OFFSET_BUCKETS",
@@ -37,4 +45,7 @@ __all__ = [
     "analyze_static",
     "check_soundness",
     "lint_program",
+    "SanitizeReport",
+    "convention_clobbers",
+    "sanitize_program",
 ]

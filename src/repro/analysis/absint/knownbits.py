@@ -1,0 +1,157 @@
+"""The known-bits abstract value lattice.
+
+Every abstract value is a pair ``(mask, value)`` of 32-bit ints:
+bit ``i`` of the modelled register is *known* to equal ``value[i]``
+whenever ``mask[i]`` is 1, and is unknown otherwise. The invariant
+``value & ~mask == 0`` is maintained by every operation.
+
+This is the classic alignment/low-bits lattice used by compilers to
+prove speculation safety: TOP (nothing known) is ``(0, 0)``, constants
+are fully known, and the join of two values keeps exactly the bits on
+which they agree. The lattice has finite height (a join can only clear
+mask bits), so the dataflow in :mod:`repro.analysis.absint.solver`
+terminates.
+
+Concretisation: ``gamma((m, v)) = { x : x & m == v }``. All the
+classification helpers (:func:`min_in_field` / :func:`max_in_field` /
+``possible_ones`` / ``certain_ones``) are exact over that set because
+unknown bits vary independently.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import MASK32
+
+KnownBits = tuple[int, int]  # (mask, value), value & ~mask == 0
+
+TOP: KnownBits = (0, 0)
+ZERO: KnownBits = (MASK32, 0)
+
+
+def const(value: int) -> KnownBits:
+    """Fully known 32-bit constant."""
+    return (MASK32, value & MASK32)
+
+
+def is_const(kb: KnownBits) -> bool:
+    return kb[0] == MASK32
+
+
+def join(a: KnownBits, b: KnownBits) -> KnownBits:
+    """Least upper bound: keep the bits both values agree on."""
+    mask = a[0] & b[0] & ~(a[1] ^ b[1]) & MASK32
+    return (mask, a[1] & mask)
+
+
+def bit_and(a: KnownBits, b: KnownBits) -> KnownBits:
+    ones = (a[0] & a[1]) & (b[0] & b[1])
+    zeros = (a[0] & ~a[1]) | (b[0] & ~b[1])
+    mask = (ones | zeros) & MASK32
+    return (mask, ones & MASK32)
+
+
+def bit_or(a: KnownBits, b: KnownBits) -> KnownBits:
+    ones = (a[0] & a[1]) | (b[0] & b[1])
+    zeros = (a[0] & ~a[1]) & (b[0] & ~b[1])
+    mask = (ones | zeros) & MASK32
+    return (mask, ones & MASK32)
+
+
+def bit_xor(a: KnownBits, b: KnownBits) -> KnownBits:
+    mask = a[0] & b[0]
+    return (mask, (a[1] ^ b[1]) & mask)
+
+
+def bit_not(a: KnownBits) -> KnownBits:
+    return (a[0], ~a[1] & a[0] & MASK32)
+
+
+def add(a: KnownBits, b: KnownBits, carry_in: int = 0) -> KnownBits:
+    """Known-bits addition modulo 2**32, in O(1) word operations.
+
+    A result bit is known when both operand bits and the incoming carry
+    are known. The two "possible sums" — all unknown bits 0 versus all
+    unknown bits 1 — pin the carry into a position whenever they agree
+    with the operands there, which is exactly the majority-function
+    resynchronisation a bitwise ripple would compute (checked equivalent
+    against a ripple-carry reference by exhaustive enumeration).
+    """
+    am, av = a
+    bm, bv = b
+    if am == MASK32 and bm == MASK32:
+        return (MASK32, (av + bv + carry_in) & MASK32)
+    sum_max = ((av | ~am) + (bv | ~bm) + carry_in) & MASK32  # unknowns = 1
+    sum_min = (av + bv + carry_in) & MASK32                  # unknowns = 0
+    carry_zero = ~(sum_max ^ (am & ~av) ^ (bm & ~bv))
+    carry_one = sum_min ^ av ^ bv
+    mask = am & bm & (carry_zero | carry_one) & MASK32
+    return (mask, sum_min & mask)
+
+
+def sub(a: KnownBits, b: KnownBits) -> KnownBits:
+    """a - b == a + ~b + 1 over the same lattice."""
+    return add(a, bit_not(b), carry_in=1)
+
+
+def shl(a: KnownBits, amount: int) -> KnownBits:
+    """Left shift by a known amount; shifted-in bits are known zero."""
+    amount &= 31
+    low_ones = (1 << amount) - 1
+    mask = ((a[0] << amount) | low_ones) & MASK32
+    return (mask, (a[1] << amount) & mask)
+
+
+def shr(a: KnownBits, amount: int) -> KnownBits:
+    """Logical right shift; shifted-in bits are known zero."""
+    amount &= 31
+    high_ones = (MASK32 ^ (MASK32 >> amount)) if amount else 0
+    return ((a[0] >> amount) | high_ones, a[1] >> amount)
+
+
+def sar(a: KnownBits, amount: int) -> KnownBits:
+    """Arithmetic right shift; fills with the (possibly unknown) sign."""
+    amount &= 31
+    if amount == 0:
+        return a
+    high_ones = MASK32 ^ (MASK32 >> amount)
+    if a[0] & 0x80000000:
+        sign = 1 if a[1] & 0x80000000 else 0
+        mask = (a[0] >> amount) | high_ones
+        value = (a[1] >> amount) | (high_ones if sign else 0)
+        return (mask, value & mask)
+    return (a[0] >> amount, a[1] >> amount)
+
+
+# ---------------------------------------------------------------------- #
+# field queries used by the FAC classifier
+
+def min_in_field(kb: KnownBits, field: int) -> int:
+    """Smallest value of ``x & field`` over the concretisation."""
+    return kb[1] & field
+
+
+def max_in_field(kb: KnownBits, field: int) -> int:
+    """Largest value of ``x & field`` over the concretisation."""
+    return (kb[1] | ~kb[0]) & field & MASK32
+
+
+def possible_ones(kb: KnownBits, field: int) -> int:
+    """Bits of ``field`` that *may* be 1 in some concrete value."""
+    return (kb[1] | ~kb[0]) & field & MASK32
+
+
+def certain_ones(kb: KnownBits, field: int) -> int:
+    """Bits of ``field`` that are 1 in *every* concrete value."""
+    return kb[1] & kb[0] & field
+
+
+def render(kb: KnownBits) -> str:
+    """Debug rendering: known bits as 0/1, unknown as '.', MSB first."""
+    out = []
+    for i in range(31, -1, -1):
+        pos = 1 << i
+        if kb[0] & pos:
+            out.append("1" if kb[1] & pos else "0")
+        else:
+            out.append(".")
+    return "".join(out)

@@ -1,0 +1,186 @@
+"""Known-bits abstract domain over the 32 integer registers.
+
+This is the FAC-predictability domain extracted from the original
+``repro.analysis.static_fac`` interpreter: one
+:mod:`~repro.analysis.absint.knownbits` value per register, the
+transfer function mirroring :meth:`repro.cpu.executor.CPU.step`, and
+the MIPS O32 call summary.
+
+The call summary is *clobber-aware*: construct the domain with a
+``clobbers`` map (function name -> callee-saved registers that function
+fails to preserve, as produced by the sanitizer's convention checker)
+and calls to a violating function havoc exactly the registers it
+clobbers — including indirect calls, which havoc the union. With an
+empty map the behaviour is the historical one: the O32 convention is
+assumed for every callee. Feeding verified facts instead of the
+assumption is what makes `repro lint` verdicts unconditionally sound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint import knownbits as kb
+from repro.analysis.absint.domain import AbstractDomain
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO, Op
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+#: One abstract state: 32 KnownBits entries, indexed by register number.
+State = list
+
+#: Registers a call must preserve under the MIPS O32 convention.
+PRESERVED_ACROSS_CALLS = frozenset(
+    (Reg.ZERO, Reg.SP, Reg.GP, Reg.FP,
+     Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7)
+)
+
+_BOOL = (0xFFFFFFFE, 0)  # {0, 1}: top 31 bits known zero
+
+_EXIT_SERVICES = (10, 17)  # SYS_EXIT / SYS_EXIT2 in repro.cpu.syscalls
+
+
+def transfer(state: State, inst: Instruction) -> None:
+    """Apply one instruction's effect to ``state`` in place, mirroring
+    :meth:`repro.cpu.executor.CPU.step` for the integer register file."""
+    op = inst.op
+    if op is Op.ADDU or op is Op.ADD:
+        state[inst.rd] = kb.add(state[inst.rs], state[inst.rt])
+    elif op is Op.ADDIU or op is Op.ADDI:
+        state[inst.rt] = kb.add(state[inst.rs], kb.const(inst.imm))
+    elif op is Op.SUBU or op is Op.SUB:
+        state[inst.rd] = kb.sub(state[inst.rs], state[inst.rt])
+    elif op is Op.AND:
+        state[inst.rd] = kb.bit_and(state[inst.rs], state[inst.rt])
+    elif op is Op.OR:
+        state[inst.rd] = kb.bit_or(state[inst.rs], state[inst.rt])
+    elif op is Op.XOR:
+        state[inst.rd] = kb.bit_xor(state[inst.rs], state[inst.rt])
+    elif op is Op.NOR:
+        state[inst.rd] = kb.bit_not(kb.bit_or(state[inst.rs], state[inst.rt]))
+    elif op is Op.SLT or op is Op.SLTU:
+        state[inst.rd] = _BOOL
+    elif op is Op.SLTI or op is Op.SLTIU:
+        state[inst.rt] = _BOOL
+    elif op is Op.ANDI:
+        state[inst.rt] = kb.bit_and(state[inst.rs], kb.const(inst.imm & 0xFFFF))
+    elif op is Op.ORI:
+        state[inst.rt] = kb.bit_or(state[inst.rs], kb.const(inst.imm & 0xFFFF))
+    elif op is Op.XORI:
+        state[inst.rt] = kb.bit_xor(state[inst.rs], kb.const(inst.imm & 0xFFFF))
+    elif op is Op.LUI:
+        state[inst.rt] = kb.const((inst.imm & 0xFFFF) << 16)
+    elif op is Op.SLL:
+        state[inst.rd] = kb.shl(state[inst.rt], inst.imm & 31)
+    elif op is Op.SRL:
+        state[inst.rd] = kb.shr(state[inst.rt], inst.imm & 31)
+    elif op is Op.SRA:
+        state[inst.rd] = kb.sar(state[inst.rt], inst.imm & 31)
+    elif op is Op.SLLV or op is Op.SRLV or op is Op.SRAV:
+        amount = state[inst.rt]
+        if amount[0] & 31 == 31:
+            shift = amount[1] & 31
+            if op is Op.SLLV:
+                state[inst.rd] = kb.shl(state[inst.rs], shift)
+            elif op is Op.SRLV:
+                state[inst.rd] = kb.shr(state[inst.rs], shift)
+            else:
+                state[inst.rd] = kb.sar(state[inst.rs], shift)
+        else:
+            state[inst.rd] = kb.TOP
+    elif op is Op.MFHI or op is Op.MFLO or op is Op.MFC1:
+        state[inst.rd] = kb.TOP  # HI/LO and FP values are not tracked
+    elif op is Op.SYSCALL:
+        state[Reg.V0] = kb.TOP
+    else:
+        info = OP_INFO[op]
+        if info.mem_width:
+            base = state[inst.rs]
+            if info.is_load and not info.mem_fp:
+                state[inst.rt] = kb.TOP
+            if info.mem_mode == "p":
+                # post-increment updates the base after the access; the
+                # update wins over the loaded value when rt == rs.
+                state[inst.rs] = kb.add(base, kb.const(inst.imm))
+    state[Reg.ZERO] = kb.ZERO
+
+
+class KnownBitsDomain(AbstractDomain):
+    """The known-bits domain, pluggable into the absint solver."""
+
+    name = "knownbits"
+
+    def __init__(self, clobbers: dict[str, frozenset[int]] | None = None):
+        self.clobbers = dict(clobbers) if clobbers else {}
+        union: frozenset[int] = frozenset()
+        for regs in self.clobbers.values():
+            union |= regs
+        self._clobber_unknown = union
+
+    # -- state lifecycle ----------------------------------------------- #
+
+    def entry_state(self, program: Program) -> State:
+        state = [kb.ZERO] * 32  # the loader zeroes every register...
+        state[Reg.GP] = kb.const(program.gp_value)
+        state[Reg.SP] = kb.const(program.sp_value)
+        return state
+
+    def havoc_state(self, program: Program) -> State:
+        state = [kb.TOP] * 32
+        state[Reg.ZERO] = kb.ZERO
+        state[Reg.GP] = kb.const(program.gp_value)
+        return state
+
+    def copy(self, state: State) -> State:
+        return list(state)
+
+    def join_into(self, current: State, incoming: State) -> bool:
+        changed = False
+        join = kb.join
+        for r in range(32):
+            have, new = current[r], incoming[r]
+            if have == new:  # join(x, x) == x: nothing to widen
+                continue
+            merged = join(have, new)
+            if merged != have:
+                current[r] = merged
+                changed = True
+        return changed
+
+    # -- semantics ----------------------------------------------------- #
+
+    transfer = staticmethod(transfer)
+
+    def halts(self, state: State, inst: Instruction) -> bool:
+        """True when this syscall provably terminates the program, so
+        the instructions after it are dead even though SYSCALL does not
+        end a basic block in general."""
+        if inst.op is not Op.SYSCALL:
+            return False
+        v0 = state[Reg.V0]
+        return kb.is_const(v0) and v0[1] in _EXIT_SERVICES
+
+    # -- interprocedural protocol -------------------------------------- #
+
+    def call_entry(self, state: State, return_addr: int) -> State:
+        entry = list(state)
+        entry[Reg.RA] = kb.const(return_addr)
+        return entry
+
+    def call_summary(self, state: State, callee: str | None) -> State:
+        """Abstract effect of a completed call on the caller's registers."""
+        if callee is None:
+            clobbered = self._clobber_unknown
+        else:
+            clobbered = self.clobbers.get(callee)
+            if clobbered is None:
+                clobbered = frozenset()
+        if clobbered:
+            return [
+                state[r] if r in PRESERVED_ACROSS_CALLS and r not in clobbered
+                else kb.TOP
+                for r in range(32)
+            ]
+        return [
+            state[r] if r in PRESERVED_ACROSS_CALLS else kb.TOP
+            for r in range(32)
+        ]

@@ -1,0 +1,227 @@
+"""Unsigned value-range (interval) abstract domain.
+
+Each register is abstracted to an unsigned interval ``(lo, hi)`` with
+``0 <= lo <= hi <= 0xFFFFFFFF``; ``(0, 0xFFFFFFFF)`` is TOP. Arithmetic
+that may wrap around 2**32 goes straight to TOP rather than tracking
+wrapped intervals, which keeps the transfer function simple and the
+common case — stack-pointer offsets, loop counters, sizes — precise.
+
+Joins use classic interval widening: a bound that grows jumps to the
+corresponding extreme immediately, so every register changes at most
+twice per block and the fixpoint terminates fast. The cost is
+precision on slowly-growing loop counters, which no current client
+needs.
+
+This is the second production domain of the framework (after
+:mod:`~repro.analysis.absint.knownbits_domain`) and doubles as the
+reference example for writing new ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint.domain import AbstractDomain
+from repro.analysis.absint.knownbits_domain import PRESERVED_ACROSS_CALLS
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO, Op
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+MASK32 = 0xFFFFFFFF
+
+#: The full interval: nothing known.
+TOP = (0, MASK32)
+
+#: One abstract state: 32 ``(lo, hi)`` intervals.
+State = list
+
+_BOOL = (0, 1)
+
+_EXIT_SERVICES = (10, 17)
+
+
+def const(value: int):
+    value &= MASK32
+    return (value, value)
+
+
+def is_const(iv) -> bool:
+    return iv[0] == iv[1]
+
+
+def contains(iv, value: int) -> bool:
+    return iv[0] <= (value & MASK32) <= iv[1]
+
+
+def join(a, b):
+    return (a[0] if a[0] <= b[0] else b[0],
+            a[1] if a[1] >= b[1] else b[1])
+
+
+def widen(a, b):
+    """``a`` widened by ``b``: growing bounds jump to the extremes."""
+    return (a[0] if b[0] >= a[0] else 0,
+            a[1] if b[1] <= a[1] else MASK32)
+
+
+def add(a, b):
+    lo, hi = a[0] + b[0], a[1] + b[1]
+    if hi > MASK32:  # may wrap: give up instead of splitting the interval
+        return TOP
+    return (lo, hi)
+
+
+def sub(a, b):
+    lo, hi = a[0] - b[1], a[1] - b[0]
+    if lo < 0:
+        return TOP
+    return (lo, hi)
+
+
+def add_signed(a, imm: int):
+    """``a + imm`` with a signed immediate (ADDIU and friends)."""
+    return add(a, const(imm)) if imm >= 0 else sub(a, const(-imm))
+
+
+def shl(a, amount: int):
+    hi = a[1] << amount
+    if hi > MASK32:
+        return TOP
+    return (a[0] << amount, hi)
+
+
+def shr(a, amount: int):
+    return (a[0] >> amount, a[1] >> amount)
+
+
+def render(iv) -> str:
+    if iv == TOP:
+        return "[?]"
+    if is_const(iv):
+        return f"[{iv[0]:#x}]"
+    return f"[{iv[0]:#x}, {iv[1]:#x}]"
+
+
+def transfer(state: State, inst: Instruction) -> None:
+    op = inst.op
+    if op is Op.ADDU or op is Op.ADD:
+        state[inst.rd] = add(state[inst.rs], state[inst.rt])
+    elif op is Op.ADDIU or op is Op.ADDI:
+        state[inst.rt] = add_signed(state[inst.rs], inst.imm)
+    elif op is Op.SUBU or op is Op.SUB:
+        state[inst.rd] = sub(state[inst.rs], state[inst.rt])
+    elif op is Op.AND:
+        # result has no bit either operand lacks: bounded by both maxima
+        state[inst.rd] = (0, min(state[inst.rs][1], state[inst.rt][1]))
+    elif op is Op.ANDI:
+        state[inst.rt] = (0, min(state[inst.rs][1], inst.imm & 0xFFFF))
+    elif op is Op.OR or op is Op.ORI or op is Op.XOR or op is Op.XORI:
+        imm_iv = (const(inst.imm & 0xFFFF) if op in (Op.ORI, Op.XORI)
+                  else state[inst.rt])
+        src = state[inst.rs]
+        if is_const(src) and is_const(imm_iv):
+            val = (src[0] | imm_iv[0] if op in (Op.OR, Op.ORI)
+                   else src[0] ^ imm_iv[0])
+            dest = (val, val)
+        else:
+            dest = TOP
+        if op is Op.OR or op is Op.XOR:
+            state[inst.rd] = dest
+        else:
+            state[inst.rt] = dest
+    elif op is Op.NOR:
+        a, b = state[inst.rs], state[inst.rt]
+        state[inst.rd] = (const(~(a[0] | b[0]))
+                          if is_const(a) and is_const(b) else TOP)
+    elif op is Op.SLT or op is Op.SLTU:
+        state[inst.rd] = _BOOL
+    elif op is Op.SLTI or op is Op.SLTIU:
+        state[inst.rt] = _BOOL
+    elif op is Op.LUI:
+        state[inst.rt] = const((inst.imm & 0xFFFF) << 16)
+    elif op is Op.SLL:
+        state[inst.rd] = shl(state[inst.rt], inst.imm & 31)
+    elif op is Op.SRL:
+        state[inst.rd] = shr(state[inst.rt], inst.imm & 31)
+    elif op is Op.SRA:
+        src = state[inst.rt]
+        # arithmetic shift only matches the logical one on non-negative
+        # values (top bit clear over the whole interval)
+        state[inst.rd] = (shr(src, inst.imm & 31)
+                          if src[1] <= 0x7FFFFFFF else TOP)
+    elif op is Op.SLLV or op is Op.SRLV or op is Op.SRAV:
+        amount = state[inst.rt]
+        if is_const(amount):
+            shift = amount[0] & 31
+            src = state[inst.rs]
+            if op is Op.SLLV:
+                state[inst.rd] = shl(src, shift)
+            elif op is Op.SRLV:
+                state[inst.rd] = shr(src, shift)
+            else:
+                state[inst.rd] = (shr(src, shift)
+                                  if src[1] <= 0x7FFFFFFF else TOP)
+        else:
+            state[inst.rd] = TOP
+    elif op is Op.MFHI or op is Op.MFLO or op is Op.MFC1:
+        state[inst.rd] = TOP
+    elif op is Op.SYSCALL:
+        state[Reg.V0] = TOP
+    else:
+        info = OP_INFO[op]
+        if info.mem_width:
+            base = state[inst.rs]
+            if info.is_load and not info.mem_fp:
+                state[inst.rt] = TOP
+            if info.mem_mode == "p":
+                state[inst.rs] = add_signed(base, inst.imm)
+    state[Reg.ZERO] = (0, 0)
+
+
+class RangeDomain(AbstractDomain):
+    """Unsigned interval domain over the 32 integer registers."""
+
+    name = "ranges"
+
+    def entry_state(self, program: Program) -> State:
+        state = [(0, 0)] * 32
+        state[Reg.GP] = const(program.gp_value)
+        state[Reg.SP] = const(program.sp_value)
+        return state
+
+    def havoc_state(self, program: Program) -> State:
+        state = [TOP] * 32
+        state[Reg.ZERO] = (0, 0)
+        state[Reg.GP] = const(program.gp_value)
+        return state
+
+    def copy(self, state: State) -> State:
+        return list(state)
+
+    def join_into(self, current: State, incoming: State) -> bool:
+        changed = False
+        for r in range(32):
+            have, new = current[r], incoming[r]
+            if new[0] >= have[0] and new[1] <= have[1]:
+                continue  # already contained
+            current[r] = widen(have, new)
+            changed = True
+        return changed
+
+    transfer = staticmethod(transfer)
+
+    def halts(self, state: State, inst: Instruction) -> bool:
+        if inst.op is not Op.SYSCALL:
+            return False
+        v0 = state[Reg.V0]
+        return is_const(v0) and v0[0] in _EXIT_SERVICES
+
+    def call_entry(self, state: State, return_addr: int) -> State:
+        entry = list(state)
+        entry[Reg.RA] = const(return_addr)
+        return entry
+
+    def call_summary(self, state: State, callee) -> State:
+        return [
+            state[r] if r in PRESERVED_ACROSS_CALLS else TOP
+            for r in range(32)
+        ]

@@ -1,0 +1,181 @@
+"""Worklist dataflow solver, generic over the abstract domain.
+
+The solver computes one abstract in-state per basic block of a
+:class:`~repro.analysis.absint.cfg.ControlFlowGraph`, to a fixpoint of
+the domain's monotone ``join_into``. Two scopes are supported:
+
+* **whole-program** (the default): interprocedural, context-insensitive.
+  ``jal f`` propagates the caller state (via ``domain.call_entry``) into
+  ``f``'s entry block and a call summary to the return site; indirect
+  jumps (``jalr``, ``jr`` through a non-``$ra`` register) propagate a
+  havoc state to every function entry. ``jr $ra`` is a return — the
+  call summary already covers the caller side.
+* **intraprocedural** (``blocks=`` a function's block set): propagation
+  never crosses the block set. Calls apply only the summary to the
+  return site, returns and tail jumps out of the set are exits. Used by
+  the sanitizer's per-function checkers, where the entry state is
+  symbolic ("the value register ``r`` held on entry").
+
+Fixpoints of monotone functions are unique, so splitting the solver out
+of the old FAC-specific interpreter preserves its verdicts bit for bit
+(asserted suite-wide by ``tests/analysis/test_static_fac_suite.py`` and
+the framework benchmark).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.analysis.absint.cfg import ControlFlowGraph
+from repro.analysis.absint.domain import AbstractDomain
+from repro.isa import dataflow as df
+from repro.isa.opcodes import Op
+from repro.isa.registers import Reg
+
+
+class Solution:
+    """Fixpoint in-states, one per block (``None`` = unreachable)."""
+
+    def __init__(self, cfg: ControlFlowGraph, domain: AbstractDomain,
+                 in_states: list):
+        self.cfg = cfg
+        self.domain = domain
+        self.in_states = in_states
+
+    @property
+    def reachable_blocks(self) -> int:
+        return sum(1 for s in self.in_states if s is not None)
+
+    def walk(self, visit, blocks=None) -> None:
+        """Drive ``visit(index, inst, state)`` over every instruction of
+        every reachable block, with ``state`` the abstract state *before*
+        the instruction (``None`` once an exit syscall killed the rest of
+        the block). The callback must not mutate the state."""
+        cfg = self.cfg
+        domain = self.domain
+        transfer = domain.transfer
+        halts = domain.halts
+        for bid in (blocks if blocks is not None
+                    else range(len(cfg.starts))):
+            in_state = self.in_states[bid]
+            state = domain.copy(in_state) if in_state is not None else None
+            for i in range(cfg.starts[bid], cfg.ends[bid]):
+                inst = cfg.insts[i]
+                if state is not None and halts(state, inst):
+                    state = None
+                visit(i, inst, state)
+                if state is not None:
+                    transfer(state, inst)
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    domain: AbstractDomain,
+    *,
+    entries: Optional[list[tuple[int, object]]] = None,
+    blocks: Optional[frozenset[int]] = None,
+) -> Solution:
+    """Run the worklist to a fixpoint and return the block in-states.
+
+    ``entries`` seeds the dataflow as ``(block_id, state)`` pairs; the
+    default is the program entry block with ``domain.entry_state``.
+    Passing ``blocks`` restricts propagation to that set and switches to
+    the intraprocedural edge policy described in the module docstring.
+    """
+    nblocks = len(cfg.starts)
+    in_states: list = [None] * nblocks
+    queued = [False] * nblocks
+    worklist: deque[int] = deque()
+    interprocedural = blocks is None
+
+    domain_copy = domain.copy
+    join_into = domain.join_into
+    transfer = domain.transfer
+    halts = domain.halts
+    insts = cfg.insts
+    starts, ends = cfg.starts, cfg.ends
+    n = cfg.n
+
+    def propagate(bid: int, state) -> None:
+        if blocks is not None and bid not in blocks:
+            return
+        current = in_states[bid]
+        if current is None:
+            in_states[bid] = domain_copy(state)
+            changed = True
+        else:
+            changed = join_into(current, state)
+        if changed and not queued[bid]:
+            queued[bid] = True
+            worklist.append(bid)
+
+    def havoc_all_functions() -> None:
+        havoc = domain.havoc_state(cfg.program)
+        for bid in cfg.func_entry_blocks:
+            propagate(bid, havoc)
+
+    def callee_name(target: int) -> Optional[str]:
+        span = cfg.function_at(target)
+        return span.name if span is not None else None
+
+    def process(bid: int) -> None:
+        start, end = starts[bid], ends[bid]
+        state = domain_copy(in_states[bid])
+        for i in range(start, end):
+            inst = insts[i]
+            if halts(state, inst):
+                return  # program exits here: no fallthrough, no successors
+            transfer(state, inst)
+        last = insts[end - 1]
+        last_addr = cfg.text_base + 4 * (end - 1)
+        op = last.op
+        if df.is_branch(last):
+            propagate(cfg.block_at(last.target), state)
+            if end < n:
+                propagate(cfg.block_of_start[end], state)
+        elif op is Op.J:
+            propagate(cfg.block_at(last.target), state)
+        elif op is Op.JAL:
+            if interprocedural:
+                propagate(cfg.block_at(last.target),
+                          domain.call_entry(state, (last_addr + 4) & 0xFFFFFFFF))
+            if end < n:
+                propagate(cfg.block_of_start[end],
+                          domain.call_summary(state, callee_name(last.target)))
+        elif op is Op.JALR:
+            if interprocedural:
+                havoc_all_functions()
+            if end < n:
+                propagate(cfg.block_of_start[end],
+                          domain.call_summary(state, None))
+        elif op is Op.JR:
+            if last.rs != Reg.RA and interprocedural:
+                havoc_all_functions()
+            # jr $ra: return -- the call summary covers the caller side.
+        elif op is Op.BREAK:
+            pass
+        elif end < n:
+            propagate(cfg.block_of_start[end], state)
+
+    if entries is None:
+        entries = [(cfg.block_at(cfg.program.entry),
+                    domain.entry_state(cfg.program))]
+    for bid, state in entries:
+        propagate(bid, state)
+    while worklist:
+        bid = worklist.popleft()
+        queued[bid] = False
+        process(bid)
+    return Solution(cfg, domain, in_states)
+
+
+def solve_function(cfg: ControlFlowGraph, domain: AbstractDomain,
+                   span) -> Solution:
+    """Intraprocedural fixpoint over one function span, seeded with the
+    domain's entry state at the function's entry block."""
+    return solve(
+        cfg, domain,
+        entries=[(span.entry_block, domain.entry_state(cfg.program))],
+        blocks=frozenset(span.blocks),
+    )

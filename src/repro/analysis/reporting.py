@@ -14,6 +14,8 @@ from repro.obs.metrics import SNAPSHOT_SCHEMA, SNAPSHOT_VERSION
 
 __all__ = [
     "LINT_SCHEMA",
+    "LINT_SCHEMA_VERSION",
+    "SANITIZE_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "SNAPSHOT_VERSION",
     "format_series",
@@ -21,13 +23,18 @@ __all__ = [
     "validate_against_schema",
 ]
 
+#: Version tag stamped into every ``repro lint --json`` payload (including
+#: usage-error payloads) so consumers can dispatch on shape.
+LINT_SCHEMA_VERSION = "repro.lint/1"
+
 #: Structural schema (JSON-Schema subset) for ``repro lint --json`` output.
 #: Kept here so report producers and consumers share one definition;
 #: validate with :func:`validate_against_schema`.
 LINT_SCHEMA = {
     "type": "object",
-    "required": ["program", "geometry", "summary", "diagnostics"],
+    "required": ["schema", "program", "geometry", "summary", "diagnostics"],
     "properties": {
+        "schema": {"enum": [LINT_SCHEMA_VERSION]},
         "program": {"type": "string"},
         "geometry": {
             "type": "object",
@@ -62,6 +69,50 @@ LINT_SCHEMA = {
                 "properties": {
                     "code": {"type": "string"},
                     "severity": {"enum": ["warning", "note"]},
+                    "address": {"type": "integer"},
+                    "function": {"type": ["string", "null"]},
+                    "message": {"type": "string"},
+                    "hint": {"type": ["string", "null"]},
+                },
+            },
+        },
+    },
+}
+
+#: Structural schema for ``repro sanitize --json`` output (the version
+#: tag itself lives in :mod:`repro.analysis.sanitize.report` next to the
+#: producer; checkers and codes are documented there).
+SANITIZE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "program", "summary", "findings"],
+    "properties": {
+        "schema": {"enum": ["repro.sanitize/1"]},
+        "program": {"type": "string"},
+        "summary": {
+            "type": "object",
+            "required": [
+                "functions", "sites", "findings", "errors", "warnings",
+                "by_checker",
+            ],
+            "properties": {
+                "functions": {"type": "integer"},
+                "sites": {"type": "integer"},
+                "findings": {"type": "integer"},
+                "errors": {"type": "integer"},
+                "warnings": {"type": "integer"},
+                "by_checker": {"type": "object"},
+            },
+        },
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["code", "checker", "severity", "address",
+                             "message"],
+                "properties": {
+                    "code": {"type": "string"},
+                    "checker": {"type": "string"},
+                    "severity": {"enum": ["error", "warning"]},
                     "address": {"type": "integer"},
                     "function": {"type": ["string", "null"]},
                     "message": {"type": "string"},

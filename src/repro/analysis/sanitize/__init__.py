@@ -1,0 +1,77 @@
+"""Whole-program static sanitizer for linked MIPS programs.
+
+``repro sanitize`` runs four checkers over one linked
+:class:`~repro.isa.program.Program`, all built on the
+:mod:`repro.analysis.absint` framework:
+
+==========  ========================================================
+checker     claims checked (codes)
+==========  ========================================================
+convention  O32 callee-saved discipline at every return
+            (SAN101 $s0-$s7/$fp/$gp, SAN102 $sp, SAN103 $ra)
+stack       accesses below $sp, reads of never-written frame slots
+            (SAN201, SAN202)
+bounds      constant-address accesses outside the linked memory map
+            or overrunning a symbol (SAN301, SAN302)
+cfi         fallthrough off text, invalid branch targets, indirect
+            jumps to non-text addresses (SAN401-SAN403)
+==========  ========================================================
+
+The convention checker's clobber facts feed the known-bits domain used
+by the bounds/cfi checkers here and by ``repro lint`` — a verified
+replacement for the historical convention *assumption*.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint import build_cfg, solve
+from repro.analysis.absint.knownbits_domain import KnownBitsDomain
+from repro.analysis.sanitize.bounds import check_bounds
+from repro.analysis.sanitize.cfi import check_cfi
+from repro.analysis.sanitize.convention import (
+    ConventionAnalysis,
+    analyze_conventions,
+    convention_clobbers,
+)
+from repro.analysis.sanitize.report import (
+    RULES,
+    SANITIZE_SCHEMA_VERSION,
+    Finding,
+    SanitizeReport,
+)
+from repro.analysis.sanitize.stack import check_stack
+from repro.isa.opcodes import OP_INFO
+from repro.isa.program import Program
+
+__all__ = [
+    "ConventionAnalysis",
+    "Finding",
+    "RULES",
+    "SANITIZE_SCHEMA_VERSION",
+    "SanitizeReport",
+    "analyze_conventions",
+    "convention_clobbers",
+    "sanitize_program",
+]
+
+
+def sanitize_program(program: Program, name: str = "program") -> SanitizeReport:
+    """Run every checker over ``program`` and collect the findings."""
+    cfg = build_cfg(program)
+    conv = analyze_conventions(cfg)
+    findings = list(conv.findings)
+    findings.extend(check_stack(conv))
+    # known-bits fixpoint under the *verified* convention facts
+    solution = solve(cfg, KnownBitsDomain(conv.clobbers))
+    findings.extend(check_bounds(program, solution))
+    findings.extend(check_cfi(solution))
+    findings.sort(key=lambda f: (f.address, f.code))
+    sites = sum(1 for inst in cfg.insts if OP_INFO[inst.op].mem_width)
+    return SanitizeReport(
+        program_name=name,
+        findings=findings,
+        functions_checked=len(cfg.functions),
+        sites_checked=sites,
+        clobbers=conv.clobbers,
+        program=program,
+    )

@@ -1,0 +1,128 @@
+"""Data-section bounds checker (SAN301, SAN302).
+
+Uses the whole-program known-bits fixpoint: any memory site whose
+effective address is a *compile-time constant* (fully known bits) is
+checked against the linked program's memory map — initialised data
+spans, zero-initialised (bss) spans, every sized data symbol, the
+gp-addressable global region recorded in
+:class:`~repro.isa.program.LinkFacts`, and the heap/stack window
+``[brk, stack_top)``.
+
+* **SAN301** — the address lies in no mapped region at all (null-page
+  dereferences, stray absolute addresses, accesses into linker gaps).
+* **SAN302** — the address lands inside a sized symbol but the access
+  width runs past the symbol's end (classic off-by-one on the last
+  element).
+
+Sites whose address is data-dependent are out of scope by construction:
+a sound static claim is only possible when the address is provable, and
+the dynamic cross-checks in tests/analysis/ verify that no flagged site
+is ever executed cleanly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.analysis.absint import knownbits as kb
+from repro.analysis.absint.solver import Solution
+from repro.analysis.sanitize.report import SEVERITY_ERROR, Finding
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import OP_INFO
+from repro.isa.program import Program
+from repro.mem.layout import STACK_TOP
+
+MASK32 = 0xFFFFFFFF
+
+
+def _data_spans(program: Program) -> list[tuple[int, int]]:
+    """Sorted, merged ``[start, end)`` spans of mapped data memory."""
+    spans: list[tuple[int, int]] = []
+    for address, payload in program.data_image:
+        spans.append((address, address + len(payload)))
+    for address, size in program.bss_spans:
+        spans.append((address, address + size))
+    for symbol in program.symbols.values():
+        if symbol.section != "text" and symbol.size > 0:
+            spans.append((symbol.address, symbol.address + symbol.size))
+    facts = program.link_facts
+    if facts is not None and facts.gp_region_size:
+        spans.append((facts.gp_region_base,
+                      facts.gp_region_base + facts.gp_region_size))
+    stack_top = STACK_TOP
+    if facts is not None and getattr(facts, "stack_top", 0):
+        stack_top = facts.stack_top
+    spans.append((program.brk, stack_top))
+    spans.sort()
+    merged: list[tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _covered(spans, start: int, end: int) -> bool:
+    pos = bisect_right(spans, (start, 0x200000000)) - 1
+    return pos >= 0 and spans[pos][0] <= start and end <= spans[pos][1]
+
+
+def _symbol_overrun(program: Program, ea: int, width: int):
+    for symbol in program.symbols.values():
+        if symbol.section == "text" or symbol.size <= 0:
+            continue
+        if symbol.address <= ea < symbol.address + symbol.size \
+                and ea + width > symbol.address + symbol.size:
+            return symbol
+    return None
+
+
+def check_bounds(program: Program, solution: Solution) -> list[Finding]:
+    spans = _data_spans(program)
+    cfg = solution.cfg
+    findings: list[Finding] = []
+
+    def visit(i, inst, state):
+        info = OP_INFO[inst.op]
+        if state is None or not info.mem_width:
+            return
+        base = state[inst.rs]
+        if not kb.is_const(base):
+            return
+        if info.mem_mode == "c":
+            ea = (base[1] + inst.imm) & MASK32
+        elif info.mem_mode == "x":
+            index = state[inst.rx]
+            if not kb.is_const(index):
+                return
+            ea = (base[1] + index[1]) & MASK32
+        else:  # post-increment: address is the raw base
+            ea = base[1]
+        width = info.mem_width
+        addr = cfg.addr_of(i)
+        what = disassemble(inst)
+        function = cfg.function_of(addr)
+        if not _covered(spans, ea, ea + width):
+            overrun = _symbol_overrun(program, ea, width)
+            if overrun is not None:
+                findings.append(Finding(
+                    "SAN302", SEVERITY_ERROR, addr, function,
+                    f"`{what}` reads {width} bytes at 0x{ea:08x}, running "
+                    f"{ea + width - overrun.address - overrun.size} bytes "
+                    f"past the end of `{overrun.name}` "
+                    f"({overrun.size} bytes at 0x{overrun.address:08x})",
+                    hint="check the index bound: the last element ends at "
+                         f"0x{overrun.address + overrun.size:08x}",
+                ))
+            else:
+                findings.append(Finding(
+                    "SAN301", SEVERITY_ERROR, addr, function,
+                    f"`{what}` accesses 0x{ea:08x}, which is outside "
+                    "every mapped data region of the linked program",
+                    hint="the address is a link-time constant; fix the "
+                         "symbol reference or the offset arithmetic",
+                ))
+
+    solution.walk(visit)
+    return findings

@@ -1,0 +1,88 @@
+"""Control-flow integrity checker (SAN401..SAN403).
+
+Static checks over the linked text segment plus the known-bits
+fixpoint:
+
+* **SAN401** — reachable control can fall off the end of the text
+  segment: the last text instruction is reachable and is not an
+  unconditional transfer or a provably-terminating syscall, so the
+  machine would fetch past the segment.
+* **SAN402** — a branch or direct jump encodes a target that is not a
+  valid instruction address (outside text, or not word-aligned).
+* **SAN403** — an indirect jump (``jr``/``jalr``) through a register
+  that provably holds a non-text address — e.g. ``jr $ra`` on a path
+  where ``$ra`` still has its loader-zeroed entry value.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint import knownbits as kb
+from repro.analysis.absint.solver import Solution
+from repro.analysis.sanitize.report import SEVERITY_ERROR, Finding
+from repro.isa import dataflow as df
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import Op
+from repro.isa.registers import reg_name
+
+
+def check_cfi(solution: Solution) -> list[Finding]:
+    cfg = solution.cfg
+    findings: list[Finding] = []
+
+    # SAN402: every encoded target must be a valid instruction address
+    for i, inst in enumerate(cfg.insts):
+        for target in df.static_targets(inst):
+            if not cfg.in_text(target):
+                addr = cfg.addr_of(i)
+                findings.append(Finding(
+                    "SAN402", SEVERITY_ERROR, addr, cfg.function_of(addr),
+                    f"`{disassemble(inst)}` targets 0x{target:08x}, which "
+                    "is not a valid instruction address "
+                    f"(text is [0x{cfg.text_base:08x}, "
+                    f"0x{cfg.text_base + 4 * cfg.n:08x}))",
+                    hint="the jump would fetch garbage; fix the target "
+                         "label or the address arithmetic",
+                ))
+
+    # SAN403: indirect jumps through provably non-text values
+    def visit(i, inst, state):
+        if state is None:
+            return
+        if inst.op is Op.JR or inst.op is Op.JALR:
+            value = state[inst.rs]
+            if kb.is_const(value) and not cfg.in_text(value[1]):
+                addr = cfg.addr_of(i)
+                findings.append(Finding(
+                    "SAN403", SEVERITY_ERROR, addr, cfg.function_of(addr),
+                    f"`{disassemble(inst)}` jumps through "
+                    f"{reg_name(inst.rs)} = 0x{value[1]:08x}, which is "
+                    "provably not a text address",
+                    hint="the register was never loaded with a code "
+                         "address on this path (e.g. returning without a "
+                         "caller, or jumping through a data pointer)",
+                ))
+
+    solution.walk(visit)
+
+    # SAN401: reachable fallthrough off the end of the text segment
+    if cfg.n:
+        last_bid = len(cfg.starts) - 1
+        last = cfg.insts[cfg.n - 1]
+        seen = []
+        solution.walk(lambda i, inst, state: seen.append((i, state)),
+                      blocks=[last_bid])
+        final_state = next((s for i, s in seen if i == cfg.n - 1), None)
+        falls = last.op not in (Op.J, Op.JR, Op.BREAK) \
+            and not (last.op is Op.SYSCALL and final_state is None) \
+            and not df.is_return(last)
+        if solution.in_states[last_bid] is not None and final_state is not None \
+                and falls:
+            addr = cfg.addr_of(cfg.n - 1)
+            findings.append(Finding(
+                "SAN401", SEVERITY_ERROR, addr, cfg.function_of(addr),
+                f"control can fall through `{disassemble(last)}` off the "
+                "end of the text segment",
+                hint="end the program with an exit syscall, an "
+                     "unconditional jump, or a return",
+            ))
+    return findings

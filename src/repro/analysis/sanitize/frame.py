@@ -1,0 +1,318 @@
+"""Symbolic entry-relative value domain for per-function checking.
+
+The convention and stack checkers need to answer "does this register
+still hold the value it had on function entry?" and "where in the frame
+does this access land?" — questions the known-bits domain cannot
+express, since entry values are unknown bits. This domain tracks
+*symbolic* values relative to the function entry:
+
+* ``("init", r)`` — the value register ``r`` held on entry;
+* ``("sp", d)`` — entry ``$sp`` plus ``d`` bytes (``d`` signed);
+* ``("al", a, d)`` — the ``AND``-realigned ``$sp`` produced by the
+  variable-frame prologue instruction at address ``a``, plus ``d``
+  (its distance from entry ``$sp`` is unknown, but offsets from it are
+  exact);
+* ``("const", k)`` — the 32-bit constant ``k``;
+* ``None`` — unknown (TOP).
+
+Alongside the registers the state carries a *frame map* from
+``(region, byte_offset)`` to the symbolic value stored there, where
+``region`` is ``"sp"`` (entry-sp-relative) or ``("al", a)``. The map
+uses must-write semantics: a slot survives a join only when every
+incoming path wrote it, with differing values degrading to ``None``
+(written, value unknown). This is what lets the epilogue's restores
+(``lw $s0, 8($sp)``) be recognised as producing ``("init", $s0)``.
+
+Locality assumption (documented in docs/static_analysis.md): stores
+through non-``$sp``-derived pointers do not invalidate the frame map,
+and callees do not overwrite their caller's saved-register slots. The
+stack checker independently tracks frame-address escapes and suppresses
+its uninitialised-read warnings when one occurs; the dynamic
+cross-checks in tests/analysis/ guard the assumption suite-wide.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.absint.domain import AbstractDomain
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO, Op
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+MASK32 = 0xFFFFFFFF
+
+_EXIT_SERVICES = (10, 17)
+
+#: Registers the O32 convention obliges a callee to preserve, i.e. the
+#: ones the convention checker verifies at every return.
+CHECKED_REGS = (
+    Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7,
+    Reg.FP, Reg.GP, Reg.SP,
+)
+
+_PRESERVED = frozenset(CHECKED_REGS) | {Reg.ZERO}
+
+
+def _signed(k: int) -> int:
+    k &= MASK32
+    return k - 0x100000000 if k & 0x80000000 else k
+
+
+def sym_const(k: int):
+    return ("const", k & MASK32)
+
+
+def sym_add(value, k: int):
+    """``value + k`` for a signed integer ``k``."""
+    if value is None:
+        return None
+    tag = value[0]
+    if tag == "const":
+        return ("const", (value[1] + k) & MASK32)
+    if tag == "sp":
+        return ("sp", value[1] + k)
+    if tag == "al":
+        return ("al", value[1], value[2] + k)
+    if tag == "init" and k == 0:
+        return value
+    return None
+
+
+def is_sp_relative(value) -> bool:
+    """True for values that address the current function's stack."""
+    return value is not None and value[0] in ("sp", "al")
+
+
+def frame_slot(value, imm: int):
+    """``(region, offset)`` frame key for an access at ``value + imm``,
+    or None when the address is not stack-relative."""
+    if value is None:
+        return None
+    if value[0] == "sp":
+        return ("sp", value[1] + imm)
+    if value[0] == "al":
+        return (("al", value[1]), value[2] + imm)
+    return None
+
+
+def render(value) -> str:
+    if value is None:
+        return "?"
+    tag = value[0]
+    if tag == "const":
+        return f"{value[1]:#x}"
+    if tag == "init":
+        from repro.isa.registers import reg_name
+        return f"init({reg_name(value[1])})"
+    if tag == "sp":
+        return f"entry-sp{value[1]:+d}"
+    return f"aligned-sp@{value[1]:#x}{value[2]:+d}"
+
+
+class FrameDomain(AbstractDomain):
+    """Entry-relative symbolic domain; state is ``[regs, frame]``."""
+
+    name = "frame"
+
+    def __init__(self, clobbers: dict[str, frozenset[int]] | None = None):
+        self.clobbers = dict(clobbers) if clobbers else {}
+        union: frozenset[int] = frozenset()
+        for regs in self.clobbers.values():
+            union |= regs
+        self._clobber_unknown = union
+
+    # -- state lifecycle ----------------------------------------------- #
+
+    def entry_state(self, program: Program):
+        regs = [("init", r) for r in range(32)]
+        regs[Reg.ZERO] = sym_const(0)
+        regs[Reg.SP] = ("sp", 0)
+        return [regs, {}]
+
+    def havoc_state(self, program: Program):
+        regs: list = [None] * 32
+        regs[Reg.ZERO] = sym_const(0)
+        return [regs, {}]
+
+    def copy(self, state):
+        return [list(state[0]), dict(state[1])]
+
+    def join_into(self, current, incoming) -> bool:
+        changed = False
+        regs, frame = current
+        new_regs, new_frame = incoming
+        for r in range(32):
+            if regs[r] is not None and regs[r] != new_regs[r]:
+                regs[r] = None
+                changed = True
+        for key in list(frame):
+            if key not in new_frame:
+                del frame[key]          # not written on every path
+                changed = True
+            elif frame[key] is not None and frame[key] != new_frame[key]:
+                frame[key] = None       # written everywhere, value differs
+                changed = True
+        return changed
+
+    # -- semantics ----------------------------------------------------- #
+
+    def transfer(self, state, inst: Instruction) -> None:
+        regs, frame = state
+        op = inst.op
+        if op is Op.ADDU or op is Op.ADD:
+            regs[inst.rd] = self._add2(regs[inst.rs], regs[inst.rt])
+        elif op is Op.ADDIU or op is Op.ADDI:
+            regs[inst.rt] = sym_add(regs[inst.rs], inst.imm)
+        elif op is Op.SUBU or op is Op.SUB:
+            a, b = regs[inst.rs], regs[inst.rt]
+            if b is not None and b[0] == "const":
+                regs[inst.rd] = sym_add(a, -_signed(b[1]))
+            elif a is not None and b is not None and a == b:
+                regs[inst.rd] = sym_const(0)
+            else:
+                regs[inst.rd] = None
+        elif op is Op.AND:
+            regs[inst.rd] = self._and2(regs[inst.rs], regs[inst.rt], inst)
+        elif op is Op.OR:
+            regs[inst.rd] = self._or2(regs[inst.rs], regs[inst.rt])
+        elif op is Op.ORI:
+            regs[inst.rt] = self._or2(regs[inst.rs],
+                                      sym_const(inst.imm & 0xFFFF))
+        elif op is Op.ANDI:
+            a = regs[inst.rs]
+            regs[inst.rt] = (sym_const(a[1] & inst.imm & 0xFFFF)
+                             if a is not None and a[0] == "const" else None)
+        elif op is Op.XOR or op is Op.XORI:
+            a = regs[inst.rs]
+            b = (sym_const(inst.imm & 0xFFFF) if op is Op.XORI
+                 else regs[inst.rt])
+            dest = inst.rt if op is Op.XORI else inst.rd
+            if b == ("const", 0):
+                regs[dest] = a
+            elif (a is not None and b is not None
+                    and a[0] == "const" and b[0] == "const"):
+                regs[dest] = sym_const(a[1] ^ b[1])
+            else:
+                regs[dest] = None
+        elif op is Op.NOR:
+            a, b = regs[inst.rs], regs[inst.rt]
+            if (a is not None and b is not None
+                    and a[0] == "const" and b[0] == "const"):
+                regs[inst.rd] = sym_const(~(a[1] | b[1]))
+            else:
+                regs[inst.rd] = None
+        elif op is Op.LUI:
+            regs[inst.rt] = sym_const((inst.imm & 0xFFFF) << 16)
+        elif op is Op.SLL or op is Op.SRL or op is Op.SRA:
+            a = regs[inst.rt]
+            shift = inst.imm & 31
+            if shift == 0:
+                regs[inst.rd] = a
+            elif a is not None and a[0] == "const":
+                if op is Op.SLL:
+                    regs[inst.rd] = sym_const(a[1] << shift)
+                elif op is Op.SRL:
+                    regs[inst.rd] = sym_const(a[1] >> shift)
+                else:
+                    v = a[1] - 0x100000000 if a[1] & 0x80000000 else a[1]
+                    regs[inst.rd] = sym_const(v >> shift)
+            else:
+                regs[inst.rd] = None
+        elif op is Op.SLLV or op is Op.SRLV or op is Op.SRAV:
+            regs[inst.rd] = None
+        elif op is Op.SLT or op is Op.SLTU:
+            regs[inst.rd] = None
+        elif op is Op.SLTI or op is Op.SLTIU:
+            regs[inst.rt] = None
+        elif op is Op.MFHI or op is Op.MFLO or op is Op.MFC1:
+            regs[inst.rd] = None
+        elif op is Op.SYSCALL:
+            regs[Reg.V0] = None
+        else:
+            info = OP_INFO[op]
+            if info.mem_width:
+                base = regs[inst.rs]
+                # post-increment accesses the raw base; the immediate
+                # only updates the base afterwards
+                eff_imm = 0 if info.mem_mode == "p" else inst.imm
+                if info.is_store:
+                    slot = frame_slot(base, eff_imm)
+                    if slot is not None:
+                        # sub-word stores mark the slot written but the
+                        # word value unknown (truncation)
+                        value = (regs[inst.rt]
+                                 if not info.mem_fp and info.mem_width == 4
+                                 else None)
+                        frame[slot] = value
+                        if info.mem_width == 8:
+                            frame[(slot[0], slot[1] + 4)] = None
+                elif not info.mem_fp:
+                    slot = frame_slot(base, eff_imm)
+                    regs[inst.rt] = (frame.get(slot)
+                                     if info.mem_width == 4
+                                     and slot is not None and slot in frame
+                                     else None)
+                if info.mem_mode == "p":
+                    regs[inst.rs] = sym_add(base, inst.imm)
+        regs[Reg.ZERO] = sym_const(0)
+
+    @staticmethod
+    def _add2(a, b):
+        if b is not None and b[0] == "const":
+            return sym_add(a, _signed(b[1]))
+        if a is not None and a[0] == "const":
+            return sym_add(b, _signed(a[1]))
+        return None
+
+    @staticmethod
+    def _and2(a, b, inst: Instruction):
+        if (a is not None and b is not None
+                and a[0] == "const" and b[0] == "const"):
+            return sym_const(a[1] & b[1])
+        # variable-frame prologue: AND of a stack address with a -2**k
+        # mask realigns $sp downward — a fresh exactly-offsettable region
+        for value, mask in ((a, b), (b, a)):
+            if (is_sp_relative(value) and mask is not None
+                    and mask[0] == "const"):
+                inv = (~mask[1]) & MASK32
+                if inv and (inv & (inv + 1)) == 0:   # mask == -2**k
+                    return ("al", inst.addr, 0)
+        return None
+
+    @staticmethod
+    def _or2(a, b):
+        if b == ("const", 0):
+            return a
+        if a == ("const", 0):
+            return b
+        if (a is not None and b is not None
+                and a[0] == "const" and b[0] == "const"):
+            return sym_const(a[1] | b[1])
+        return None
+
+    def halts(self, state, inst: Instruction) -> bool:
+        if inst.op is not Op.SYSCALL:
+            return False
+        v0 = state[0][Reg.V0]
+        return (v0 is not None and v0[0] == "const"
+                and v0[1] in _EXIT_SERVICES)
+
+    # -- interprocedural protocol -------------------------------------- #
+
+    def call_entry(self, state, return_addr: int):
+        entry = self.copy(state)
+        entry[0][Reg.RA] = sym_const(return_addr)
+        return entry
+
+    def call_summary(self, state, callee):
+        regs, frame = state
+        if callee is None:
+            clobbered = self._clobber_unknown
+        else:
+            clobbered = self.clobbers.get(callee, frozenset())
+        new_regs = [
+            regs[r] if r in _PRESERVED and r not in clobbered else None
+            for r in range(32)
+        ]
+        # locality assumption: the callee does not rewrite our frame
+        return [new_regs, dict(frame)]

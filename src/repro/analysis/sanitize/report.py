@@ -1,0 +1,213 @@
+"""Findings and report rendering for ``repro sanitize``.
+
+Diagnostic codes (documented in docs/static_analysis.md):
+
+========  ========  ==========  =======================================
+code      severity  checker     meaning
+========  ========  ==========  =======================================
+SAN101    error     convention  callee-saved register not restored at a
+                                return
+SAN102    error     convention  $sp not restored to its entry value
+SAN103    error     convention  $ra clobbered (return target corrupted)
+SAN201    error     stack       memory access below the stack pointer
+SAN202    warning   stack       read of a frame slot no path has written
+SAN301    error     bounds      constant-address access outside every
+                                mapped data region
+SAN302    error     bounds      access overruns the target symbol's size
+SAN401    error     cfi         control can fall through off the end of
+                                the text segment
+SAN402    error     cfi         branch/jump target is not a valid
+                                instruction address
+SAN403    error     cfi         indirect jump through a provably
+                                non-text address
+========  ========  ==========  =======================================
+
+Exit status of the CLI mirrors ``repro lint``: 0 clean, 1 when any
+finding was produced, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+SANITIZE_SCHEMA_VERSION = "repro.sanitize/1"
+
+#: rule id -> (checker, short description) for --sarif rule metadata.
+RULES = {
+    "SAN101": ("convention", "callee-saved register not restored"),
+    "SAN102": ("convention", "$sp not restored on return"),
+    "SAN103": ("convention", "$ra clobbered before return"),
+    "SAN201": ("stack", "memory access below $sp"),
+    "SAN202": ("stack", "read of never-written frame slot"),
+    "SAN301": ("bounds", "access outside mapped data regions"),
+    "SAN302": ("bounds", "access overruns symbol"),
+    "SAN401": ("cfi", "fallthrough off the text segment"),
+    "SAN402": ("cfi", "invalid control-transfer target"),
+    "SAN403": ("cfi", "indirect jump to non-text address"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer finding, anchored at a text address."""
+
+    code: str
+    severity: str
+    address: int               # 0 for program-level findings
+    function: Optional[str]
+    message: str
+    hint: Optional[str] = None
+
+    @property
+    def checker(self) -> str:
+        return RULES[self.code][0]
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "checker": self.checker,
+            "severity": self.severity,
+            "address": self.address,
+            "function": self.function,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        where = f"0x{self.address:08x}" if self.address else "program"
+        if self.function:
+            where += f" ({self.function})"
+        text = f"{self.severity}: {self.code}: {where}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class SanitizeReport:
+    """Full sanitizer output for one program."""
+
+    program_name: str
+    findings: list[Finding]
+    functions_checked: int
+    sites_checked: int
+    clobbers: dict[str, frozenset[int]] = field(default_factory=dict)
+    program: object = None     # the analyzed Program, for SARIF locations
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_checker(self) -> dict[str, int]:
+        out = {checker: 0 for checker, _ in RULES.values()}
+        for finding in self.findings:
+            out[finding.checker] += 1
+        return out
+
+    def to_json(self) -> dict:
+        """Machine-readable form, matching
+        :data:`repro.analysis.reporting.SANITIZE_SCHEMA`."""
+        return {
+            "schema": SANITIZE_SCHEMA_VERSION,
+            "program": self.program_name,
+            "summary": {
+                "functions": self.functions_checked,
+                "sites": self.sites_checked,
+                "findings": len(self.findings),
+                "errors": sum(1 for f in self.findings
+                              if f.severity == SEVERITY_ERROR),
+                "warnings": sum(1 for f in self.findings
+                                if f.severity == SEVERITY_WARNING),
+                "by_checker": self.by_checker(),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        counts = self.by_checker()
+        breakdown = ", ".join(f"{checker} {count}"
+                              for checker, count in sorted(counts.items())
+                              if count)
+        lines.append(
+            f"{self.program_name}: {self.functions_checked} functions, "
+            f"{self.sites_checked} memory sites checked: "
+            + (f"{len(self.findings)} findings ({breakdown})"
+               if self.findings else "clean")
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # SARIF
+
+    def to_sarif(self) -> dict:
+        """Minimal SARIF 2.1.0 document (one run, one result per
+        finding), consumable by code-scanning UIs."""
+        rules = [
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": description},
+                "properties": {"checker": checker},
+            }
+            for code, (checker, description) in sorted(RULES.items())
+        ]
+        results = []
+        for finding in self.findings:
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": self.program_name},
+                },
+                "logicalLocations": [{
+                    "name": finding.function or "<program>",
+                    "kind": "function",
+                }],
+            }
+            source = None
+            if self.program is not None and finding.address:
+                source = self.program.source_of(finding.address)
+            if source is not None:
+                file, line = source
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": file},
+                    "region": {"startLine": line},
+                }
+            message = finding.message
+            if finding.hint:
+                message += f" (hint: {finding.hint})"
+            results.append({
+                "ruleId": finding.code,
+                "level": ("error" if finding.severity == SEVERITY_ERROR
+                          else "warning"),
+                "message": {"text": message},
+                "locations": [location],
+                "properties": {
+                    "address": f"0x{finding.address:08x}",
+                    "checker": finding.checker,
+                },
+            })
+        return {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-sanitize",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }],
+        }
+
+    def sarif_text(self) -> str:
+        return json.dumps(self.to_sarif(), indent=2, sort_keys=True)

@@ -1,0 +1,126 @@
+"""Stack-discipline checker (SAN201, SAN202).
+
+Rides the per-function symbolic solutions computed by the convention
+checker:
+
+* **SAN201** — a memory access whose effective address is provably
+  *below* the current stack pointer. Data there is dead: any interrupt,
+  signal, or (in this simulator) syscall boundary may clobber it, and
+  the O32 ABI forbids relying on it.
+* **SAN202** — a load from the function's own frame at an offset no
+  instruction in the function ever stores to. The "ever" is function-
+  global and flow-insensitive on purpose: path-sensitive must-write
+  tracking would flag loop-carried slots that are in fact initialised,
+  and a slot *no* instruction writes is the unambiguous bug worth
+  reporting. Reads of the caller's frame (non-negative entry-``$sp``
+  offsets — incoming stack arguments) are exempt, and the check is
+  suppressed entirely when a frame address escapes the function (passed
+  to a call or syscall, or stored to memory), since the callee may then
+  legitimately initialise frame slots on our behalf.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sanitize.convention import ConventionAnalysis
+from repro.analysis.sanitize.frame import frame_slot, is_sp_relative
+from repro.analysis.sanitize.report import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import OP_INFO, Op
+from repro.isa.registers import Reg
+
+_ARG_REGS = (Reg.A0, Reg.A1, Reg.A2, Reg.A3)
+
+
+def check_stack(conv: ConventionAnalysis) -> list[Finding]:
+    findings: list[Finding] = []
+    cfg = conv.cfg
+    for name in sorted(conv.checks):
+        check = conv.checks[name]
+        findings.extend(_check_function(cfg, name, check))
+    return findings
+
+
+def _check_function(cfg, name, check) -> list[Finding]:
+    span = check.span
+    solution = check.solution
+
+    # pass 1: every frame slot any instruction writes, plus escapes
+    written: set = set()
+    escaped = False
+
+    def collect(i, inst, state):
+        nonlocal escaped
+        if state is None:
+            return
+        regs = state[0]
+        op = inst.op
+        info = OP_INFO[op]
+        if op is Op.JAL or op is Op.JALR or op is Op.SYSCALL:
+            if any(is_sp_relative(regs[r]) for r in _ARG_REGS):
+                escaped = True
+        elif info.mem_width and info.is_store:
+            # post-increment accesses the raw base (offset applies after)
+            slot = frame_slot(regs[inst.rs],
+                              0 if info.mem_mode == "p" else inst.imm)
+            if slot is not None:
+                written.add(slot)
+                if info.mem_width == 8:
+                    written.add((slot[0], slot[1] + 4))
+            if (not info.mem_fp and is_sp_relative(regs[inst.rt])):
+                escaped = True  # a frame address written to memory
+
+    solution.walk(collect, blocks=span.blocks)
+
+    # pass 2: per-site checks against the pre-instruction state
+    findings: list[Finding] = []
+
+    def visit(i, inst, state):
+        info = OP_INFO[inst.op]
+        if state is None or not info.mem_width or info.mem_mode == "x":
+            return
+        regs = state[0]
+        base = regs[inst.rs]
+        if not is_sp_relative(base):
+            return
+        slot = frame_slot(base, 0 if info.mem_mode == "p" else inst.imm)
+        region, offset = slot
+        addr = cfg.addr_of(i)
+        what = disassemble(inst)
+        sp = regs[Reg.SP]
+        sp_slot = frame_slot(sp, 0)
+        if sp_slot is not None and sp_slot[0] == region \
+                and offset < sp_slot[1]:
+            findings.append(Finding(
+                "SAN201", SEVERITY_ERROR, addr, name,
+                f"`{what}` accesses {sp_slot[1] - offset} bytes below the "
+                "stack pointer (dead stack memory)",
+                hint="grow the frame to cover the slot, or move the "
+                     "access above $sp",
+            ))
+            return
+        if escaped or info.is_store:
+            return
+        if region == "sp" and offset >= 0:
+            return  # caller frame: incoming stack argument
+        if slot not in written and (region, offset & ~3) not in written:
+            findings.append(Finding(
+                "SAN202", SEVERITY_WARNING, addr, name,
+                f"`{what}` reads a frame slot "
+                f"({_render_region(region)}{offset:+d}) that no "
+                f"instruction in `{name}` ever writes",
+                hint="initialise the slot before reading it (the load "
+                     "observes whatever the previous frame left there)",
+            ))
+
+    solution.walk(visit, blocks=span.blocks)
+    return findings
+
+
+def _render_region(region) -> str:
+    if region == "sp":
+        return "entry-sp"
+    return f"aligned-sp@{region[1]:#x}"

@@ -17,6 +17,8 @@ FAC401    note      data-dependent access the toolchain cannot align
 FAC402    note      struct size is not a power of two (array strides
                     break block alignment)
 FAC501    note      memory instruction in unreachable code
+FAC601    warning   function violates the O32 callee-saved convention
+                    (verdicts near its call sites assume less)
 ========  ========  =====================================================
 
 Warnings are *actionable*: a compiler/linker policy change (the paper's
@@ -95,9 +97,12 @@ class LintReport:
     def to_json(self) -> dict:
         """Machine-readable form, matching
         :data:`repro.analysis.reporting.LINT_SCHEMA`."""
+        from repro.analysis.reporting import LINT_SCHEMA_VERSION
+
         config = self.analysis.config
         counts = self.analysis.counts()
         return {
+            "schema": LINT_SCHEMA_VERSION,
             "program": self.program_name,
             "geometry": {
                 "cache_size": config.cache_size,
@@ -137,11 +142,33 @@ def lint_program(
     config: FacConfig | None = None,
     name: str = "program",
     analysis: StaticAnalysis | None = None,
+    check_conventions: bool = True,
 ) -> LintReport:
-    """Run the static pass (unless given) and derive diagnostics."""
+    """Run the static pass (unless given) and derive diagnostics.
+
+    Unless ``check_conventions`` is off, the sanitizer's convention
+    checker runs first and its verified clobber facts replace the
+    historical "callees preserve $s0-$s7/$fp/$gp/$sp" *assumption* in
+    the known-bits call summaries; each violating function additionally
+    gets a FAC601 warning.
+    """
+    clobbers: dict[str, frozenset[int]] = {}
     if analysis is None:
-        analysis = analyze_static(program, config)
+        if check_conventions:
+            from repro.analysis.sanitize.convention import convention_clobbers
+            clobbers = convention_clobbers(program)
+        analysis = analyze_static(program, config, clobbers=clobbers)
     diags: list[Diagnostic] = []
+    for func in sorted(clobbers):
+        regs = ", ".join(reg_name(r) for r in sorted(clobbers[func]))
+        sym = program.symbols.get(func)
+        diags.append(Diagnostic(
+            "FAC601", SEVERITY_WARNING, sym.address if sym else 0, func,
+            f"`{func}` does not preserve the callee-saved {regs}; "
+            "verdicts after its call sites treat them as unknown",
+            hint="restore the register(s) before `jr $ra` — see "
+                 "`repro sanitize` (SAN101) for the offending returns",
+        ))
     unreachable: dict[Optional[str], list[SiteReport]] = {}
     for site in analysis.sites:
         if site.verdict is Verdict.UNREACHABLE:

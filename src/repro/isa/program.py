@@ -99,6 +99,11 @@ class LinkFacts:
     align_gp: bool           # paper Section 4 power-of-two relocation?
     sp_value: int            # initial stack pointer
     stack_align: int         # guaranteed alignment of the initial $sp
+    # segment extents for the sanitizer's memory map (0 = unrecorded,
+    # for LinkFacts built before these fields existed)
+    data_base: int = 0       # first address of the data segment
+    data_end: int = 0        # one past the last placed datum
+    stack_top: int = 0       # exclusive upper bound of the stack region
 
 
 @dataclass

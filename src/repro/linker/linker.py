@@ -108,6 +108,9 @@ class _Linker:
             sp_value=sp_value,
             stack_align=(self.options.stack_align if self.options.align_stack
                          else 8),
+            data_base=self.options.data_base,
+            data_end=data_end,
+            stack_top=self.options.stack_top,
         )
         for unit in self.units:
             program.frame_facts.update(unit.frame_facts)

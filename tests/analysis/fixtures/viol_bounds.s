@@ -1,0 +1,14 @@
+# Seeded data-bounds violations: a load from the (unmapped) null page
+# and a word load whose last two bytes overrun the 6-byte `pair`.
+# Expected: SAN301 and SAN302 (bounds).
+.data
+pair: .word 1
+      .half 2
+.text
+__start:
+    lui $t0, 0
+    lw $t1, 16($t0)
+    la $t2, pair
+    lw $t3, 4($t2)
+    li $v0, 10
+    syscall

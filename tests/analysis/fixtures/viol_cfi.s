@@ -1,0 +1,9 @@
+# Seeded control-flow-integrity violations: `jr $ra` at program entry
+# jumps through the loader-zeroed $ra (SAN403), and the taken branch
+# path falls off the end of the text segment (SAN401). Expected: cfi.
+.text
+__start:
+    beq $t0, $t1, done
+    jr $ra
+done:
+    addiu $t0, $zero, 1

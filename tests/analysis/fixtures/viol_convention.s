@@ -1,0 +1,17 @@
+# Seeded calling-convention violation: `clobber` overwrites the
+# callee-saved $s0 and $s1 without saving them, so every caller's $s0/$s1
+# are silently corrupted across the call. Expected: SAN101 (convention).
+.text
+__start:
+    addiu $s0, $zero, 7
+    jal clobber
+    move $a0, $s0
+    li $v0, 17
+    syscall
+
+.globl clobber
+clobber:
+    addiu $s0, $zero, 123
+    addiu $s1, $s0, 1
+    addu $v0, $s1, $zero
+    jr $ra

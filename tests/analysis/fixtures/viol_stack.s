@@ -1,0 +1,12 @@
+# Seeded stack-discipline violations: a load below the stack pointer
+# (dead memory) and a load from a frame slot nothing ever writes.
+# Expected: SAN201 and SAN202 (stack).
+.text
+__start:
+    addiu $sp, $sp, -32
+    sw $t0, 28($sp)
+    lw $t1, -8($sp)
+    lw $t2, 8($sp)
+    addiu $sp, $sp, 32
+    li $v0, 10
+    syscall

@@ -1,0 +1,221 @@
+"""Tests for the abstract-interpretation framework
+(:mod:`repro.analysis.absint`): CFG construction, the worklist solver,
+the value-range domain, and clobber-aware call summaries."""
+
+from __future__ import annotations
+
+from repro.analysis.absint import (
+    KnownBitsDomain,
+    RangeDomain,
+    build_cfg,
+    solve,
+    solve_function,
+)
+from repro.analysis.absint import knownbits as kb
+from repro.analysis.absint import ranges as rng
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.isa.registers import Reg
+from repro.linker import LinkOptions, link
+
+
+def _program(source: str):
+    return link([assemble(source, "test.s")], LinkOptions())
+
+
+CALL_PROGRAM = """
+.text
+__start:
+    addiu $t0, $zero, 5
+    addiu $s0, $zero, 7
+    jal leaf
+    addu $t1, $t0, $t0
+    li $v0, 10
+    syscall
+    addiu $t2, $zero, 9
+
+.globl leaf
+leaf:
+    addiu $v0, $zero, 42
+    jr $ra
+"""
+
+
+def _state_at(solution, cfg, predicate):
+    """Pre-transfer state at the first instruction matching ``predicate``."""
+    hits = []
+
+    def visit(i, inst, state):
+        if not hits and predicate(inst):
+            hits.append(state)
+
+    solution.walk(visit)
+    assert hits, "no instruction matched"
+    return hits[0]
+
+
+# ---------------------------------------------------------------------- #
+# CFG
+
+def test_cfg_blocks_and_functions():
+    program = _program(CALL_PROGRAM)
+    cfg = build_cfg(program)
+    # leaders: entry, post-call fallthrough, post-syscall, leaf entry,
+    # post-jr -- exact count depends on the runtime stub, so check the
+    # structural invariants instead of a literal number
+    assert cfg.starts[0] == 0
+    assert all(cfg.ends[b] > cfg.starts[b] for b in range(cfg.num_blocks))
+    assert cfg.ends[-1] == cfg.n
+    names = {span.name for span in cfg.functions}
+    assert "leaf" in names and "__start" in names
+    leaf = cfg.function_by_name["leaf"]
+    assert cfg.function_of(leaf.address) == "leaf"
+    assert cfg.function_at(leaf.address + 4).name == "leaf"
+    # every block of a span starts inside it
+    for span in cfg.functions:
+        for bid in span.blocks:
+            assert span.start <= cfg.starts[bid] < span.end
+    assert cfg.in_text(program.entry)
+    assert not cfg.in_text(program.entry - 4)
+    assert not cfg.in_text(program.entry + 1)
+
+
+def test_cfg_is_cached_per_program():
+    program = _program(CALL_PROGRAM)
+    assert build_cfg(program) is build_cfg(program)
+
+
+# ---------------------------------------------------------------------- #
+# whole-program solver with the known-bits domain
+
+def test_interprocedural_call_summary_preserves_callee_saved():
+    program = _program(CALL_PROGRAM)
+    cfg = build_cfg(program)
+    solution = solve(cfg, KnownBitsDomain())
+    after_call = _state_at(solution, cfg,
+                           lambda inst: inst.op is Op.ADDU)
+    # caller-saved $t0 is havocked by the call; callee-saved $s0 and the
+    # stack pointer survive it
+    assert after_call[8] == kb.TOP                      # $t0
+    assert kb.is_const(after_call[Reg.S0])
+    assert after_call[Reg.S0][1] == 7
+    assert kb.is_const(after_call[Reg.SP])
+    # inside the callee the return value is the constant it loads
+    at_return = _state_at(solution, cfg,
+                          lambda inst: inst.op is Op.JR)
+    assert at_return[Reg.V0] == kb.const(42)
+
+
+def test_exit_syscall_kills_fallthrough():
+    program = _program(CALL_PROGRAM)
+    cfg = build_cfg(program)
+    solution = solve(cfg, KnownBitsDomain())
+    dead = []
+
+    def visit(i, inst, state):
+        if inst.op is Op.ADDIU and inst.imm == 9:
+            dead.append(state)
+
+    solution.walk(visit)
+    # the block holding `addiu $t2, $zero, 9` only follows the exit
+    # syscall, so it is never entered (or entered with no state)
+    assert not dead or dead[0] is None
+
+
+def test_clobber_facts_override_the_convention_assumption():
+    program = _program(CALL_PROGRAM)
+    cfg = build_cfg(program)
+    dirty = KnownBitsDomain(clobbers={"leaf": frozenset({Reg.S0})})
+    solution = solve(cfg, dirty)
+    after_call = _state_at(solution, cfg,
+                           lambda inst: inst.op is Op.ADDU)
+    # with a verified clobber fact, $s0 no longer survives the call
+    assert after_call[Reg.S0] == kb.TOP
+    # an unknown callee unions every clobber set
+    summary = dirty.call_summary(dirty.entry_state(program), None)
+    assert summary[Reg.S0] == kb.TOP
+    assert kb.is_const(summary[Reg.SP])
+
+
+def test_solve_function_is_intraprocedural():
+    program = _program(CALL_PROGRAM)
+    cfg = build_cfg(program)
+    span = cfg.function_by_name["leaf"]
+    solution = solve_function(cfg, KnownBitsDomain(), span)
+    states = []
+
+    def visit(i, inst, state):
+        if inst.op is Op.JR:
+            states.append(state)
+
+    solution.walk(visit, blocks=span.blocks)
+    assert states and states[0] is not None
+    assert states[0][Reg.V0] == kb.const(42)
+    # blocks outside the span never receive a state
+    start_span = cfg.function_by_name["__start"]
+    assert all(solution.in_states[bid] is None
+               for bid in start_span.blocks
+               if bid not in span.blocks)
+
+
+# ---------------------------------------------------------------------- #
+# value-range domain
+
+def test_range_lattice_ops():
+    assert rng.add(rng.const(3), rng.const(4)) == (7, 7)
+    assert rng.add((0, rng.MASK32), (1, 1)) == rng.TOP        # may wrap
+    assert rng.sub(rng.const(3), rng.const(4)) == rng.TOP     # may go neg
+    assert rng.sub((8, 16), (1, 2)) == (6, 15)
+    assert rng.shl((1, 2), 4) == (16, 32)
+    assert rng.shl((0, rng.MASK32), 1) == rng.TOP
+    assert rng.join((1, 5), (3, 9)) == (1, 9)
+    # widening jumps a growing bound to the extreme
+    assert rng.widen((1, 5), (0, 5)) == (0, 5)
+    assert rng.widen((1, 5), (1, 6)) == (1, rng.MASK32)
+    assert rng.contains((4, 8), 6) and not rng.contains((4, 8), 9)
+
+
+def test_range_domain_tracks_constants_through_arithmetic():
+    program = _program("""
+.text
+__start:
+    addiu $t0, $zero, 5
+    sll $t1, $t0, 2
+    addiu $t2, $t1, -4
+    li $v0, 10
+    syscall
+""")
+    cfg = build_cfg(program)
+    solution = solve(cfg, RangeDomain())
+    # the exit syscall itself is visited with state None (the walk kills
+    # the state at the halting instruction), so probe at the preceding
+    # `li $v0, 10`
+    at_exit = _state_at(
+        solution, cfg,
+        lambda inst: inst.op is Op.ADDIU and inst.rt == Reg.V0)
+    assert at_exit[8] == (5, 5)       # $t0
+    assert at_exit[9] == (20, 20)     # $t1 = 5 << 2
+    assert at_exit[10] == (16, 16)    # $t2 = 20 - 4
+    assert at_exit[Reg.SP] == rng.const(program.sp_value)
+
+
+def test_range_domain_widens_loops_to_termination():
+    program = _program("""
+.text
+__start:
+    addiu $t0, $zero, 0
+loop:
+    addiu $t0, $t0, 1
+    slti $t1, $t0, 10
+    bne $t1, $zero, loop
+    li $v0, 10
+    syscall
+""")
+    cfg = build_cfg(program)
+    solution = solve(cfg, RangeDomain())   # must terminate via widening
+    at_exit = _state_at(
+        solution, cfg,
+        lambda inst: inst.op is Op.ADDIU and inst.rt == Reg.V0)
+    lo, hi = at_exit[8]                    # $t0
+    assert lo >= 0 and hi == rng.MASK32    # widened upper bound
+    assert at_exit[9] == (0, 1)            # slti result stays boolean

@@ -1,0 +1,161 @@
+"""Hypothesis property tests for the known-bits transfer functions.
+
+Soundness property: if a concrete register file is *contained* in an
+abstract state (every register's concrete value matches the known bits),
+then executing an instruction concretely lands inside the abstract state
+produced by the transfer function. Exercised for the address-forming
+arithmetic the FAC analysis leans on: ADD/ADDU, AND, OR, and the three
+immediate shifts, over random (mask, value) abstract operands.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.absint import knownbits as kb
+from repro.analysis.absint.knownbits_domain import transfer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.utils.bits import MASK32
+
+
+def _contains(mv, concrete: int) -> bool:
+    mask, value = mv
+    return concrete & mask == value
+
+
+@st.composite
+def abstract_values(draw):
+    """A well-formed (mask, value) pair: value only has known bits."""
+    mask = draw(st.integers(0, MASK32))
+    value = draw(st.integers(0, MASK32)) & mask
+    return (mask, value)
+
+
+@st.composite
+def members(draw, mv):
+    """A concrete 32-bit value contained in the abstract value ``mv``."""
+    mask, value = mv
+    free = draw(st.integers(0, MASK32)) & ~mask
+    return (value | free) & MASK32
+
+
+def _sra(x: int, sh: int) -> int:
+    signed = x - (1 << 32) if x & 0x80000000 else x
+    return (signed >> sh) & MASK32
+
+
+_LATTICE_OPS = [
+    (kb.add, lambda x, y: (x + y) & MASK32),
+    (kb.bit_and, lambda x, y: x & y),
+    (kb.bit_or, lambda x, y: x | y),
+]
+
+
+@given(data=st.data(), a=abstract_values(), b=abstract_values())
+@settings(max_examples=200, deadline=None)
+def test_lattice_binops_contain_concrete_results(data, a, b):
+    x = data.draw(members(a))
+    y = data.draw(members(b))
+    for abstract, concrete in _LATTICE_OPS:
+        result = abstract(a, b)
+        # well-formedness: no unknown bit may claim a value
+        assert result[1] & ~result[0] == 0
+        assert _contains(result, concrete(x, y))
+
+
+@given(data=st.data(), a=abstract_values(),
+       shift=st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_lattice_shifts_contain_concrete_results(data, a, shift):
+    x = data.draw(members(a))
+    cases = [
+        (kb.shl(a, shift), (x << shift) & MASK32),
+        (kb.shr(a, shift), x >> shift),
+        (kb.sar(a, shift), _sra(x, shift)),
+    ]
+    for result, concrete in cases:
+        assert result[1] & ~result[0] == 0
+        assert _contains(result, concrete)
+
+
+@given(data=st.data(), a=abstract_values(), b=abstract_values())
+@settings(max_examples=150, deadline=None)
+def test_join_is_an_upper_bound(data, a, b):
+    joined = kb.join(a, b)
+    assert _contains(joined, data.draw(members(a)))
+    assert _contains(joined, data.draw(members(b)))
+
+
+# ---------------------------------------------------------------------- #
+# full instruction-level transfer function
+
+_INSTS = [
+    (Instruction(Op.ADDU, rd=1, rs=2, rt=3),
+     lambda x, y: (x + y) & MASK32),
+    (Instruction(Op.ADD, rd=1, rs=2, rt=3),
+     lambda x, y: (x + y) & MASK32),
+    (Instruction(Op.AND, rd=1, rs=2, rt=3), lambda x, y: x & y),
+    (Instruction(Op.OR, rd=1, rs=2, rt=3), lambda x, y: x | y),
+]
+
+
+@given(data=st.data(), a=abstract_values(), b=abstract_values(),
+       case=st.sampled_from(_INSTS))
+@settings(max_examples=200, deadline=None)
+def test_transfer_binops_sound(data, a, b, case):
+    inst, concrete = case
+    state = [kb.ZERO] + [kb.TOP] * 31
+    state[2], state[3] = a, b
+    x = data.draw(members(a))
+    y = data.draw(members(b))
+    out = list(state)
+    transfer(out, inst)
+    result = out[1]
+    assert result[1] & ~result[0] == 0
+    assert _contains(result, concrete(x, y))
+    # untouched registers pass through unchanged
+    assert out[2] == a and out[3] == b and out[0] == kb.ZERO
+
+
+@given(data=st.data(), a=abstract_values(), shift=st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_transfer_shifts_sound(data, a, shift):
+    x = data.draw(members(a))
+    cases = [
+        (Op.SLL, (x << shift) & MASK32),
+        (Op.SRL, x >> shift),
+        (Op.SRA, _sra(x, shift)),
+    ]
+    for op, concrete in cases:
+        inst = Instruction(op, rd=1, rt=2, imm=shift)
+        out = [kb.ZERO] + [kb.TOP] * 31
+        out[2] = a
+        transfer(out, inst)
+        result = out[1]
+        assert result[1] & ~result[0] == 0
+        assert _contains(result, concrete)
+
+
+@given(a=abstract_values(), b=abstract_values())
+@settings(max_examples=150, deadline=None)
+def test_transfer_is_monotone_in_the_operands(a, b):
+    """Widening an input (dropping known bits) can only widen the
+    output — the worklist solver's termination argument relies on it."""
+    wider = (a[0] & b[0], a[1] & a[0] & b[0])
+    if wider == a:
+        return
+    for op in (Op.ADDU, Op.AND, Op.OR):
+        inst = Instruction(op, rd=1, rs=2, rt=3)
+        narrow_state = [kb.ZERO] + [kb.TOP] * 31
+        narrow_state[2] = narrow_state[3] = a
+        transfer(narrow_state, inst)
+        narrow = narrow_state[1]
+        wide_state = [kb.ZERO] + [kb.TOP] * 31
+        wide_state[2] = wide_state[3] = wider
+        transfer(wide_state, inst)
+        wide = wide_state[1]
+        # every value allowed by the narrow result is allowed by the wide
+        assert wide[0] & narrow[0] == wide[0]
+        assert narrow[1] & wide[0] == wide[1]

@@ -7,7 +7,13 @@ import json
 import pytest
 
 from repro.analysis import lint_program
-from repro.analysis.reporting import LINT_SCHEMA, validate_against_schema
+from repro.analysis.reporting import (
+    LINT_SCHEMA,
+    LINT_SCHEMA_VERSION,
+    validate_against_schema,
+)
+from repro.isa.assembler import assemble
+from repro.linker import LinkOptions, link
 from repro.compiler import CompilerOptions, FacSoftwareOptions, compile_and_link
 from repro.__main__ import main
 
@@ -72,9 +78,39 @@ def test_stack_hint_names_frame_size():
     assert f"{facts[diag.function].frame_size} bytes" in diag.hint
 
 
+def test_lint_consumes_convention_facts():
+    """A convention-violating callee gets a FAC601 warning and its
+    clobbered callee-saved registers stop surviving call summaries."""
+    program = link([assemble("""
+.text
+__start:
+    addiu $s0, $zero, 7
+    jal clobber
+    sw $s0, 0($s0)
+    li $v0, 10
+    syscall
+
+.globl clobber
+clobber:
+    addiu $s0, $zero, 96
+    jr $ra
+""", "clobber.s")], LinkOptions())
+    report = lint_program(program, name="clobber")
+    fac601 = [d for d in report.diagnostics if d.code == "FAC601"]
+    assert len(fac601) == 1
+    assert fac601[0].function == "clobber"
+    assert "$s0" in fac601[0].message
+    assert fac601[0].severity == "warning"
+    # with the facts disabled, the legacy convention assumption returns
+    baseline = lint_program(program, name="clobber",
+                            check_conventions=False)
+    assert not [d for d in baseline.diagnostics if d.code == "FAC601"]
+
+
 def test_json_schema_roundtrip():
     report = lint_program(_build(False), name="misaligned")
     payload = json.loads(json.dumps(report.to_json()))
+    assert payload["schema"] == LINT_SCHEMA_VERSION
     assert validate_against_schema(payload, LINT_SCHEMA) == []
     assert payload["summary"]["warnings"] == len(report.warnings)
     assert payload["summary"]["sites"] == len(report.analysis.sites)
@@ -136,3 +172,14 @@ def test_cli_lint_unknown_target(capsys):
     status = main(["lint", "no-such-benchmark"])
     assert status == 2
     assert "unknown target" in capsys.readouterr().err
+
+
+def test_cli_lint_unknown_target_json(capsys):
+    """--json keeps the exit semantics and still emits a schema-tagged
+    payload on the usage-error path."""
+    status = main(["lint", "no-such-benchmark", "--json"])
+    captured = capsys.readouterr()
+    assert status == 2
+    payload = json.loads(captured.out)
+    assert payload["schema"] == LINT_SCHEMA_VERSION
+    assert "unknown target" in payload["error"]

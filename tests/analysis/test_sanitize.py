@@ -1,0 +1,283 @@
+"""Tests for ``repro sanitize``: every seeded violation fixture is caught
+by its intended checker, the benchmark suite is clean, the JSON/SARIF
+outputs validate, and the static findings are cross-checked against
+dynamic traces (a checker must never flag a site the trace proves clean,
+and every seeded violation must actually manifest at runtime)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.absint import build_cfg
+from repro.analysis.reporting import SANITIZE_SCHEMA, validate_against_schema
+from repro.analysis.sanitize import (
+    RULES,
+    SANITIZE_SCHEMA_VERSION,
+    convention_clobbers,
+    sanitize_program,
+)
+from repro.cpu import CPU
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.registers import Reg
+from repro.linker import LinkOptions, link
+from repro.workloads import BENCHMARKS, build_benchmark
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+EXPECTED_CODES = {
+    "viol_convention.s": {"SAN101"},
+    "viol_stack.s": {"SAN201", "SAN202"},
+    "viol_bounds.s": {"SAN301", "SAN302"},
+    "viol_cfi.s": {"SAN401", "SAN403"},
+}
+
+
+def _load_fixture(name: str):
+    source = (FIXTURES / name).read_text()
+    return link([assemble(source, name)], LinkOptions())
+
+
+# ---------------------------------------------------------------------- #
+# seeded violations
+
+@pytest.mark.parametrize("fixture", sorted(EXPECTED_CODES))
+def test_fixture_caught_by_intended_checker(fixture):
+    report = sanitize_program(_load_fixture(fixture), name=fixture)
+    codes = {f.code for f in report.findings}
+    assert codes == EXPECTED_CODES[fixture]
+    # and by the checker the code belongs to, per the rule table
+    for finding in report.findings:
+        assert finding.checker == RULES[finding.code][0]
+
+
+def test_convention_violation_names_the_registers():
+    report = sanitize_program(_load_fixture("viol_convention.s"))
+    (finding,) = report.findings
+    assert finding.function == "clobber"
+    assert "$s0" in finding.message and "$s1" in finding.message
+    assert report.clobbers["clobber"] == frozenset({Reg.S0, Reg.S1})
+
+
+# ---------------------------------------------------------------------- #
+# output formats
+
+def test_json_report_validates_against_schema():
+    report = sanitize_program(_load_fixture("viol_stack.s"), name="stack")
+    payload = report.to_json()
+    assert validate_against_schema(payload, SANITIZE_SCHEMA) == []
+    assert payload["schema"] == SANITIZE_SCHEMA_VERSION
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert payload["summary"]["by_checker"]["stack"] == 2
+
+
+def test_sarif_document_structure():
+    report = sanitize_program(_load_fixture("viol_bounds.s"), name="bounds")
+    sarif = report.to_sarif()
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert rule_ids == set(RULES)
+    result_ids = {result["ruleId"] for result in run["results"]}
+    assert result_ids == {"SAN301", "SAN302"}
+    for result in run["results"]:
+        assert result["level"] in ("error", "warning")
+        assert result["locations"][0]["logicalLocations"][0]["name"]
+
+
+def test_clean_program_renders_clean():
+    program = _load_fixture("viol_stack.s")
+    # reuse the linked image but strip nothing: build a genuinely clean one
+    clean = link([assemble("""
+.text
+__start:
+    addiu $sp, $sp, -16
+    sw $s0, 0($sp)
+    addiu $s0, $zero, 3
+    lw $s0, 0($sp)
+    addiu $sp, $sp, 16
+    li $v0, 10
+    syscall
+""", "clean.s")], LinkOptions())
+    report = sanitize_program(clean, name="clean")
+    assert report.clean
+    assert "clean" in report.render_text()
+    assert not sanitize_program(program).clean
+
+
+# ---------------------------------------------------------------------- #
+# suite-wide: all benchmarks are sanitizer-clean
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_suite_is_clean(name):
+    program = build_benchmark(name)
+    report = sanitize_program(program, name=name)
+    assert report.clean, [f.render() for f in report.findings]
+    assert convention_clobbers(program) == {}
+
+
+# ---------------------------------------------------------------------- #
+# dynamic cross-checks
+
+def _run(program, max_steps=500_000):
+    """Execute ``program``, returning (cpu, trace records)."""
+    cpu = CPU(program)
+    records = []
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        records.append(cpu.step())
+    return cpu, records
+
+
+def test_dynamic_convention_cross_check():
+    """The dynamic trace confirms the seeded convention violation: the
+    callee-saved registers observably change across the call."""
+    program = _load_fixture("viol_convention.s")
+    cfg = build_cfg(program)
+    cpu = CPU(program)
+    shadow = []     # (return pc, callee, saved regs) pushed at each call
+    observed = set()
+    while not cpu.halted:
+        inst = program.instruction_at(cpu.state.pc)
+        if inst is not None and inst.op.name == "JAL":
+            shadow.append((cpu.state.pc + 4,
+                           cfg.function_of(inst.target),
+                           list(cpu.state.regs)))
+        record = cpu.step()
+        if shadow and record.next_pc == shadow[-1][0]:
+            _ret, callee, saved = shadow.pop()
+            for r in (*range(Reg.S0, Reg.S7 + 1), Reg.FP, Reg.SP):
+                if cpu.state.regs[r] != saved[r]:
+                    observed.add((callee, r))
+    assert ("clobber", Reg.S0) in observed
+    assert ("clobber", Reg.S1) in observed
+    # every dynamically observed clobber is statically reported
+    static = sanitize_program(program).clobbers
+    for callee, r in observed:
+        assert r in static[callee]
+
+
+def test_dynamic_stack_cross_check():
+    """The flagged below-$sp load actually reads dead stack memory, and
+    the flagged uninitialised slot is never written before the read."""
+    program = _load_fixture("viol_stack.s")
+    report = sanitize_program(program)
+    flagged = {f.code: f.address for f in report.findings}
+    _cpu, records = _run(program)
+    written = set()
+    below_sp_pcs = set()
+    uninit_read_pcs = set()
+    for record in records:
+        if record.ea is not None and record.inst.is_store:
+            for byte in range(record.inst.info.mem_width):
+                written.add(record.ea + byte)
+    # replay the records against the meaning of each finding
+    for record in records:
+        if record.ea is None or record.inst.rs != Reg.SP:
+            continue
+        sp_at_access = record.base_value
+        if record.ea < sp_at_access:
+            below_sp_pcs.add(record.pc)
+        elif record.inst.is_load and record.ea not in written:
+            uninit_read_pcs.add(record.pc)
+    assert flagged["SAN201"] in below_sp_pcs
+    assert flagged["SAN202"] in uninit_read_pcs
+
+
+def test_dynamic_bounds_cross_check():
+    """The flagged accesses really do leave the mapped data image."""
+    program = _load_fixture("viol_bounds.s")
+    report = sanitize_program(program)
+    by_code = {f.code: f for f in report.findings}
+    _cpu, records = _run(program)
+    eas = {record.pc: record for record in records
+           if record.ea is not None}
+    # SAN301: the null-page load's address is below every placed datum
+    rec301 = eas[by_code["SAN301"].address]
+    lowest = min(address for address, _payload in program.data_image)
+    assert rec301.ea < lowest
+    # SAN302: the overrunning load starts inside `pair` but ends past it
+    pair = program.symbols["pair"]
+    rec302 = eas[by_code["SAN302"].address]
+    assert pair.address <= rec302.ea < pair.address + pair.size
+    assert rec302.ea + rec302.inst.info.mem_width > pair.address + pair.size
+
+
+def test_dynamic_cfi_cross_check():
+    """The seeded fallthrough really escapes the text segment."""
+    program = _load_fixture("viol_cfi.s")
+    cpu = CPU(program)
+    with pytest.raises(SimulationError):
+        for _ in range(100):
+            cpu.step()
+            if cpu.halted:  # pragma: no cover - fixture must not halt
+                break
+
+
+@pytest.mark.parametrize("name", ["compress", "grep"])
+def test_no_finding_on_dynamically_clean_sites(name):
+    """Anti-false-positive invariant: no error-severity finding may land
+    on a site whose executed accesses were all legal in the trace."""
+    program = build_benchmark(name)
+    report = sanitize_program(program, name=name)
+    _cpu, records = _run(program, max_steps=200_000)
+    clean_pcs = set()
+    for record in records:
+        if record.ea is not None and record.inst.rs == Reg.SP \
+                and record.ea >= record.base_value:
+            clean_pcs.add(record.pc)
+    for finding in report.findings:
+        assert not (finding.code == "SAN201"
+                    and finding.address in clean_pcs)
+    # and the suite programs must run without tripping the simulator
+    assert records
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+
+def test_cli_sanitize_text_and_exit_codes(capsys):
+    from repro.__main__ import main
+
+    fixture = str(FIXTURES / "viol_stack.s")
+    assert main(["sanitize", fixture]) == 1
+    out = capsys.readouterr().out
+    assert "SAN201" in out and "SAN202" in out
+
+
+def test_cli_sanitize_json_and_sarif(tmp_path, capsys):
+    from repro.__main__ import main
+
+    fixture = str(FIXTURES / "viol_convention.s")
+    sarif_path = tmp_path / "out.sarif"
+    status = main(["sanitize", fixture, "--json",
+                   "--sarif", str(sarif_path)])
+    assert status == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == SANITIZE_SCHEMA_VERSION
+    assert validate_against_schema(payload, SANITIZE_SCHEMA) == []
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert {r["ruleId"] for r in sarif["runs"][0]["results"]} == {"SAN101"}
+
+
+def test_cli_sanitize_unknown_target_json(capsys):
+    from repro.__main__ import main
+
+    status = main(["sanitize", "no-such-benchmark", "--json"])
+    captured = capsys.readouterr()
+    assert status == 2
+    payload = json.loads(captured.out)
+    assert payload["schema"] == SANITIZE_SCHEMA_VERSION
+    assert "unknown target" in payload["error"]
+
+
+def test_cli_sanitize_clean_benchmark(capsys):
+    from repro.__main__ import main
+
+    assert main(["sanitize", "grep"]) == 0
+    assert "clean" in capsys.readouterr().out

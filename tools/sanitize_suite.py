@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Suite-wide sanitizer gate: every benchmark must be clean, every
+seeded violation fixture must be caught by its intended checker.
+
+For each benchmark (both with and without the paper's Section 4
+software support) this runs ``repro sanitize`` and fails on any
+finding; it then sanitizes the ``tests/analysis/fixtures/viol_*.s``
+programs and fails unless each produces exactly the expected finding
+codes. A merged SARIF 2.1.0 document covering every run is written for
+CI artifact upload.
+
+Usage::
+
+    python tools/sanitize_suite.py                  # full suite + fixtures
+    python tools/sanitize_suite.py compress grep    # named benchmarks
+    python tools/sanitize_suite.py --sarif out.sarif
+
+Exits non-zero on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.sanitize import sanitize_program          # noqa: E402
+from repro.isa.assembler import assemble                      # noqa: E402
+from repro.linker import LinkOptions, link                    # noqa: E402
+from repro.workloads import BENCHMARKS, build_benchmark       # noqa: E402
+
+FIXTURES = REPO / "tests" / "analysis" / "fixtures"
+
+EXPECTED_FIXTURE_CODES = {
+    "viol_convention.s": {"SAN101"},
+    "viol_stack.s": {"SAN201", "SAN202"},
+    "viol_bounds.s": {"SAN301", "SAN302"},
+    "viol_cfi.s": {"SAN401", "SAN403"},
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="*",
+                        help="benchmark names (default: the full suite)")
+    parser.add_argument("--sarif", metavar="FILE", default=None,
+                        help="write a merged SARIF document to FILE")
+    parser.add_argument("--skip-fixtures", action="store_true",
+                        help="only check the benchmark suite")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or sorted(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    sarif_runs = []
+
+    for name in names:
+        for support in (False, True):
+            tag = f"{name}{'+s4' if support else ''}"
+            program = build_benchmark(name, software_support=support)
+            report = sanitize_program(program, name=tag)
+            sarif_runs.extend(report.to_sarif()["runs"])
+            if report.clean:
+                print(f"  ok    {tag}: {report.functions_checked} functions,"
+                      f" {report.sites_checked} sites, clean")
+            else:
+                failures += 1
+                print(f"  FAIL  {tag}: {len(report.findings)} findings")
+                for finding in report.findings:
+                    print("        " + finding.render().replace("\n", "\n        "))
+
+    if not args.skip_fixtures:
+        for fixture, expected in sorted(EXPECTED_FIXTURE_CODES.items()):
+            source = (FIXTURES / fixture).read_text()
+            program = link([assemble(source, fixture)], LinkOptions())
+            report = sanitize_program(program, name=fixture)
+            sarif_runs.extend(report.to_sarif()["runs"])
+            codes = {f.code for f in report.findings}
+            if codes == expected:
+                print(f"  ok    {fixture}: caught {sorted(codes)}")
+            else:
+                failures += 1
+                print(f"  FAIL  {fixture}: expected {sorted(expected)}, "
+                      f"got {sorted(codes)}")
+
+    if args.sarif:
+        document = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": sarif_runs,
+        }
+        Path(args.sarif).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"SARIF written to {args.sarif} ({len(sarif_runs)} runs)")
+
+    if failures:
+        print(f"{failures} sanitize expectation(s) violated", file=sys.stderr)
+        return 1
+    print("sanitize suite gate: all clean, all fixtures caught")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
