@@ -1,5 +1,6 @@
-"""Farm acceptance harness: parallel speedup, warm-cache re-runs, and
-crash isolation on a real experiment grid.
+"""Farm acceptance harness: parallel speedup, warm-cache re-runs, crash
+isolation, ledger completeness, and the span-overhead gate on a real
+experiment grid.
 
 The grid is 4 benchmarks x 4 machine flavours (16 sim cells plus the
 shared build/trace chains). The speedup assertion compares a 4-worker
@@ -17,12 +18,19 @@ import pytest
 
 from repro.experiments.common import MACHINES, MAX_INSTRUCTIONS
 from repro.farm import ArtifactStore, Cell, plan_jobs, run_graph
+from repro.farm import ledger
+from repro.obs.spans import SpanTracker
 
 GRID_BENCHMARKS = ("eqntott", "yacr2", "espresso", "compress")
 GRID_FLAVOURS = ("base", "1cyc", "fac16", "fac32")
 
 SPEEDUP_FLOOR = 2.0
 MIN_CORES = 4
+
+#: Recording spans + writing the ledger may cost at most this fraction
+#: of sweep wall time (best-of-N ratio, to shrug off machine noise).
+SPAN_OVERHEAD_CEILING = 0.05
+OVERHEAD_ROUNDS = 3
 
 
 def grid_cells() -> list[Cell]:
@@ -105,3 +113,63 @@ def test_injected_crash_leaves_sweep_completed(tmp_path, monkeypatch):
             continue
         for flavour in GRID_FLAVOURS:
             assert result.outcomes[f"sim:{name}:{flavour}"].ok
+
+
+@pytest.mark.slow
+def test_grid_ledger_accounts_for_every_job(tmp_path):
+    """Acceptance: a full 4x4 sweep persists a repro.ledger/1 manifest
+    whose span tree covers every job with no orphan spans."""
+    graph = build_graph()
+    store = ArtifactStore(tmp_path / "store")
+    tracker = SpanTracker()
+    result = run_graph(graph, store, jobs=4, timeout=600, tracker=tracker)
+    assert result.ok, result.summary()
+
+    run = ledger.run_from_sweep("grid-acceptance", graph, result, tracker)
+    loaded = ledger.load_run(ledger.write_run(store, run))
+    assert ledger.check_spans(loaded) == []
+    assert set(loaded.jobs) == set(graph.jobs)
+    job_spans = {s["attrs"]["job_id"] for s in loaded.spans
+                 if s["cat"] == "job"}
+    assert job_spans == set(graph.jobs)
+    # every computed job also shipped back its worker-side execute span
+    executes = {s["name"].removeprefix("execute:") for s in loaded.spans
+                if s["cat"] == "execute"}
+    assert executes == set(graph.jobs)
+    for job in loaded.jobs.values():
+        assert job["wall"] > 0 and job["max_rss"] > 0
+
+
+@pytest.mark.slow
+def test_span_overhead_within_bound(tmp_path):
+    """Span recording + ledger persistence may cost at most 5% of sweep
+    wall time. Measured on warm sweeps (the harshest case: no compute
+    to hide behind), best-of-N per mode so scheduler jitter cancels."""
+    graph = build_graph()
+    store = ArtifactStore(tmp_path / "store")
+    cold = run_graph(graph, store, jobs=2, timeout=600)
+    assert cold.ok, cold.summary()
+
+    def warm_sweep(with_spans: bool) -> float:
+        start = time.monotonic()
+        tracker = SpanTracker() if with_spans else None
+        result = run_graph(graph, store, jobs=2, timeout=600,
+                           tracker=tracker)
+        if with_spans:
+            ledger.write_run(store, ledger.run_from_sweep(
+                "overhead-probe", graph, result, tracker))
+        elapsed = time.monotonic() - start
+        assert result.ok and result.hits == len(graph.jobs)
+        return elapsed
+
+    warm_sweep(False)  # page everything in before timing
+    plain = min(warm_sweep(False) for _ in range(OVERHEAD_ROUNDS))
+    traced = min(warm_sweep(True) for _ in range(OVERHEAD_ROUNDS))
+    overhead = traced / plain - 1.0
+    print(f"\n[farm-scaling] warm sweep {plain * 1000:.1f}ms plain, "
+          f"{traced * 1000:.1f}ms with spans+ledger "
+          f"({100 * overhead:+.1f}%)")
+    assert traced <= plain * (1.0 + SPAN_OVERHEAD_CEILING), (
+        f"span+ledger overhead {100 * overhead:.1f}% exceeds "
+        f"{100 * SPAN_OVERHEAD_CEILING:.0f}% ceiling "
+        f"({traced * 1000:.1f}ms vs {plain * 1000:.1f}ms)")

@@ -27,7 +27,8 @@ Commands:
 * ``experiment WHICH`` -- regenerate a paper table/figure
                           (table1|table3|table4|table6|fig1|fig2|fig3|fig5|fig6)
 * ``farm ...``         -- parallel, artifact-cached experiment sweeps
-                          (``farm run``, ``farm status``, ``farm gc``)
+                          (``farm run``, ``farm status``, ``farm top``,
+                          ``farm history``, ``farm timeline``, ``farm gc``)
 """
 
 from __future__ import annotations

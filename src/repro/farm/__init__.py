@@ -16,18 +16,35 @@ module             responsibility
 ``store``          content-addressed artifact store with LRU eviction
 ``snapshots``      SimResult/TraceAnalysis <-> ``repro.metrics/1`` JSON
 ``jobs``           typed job specs, the cell planner, job execution
-``scheduler``      the worker pool: timeouts, retries, crash recovery
+``scheduler``      the worker pool: timeouts, retries, crash recovery,
+                   span threading, per-job resource accounting, and the
+                   live-status heartbeat
 ``progress``       live one-line progress sink for farm events
+``ledger``         persistent ``repro.ledger/1`` run manifests, drift
+                   comparison, Chrome-trace export
+``top``            the ``repro farm top`` live dashboard
 ``api``            store-backed ``analysis_for``/``sim_for`` used by
                    :mod:`repro.experiments.common`
 =================  ====================================================
 
 See docs/experiments.md for the job graph, fingerprinting and
-invalidation rules, and failure semantics.
+invalidation rules, and failure semantics; docs/observability.md for
+span tracing, the run ledger, and ``farm top``/``history``/``timeline``.
 """
 
 from repro.farm.fingerprint import FARM_SCHEMA, config_digest, fingerprint
 from repro.farm.jobs import Cell, JobGraph, JobSpec, plan_jobs
+from repro.farm.ledger import (
+    LEDGER_SCHEMA,
+    LedgerRun,
+    RunDelta,
+    compare_runs,
+    find_run,
+    list_runs,
+    load_run,
+    run_from_sweep,
+    write_run,
+)
 from repro.farm.scheduler import FarmRunResult, JobOutcome, run_graph
 from repro.farm.store import ArtifactStore, default_store_root
 
@@ -39,9 +56,18 @@ __all__ = [
     "JobGraph",
     "JobOutcome",
     "JobSpec",
+    "LEDGER_SCHEMA",
+    "LedgerRun",
+    "RunDelta",
+    "compare_runs",
     "config_digest",
     "default_store_root",
+    "find_run",
     "fingerprint",
+    "list_runs",
+    "load_run",
     "plan_jobs",
+    "run_from_sweep",
     "run_graph",
+    "write_run",
 ]

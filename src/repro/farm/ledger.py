@@ -1,0 +1,474 @@
+"""The farm's persistent run ledger (``repro.ledger/1``).
+
+Every sweep that runs with spans enabled is persisted as one JSON-Lines
+manifest under ``<store>/runs/ledger/<run_id>.jsonl``::
+
+    {"record": "header",  "schema": "repro.ledger/1", "run_id": ..., ...}
+    {"record": "span", ...}     # one per span, in id order
+    {"record": "job", ...}      # one per job: the accounting table
+    {"record": "summary", ...}  # sweep totals
+
+Design points:
+
+* **Relative time.** Span timestamps are stored relative to the sweep
+  root's start and rounded to microseconds, so two runs of the same
+  sweep differ only where their *durations* differ -- and
+  :func:`normalized_lines` (which zeroes durations, resources, and run
+  identity) byte-compares equal across reruns.
+* **Causal completeness.** :func:`repro.obs.spans.orphan_spans` over the
+  span records must be empty: every job of the sweep hangs off the sweep
+  root, and every worker-side span (execute, store get/put) was adopted
+  under its job. ``tests/farm/test_ledger.py`` pins this.
+* **Sweep key.** :func:`sweep_key` fingerprints the sorted job ids, so
+  ``repro farm history`` can find "the previous run of this same sweep"
+  and flag drift (:func:`compare_runs`).
+
+The Chrome export (:func:`run_to_chrome`) reuses
+:class:`~repro.obs.sinks.ChromeTraceSink` with one named track per
+worker plus a scheduler track, so ``repro farm timeline RUN --chrome``
+drops straight into Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.farm.fingerprint import fingerprint
+from repro.obs.sinks import ChromeTraceSink
+from repro.obs.spans import orphan_spans, span_roots
+
+LEDGER_SCHEMA = "repro.ledger/1"
+
+#: Schema tag for ``repro farm status --json`` (validated like
+#: ``repro.lint/1`` via repro.analysis.reporting.validate_against_schema).
+FARM_STATUS_SCHEMA_VERSION = "repro.farm-status/1"
+
+FARM_STATUS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "store", "stats", "last_run", "runs"],
+    "properties": {
+        "schema": {"enum": [FARM_STATUS_SCHEMA_VERSION]},
+        "store": {"type": "string"},
+        "stats": {
+            "type": "object",
+            "required": ["kinds", "total"],
+            "properties": {
+                "total": {
+                    "type": "object",
+                    "required": ["count", "bytes"],
+                    "properties": {
+                        "count": {"type": "integer"},
+                        "bytes": {"type": "integer"},
+                    },
+                },
+            },
+        },
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["run_id", "sweep_key", "jobs", "failed",
+                             "elapsed_seconds"],
+                "properties": {
+                    "run_id": {"type": "string"},
+                    "sweep_key": {"type": "string"},
+                    "jobs": {"type": "integer"},
+                    "failed": {"type": "integer"},
+                    "elapsed_seconds": {"type": "number"},
+                },
+            },
+        },
+    },
+}
+
+#: Drift thresholds for :func:`compare_runs`: a job's wall time drifted
+#: when it moved by more than DRIFT_REL relatively *and* DRIFT_ABS
+#: seconds absolutely (both, so microsecond jitter on fast jobs and
+#: sub-percent noise on slow ones are ignored).
+DRIFT_REL = 0.25
+DRIFT_ABS = 0.05
+
+
+@dataclass
+class LedgerRun:
+    """One persisted sweep: identity, span tree, and job accounting."""
+
+    run_id: str
+    sweep_key: str
+    created: float                  # wall-clock epoch seconds
+    meta: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    jobs: dict[str, dict] = field(default_factory=dict)
+    summary: dict = field(default_factory=dict)
+
+    def header(self) -> dict:
+        return {
+            "record": "header",
+            "schema": LEDGER_SCHEMA,
+            "run_id": self.run_id,
+            "sweep_key": self.sweep_key,
+            "created": self.created,
+            "meta": self.meta,
+        }
+
+
+def sweep_key(job_ids) -> str:
+    """Stable identity of a sweep: a fingerprint of its sorted job ids."""
+    return fingerprint("sweep", sorted(job_ids))
+
+
+# ------------------------------------------------------------------ #
+# building a run from a finished sweep
+
+def _rebase_spans(records: list[dict]) -> list[dict]:
+    """Shift span times so the sweep root starts at 0, in microseconds
+    precision -- monotonic absolutes mean nothing across runs."""
+    roots = span_roots(records)
+    base = min((r["t0"] for r in roots), default=0.0) if roots else \
+        min((r["t0"] for r in records), default=0.0)
+    out = []
+    for record in records:
+        rebased = dict(record)
+        rebased["t0"] = round(record["t0"] - base, 6)
+        rebased["t1"] = None if record["t1"] is None else \
+            round(record["t1"] - base, 6)
+        out.append(rebased)
+    return out
+
+
+def run_from_sweep(run_id: str, graph, result, tracker,
+                   meta: dict | None = None,
+                   created: float | None = None) -> LedgerRun:
+    """Assemble a :class:`LedgerRun` from one executed sweep.
+
+    ``graph``/``result`` are the planner's :class:`~repro.farm.jobs.JobGraph`
+    and the scheduler's :class:`~repro.farm.scheduler.FarmRunResult`;
+    ``tracker`` is the :class:`~repro.obs.spans.SpanTracker` the
+    scheduler recorded into.
+    """
+    jobs = {}
+    for job_id, outcome in sorted(result.outcomes.items()):
+        jobs[job_id] = {
+            "record": "job",
+            "job_id": job_id,
+            "kind": outcome.kind,
+            "status": outcome.status,
+            "cached": outcome.status == "hit",
+            "attempts": outcome.attempts,
+            "wall": round(outcome.wall, 6),
+            "cpu": round(outcome.cpu, 6),
+            "max_rss": outcome.max_rss,
+            "worker": outcome.worker,
+            "error": outcome.error,
+        }
+    summary = dict(result.summary())
+    summary["record"] = "summary"
+    return LedgerRun(
+        run_id=run_id,
+        sweep_key=sweep_key(graph.jobs),
+        created=time.time() if created is None else created,
+        meta=dict(meta or {}),
+        spans=_rebase_spans(tracker.export()),
+        jobs=jobs,
+        summary=summary,
+    )
+
+
+def new_run_id(clock=time.gmtime) -> str:
+    """``YYYYMMDDTHHMMSSZ-<pid>``; collisions are resolved at write time."""
+    return time.strftime("%Y%m%dT%H%M%SZ", clock()) + f"-{os.getpid()}"
+
+
+# ------------------------------------------------------------------ #
+# persistence
+
+def ledger_dir(store) -> Path:
+    path = store.runs_dir() / "ledger"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def run_lines(run: LedgerRun) -> list[str]:
+    """The manifest's JSONL lines, in canonical order and encoding."""
+    records = [run.header()]
+    records.extend({"record": "span", **span} for span in run.spans)
+    records.extend(run.jobs[job_id] for job_id in sorted(run.jobs))
+    records.append(run.summary)
+    return [json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records]
+
+
+def write_run(store, run: LedgerRun) -> Path:
+    """Persist one run; returns the manifest path. Atomic (staged under
+    the store's tmp/ then renamed), and collision-safe on run_id."""
+    directory = ledger_dir(store)
+    run_id = run.run_id
+    path = directory / f"{run_id}.jsonl"
+    serial = 1
+    while path.exists():
+        serial += 1
+        run_id = f"{run.run_id}.{serial}"
+        path = directory / f"{run_id}.jsonl"
+    run.run_id = run_id
+    stage = store.scratch(f"ledger-{run_id}.jsonl")
+    with open(stage, "w") as handle:
+        handle.write("\n".join(run_lines(run)))
+        handle.write("\n")
+    os.replace(stage, path)
+    return path
+
+
+def load_run(path: str | Path) -> LedgerRun:
+    """Parse one manifest back into a :class:`LedgerRun`."""
+    header = None
+    spans: list[dict] = []
+    jobs: dict[str, dict] = {}
+    summary: dict = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("record")
+            if kind == "header":
+                if record.get("schema") != LEDGER_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unsupported ledger schema "
+                        f"{record.get('schema')!r} (want {LEDGER_SCHEMA})")
+                header = record
+            elif kind == "span":
+                spans.append({k: v for k, v in record.items()
+                              if k != "record"})
+            elif kind == "job":
+                jobs[record["job_id"]] = record
+            elif kind == "summary":
+                summary = record
+    if header is None:
+        raise ValueError(f"{path}: not a {LEDGER_SCHEMA} manifest "
+                         "(no header record)")
+    return LedgerRun(
+        run_id=header["run_id"], sweep_key=header["sweep_key"],
+        created=header["created"], meta=header.get("meta", {}),
+        spans=spans, jobs=jobs, summary=summary,
+    )
+
+
+def list_runs(store) -> list[LedgerRun]:
+    """All persisted runs, oldest first (unreadable files are skipped)."""
+    directory = store.runs_dir() / "ledger"
+    runs = []
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.jsonl")):
+            try:
+                runs.append(load_run(path))
+            except (OSError, ValueError, KeyError):
+                continue
+    runs.sort(key=lambda r: (r.created, r.run_id))
+    return runs
+
+
+def find_run(store, run_id: str) -> LedgerRun | None:
+    """Resolve ``run_id`` (or the literal ``last``) to a run."""
+    runs = list_runs(store)
+    if run_id == "last":
+        return runs[-1] if runs else None
+    for run in runs:
+        if run.run_id == run_id:
+            return run
+    return None
+
+
+def previous_run(store, run: LedgerRun) -> LedgerRun | None:
+    """The most recent earlier run with the same sweep key."""
+    best = None
+    for candidate in list_runs(store):
+        if candidate.run_id == run.run_id:
+            continue
+        if candidate.sweep_key != run.sweep_key:
+            continue
+        if (candidate.created, candidate.run_id) < \
+                (run.created, run.run_id):
+            best = candidate
+    return best
+
+
+# ------------------------------------------------------------------ #
+# normalization (determinism tests) and drift comparison
+
+_TIMING_SPAN_KEYS = ("t0", "t1")
+_TIMING_ATTRS = ("wall", "cpu", "max_rss", "elapsed")
+_TIMING_JOB_KEYS = ("wall", "cpu", "max_rss")
+
+
+def normalized_lines(run: LedgerRun) -> list[str]:
+    """Canonical lines with run identity and every timing field zeroed.
+
+    Two reruns of the same sweep against warm (or equally cold) stores
+    must normalize to byte-identical lines -- the ledger's structure is
+    a pure function of the sweep, only durations and ids vary.
+    """
+    clone = LedgerRun(
+        run_id="RUN", sweep_key=run.sweep_key, created=0.0,
+        meta=dict(run.meta), summary=dict(run.summary),
+    )
+    for span in run.spans:
+        span = dict(span)
+        for key in _TIMING_SPAN_KEYS:
+            span[key] = 0.0 if span[key] is not None else None
+        span["attrs"] = {k: (0 if k in _TIMING_ATTRS else v)
+                         for k, v in sorted(span["attrs"].items())}
+        clone.spans.append(span)
+    for job_id, job in run.jobs.items():
+        job = dict(job)
+        for key in _TIMING_JOB_KEYS:
+            job[key] = 0
+        clone.jobs[job_id] = job
+    clone.summary["elapsed_seconds"] = 0.0
+    return run_lines(clone)
+
+
+def check_spans(run: LedgerRun) -> list[str]:
+    """Structural problems in a run's span tree (empty = healthy)."""
+    problems = []
+    orphans = orphan_spans(run.spans)
+    if orphans:
+        problems.append(f"orphan spans (dangling parent_id): {orphans}")
+    roots = span_roots(run.spans)
+    if len(roots) != 1:
+        problems.append(f"expected exactly one root span, found "
+                        f"{len(roots)}")
+    covered = {span["attrs"].get("job_id")
+               for span in run.spans if span["cat"] == "job"}
+    missing = sorted(set(run.jobs) - covered)
+    if missing:
+        problems.append(f"jobs without a span: {missing}")
+    return problems
+
+
+@dataclass
+class JobDrift:
+    """One flagged difference between two runs of the same sweep."""
+
+    job_id: str
+    field: str          # 'wall' | 'status' | 'cached' | 'missing'
+    old: object
+    new: object
+    delta: float = 0.0  # seconds, for wall drift
+
+
+@dataclass
+class RunDelta:
+    """The result of :func:`compare_runs`."""
+
+    old_id: str
+    new_id: str
+    same_sweep: bool
+    drifts: list[JobDrift] = field(default_factory=list)
+    elapsed_old: float = 0.0
+    elapsed_new: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.same_sweep and not self.drifts
+
+
+def compare_runs(old: LedgerRun, new: LedgerRun,
+                 rel: float = DRIFT_REL,
+                 abs_floor: float = DRIFT_ABS) -> RunDelta:
+    """Flag per-job drift between two runs.
+
+    Wall-time drift needs both a ``rel`` relative change and an
+    ``abs_floor`` absolute change; status and cached-ness changes are
+    always flagged; jobs present in only one run are flagged as
+    ``missing``. Byte-identical runs compare with zero drift.
+    """
+    delta = RunDelta(
+        old_id=old.run_id, new_id=new.run_id,
+        same_sweep=old.sweep_key == new.sweep_key,
+        elapsed_old=old.summary.get("elapsed_seconds", 0.0),
+        elapsed_new=new.summary.get("elapsed_seconds", 0.0),
+    )
+    for job_id in sorted(set(old.jobs) | set(new.jobs)):
+        a, b = old.jobs.get(job_id), new.jobs.get(job_id)
+        if a is None or b is None:
+            delta.drifts.append(JobDrift(
+                job_id=job_id, field="missing",
+                old="present" if a else "absent",
+                new="present" if b else "absent"))
+            continue
+        if a["status"] != b["status"]:
+            delta.drifts.append(JobDrift(
+                job_id=job_id, field="status",
+                old=a["status"], new=b["status"]))
+        elif a["cached"] != b["cached"]:
+            delta.drifts.append(JobDrift(
+                job_id=job_id, field="cached",
+                old=a["cached"], new=b["cached"]))
+        wall_a, wall_b = a["wall"], b["wall"]
+        moved = abs(wall_b - wall_a)
+        if moved > abs_floor and moved > rel * max(wall_a, 1e-9):
+            delta.drifts.append(JobDrift(
+                job_id=job_id, field="wall", old=wall_a, new=wall_b,
+                delta=round(wall_b - wall_a, 6)))
+    return delta
+
+
+# ------------------------------------------------------------------ #
+# Chrome / Perfetto export
+
+_SCHEDULER_TID = 0
+
+
+def _span_worker(span: dict, by_id: dict[int, dict]) -> int:
+    """The worker index a span belongs to: its own ``worker`` attribute,
+    or the nearest ancestor's; the scheduler track (-1) otherwise."""
+    seen = set()
+    current: dict | None = span
+    while current is not None and current["span_id"] not in seen:
+        seen.add(current["span_id"])
+        worker = current["attrs"].get("worker")
+        if isinstance(worker, int) and worker >= 0:
+            return worker
+        parent = current["parent_id"]
+        current = by_id.get(parent) if parent is not None else None
+    return -1
+
+
+def run_to_chrome(run: LedgerRun, stream) -> int:
+    """Write one run as Chrome trace-event JSON with per-worker tracks.
+
+    Returns the number of span slices written. One process (``pid 0``)
+    named after the run, a scheduler track for the sweep root and
+    store-hit jobs, and one track per worker. Still-open spans (an
+    aborted sweep) become B events that close() terminates.
+    """
+    sink = ChromeTraceSink(stream)
+    sink.register_process(0, f"repro farm {run.run_id}", 0)
+    sink.register_track(0, _SCHEDULER_TID, "scheduler", 0)
+    by_id = {span["span_id"]: span for span in run.spans}
+    workers = sorted({w for span in run.spans
+                      if (w := _span_worker(span, by_id)) >= 0})
+    for worker in workers:
+        sink.register_track(0, worker + 1, f"worker {worker}", worker + 1)
+    written = 0
+    for span in run.spans:
+        worker = _span_worker(span, by_id)
+        tid = _SCHEDULER_TID if worker < 0 else worker + 1
+        ts = int(round(span["t0"] * 1e6))
+        args = {"span_id": span["span_id"], "status": span["status"]}
+        args.update({k: v for k, v in sorted(span["attrs"].items())
+                     if isinstance(v, (str, int, float, bool))})
+        if span["t1"] is None:
+            sink.emit_begin(span["name"], span["cat"], ts, 0, tid, args)
+        else:
+            dur = max(1, int(round((span["t1"] - span["t0"]) * 1e6)))
+            sink.emit_slice(span["name"], span["cat"], ts, dur, 0, tid,
+                            args)
+        written += 1
+    sink.close()
+    return written

@@ -16,10 +16,13 @@ import sys
 
 from repro.obs.events import (
     Event,
+    FarmJobCrashed,
     FarmJobFailed,
     FarmJobFinished,
+    FarmJobRetry,
     FarmJobScheduled,
     FarmJobStarted,
+    FarmJobTimeout,
 )
 
 
@@ -34,6 +37,7 @@ class ProgressSink:
         self.hits = 0
         self.computed = 0
         self.failed = 0
+        self.retries = 0
         self.last = ""
         self._dirty = False
 
@@ -53,6 +57,13 @@ class ProgressSink:
             self.done += 1
             self.failed += 1
             self.last = f"{event.job_id} FAILED"
+        elif isinstance(event, FarmJobCrashed):
+            self.last = f"{event.job_id} crashed"
+        elif isinstance(event, FarmJobTimeout):
+            self.last = f"{event.job_id} timed out"
+        elif isinstance(event, FarmJobRetry):
+            self.retries += 1
+            self.last = f"{event.job_id} retry #{event.next_attempt}"
         else:
             return
         self._render()
@@ -60,9 +71,10 @@ class ProgressSink:
     def _render(self) -> None:
         if not self.enabled:
             return
+        retries = f" {self.retries} retries" if self.retries else ""
         line = (f"[farm] {self.done}/{self.total} done | "
                 f"{self.hits} hits {self.computed} computed "
-                f"{self.failed} failed | {self.last}")
+                f"{self.failed} failed{retries} | {self.last}")
         self.stream.write("\r" + line[:119].ljust(119))
         self.stream.flush()
         self._dirty = True

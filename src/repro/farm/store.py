@@ -71,10 +71,23 @@ class ArtifactInfo:
 
 
 class ArtifactStore:
-    """Content-addressed store with atomic publication and LRU gc."""
+    """Content-addressed store with atomic publication and LRU gc.
+
+    ``tracer`` (assignable after construction) is an optional
+    :class:`repro.obs.spans.SpanTracker`; when set, every ``get``/``put``
+    is wrapped in a ``store.*`` span nested under the caller's current
+    span -- how farm workers attribute store traffic to their job.
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        self.tracer = None
+
+    def _traced(self, op: str, kind: str, key: str):
+        """``store.get``/``store.put`` span context (no-op untracked)."""
+        return self.tracer.span(
+            f"store.{op}", cat="store",
+            attrs={"artifact_kind": kind, "key": key[:12]})
 
     # -------------------------------------------------------------- #
     # paths
@@ -105,6 +118,14 @@ class ArtifactStore:
 
     def get_meta(self, kind: str, key: str) -> dict | None:
         """Load an artifact's metadata, touching it for LRU purposes."""
+        if self.tracer is not None:
+            with self._traced("get", kind, key) as span_id:
+                meta = self._get_meta(kind, key)
+                self.tracer.annotate(span_id, {"hit": meta is not None})
+                return meta
+        return self._get_meta(kind, key)
+
+    def _get_meta(self, kind: str, key: str) -> dict | None:
         meta_path = self._object_dir(kind, key) / _META
         try:
             with open(meta_path) as handle:
@@ -152,6 +173,13 @@ class ArtifactStore:
         directory; if another process already published ``key``, the
         existing artifact wins and the staged copy is discarded.
         """
+        if self.tracer is not None:
+            with self._traced("put", kind, key):
+                return self._put(kind, key, meta, payloads)
+        return self._put(kind, key, meta, payloads)
+
+    def _put(self, kind: str, key: str, meta: dict,
+             payloads: dict[str, str | Path | bytes] | None = None) -> Path:
         final = self._object_dir(kind, key)
         if (final / _META).is_file():
             return final

@@ -1,0 +1,139 @@
+"""``repro farm top`` -- a live ANSI dashboard for a running sweep.
+
+The scheduler publishes a ``repro.farm-live/1`` JSON status file
+(``<store>/runs/live.json``, atomic replace, ~4 Hz) while a sweep runs;
+this module polls and renders it, so ``repro farm top`` works from a
+second terminal with no coupling to the sweep process beyond the farm
+directory -- the same files-as-API contract the artifact store uses.
+
+Rendering is a pure function (:func:`render_dashboard`) over the status
+dict, so tests drive it with crafted payloads and golden substrings; the
+watch loop only adds cursor-home/clear escapes and staleness detection
+(a sweep that died without writing ``complete`` shows as ``STALE``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+LIVE_FILENAME = "live.json"
+
+#: Seconds without a status update before the sweep is presumed dead.
+STALE_SECONDS = 5.0
+
+_HOME_CLEAR = "\x1b[H\x1b[2J"
+
+
+def live_path(store):
+    return store.runs_dir() / LIVE_FILENAME
+
+
+def read_live(store) -> dict | None:
+    """The current live status, or None when no sweep ever published."""
+    try:
+        with open(live_path(store)) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(status: dict, now: float | None = None,
+                     width: int = 78) -> str:
+    """One dashboard frame (no escape codes; the caller owns the screen).
+
+    ``now`` is wall-clock seconds for staleness display; defaults to
+    ``time.time()``.
+    """
+    now = time.time() if now is None else now
+    age = now - status.get("updated", now)
+    total = status.get("total", 0) or 0
+    done = status.get("done", 0)
+    hits = status.get("hits", 0)
+    computed = status.get("computed", 0)
+    failed = status.get("failed", 0)
+    workers = status.get("workers", {})
+    queue = status.get("queue", {})
+    fraction = done / total if total else 0.0
+
+    state = "COMPLETE" if status.get("complete") else (
+        "STALE" if age > STALE_SECONDS else "RUNNING")
+    lines = [
+        f"repro farm top -- {state}  "
+        f"(pid {status.get('pid', '?')}, "
+        f"elapsed {status.get('elapsed', 0.0):.1f}s, "
+        f"updated {age:.1f}s ago)",
+        "=" * width,
+        f"progress  [{_bar(fraction)}] {done}/{total} jobs  "
+        f"({100 * fraction:.0f}%)",
+        f"store     {hits} hits  {computed} computed  {failed} failed  "
+        f"| hit ratio {100 * status.get('hit_ratio', 0.0):.0f}%",
+        f"queue     {queue.get('ready', 0)} ready  "
+        f"{queue.get('waiting', 0)} waiting on deps",
+        f"workers   {workers.get('busy', 0)}/{workers.get('max', 0)} busy "
+        f"({workers.get('spawned', 0)} spawned)  "
+        f"| utilization {100 * status.get('utilization', 0.0):.0f}%",
+        "-" * width,
+    ]
+    running = status.get("running", [])
+    if running:
+        lines.append(f"{'WORKER':>6}  {'ELAPSED':>8}  {'ATT':>3}  JOB")
+        for job in running:
+            lines.append(
+                f"{job.get('worker', '?'):>6}  "
+                f"{job.get('elapsed', 0.0):>7.1f}s  "
+                f"{job.get('attempt', 1):>3}  "
+                f"{job.get('job_id', '?')[:width - 26]}")
+    elif status.get("complete"):
+        lines.append("(sweep complete)")
+    else:
+        lines.append("(no jobs in flight)")
+    return "\n".join(lines) + "\n"
+
+
+def watch(store, stream=None, interval: float = 0.5, once: bool = False,
+          duration: float | None = None, clock=time.time,
+          sleep=time.sleep) -> int:
+    """Poll the live file and redraw until the sweep completes.
+
+    Returns 0 on a completed sweep (or a rendered ``--once`` frame), 1
+    when no live status exists or the watch timed out while the sweep
+    was still incomplete. ``clock``/``sleep`` are injectable for tests.
+    """
+    stream = stream if stream is not None else sys.stdout
+    started = clock()
+    first = True
+    while True:
+        status = read_live(store)
+        if status is None:
+            if once:
+                stream.write("no sweep has published live status under "
+                             f"{live_path(store)}\n")
+                return 1
+        else:
+            frame = render_dashboard(status, now=clock())
+            if once:
+                stream.write(frame)
+                return 0
+            stream.write(_HOME_CLEAR + frame)
+            stream.flush()
+            if status.get("complete"):
+                return 0
+            first = False
+        if once:
+            return 1
+        if duration is not None and clock() - started >= duration:
+            return 0 if (status and status.get("complete")) else 1
+        if first and status is None:
+            stream.write("waiting for a sweep to start "
+                         f"({live_path(store)})...\n")
+            stream.flush()
+            first = False
+        sleep(interval)

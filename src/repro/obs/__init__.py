@@ -9,7 +9,10 @@ Three pillars:
   uniform ``as_dict()``/``merge()`` container protocol and versioned
   snapshots,
 * :mod:`repro.obs.sinks` -- pluggable event consumers: null, in-memory,
-  JSONL, and Chrome trace-event JSON (Perfetto-loadable).
+  JSONL, and Chrome trace-event JSON (Perfetto-loadable),
+* :mod:`repro.obs.spans` -- hierarchical wall-clock spans
+  (:class:`~repro.obs.spans.SpanTracker`) with parent links and
+  cross-process adoption; the farm threads these through every sweep.
 
 Higher-level drivers live in submodules imported on demand (they pull in
 the whole simulator stack): :mod:`repro.obs.profile` for source-level FAC
@@ -57,6 +60,7 @@ from repro.obs.sinks import (
     JsonlSink,
     NullSink,
 )
+from repro.obs.spans import Span, SpanTracker, orphan_spans, span_roots
 
 __all__ = [
     "EVENT_TYPES",
@@ -83,4 +87,8 @@ __all__ = [
     "CollectingSink",
     "JsonlSink",
     "NullSink",
+    "Span",
+    "SpanTracker",
+    "orphan_spans",
+    "span_roots",
 ]

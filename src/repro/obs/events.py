@@ -32,6 +32,11 @@ kind                meaning
 ``farm.started``    a farm job was dispatched to a worker (store miss)
 ``farm.finished``   a farm job completed (``cached`` = artifact hit)
 ``farm.failed``     a farm job failed permanently; the sweep continues
+``farm.job.crashed``  a worker died mid-job (signal/OOM), reason attached
+``farm.job.timeout``  a job attempt exceeded the per-job timeout
+``farm.job.retry``    a crashed/timed-out job was requeued for another try
+``span.start``      a hierarchical span opened (repro.obs.spans)
+``span.end``        a span closed, with its status
 ==================  ====================================================
 """
 
@@ -199,6 +204,69 @@ class FarmJobFailed(Event):
     attempts: int
 
 
+@dataclass(slots=True)
+class FarmJobCrashed(Event):
+    """A worker died mid-job (hard exit, signal, OOM kill).
+
+    Emitted once per crashed *attempt*, before the scheduler decides
+    between :class:`FarmJobRetry` and :class:`FarmJobFailed` -- so a
+    downstream consumer can distinguish crash-then-recovered from
+    crash-then-gave-up.
+    """
+
+    kind = "farm.job.crashed"
+    job_id: str
+    job_kind: str
+    reason: str
+    attempt: int        # the attempt that crashed (1-based)
+
+
+@dataclass(slots=True)
+class FarmJobTimeout(Event):
+    """A job attempt exceeded the per-job timeout and was killed."""
+
+    kind = "farm.job.timeout"
+    job_id: str
+    job_kind: str
+    timeout: float      # the configured per-attempt budget, seconds
+    attempt: int
+
+
+@dataclass(slots=True)
+class FarmJobRetry(Event):
+    """A crashed/timed-out job was requeued for another attempt."""
+
+    kind = "farm.job.retry"
+    job_id: str
+    job_kind: str
+    reason: str
+    next_attempt: int   # the attempt number the retry will run as
+
+
+# ------------------------------------------------------------------ #
+# hierarchical spans (repro.obs.spans)
+
+@dataclass(slots=True)
+class SpanStarted(Event):
+    """A span opened; ``parent_id`` links the causal tree."""
+
+    kind = "span.start"
+    span_id: int
+    parent_id: int | None
+    name: str
+    cat: str
+    t0: float           # monotonic seconds
+
+
+@dataclass(slots=True)
+class SpanEnded(Event):
+    kind = "span.end"
+    span_id: int
+    name: str
+    t1: float
+    status: str         # 'ok' | 'error' | ...
+
+
 #: kind -> event class, for sinks that reconstruct events.
 EVENT_TYPES = {
     cls.kind: cls
@@ -207,6 +275,8 @@ EVENT_TYPES = {
         TlbAccess, StoreBufferInsert, StoreBufferFullStall,
         BranchResolved, Syscall,
         FarmJobScheduled, FarmJobStarted, FarmJobFinished, FarmJobFailed,
+        FarmJobCrashed, FarmJobTimeout, FarmJobRetry,
+        SpanStarted, SpanEnded,
     )
 }
 

@@ -97,6 +97,10 @@ class ChromeTraceSink:
         # get default labels in _metadata()
         self._tracks: dict[tuple[int, int], tuple[str, int]] = {}
         self._processes: dict[int, tuple[str, int]] = {}
+        # per-track stacks of open "B" events, so an aborted run can be
+        # closed into parseable JSON (see close())
+        self._open: dict[tuple[int, int], list[str]] = {}
+        self._last_ts = 0
 
     # -------------------------------------------------------------- #
     # explicit track registration (used by FlightRecorder.to_chrome and
@@ -131,6 +135,39 @@ class ChromeTraceSink:
         if args:
             event["args"] = args
         self._events.append(event)
+
+    def emit_begin(self, name: str, cat: str, ts: int,
+                   pid: int, tid: int, args: dict | None = None) -> None:
+        """Open a duration ("B") event; pair with :meth:`emit_end`.
+
+        Unlike "X" slices, B/E pairs can be written before the end time
+        is known -- the shape live producers need. Any still-open pair is
+        terminated by :meth:`close`, so an aborted run yields a parseable
+        trace instead of truncated JSON.
+        """
+        event = {
+            "name": name, "cat": cat, "ph": "B",
+            "ts": ts, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+        self._open.setdefault((pid, tid), []).append(name)
+        self._last_ts = max(self._last_ts, ts)
+
+    def emit_end(self, ts: int, pid: int, tid: int,
+                 args: dict | None = None) -> None:
+        """Close the innermost open "B" event on ``(pid, tid)``."""
+        stack = self._open.get((pid, tid))
+        if not stack:
+            raise ValueError(f"emit_end with no open event on "
+                             f"pid={pid} tid={tid}")
+        stack.pop()
+        event = {"ph": "E", "ts": ts, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._events.append(event)
+        self._last_ts = max(self._last_ts, ts)
 
     # -------------------------------------------------------------- #
 
@@ -230,13 +267,35 @@ class ChromeTraceSink:
         return meta
 
     def close(self) -> None:
-        """Write the accumulated trace as one JSON document."""
+        """Write the accumulated trace as one JSON document.
+
+        Open "B" events (a run that aborted mid-sweep) are terminated
+        with synthetic "E" events carrying ``incomplete: true`` at the
+        last timestamp seen, so the document always parses and Perfetto
+        renders the partial timeline instead of rejecting the file.
+        """
         if self._closed:
             return
         self._closed = True
+        for (pid, tid), stack in sorted(self._open.items()):
+            while stack:
+                stack.pop()
+                self._events.append({
+                    "ph": "E", "ts": self._last_ts, "pid": pid, "tid": tid,
+                    "args": {"incomplete": True},
+                })
         document = {
             "displayTimeUnit": "ms",
             "traceEvents": self._metadata() + self._events,
         }
         json.dump(document, self.stream, separators=(",", ":"))
         self.stream.write("\n")
+
+    # Context-manager form: ``with ChromeTraceSink(stream) as sink: ...``
+    # guarantees the terminating close() even when the run aborts.
+
+    def __enter__(self) -> "ChromeTraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

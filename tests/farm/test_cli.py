@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.analysis.reporting import validate_against_schema
+from repro.farm.ledger import FARM_STATUS_SCHEMA, FARM_STATUS_SCHEMA_VERSION
 
 
 @pytest.fixture
@@ -23,6 +25,12 @@ class TestStatus:
         payload = json.loads(capsys.readouterr().out)
         assert payload["stats"]["total"] == {"count": 0, "bytes": 0}
         assert payload["last_run"] is None
+
+    def test_json_is_schema_tagged_and_valid(self, store_dir, capsys):
+        assert main(["farm", "status", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == FARM_STATUS_SCHEMA_VERSION
+        assert validate_against_schema(payload, FARM_STATUS_SCHEMA) == []
 
 
 class TestGc:
@@ -76,3 +84,103 @@ class TestRun:
         assert "last run:" in out
         for kind in ("build", "trace", "analysis", "sim"):
             assert kind in out
+
+
+class TestLedgerCommands:
+    """run -> ledger -> history/timeline, through the real CLI."""
+
+    @pytest.fixture(scope="class")
+    def ledgered_store(self, tmp_path_factory):
+        store_dir = str(tmp_path_factory.mktemp("ledger-cli") / "store")
+        base = ["farm", "run", "--store", store_dir, "--jobs", "2",
+                "--quiet", "--no-render", "--suite", "eqntott",
+                "--figures", "table3"]
+        assert main(base + ["--run-id", "run-cold"]) == 0
+        assert main(base + ["--run-id", "run-warm1"]) == 0
+        assert main(base + ["--run-id", "run-warm2"]) == 0
+        return store_dir
+
+    def test_run_persists_ledger_manifests(self, ledgered_store, capsys):
+        assert main(["farm", "status", "--store", ledgered_store,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in payload["runs"]] == \
+            ["run-cold", "run-warm1", "run-warm2"]
+        assert all(r["failed"] == 0 for r in payload["runs"])
+        assert validate_against_schema(payload, FARM_STATUS_SCHEMA) == []
+
+    def test_no_spans_skips_the_ledger(self, store_dir, capsys):
+        assert main(["farm", "run", "--store", store_dir, "--quiet",
+                     "--no-render", "--no-spans", "--suite", "eqntott",
+                     "--figures", "table3", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["farm", "history", "--store", store_dir]) == 0
+        assert "no ledger runs" in capsys.readouterr().out
+
+    def test_history_list_and_inspect(self, ledgered_store, capsys):
+        assert main(["farm", "history", "--store", ledgered_store]) == 0
+        out = capsys.readouterr().out
+        assert "run-cold" in out and "run-warm2" in out
+
+        assert main(["farm", "history", "last",
+                     "--store", ledgered_store]) == 0
+        out = capsys.readouterr().out
+        assert "run run-warm2" in out
+        assert "healthy" in out          # span tree passes check_spans
+        assert "slowest jobs:" in out
+
+    def test_history_compare_identical_runs_zero_drift(
+            self, ledgered_store, capsys):
+        assert main(["farm", "history", "run-warm2", "--compare",
+                     "run-warm1", "--store", ledgered_store]) == 0
+        assert "zero drift" in capsys.readouterr().out
+
+    def test_history_compare_defaults_to_previous_same_sweep(
+            self, ledgered_store, capsys):
+        # run-warm2's previous same-key run is run-warm1: also zero drift
+        assert main(["farm", "history", "run-warm2", "--compare",
+                     "--store", ledgered_store]) == 0
+        out = capsys.readouterr().out
+        assert "run-warm1 -> run-warm2" in out
+
+    def test_history_compare_flags_cold_to_warm(self, ledgered_store,
+                                                capsys):
+        # status drift (done -> hit) must flag and exit nonzero
+        assert main(["farm", "history", "run-warm1", "--compare",
+                     "run-cold", "--store", ledgered_store, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.farm-drift/1"
+        assert any(d["field"] == "status" for d in payload["drifts"])
+
+    def test_history_unknown_run(self, ledgered_store, capsys):
+        assert main(["farm", "history", "no-such-run",
+                     "--store", ledgered_store]) == 2
+
+    def test_timeline_text_tree(self, ledgered_store, capsys):
+        assert main(["farm", "timeline", "run-cold",
+                     "--store", ledgered_store]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "job:build:eqntott" in out
+        assert "execute:build:eqntott" in out
+
+    def test_timeline_chrome_export(self, ledgered_store, tmp_path,
+                                    capsys):
+        trace = tmp_path / "timeline.json"
+        assert main(["farm", "timeline", "last", "--store", ledgered_store,
+                     "--chrome", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert "scheduler" in names
+
+    def test_top_once_renders_complete_sweep(self, ledgered_store, capsys):
+        assert main(["farm", "top", "--store", ledgered_store,
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out
+        assert "hit ratio" in out
+
+    def test_top_once_without_live_file(self, store_dir, capsys):
+        assert main(["farm", "top", "--store", store_dir, "--once"]) == 1
+        assert "no sweep" in capsys.readouterr().out

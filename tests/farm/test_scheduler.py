@@ -138,6 +138,105 @@ class TestFailureIsolation:
         assert result.outcomes["build:eqntott"].status == "failed"
 
 
+class TestFailureEvents:
+    """Each injected failure mode emits its distinct event sequence."""
+
+    def _events_for(self, tmp_path, job_id, **kwargs):
+        store = ArtifactStore(tmp_path / "store")
+        bus = EventBus()
+        recorder = _Recorder()
+        bus.attach(recorder)
+        result = run_graph(two_benchmark_graph(), store, jobs=2,
+                           obs=bus, **kwargs)
+        return result, [e for e in recorder.events
+                        if getattr(e, "job_id", None) == job_id]
+
+    def test_crash_then_retry_then_give_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_TEST_CRASH", "build:yacr2")
+        result, events = self._events_for(tmp_path, "build:yacr2",
+                                          timeout=60, retries=1)
+        kinds = [e.kind for e in events]
+        assert kinds == [
+            "farm.scheduled",
+            "farm.started", "farm.job.crashed", "farm.job.retry",
+            "farm.started", "farm.job.crashed",
+            "farm.failed",
+        ]
+        crashed = [e for e in events if e.kind == "farm.job.crashed"]
+        assert [c.attempt for c in crashed] == [1, 2]
+        assert all("crashed" in c.reason for c in crashed)
+        retry = next(e for e in events if e.kind == "farm.job.retry")
+        assert retry.next_attempt == 2
+        assert result.outcomes["build:yacr2"].attempts == 2
+
+    def test_timeout_emits_timeout_not_crash(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_TEST_HANG", "trace:yacr2")
+        result, events = self._events_for(tmp_path, "trace:yacr2",
+                                          timeout=2, retries=0)
+        kinds = [e.kind for e in events]
+        assert kinds == ["farm.scheduled", "farm.started",
+                         "farm.job.timeout", "farm.failed"]
+        assert "farm.job.crashed" not in kinds
+        timeout = next(e for e in events if e.kind == "farm.job.timeout")
+        assert timeout.timeout == 2
+        assert timeout.attempt == 1
+
+    def test_python_exception_neither_crashes_nor_retries(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        bus = EventBus()
+        recorder = _Recorder()
+        bus.attach(recorder)
+        graph = plan_jobs({Cell("analysis", "no-such-benchmark")}, MACHINES,
+                          MAX_INSTRUCTIONS)
+        run_graph(graph, store, jobs=1, timeout=60, retries=5, obs=bus)
+        kinds = [e.kind for e in recorder.events]
+        assert "farm.failed" in kinds
+        for forbidden in ("farm.job.crashed", "farm.job.timeout",
+                          "farm.job.retry"):
+            assert forbidden not in kinds
+
+
+class TestResourceAccounting:
+    def test_computed_jobs_measure_wall_cpu_rss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        result = run_graph(small_graph(), store, jobs=2, timeout=120)
+        for outcome in result.outcomes.values():
+            assert outcome.status == "done"
+            assert outcome.wall > 0
+            assert outcome.max_rss > 0
+            assert outcome.worker >= 0
+        summary = result.summary()
+        assert summary["cpu_seconds"] >= 0
+        assert summary["max_rss_bytes"] > 0
+
+    def test_store_hits_never_dispatch(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        graph = small_graph()
+        run_graph(graph, store, jobs=2, timeout=120)
+        warm = run_graph(graph, store, jobs=2, timeout=120)
+        for outcome in warm.outcomes.values():
+            assert outcome.status == "hit"
+            assert outcome.worker == -1
+            assert outcome.cpu == 0.0
+
+
+class TestLiveHeartbeat:
+    def test_final_heartbeat_is_complete_and_valid(self, tmp_path):
+        import json
+
+        store = ArtifactStore(tmp_path / "store")
+        live = tmp_path / "live.json"
+        graph = small_graph()
+        run_graph(graph, store, jobs=2, timeout=120, heartbeat_path=live)
+        status = json.loads(live.read_text())
+        assert status["schema"] == "repro.farm-live/1"
+        assert status["complete"] is True
+        assert status["done"] == status["total"] == len(graph.jobs)
+        assert status["queue"] == {"ready": 0, "waiting": 0}
+        assert status["running"] == []
+        assert status["workers"]["busy"] == 0
+
+
 class TestValidation:
     def test_python_exception_fails_without_retry(self, tmp_path):
         # an unknown benchmark raises inside the worker: deterministic,

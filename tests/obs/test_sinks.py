@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.obs.events import (
     EVENT_TYPES,
     EventBus,
@@ -124,3 +126,58 @@ class TestChromeTraceSink:
         first = stream.getvalue()
         sink.close()
         assert stream.getvalue() == first
+
+
+class TestChromeTraceAbort:
+    """Regression: a mid-sweep abort must yield parseable JSON with the
+    open duration events terminated, not a truncated document."""
+
+    def test_unclosed_begins_get_incomplete_terminators(self):
+        stream = io.StringIO()
+        sink = ChromeTraceSink(stream)
+        sink.emit_begin("sweep", "farm", ts=0, pid=0, tid=0)
+        sink.emit_begin("job:a", "farm", ts=10, pid=0, tid=1)
+        sink.emit_begin("store.get", "farm", ts=12, pid=0, tid=1)
+        sink.emit_end(ts=15, pid=0, tid=1)  # store.get closes normally
+        # ...abort here: sweep (tid 0) and job:a (tid 1) still open
+        sink.close()
+
+        doc = json.loads(stream.getvalue())  # must parse
+        events = doc["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 3  # balanced after close
+        synthetic = [e for e in ends
+                     if e.get("args", {}).get("incomplete")]
+        assert len(synthetic) == 2
+        # terminators land at the last timestamp seen, never before it
+        assert all(e["ts"] == 15 for e in synthetic)
+        assert {e["tid"] for e in synthetic} == {0, 1}
+
+    def test_nested_begins_on_one_track_all_terminate(self):
+        stream = io.StringIO()
+        sink = ChromeTraceSink(stream)
+        for depth in range(3):
+            sink.emit_begin(f"level{depth}", "farm", ts=depth, pid=0, tid=7)
+        sink.close()
+        doc = json.loads(stream.getvalue())
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert len(ends) == 3
+        assert all(e["args"]["incomplete"] for e in ends)
+
+    def test_emit_end_without_open_event_raises(self):
+        sink = ChromeTraceSink(io.StringIO())
+        with pytest.raises(ValueError):
+            sink.emit_end(ts=0, pid=0, tid=0)
+
+    def test_context_manager_closes_on_exception(self):
+        stream = io.StringIO()
+        try:
+            with ChromeTraceSink(stream) as sink:
+                sink.emit_begin("sweep", "farm", ts=0, pid=0, tid=0)
+                raise RuntimeError("abort mid-sweep")
+        except RuntimeError:
+            pass
+        doc = json.loads(stream.getvalue())
+        assert any(e["ph"] == "E" and e["args"]["incomplete"]
+                   for e in doc["traceEvents"])
