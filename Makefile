@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint-self sanitize bench bench-full experiments farm examples clean
+.PHONY: install test test-fast lint-self sanitize bench bench-full experiments farm serve serve-smoke examples clean
 
 install:
 	pip install -e .
@@ -39,9 +39,18 @@ JOBS ?= 4
 farm:               ## parallel, artifact-cached full sweep (docs/experiments.md)
 	$(PYTHON) -m repro farm run --jobs $(JOBS)
 
+PORT ?= 8732
+serve:              ## simulation-as-a-service on the farm store (docs/serving.md)
+	$(PYTHON) -m repro serve --port $(PORT) --jobs $(JOBS)
+
+serve-smoke:        ## the CI serve gate: API tests, live smoke, load generator
+	$(PYTHON) -m pytest tests/serve/ -q
+	$(PYTHON) tools/serve_smoke.py --store .serve-smoke-farm
+	$(PYTHON) -m pytest benchmarks/test_serve_load.py -q -s
+
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks .repro-farm src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .repro-farm .serve-smoke-farm src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

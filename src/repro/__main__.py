@@ -29,6 +29,10 @@ Commands:
 * ``farm ...``         -- parallel, artifact-cached experiment sweeps
                           (``farm run``, ``farm status``, ``farm top``,
                           ``farm history``, ``farm timeline``, ``farm gc``)
+* ``serve``            -- simulation-as-a-service HTTP server on top of
+                          the farm (``--check`` for offline health)
+* ``submit``           -- submit one job to a running serve instance
+                          (``--follow`` streams its SSE events)
 """
 
 from __future__ import annotations
@@ -598,8 +602,10 @@ def main(argv=None) -> int:
     p_exp.set_defaults(func=cmd_experiment)
 
     from repro.farm.cli import add_farm_parser
+    from repro.serve.cli import add_serve_parser
 
     add_farm_parser(sub)
+    add_serve_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

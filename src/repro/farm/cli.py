@@ -18,7 +18,7 @@ Subcommands:
                        drift against the previous run of the same sweep.
 * ``farm timeline`` -- export one run's span tree as Chrome trace-event
                        JSON (Perfetto-loadable, per-worker tracks).
-* ``farm gc``       -- evict artifacts (LRU under ``--max-size``, or
+* ``farm gc``       -- evict artifacts (LRU under ``--max-bytes``, or
                        everything with ``--all``).
 """
 
@@ -365,13 +365,14 @@ def cmd_farm_timeline(args) -> int:
 
 def cmd_farm_gc(args) -> int:
     store = _store_for(args)
-    if not args.all and args.max_size is None:
-        print("farm gc: pass --max-size SIZE or --all", file=sys.stderr)
+    budget = args.max_bytes if args.max_bytes is not None else args.max_size
+    if not args.all and budget is None:
+        print("farm gc: pass --max-bytes SIZE or --all", file=sys.stderr)
         return 2
     if args.all:
         evicted, freed = store.gc(clear=True)
     else:
-        evicted, freed = store.gc(max_size=parse_size(args.max_size))
+        evicted, freed = store.gc(max_bytes=parse_size(budget))
     print(f"[farm] evicted {evicted} artifacts, freed {freed / 1024:.1f} KiB")
     return 0
 
@@ -451,9 +452,11 @@ def add_farm_parser(sub) -> None:
     p_timeline.set_defaults(func=cmd_farm_timeline)
 
     p_gc = farm_sub.add_parser("gc", help="evict artifacts")
-    p_gc.add_argument("--max-size", default=None, metavar="SIZE",
+    p_gc.add_argument("--max-bytes", default=None, metavar="SIZE",
                       help="evict LRU-first until the store fits SIZE "
                            "(K/M/G suffixes)")
+    p_gc.add_argument("--max-size", default=None, metavar="SIZE",
+                      help="alias for --max-bytes (historical name)")
     p_gc.add_argument("--all", action="store_true",
                       help="remove every artifact")
     p_gc.add_argument("--store", default=None, metavar="DIR")

@@ -64,7 +64,14 @@ class Cell:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One schedulable unit of work (picklable, sent to workers)."""
+    """One schedulable unit of work (picklable, sent to workers).
+
+    ``source`` carries inline MiniC text for ad-hoc programs that are
+    not in the benchmark registry (``repro serve`` submissions). When
+    set, ``name`` is just a display label: fingerprints hash the source
+    text itself, so two tenants submitting identical programs share
+    every artifact regardless of what they called them.
+    """
 
     job_id: str
     kind: str                       # build | trace | analysis | sim
@@ -74,6 +81,7 @@ class JobSpec:
     machine_label: str | None = None
     machine: MachineConfig | None = None
     deps: tuple[str, ...] = ()
+    source: str | None = None
 
 
 @dataclass
@@ -145,30 +153,53 @@ def benchmark_options(software: bool) -> CompilerOptions:
     return options
 
 
-def manifest_key(name: str, software: bool) -> str:
-    from repro.workloads.suite import load_source
+def _content_label(name: str, source: str | None) -> str:
+    """The identity component of a downstream fingerprint.
 
-    return fingerprint("build", name, source_digest(load_source(name)),
+    Registered benchmarks are unambiguous by ``name``. Inline programs
+    all share a name, and the program CRC alone is too weak to tell
+    them apart (it hashes opcodes, not operands), so their label is the
+    full source digest -- content-correct, and still shared by
+    identical submissions regardless of tenant or display name.
+    """
+    if source is None:
+        return name
+    return f"<inline>:{source_digest(source)}"
+
+
+def manifest_key(name: str, software: bool,
+                 source: str | None = None) -> str:
+    if source is None:
+        from repro.workloads.suite import load_source
+
+        source = load_source(name)
+        label = name
+    else:
+        # Inline programs key on content alone: the same source under
+        # two submission names is one artifact.
+        label = "<inline>"
+    return fingerprint("build", label, source_digest(source),
                        benchmark_options(software))
 
 
 def trace_key(name: str, software: bool, program_crc: int,
-              max_instructions: int) -> str:
-    return fingerprint("trace", name, program_crc,
+              max_instructions: int, source: str | None = None) -> str:
+    return fingerprint("trace", _content_label(name, source), program_crc,
                        benchmark_options(software), max_instructions)
 
 
 def analysis_key(name: str, software: bool, program_crc: int,
-                 max_instructions: int) -> str:
-    return fingerprint("analysis", name, program_crc,
+                 max_instructions: int, source: str | None = None) -> str:
+    return fingerprint("analysis", _content_label(name, source),
+                       program_crc,
                        benchmark_options(software), max_instructions,
                        list(ANALYSIS_BLOCK_SIZES), ANALYSIS_CACHE_SIZE)
 
 
 def sim_key(name: str, software: bool, program_crc: int,
             machine_label: str, machine: MachineConfig,
-            max_instructions: int) -> str:
-    return fingerprint("sim", name, program_crc,
+            max_instructions: int, source: str | None = None) -> str:
+    return fingerprint("sim", _content_label(name, source), program_crc,
                        benchmark_options(software), max_instructions,
                        machine_label, config_digest(machine))
 
@@ -182,18 +213,20 @@ def resolve_key(spec: JobSpec, store: ArtifactStore) -> str | None:
     rebuilds and re-derives the key itself).
     """
     if spec.kind == "build":
-        return manifest_key(spec.name, spec.software)
-    manifest = store.get_meta("build", manifest_key(spec.name, spec.software))
+        return manifest_key(spec.name, spec.software, spec.source)
+    manifest = store.get_meta(
+        "build", manifest_key(spec.name, spec.software, spec.source))
     if manifest is None:
         return None
     crc = manifest["program_crc"]
     if spec.kind == "trace":
-        return trace_key(spec.name, spec.software, crc, spec.max_instructions)
+        return trace_key(spec.name, spec.software, crc,
+                         spec.max_instructions, spec.source)
     if spec.kind == "analysis":
         return analysis_key(spec.name, spec.software, crc,
-                            spec.max_instructions)
+                            spec.max_instructions, spec.source)
     return sim_key(spec.name, spec.software, crc, spec.machine_label,
-                   spec.machine, spec.max_instructions)
+                   spec.machine, spec.max_instructions, spec.source)
 
 
 def artifact_ready(spec: JobSpec, store: ArtifactStore) -> str | None:
@@ -212,22 +245,26 @@ def artifact_ready(spec: JobSpec, store: ArtifactStore) -> str | None:
 # ------------------------------------------------------------------ #
 # execution (idempotent against the store)
 
-def build_program(name: str, software: bool):
+def build_program(name: str, software: bool, source: str | None = None):
+    if source is not None:
+        from repro.compiler import compile_and_link
+
+        return compile_and_link(source, benchmark_options(software))
     from repro.workloads.suite import build_benchmark
 
     return build_benchmark(name, software_support=software)
 
 
-def ensure_manifest(store: ArtifactStore, name: str,
-                    software: bool) -> dict:
+def ensure_manifest(store: ArtifactStore, name: str, software: bool,
+                    source: str | None = None) -> dict:
     """Build manifest: the program CRC under a source+options key."""
     from repro.cpu.tracefile import program_crc
 
-    key = manifest_key(name, software)
+    key = manifest_key(name, software, source)
     meta = store.get_meta("build", key)
     if meta is not None:
         return meta
-    program = build_program(name, software)
+    program = build_program(name, software, source)
     meta = {
         "schema": FARM_SCHEMA,
         "kind": "build",
@@ -241,7 +278,8 @@ def ensure_manifest(store: ArtifactStore, name: str,
 
 
 def ensure_trace(store: ArtifactStore, name: str, software: bool,
-                 max_instructions: int) -> tuple[str, dict]:
+                 max_instructions: int,
+                 source: str | None = None) -> tuple[str, dict]:
     """Record (or find) the functional trace of one build.
 
     The artifact carries the facts a trace cannot: instruction count,
@@ -251,13 +289,13 @@ def ensure_trace(store: ArtifactStore, name: str, software: bool,
     from repro.cpu import CPU
     from repro.cpu.tracefile import record_trace
 
-    manifest = ensure_manifest(store, name, software)
+    manifest = ensure_manifest(store, name, software, source)
     key = trace_key(name, software, manifest["program_crc"],
-                    max_instructions)
+                    max_instructions, source)
     meta = store.get_meta("trace", key)
     if meta is not None and store.payload_path("trace", key, TRACE_PAYLOAD):
         return key, meta
-    program = build_program(name, software)
+    program = build_program(name, software, source)
     cpu = CPU(program)
     scratch = store.scratch(f"{name}-{key[:12]}.fact.gz")
     count = record_trace(program, str(scratch), max_instructions, cpu=cpu)
@@ -277,18 +315,20 @@ def ensure_trace(store: ArtifactStore, name: str, software: bool,
 
 
 def ensure_analysis(store: ArtifactStore, name: str, software: bool,
-                    max_instructions: int) -> tuple[str, dict]:
+                    max_instructions: int,
+                    source: str | None = None) -> tuple[str, dict]:
     """Compute (or find) the trace analysis snapshot of one build."""
     from repro.analysis.prediction import analyze_trace
 
-    manifest = ensure_manifest(store, name, software)
+    manifest = ensure_manifest(store, name, software, source)
     key = analysis_key(name, software, manifest["program_crc"],
-                       max_instructions)
+                       max_instructions, source)
     snapshot = store.get_json("analysis", key)
     if snapshot is not None:
         return key, snapshot
-    tkey, tmeta = ensure_trace(store, name, software, max_instructions)
-    program = build_program(name, software)
+    tkey, tmeta = ensure_trace(store, name, software, max_instructions,
+                               source)
+    program = build_program(name, software, source)
     trace_path = store.payload_path("trace", tkey, TRACE_PAYLOAD)
     analysis = analyze_trace(
         program, str(trace_path), block_sizes=ANALYSIS_BLOCK_SIZES,
@@ -313,18 +353,20 @@ def ensure_analysis(store: ArtifactStore, name: str, software: bool,
 
 def ensure_sim(store: ArtifactStore, name: str, software: bool,
                machine_label: str, machine: MachineConfig,
-               max_instructions: int) -> tuple[str, dict]:
+               max_instructions: int,
+               source: str | None = None) -> tuple[str, dict]:
     """Replay (or find) one timing simulation snapshot."""
     from repro.cpu.tracefile import simulate_trace
 
-    manifest = ensure_manifest(store, name, software)
+    manifest = ensure_manifest(store, name, software, source)
     key = sim_key(name, software, manifest["program_crc"], machine_label,
-                  machine, max_instructions)
+                  machine, max_instructions, source)
     snapshot = store.get_json("sim", key)
     if snapshot is not None:
         return key, snapshot
-    tkey, tmeta = ensure_trace(store, name, software, max_instructions)
-    program = build_program(name, software)
+    tkey, tmeta = ensure_trace(store, name, software, max_instructions,
+                               source)
+    program = build_program(name, software, source)
     trace_path = store.payload_path("trace", tkey, TRACE_PAYLOAD)
     result = simulate_trace(program, str(trace_path), machine,
                             memory_usage=tmeta["memory_usage"])
@@ -355,19 +397,19 @@ def execute_job(spec: JobSpec, store: ArtifactStore) -> str:
     to order the sweep and scope failures, not to carry data.
     """
     if spec.kind == "build":
-        ensure_manifest(store, spec.name, spec.software)
-        return manifest_key(spec.name, spec.software)
+        ensure_manifest(store, spec.name, spec.software, spec.source)
+        return manifest_key(spec.name, spec.software, spec.source)
     if spec.kind == "trace":
         key, _ = ensure_trace(store, spec.name, spec.software,
-                              spec.max_instructions)
+                              spec.max_instructions, spec.source)
         return key
     if spec.kind == "analysis":
         key, _ = ensure_analysis(store, spec.name, spec.software,
-                                 spec.max_instructions)
+                                 spec.max_instructions, spec.source)
         return key
     if spec.kind == "sim":
         key, _ = ensure_sim(store, spec.name, spec.software,
                             spec.machine_label, spec.machine,
-                            spec.max_instructions)
+                            spec.max_instructions, spec.source)
         return key
     raise ValueError(f"unknown job kind {spec.kind!r}")

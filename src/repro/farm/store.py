@@ -2,19 +2,29 @@
 
 Layout (all under one root directory, default ``.repro-farm/``)::
 
-    <root>/objects/<kind>/<key[:2]>/<key>/meta.json    # always present
-    <root>/objects/<kind>/<key[:2]>/<key>/<payload>    # optional payload
+    <root>/objects/<kind>/<k2>/<k4>/<key>/meta.json    # always present
+    <root>/objects/<kind>/<k2>/<k4>/<key>/<payload>    # optional payload
     <root>/runs/last.json                              # last run summary
+    <root>/serve/                                      # repro.serve state
     <root>/tmp/                                        # staging area
 
 ``kind`` is one of ``build``, ``trace``, ``analysis``, ``sim``; ``key``
-is a fingerprint hex digest (see :mod:`repro.farm.fingerprint`).
+is a fingerprint hex digest (see :mod:`repro.farm.fingerprint`), and
+``<k2>``/``<k4>`` are its first and second byte (``key[:2]``,
+``key[2:4]``) -- two-level fan-out keeps directories small when
+thousands of tenants share one warm cache through ``repro serve``
+(65536 leaf shards instead of 256). Stores written before the second
+level existed (``objects/<kind>/<k2>/<key>``) stay readable: every
+lookup falls back to the legacy path, so old artifacts remain warm
+cache hits and age out through the same LRU gc.
 
 Writes are atomic: an artifact is staged under ``tmp/`` and published
 with a single ``os.rename``, so concurrent workers computing the same
 key race harmlessly -- the loser discards its copy. Reads touch the
 artifact's ``meta.json`` mtime, which :meth:`ArtifactStore.gc` uses for
-least-recently-used eviction.
+least-recently-used eviction; :meth:`ArtifactStore.pin` protects
+in-flight artifacts (a job mid-execution, a result mid-response) from a
+concurrent size-budgeted gc in the same process.
 """
 
 from __future__ import annotations
@@ -82,6 +92,7 @@ class ArtifactStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.tracer = None
+        self._pins: set[tuple[str, str]] = set()
 
     def _traced(self, op: str, kind: str, key: str):
         """``store.get``/``store.put`` span context (no-op untracked)."""
@@ -93,7 +104,24 @@ class ArtifactStore:
     # paths
 
     def _object_dir(self, kind: str, key: str) -> Path:
-        return self.root / "objects" / kind / key[:2] / key
+        """Canonical (two-level sharded) home of an artifact."""
+        return (self.root / "objects" / kind
+                / (key[:2] or "__") / (key[2:4] or "__") / key)
+
+    def _legacy_object_dir(self, kind: str, key: str) -> Path:
+        """Pre-sharding (single-level) location, still honoured on read."""
+        return self.root / "objects" / kind / (key[:2] or "__") / key
+
+    def _find_object_dir(self, kind: str, key: str) -> Path:
+        """Where the artifact lives: the sharded path, the legacy path
+        when only it exists, else the sharded path (for error paths)."""
+        sharded = self._object_dir(kind, key)
+        if (sharded / _META).is_file():
+            return sharded
+        legacy = self._legacy_object_dir(kind, key)
+        if (legacy / _META).is_file():
+            return legacy
+        return sharded
 
     def _tmp_dir(self) -> Path:
         tmp = self.root / "tmp"
@@ -114,7 +142,7 @@ class ArtifactStore:
     # reads
 
     def has(self, kind: str, key: str) -> bool:
-        return (self._object_dir(kind, key) / _META).is_file()
+        return (self._find_object_dir(kind, key) / _META).is_file()
 
     def get_meta(self, kind: str, key: str) -> dict | None:
         """Load an artifact's metadata, touching it for LRU purposes."""
@@ -126,7 +154,7 @@ class ArtifactStore:
         return self._get_meta(kind, key)
 
     def _get_meta(self, kind: str, key: str) -> dict | None:
-        meta_path = self._object_dir(kind, key) / _META
+        meta_path = self._find_object_dir(kind, key) / _META
         try:
             with open(meta_path) as handle:
                 meta = json.load(handle)
@@ -140,14 +168,14 @@ class ArtifactStore:
 
     def payload_path(self, kind: str, key: str, name: str) -> Path | None:
         """Path of a payload file, or None when absent."""
-        path = self._object_dir(kind, key) / name
+        path = self._find_object_dir(kind, key) / name
         return path if path.is_file() else None
 
     def get_json(self, kind: str, key: str, name: str = "snapshot.json"):
         """Load a JSON payload (with the LRU touch), or None."""
         if self.get_meta(kind, key) is None:
             return None
-        path = self._object_dir(kind, key) / name
+        path = self._find_object_dir(kind, key) / name
         try:
             with open(path) as handle:
                 return json.load(handle)
@@ -155,7 +183,7 @@ class ArtifactStore:
             return None
 
     def get_bytes(self, kind: str, key: str, name: str) -> bytes | None:
-        path = self._object_dir(kind, key) / name
+        path = self._find_object_dir(kind, key) / name
         try:
             return path.read_bytes()
         except OSError:
@@ -180,9 +208,10 @@ class ArtifactStore:
 
     def _put(self, kind: str, key: str, meta: dict,
              payloads: dict[str, str | Path | bytes] | None = None) -> Path:
+        existing = self._find_object_dir(kind, key)
+        if (existing / _META).is_file():
+            return existing
         final = self._object_dir(kind, key)
-        if (final / _META).is_file():
-            return final
         stage = self._tmp_dir() / f"{os.getpid()}-{kind}-{key[:16]}"
         if stage.exists():
             shutil.rmtree(stage, ignore_errors=True)
@@ -219,6 +248,26 @@ class ArtifactStore:
     # -------------------------------------------------------------- #
     # enumeration / gc
 
+    def _iter_object_dirs(self, kind_dir: Path):
+        """Every object directory under one kind, both layouts.
+
+        A first-level entry holding ``meta.json`` directly is a legacy
+        (single-level) artifact; otherwise it is a shard whose children
+        are second-level shards holding the sharded artifacts.
+        """
+        for shard in sorted(kind_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if not entry.is_dir():
+                    continue
+                if (entry / _META).is_file():    # legacy: objects/k/ab/KEY
+                    yield entry
+                    continue
+                for obj in sorted(entry.iterdir()):
+                    if obj.is_dir() and (obj / _META).is_file():
+                        yield obj                # sharded: objects/k/ab/cd/KEY
+
     def ls(self) -> list[ArtifactInfo]:
         objects = self.root / "objects"
         found = []
@@ -227,19 +276,13 @@ class ArtifactStore:
         for kind_dir in sorted(objects.iterdir()):
             if not kind_dir.is_dir():
                 continue
-            for shard in sorted(kind_dir.iterdir()):
-                if not shard.is_dir():
-                    continue
-                for obj in sorted(shard.iterdir()):
-                    meta = obj / _META
-                    if not meta.is_file():
-                        continue
-                    size = sum(f.stat().st_size
-                               for f in obj.iterdir() if f.is_file())
-                    found.append(ArtifactInfo(
-                        kind=kind_dir.name, key=obj.name, path=obj,
-                        size=size, mtime=meta.stat().st_mtime,
-                    ))
+            for obj in self._iter_object_dirs(kind_dir):
+                size = sum(f.stat().st_size
+                           for f in obj.iterdir() if f.is_file())
+                found.append(ArtifactInfo(
+                    kind=kind_dir.name, key=obj.name, path=obj,
+                    size=size, mtime=(obj / _META).stat().st_mtime,
+                ))
         return found
 
     def stats(self) -> dict:
@@ -254,36 +297,95 @@ class ArtifactStore:
             total["bytes"] += info.size
         return {"root": str(self.root), "kinds": per_kind, "total": total}
 
+    def shard_stats(self) -> dict:
+        """Directory fan-out statistics (the serve health endpoint).
+
+        Per kind: object count, number of leaf shards in use, and the
+        most crowded leaf shard -- the number an operator watches to
+        know the two-level fan-out is keeping directories small.
+        """
+        objects = self.root / "objects"
+        kinds: dict[str, dict] = {}
+        if objects.is_dir():
+            for kind_dir in sorted(objects.iterdir()):
+                if not kind_dir.is_dir():
+                    continue
+                shards: dict[str, int] = {}
+                legacy = 0
+                for obj in self._iter_object_dirs(kind_dir):
+                    shard = obj.parent
+                    if shard.parent == kind_dir:    # legacy single-level
+                        legacy += 1
+                    shards[str(shard.relative_to(kind_dir))] = \
+                        shards.get(str(shard.relative_to(kind_dir)), 0) + 1
+                kinds[kind_dir.name] = {
+                    "objects": sum(shards.values()),
+                    "shards": len(shards),
+                    "max_per_shard": max(shards.values(), default=0),
+                    "legacy_objects": legacy,
+                }
+        return {"levels": 2, "kinds": kinds}
+
     def remove(self, kind: str, key: str) -> bool:
-        path = self._object_dir(kind, key)
+        path = self._find_object_dir(kind, key)
         if not path.is_dir():
             return False
         shutil.rmtree(path, ignore_errors=True)
         return True
 
-    def gc(self, max_size: int | None = None,
-           clear: bool = False) -> tuple[int, int]:
+    # -------------------------------------------------------------- #
+    # pinning (in-process protection from concurrent gc)
+
+    def pin(self, kind: str, key: str) -> None:
+        """Shield an in-flight artifact from :meth:`gc` until unpinned.
+
+        Pins are per-store-instance (in-memory): the serve worker pins
+        the artifacts a request just produced while the size-budgeted
+        gc runs, so the cache can be trimmed between jobs without ever
+        evicting a result that is still being streamed to a client.
+        """
+        self._pins.add((kind, key))
+
+    def unpin(self, kind: str, key: str) -> None:
+        self._pins.discard((kind, key))
+
+    def pinned(self, kind: str, key: str) -> bool:
+        return (kind, key) in self._pins
+
+    def gc(self, max_bytes: int | None = None, clear: bool = False,
+           *, max_size: int | None = None) -> tuple[int, int]:
         """Evict artifacts; returns ``(evicted_count, freed_bytes)``.
 
-        ``clear=True`` removes everything. Otherwise artifacts are
-        evicted least-recently-used first until the store fits within
-        ``max_size`` bytes. The staging area is always emptied.
+        ``clear=True`` removes everything (except pinned artifacts).
+        Otherwise artifacts are evicted least-recently-used first until
+        the store fits within ``max_bytes``. ``max_size`` is the
+        historical name for the same budget and remains an alias. The
+        staging area is always emptied; pinned artifacts are never
+        evicted (their bytes still count toward the budget, so a pin
+        can make the budget unreachable -- by design: in-flight results
+        beat the quota).
         """
+        if max_bytes is None:
+            max_bytes = max_size
         shutil.rmtree(self.root / "tmp", ignore_errors=True)
         artifacts = self.ls()
         evicted = freed = 0
         if clear:
             for info in artifacts:
+                if (info.kind, info.key) in self._pins:
+                    continue
                 self.remove(info.kind, info.key)
                 evicted += 1
                 freed += info.size
             return evicted, freed
-        if max_size is None:
+        if max_bytes is None:
             return 0, 0
         total = sum(info.size for info in artifacts)
         for info in sorted(artifacts, key=lambda i: (i.mtime, i.key)):
-            if total <= max_size:
+            if total <= max_bytes:
                 break
+            if (info.kind, info.key) in self._pins:
+                continue
             self.remove(info.kind, info.key)
             evicted += 1
             freed += info.size

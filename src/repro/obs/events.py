@@ -42,6 +42,7 @@ kind                meaning
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 
 
@@ -287,15 +288,35 @@ class EventBus:
     A bus with no sinks is legal and nearly free, but the supported
     zero-overhead idiom is to pass ``obs=None`` to producers -- then not
     even the event objects are constructed.
+
+    Subscription is thread-safe: ``attach``/``detach`` swap an immutable
+    sink tuple under a lock while ``emit`` reads whatever tuple is
+    current without locking, so the instrumented hot path pays nothing
+    and a publisher mid-fan-out never observes a half-mutated sink list
+    (it finishes the snapshot it started with). This is what lets the
+    serve layer's SSE fan-out subscribe and unsubscribe while the farm's
+    multiprocessing result pump is publishing from another thread.
     """
 
-    __slots__ = ("sinks",)
+    __slots__ = ("sinks", "_lock")
 
     def __init__(self, sinks: list | tuple = ()):
-        self.sinks = list(sinks)
+        self.sinks = tuple(sinks)
+        self._lock = threading.Lock()
 
     def attach(self, sink) -> None:
-        self.sinks.append(sink)
+        with self._lock:
+            self.sinks = self.sinks + (sink,)
+
+    def detach(self, sink) -> None:
+        """Remove ``sink`` (by identity); unknown sinks are ignored.
+
+        A publisher that already entered ``emit`` may still deliver one
+        final event to the detached sink -- consumers that need a hard
+        cut-off (e.g. :func:`subscribe_async`) close on their own side.
+        """
+        with self._lock:
+            self.sinks = tuple(s for s in self.sinks if s is not sink)
 
     def emit(self, event: Event) -> None:
         for sink in self.sinks:
@@ -306,3 +327,103 @@ class EventBus:
             close = getattr(sink, "close", None)
             if close is not None:
                 close()
+
+
+# ------------------------------------------------------------------ #
+# asyncio bridge (repro.serve SSE fan-out)
+
+#: Queue sentinel marking the end of an :class:`AsyncSubscription`.
+_SUBSCRIPTION_CLOSED = object()
+
+
+class _QueueBridgeSink:
+    """Bus-side half of :func:`subscribe_async`.
+
+    ``handle`` may be called from any thread (farm workers publish via
+    the scheduler's result-pump thread); it hops onto the subscriber's
+    event loop with ``call_soon_threadsafe``, the one asyncio entry
+    point that is documented thread-safe. The queue is unbounded, so no
+    event is ever dropped -- backpressure is the consumer's problem,
+    which for SSE streaming is exactly right.
+    """
+
+    __slots__ = ("loop", "queue", "closed")
+
+    def __init__(self, loop, queue):
+        self.loop = loop
+        self.queue = queue
+        self.closed = False
+
+    def handle(self, event) -> None:
+        if self.closed:
+            return
+        try:
+            self.loop.call_soon_threadsafe(self.queue.put_nowait, event)
+        except RuntimeError:  # loop already closed; drop silently
+            self.closed = True
+
+
+class AsyncSubscription:
+    """Queue-backed async view of an :class:`EventBus`.
+
+    Iterate (``async for event in sub``) or call :meth:`get` until it
+    returns ``None``; :meth:`close` detaches from the bus and terminates
+    the iteration after every already-queued event has been consumed --
+    close is a flush point, not a discard.
+    """
+
+    def __init__(self, bus: EventBus, sink: _QueueBridgeSink):
+        self.bus = bus
+        self._sink = sink
+        self.queue = sink.queue
+
+    async def get(self):
+        """The next event, or ``None`` once closed and drained."""
+        item = await self.queue.get()
+        if item is _SUBSCRIPTION_CLOSED:
+            return None
+        return item
+
+    def close(self) -> None:
+        """Detach from the bus and end the iteration (idempotent)."""
+        if self._sink.closed:
+            return
+        self.bus.detach(self._sink)
+        self._sink.closed = True
+        # Deliver the sentinel on the loop so it lands *after* any
+        # events a concurrent publisher already scheduled.
+        try:
+            self._sink.loop.call_soon_threadsafe(
+                self.queue.put_nowait, _SUBSCRIPTION_CLOSED)
+        except RuntimeError:  # loop gone; nothing left to wake
+            pass
+
+    def __aiter__(self):
+        return self
+
+    async def __anext__(self):
+        item = await self.get()
+        if item is None:
+            raise StopAsyncIteration
+        return item
+
+
+def subscribe_async(bus: EventBus, loop=None, queue=None) -> AsyncSubscription:
+    """Subscribe to ``bus`` from asyncio code.
+
+    Returns an :class:`AsyncSubscription` whose queue receives every
+    event published on ``bus`` from *any* thread, in publication order
+    per publisher, delivered on ``loop`` (default: the running loop).
+    This is the supported way to couple the farm's thread-side event
+    stream to an asyncio consumer (the serve layer's SSE fan-out)
+    without racing the multiprocessing result pump.
+    """
+    import asyncio
+
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    if queue is None:
+        queue = asyncio.Queue()
+    sink = _QueueBridgeSink(loop, queue)
+    bus.attach(sink)
+    return AsyncSubscription(bus, sink)

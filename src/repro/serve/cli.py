@@ -1,0 +1,178 @@
+"""``repro serve`` / ``repro submit`` -- the service CLI surfaces.
+
+* ``repro serve``          -- run the HTTP service in the foreground
+                              (``--check`` prints the health document
+                              and exits without binding a socket).
+* ``repro submit``         -- submit one job to a running service,
+                              optionally following its SSE event stream
+                              and waiting for the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.farm.cli import parse_size
+from repro.farm.store import ArtifactStore, default_store_root
+from repro.serve.schemas import SERVE_JOB_SCHEMA_VERSION
+
+DEFAULT_PORT = 8732
+
+
+def _store_for(args) -> ArtifactStore:
+    root = getattr(args, "store", None) or default_store_root()
+    return ArtifactStore(root)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.queue import PersistentQueue
+    from repro.serve.service import ServeConfig, ServeService, build_health
+
+    store = _store_for(args)
+    if args.check:
+        queue = PersistentQueue(store.root / "serve" / "queue",
+                                quota=args.quota)
+        print(json.dumps(build_health(store, queue),
+                         indent=2, sort_keys=True))
+        return 0
+
+    config = ServeConfig(
+        host=args.host, port=args.port, quota=args.quota,
+        farm_jobs=args.jobs, job_timeout=args.timeout,
+        retries=args.retries,
+        gc_max_bytes=(parse_size(args.gc_max_bytes)
+                      if args.gc_max_bytes else None),
+    )
+
+    async def _main() -> None:
+        service = ServeService(store, config)
+        await service.start()
+        print(f"[serve] listening on http://{config.host}:{service.port} "
+              f"(store: {store.root}, quota: {config.quota}/tenant)",
+              file=sys.stderr)
+        try:
+            async with service.server:
+                await service.server.serve_forever()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.serve import client as serve_client
+
+    if (args.benchmark is None) == (args.source is None):
+        print("submit: pass exactly one of --benchmark NAME or "
+              "--source FILE", file=sys.stderr)
+        return 2
+    payload = {
+        "schema": SERVE_JOB_SCHEMA_VERSION,
+        "tenant": args.tenant,
+        "software": args.software_support,
+        "analysis": args.analysis,
+        "priority": args.priority,
+    }
+    if args.benchmark is not None:
+        payload["benchmark"] = args.benchmark
+    else:
+        with open(args.source) as handle:
+            payload["source"] = handle.read()
+        payload["name"] = args.name or Path(args.source).stem
+    if args.machines:
+        payload["machines"] = [m.strip() for m in args.machines.split(",")
+                               if m.strip()]
+    if args.max_instructions:
+        payload["max_instructions"] = args.max_instructions
+
+    status, doc = serve_client.submit(args.url, payload)
+    if status != 202:
+        print(json.dumps(doc, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    job_id = doc["job_id"]
+    print(f"[submit] accepted as {job_id}", file=sys.stderr)
+    if args.no_wait:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.follow:
+        for entry in serve_client.stream_events(args.url, job_id,
+                                                timeout=args.wait_timeout):
+            print(f"[{entry['seq']:3d}] {entry.get('event')} "
+                  f"{entry.get('job_id', '')}", file=sys.stderr)
+    record = serve_client.wait_job(args.url, job_id,
+                                  timeout=args.wait_timeout)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        result = record.get("result") or {}
+        summary = result.get("summary", {})
+        print(f"[submit] {job_id}: {record['state']} "
+              f"({summary.get('hits', 0)} hits, "
+              f"{summary.get('computed', 0)} computed, "
+              f"{len(summary.get('failed', []))} failed, "
+              f"{result.get('elapsed_seconds', '?')}s)",
+              file=sys.stderr)
+        for ref in result.get("artifacts", []):
+            print(f"  {ref['kind']:10s} {ref['key']}", file=sys.stderr)
+    return 0 if record["state"] == "done" else 1
+
+
+def add_serve_parser(sub) -> None:
+    """Register ``serve`` and ``submit`` on a ``__main__`` subparser set."""
+    p_serve = sub.add_parser(
+        "serve", help="simulation-as-a-service HTTP server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"listen port (default {DEFAULT_PORT}, "
+                              f"0 = ephemeral)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="artifact store root (default: "
+                              "$REPRO_FARM_DIR or .repro-farm/)")
+    p_serve.add_argument("--quota", type=int, default=8,
+                         help="per-tenant in-flight job quota (default 8)")
+    p_serve.add_argument("--jobs", "-j", type=int, default=1,
+                         help="farm workers per served job (default 1)")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="per farm-job attempt timeout (default 300)")
+    p_serve.add_argument("--retries", type=int, default=1)
+    p_serve.add_argument("--gc-max-bytes", default=None, metavar="SIZE",
+                         help="trim the store to SIZE between jobs "
+                              "(K/M/G suffixes; default: no trimming)")
+    p_serve.add_argument("--check", action="store_true",
+                         help="print the health document and exit")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running serve instance")
+    p_submit.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}")
+    p_submit.add_argument("--benchmark", default=None, metavar="NAME",
+                          help="a registered suite benchmark")
+    p_submit.add_argument("--source", default=None, metavar="FILE",
+                          help="an inline MiniC program")
+    p_submit.add_argument("--name", default=None,
+                          help="display name for --source jobs")
+    p_submit.add_argument("--machines", default=None, metavar="LIST",
+                          help="comma-separated machine flavours "
+                               "(default: base)")
+    p_submit.add_argument("--analysis", action="store_true",
+                          help="also request the trace analysis")
+    p_submit.add_argument("--software-support", action="store_true",
+                          help="compile with the Section 4 support")
+    p_submit.add_argument("--tenant", default="cli")
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--max-instructions", type=int, default=None)
+    p_submit.add_argument("--follow", action="store_true",
+                          help="stream the job's SSE events while waiting")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the accepted record and exit")
+    p_submit.add_argument("--wait-timeout", type=float, default=600.0)
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the full job record as JSON")
+    p_submit.set_defaults(func=cmd_submit)

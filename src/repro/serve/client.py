@@ -1,0 +1,106 @@
+"""Minimal stdlib client for the serve API.
+
+Shared by ``repro submit``, the load generator, and the serve tests --
+one implementation of the wire details (JSON bodies, SSE framing) so a
+protocol change breaks loudly in one place.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+
+def _connect(base_url: str, timeout: float) -> http.client.HTTPConnection:
+    parts = urlsplit(base_url)
+    return http.client.HTTPConnection(parts.hostname, parts.port,
+                                      timeout=timeout)
+
+
+def request_json(base_url: str, method: str, path: str, payload=None,
+                 timeout: float = 30.0) -> tuple[int, dict]:
+    """One JSON request/response; returns ``(status, document)``."""
+    conn = _connect(base_url, timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        doc = json.loads(raw.decode()) if raw else {}
+        return response.status, doc
+    finally:
+        conn.close()
+
+
+def submit(base_url: str, payload: dict,
+           timeout: float = 30.0) -> tuple[int, dict]:
+    return request_json(base_url, "POST", "/v1/jobs", payload,
+                        timeout=timeout)
+
+
+def get_job(base_url: str, job_id: str,
+            timeout: float = 30.0) -> tuple[int, dict]:
+    return request_json(base_url, "GET", f"/v1/jobs/{job_id}",
+                        timeout=timeout)
+
+
+def get_health(base_url: str, timeout: float = 30.0) -> tuple[int, dict]:
+    return request_json(base_url, "GET", "/v1/health", timeout=timeout)
+
+
+def wait_job(base_url: str, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> dict:
+    """Poll until the job reaches a terminal state; returns the record."""
+    deadline = time.monotonic() + timeout
+    while True:
+        status, record = get_job(base_url, job_id)
+        if status == 200 and record.get("state") in ("done", "failed"):
+            return record
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"job {job_id} still {record.get('state')!r} "
+                f"after {timeout}s")
+        time.sleep(poll)
+
+
+def stream_events(base_url: str, job_id: str,
+                  timeout: float = 120.0) -> list[dict]:
+    """Consume the job's SSE stream to completion.
+
+    Returns the decoded ``data:`` payloads in arrival order. The server
+    closes the stream after the terminal event, so reading to EOF is
+    the termination condition.
+    """
+    conn = _connect(base_url, timeout)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/events")
+        response = conn.getresponse()
+        if response.status != 200:
+            raw = response.read()
+            raise RuntimeError(f"SSE request failed ({response.status}): "
+                               f"{raw.decode(errors='replace')}")
+        entries: list[dict] = []
+        data_lines: list[str] = []
+        while True:
+            raw = response.readline()
+            if not raw:
+                break
+            line = raw.decode().rstrip("\n").rstrip("\r")
+            if not line:                      # frame boundary
+                if data_lines:
+                    entries.append(json.loads("\n".join(data_lines)))
+                    data_lines = []
+                continue
+            if line.startswith("data:"):
+                data_lines.append(line[5:].lstrip())
+        if data_lines:                        # unterminated final frame
+            entries.append(json.loads("\n".join(data_lines)))
+        return entries
+    finally:
+        conn.close()

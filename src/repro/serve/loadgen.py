@@ -1,0 +1,160 @@
+"""Load generator: N simulated clients against one serve instance.
+
+Drives the acceptance gate in ``benchmarks/test_serve_load.py`` and the
+CI smoke job. The workload is mixed cold/warm by construction:
+
+* **Cold phase** -- every client submits its *own* tiny inline MiniC
+  variant (a distinct source digest, so nothing is cached) and follows
+  it to completion over SSE.
+* **Warm phase** -- every client re-submits its variant ``warm_rounds``
+  times; each repeat must resolve entirely from the shared artifact
+  store (the per-job summary says how many farm jobs were hits).
+
+Latency is measured client-side, submit to terminal state. The SSE
+integrity check streams each job's event log twice and verifies (a)
+the sequence numbers are exactly ``0..n-1`` -- nothing dropped,
+nothing duplicated -- and (b) the two reads are byte-identical after
+:func:`~repro.serve.worker.normalized_events` strips timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import client as serve_client
+from repro.serve.schemas import SERVE_JOB_SCHEMA_VERSION
+from repro.serve.worker import normalized_events
+
+_SOURCE_TEMPLATE = """\
+/* serve-load variant {index} */
+int data[32];
+int acc = 0;
+
+int main() {{
+    int i;
+    for (i = 0; i < 32; i++) {{
+        data[i] = i * {step} + {index};
+    }}
+    for (i = 0; i < 32; i++) {{
+        acc = acc + data[i];
+    }}
+    print_str("acc=");
+    print_int(acc);
+    print_char(10);
+    return 0;
+}}
+"""
+
+
+def tiny_source(index: int) -> str:
+    """A unique-but-trivial MiniC program (distinct source digest)."""
+    return _SOURCE_TEMPLATE.format(index=index, step=1 + index % 7)
+
+
+def make_submission(index: int, tenant: str) -> dict:
+    return {
+        "schema": SERVE_JOB_SCHEMA_VERSION,
+        "tenant": tenant,
+        "name": "inline",
+        "source": tiny_source(index),
+        "machines": ["base"],
+    }
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+def _identity_free(entries: list[dict]) -> str:
+    """Canonical bytes of a normalized log, minus per-submission
+    identity (queue job id, tenant) on the serve.* records -- what must
+    match when two tenants submit the same program."""
+    scrubbed = []
+    for entry in normalized_events(entries):
+        if str(entry.get("event", "")).startswith("serve."):
+            entry = {k: v for k, v in entry.items()
+                     if k not in ("job_id", "tenant")}
+        scrubbed.append(entry)
+    return json.dumps(scrubbed, sort_keys=True)
+
+
+def _run_one(base_url: str, index: int, tenant: str,
+             timeout: float) -> dict:
+    """Submit one job, wait for it, and audit its SSE stream."""
+    start = time.monotonic()
+    status, record = serve_client.submit(
+        base_url, make_submission(index, tenant), timeout=timeout)
+    if status != 202:
+        raise RuntimeError(f"submit failed ({status}): {record}")
+    job_id = record["job_id"]
+    record = serve_client.wait_job(base_url, job_id, timeout=timeout,
+                                   poll=0.02)
+    latency = time.monotonic() - start
+    if record["state"] != "done":
+        raise RuntimeError(f"job {job_id} failed: {record.get('result')}")
+
+    first = serve_client.stream_events(base_url, job_id, timeout=timeout)
+    second = serve_client.stream_events(base_url, job_id, timeout=timeout)
+    seqs = [entry["seq"] for entry in first]
+    events_ok = (
+        seqs == list(range(len(first)))
+        and json.dumps(normalized_events(first), sort_keys=True)
+        == json.dumps(normalized_events(second), sort_keys=True)
+    )
+    summary = record["result"]["summary"]
+    return {
+        "job_id": job_id,
+        "latency": latency,
+        "hits": summary["hits"],
+        "total": summary["total"],
+        "events_ok": events_ok,
+        "log_signature": _identity_free(first),
+    }
+
+
+def run_load(base_url: str, clients: int = 8, warm_rounds: int = 2,
+             timeout: float = 120.0) -> dict:
+    """The full mixed workload; returns the gate's statistics."""
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        cold = list(pool.map(
+            lambda i: _run_one(base_url, i, f"tenant-{i}", timeout),
+            range(clients)))
+        warm: list[dict] = []
+        for _ in range(warm_rounds):
+            warm.extend(pool.map(
+                lambda i: _run_one(base_url, i, f"tenant-{i}", timeout),
+                range(clients)))
+
+    warm_hits = sum(r["hits"] for r in warm)
+    warm_total = sum(r["total"] for r in warm)
+    # Every warm repeat of variant i must stream the same normalized
+    # log as its first warm run (modulo queue identity) -- the cold run
+    # legitimately differs (it computed; repeats are cache hits).
+    signatures_ok = all(
+        warm[round_ * clients + i]["log_signature"]
+        == warm[i]["log_signature"]
+        for round_ in range(warm_rounds) for i in range(clients))
+    return {
+        "clients": clients,
+        "warm_rounds": warm_rounds,
+        "cold": {
+            "count": len(cold),
+            "p50": round(percentile([r["latency"] for r in cold], 0.50), 4),
+            "p99": round(percentile([r["latency"] for r in cold], 0.99), 4),
+        },
+        "warm": {
+            "count": len(warm),
+            "p50": round(percentile([r["latency"] for r in warm], 0.50), 4),
+            "p99": round(percentile([r["latency"] for r in warm], 0.99), 4),
+            "hit_ratio": round(warm_hits / warm_total, 4) if warm_total
+            else 0.0,
+        },
+        "events_ok": all(r["events_ok"] for r in cold + warm),
+        "deterministic": signatures_ok,
+    }

@@ -1,0 +1,176 @@
+"""Persistent on-disk job queue with per-tenant quotas and fairness.
+
+Every submission becomes one JSON file under ``<store>/serve/jobs/``,
+written atomically (staged + ``os.replace``) on every state change, so
+a service restart reloads exactly the queue it left: ``queued`` jobs
+wait their turn again, and jobs that were mid-run when the process died
+come back as ``queued`` too (the farm layer underneath is idempotent
+against the artifact store, so re-running them costs only what the
+crash actually lost).
+
+Scheduling is fair across tenants, priority-ordered within one:
+
+* :meth:`PersistentQueue.next_queued` round-robins tenants by
+  least-recently-served, so one tenant flooding the queue cannot starve
+  the others;
+* within a tenant, jobs order by ``(-priority, seq)`` -- higher
+  ``priority`` first, FIFO among equals (``seq`` is a monotonic
+  admission counter, persisted so restarts keep the order).
+
+Quotas bound *admission*: a tenant with ``quota`` jobs queued or
+running gets :class:`QuotaExceeded` (the service maps it to HTTP 429),
+while finished jobs stop counting -- the quota is about work in
+flight, not history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States that count against a tenant's quota.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+class QuotaExceeded(Exception):
+    """A tenant is at its in-flight job quota."""
+
+    def __init__(self, tenant: str, quota: int):
+        super().__init__(f"tenant {tenant!r} has {quota} jobs in flight "
+                         f"(quota {quota})")
+        self.tenant = tenant
+        self.quota = quota
+
+
+class PersistentQueue:
+    """The serve queue; all state lives under ``root`` (see module doc).
+
+    Not thread-safe by itself: the service serializes access on its
+    event loop. Persistence, not locking, is this class's job.
+    """
+
+    def __init__(self, root: str | Path, quota: int = 8):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.quota = max(1, quota)
+        self.records: dict[str, dict] = {}
+        self._served: dict[str, int] = {}   # tenant -> last-served tick
+        self._tick = 0
+        self._seq = 0
+        self._load()
+
+    # ---------------------------------------------------------- #
+    # persistence
+
+    def _path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _persist(self, record: dict) -> None:
+        path = self._path(record["job_id"])
+        stage = path.with_suffix(".tmp")
+        with open(stage, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(stage, path)
+
+    def _load(self) -> None:
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if record.get("state") == RUNNING:
+                # The previous process died mid-run; the farm layer is
+                # store-idempotent, so simply run it again.
+                record["state"] = QUEUED
+                self._persist(record)
+            self.records[record["job_id"]] = record
+            self._seq = max(self._seq, int(record.get("seq", 0)))
+
+    # ---------------------------------------------------------- #
+    # admission
+
+    def active_jobs(self, tenant: str) -> int:
+        return sum(1 for r in self.records.values()
+                   if r["tenant"] == tenant and r["state"] in ACTIVE_STATES)
+
+    def submit(self, submission: dict) -> dict:
+        """Admit one normalized submission; raises :class:`QuotaExceeded`."""
+        tenant = submission["tenant"]
+        if self.active_jobs(tenant) >= self.quota:
+            raise QuotaExceeded(tenant, self.quota)
+        self._seq += 1
+        job_id = f"job-{self._seq:06d}"
+        record = {
+            "job_id": job_id,
+            "seq": self._seq,
+            "tenant": tenant,
+            "state": QUEUED,
+            "priority": submission["priority"],
+            "created": time.time(),
+            "submission": submission,
+            "result": None,
+        }
+        self.records[job_id] = record
+        self._persist(record)
+        return record
+
+    # ---------------------------------------------------------- #
+    # scheduling
+
+    def next_queued(self) -> dict | None:
+        """Pick (without dequeuing) the next job to run, fairly.
+
+        The tenant served longest ago wins the round; its best job is
+        the highest-priority, oldest one. Call :meth:`mark` with
+        ``state=RUNNING`` to actually claim it.
+        """
+        queued = [r for r in self.records.values() if r["state"] == QUEUED]
+        if not queued:
+            return None
+        tenants = sorted({r["tenant"] for r in queued},
+                         key=lambda t: (self._served.get(t, -1), t))
+        tenant = tenants[0]
+        best = min((r for r in queued if r["tenant"] == tenant),
+                   key=lambda r: (-r["priority"], r["seq"]))
+        self._tick += 1
+        self._served[tenant] = self._tick
+        return best
+
+    def mark(self, job_id: str, state: str,
+             result: dict | None = None) -> dict:
+        """Transition one job and persist the change."""
+        record = self.records[job_id]
+        record["state"] = state
+        if result is not None:
+            record["result"] = result
+        self._persist(record)
+        return record
+
+    # ---------------------------------------------------------- #
+    # introspection
+
+    def get(self, job_id: str) -> dict | None:
+        return self.records.get(job_id)
+
+    def depth(self) -> dict:
+        """Per-state job counts (the health endpoint's queue view)."""
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for record in self.records.values():
+            counts[record["state"]] = counts.get(record["state"], 0) + 1
+        counts["total"] = len(self.records)
+        return counts
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        rows = [r for r in self.records.values()
+                if tenant is None or r["tenant"] == tenant]
+        return sorted(rows, key=lambda r: r["seq"])

@@ -1,0 +1,146 @@
+"""Wire schemas of the serve API (``repro.serve-*/1``).
+
+Every document the service accepts or produces carries a ``schema``
+tag, validated with the same JSON-Schema subset the lint/sanitize/farm
+surfaces use (:func:`repro.analysis.reporting.validate_against_schema`).
+Submissions are validated *then* normalized: optional fields get their
+defaults filled in, so the rest of the stack (queue records, job
+planning, fingerprints) only ever sees one canonical shape -- which is
+also what makes "the same request" a store hit regardless of which
+optional keys the client spelled out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.reporting import validate_against_schema
+
+SERVE_JOB_SCHEMA_VERSION = "repro.serve-job/1"
+SERVE_ERROR_SCHEMA_VERSION = "repro.serve-error/1"
+SERVE_HEALTH_SCHEMA_VERSION = "repro.serve-health/1"
+
+#: Ceiling on per-submission dynamic instructions: one request may not
+#: monopolize a worker the way an offline sweep may.
+MAX_SERVE_INSTRUCTIONS = 10_000_000
+
+#: Submissions larger than this are rejected before parsing (DoS guard).
+MAX_BODY_BYTES = 1 << 20
+
+SERVE_JOB_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "tenant"],
+    "properties": {
+        "schema": {"enum": [SERVE_JOB_SCHEMA_VERSION]},
+        "tenant": {"type": "string"},
+        "name": {"type": "string"},
+        "benchmark": {"type": "string"},
+        "source": {"type": "string"},
+        "software": {"type": "boolean"},
+        "machines": {"type": "array", "items": {"type": "string"}},
+        "analysis": {"type": "boolean"},
+        "priority": {"type": "integer"},
+        "max_instructions": {"type": "integer"},
+    },
+}
+
+SERVE_ERROR_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "error", "detail", "problems"],
+    "properties": {
+        "schema": {"enum": [SERVE_ERROR_SCHEMA_VERSION]},
+        "error": {"type": "string"},
+        "detail": {"type": "string"},
+        "problems": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+
+def error_doc(error: str, detail: str,
+              problems: list[str] | None = None) -> dict:
+    """A ``repro.serve-error/1`` body (every non-2xx response is one)."""
+    return {
+        "schema": SERVE_ERROR_SCHEMA_VERSION,
+        "error": error,
+        "detail": detail,
+        "problems": list(problems or []),
+    }
+
+
+def normalize_submission(payload, machines: dict,
+                         benchmarks) -> tuple[dict | None, dict | None]:
+    """Validate and canonicalize one submission.
+
+    Returns ``(submission, None)`` on success -- a dict with every
+    optional field defaulted -- or ``(None, error_doc)`` describing
+    what was wrong. ``machines`` is the label -> config map the service
+    accepts (:data:`repro.experiments.common.MACHINES`); ``benchmarks``
+    the registered benchmark names.
+    """
+    if not isinstance(payload, dict):
+        return None, error_doc(
+            "invalid-submission", "submission body must be a JSON object",
+            [f"$: expected object, got {type(payload).__name__}"])
+    problems = validate_against_schema(payload, SERVE_JOB_SCHEMA)
+    if problems:
+        return None, error_doc(
+            "invalid-submission",
+            f"submission does not validate against "
+            f"{SERVE_JOB_SCHEMA_VERSION}", problems)
+
+    has_benchmark = bool(payload.get("benchmark"))
+    has_source = bool(payload.get("source"))
+    if has_benchmark == has_source:
+        return None, error_doc(
+            "invalid-submission",
+            "exactly one of 'benchmark' and 'source' is required",
+            ["$: pass a registered benchmark name or inline MiniC source"])
+    if has_benchmark and payload["benchmark"] not in benchmarks:
+        return None, error_doc(
+            "unknown-benchmark",
+            f"benchmark {payload['benchmark']!r} is not registered",
+            [f"$.benchmark: choose from {sorted(benchmarks)}"])
+
+    labels = payload.get("machines")
+    if labels is None:
+        labels = ["base"]
+    unknown = [m for m in labels if m not in machines]
+    if unknown:
+        return None, error_doc(
+            "unknown-machine",
+            f"unknown machine flavour(s) {unknown}",
+            [f"$.machines: choose from {sorted(machines)}"])
+    if not payload.get("analysis", False) and not labels:
+        return None, error_doc(
+            "invalid-submission", "nothing to compute",
+            ["$: request at least one machine or 'analysis': true"])
+
+    budget = int(payload.get("max_instructions", MAX_SERVE_INSTRUCTIONS))
+    if not 0 < budget <= MAX_SERVE_INSTRUCTIONS:
+        return None, error_doc(
+            "invalid-submission",
+            f"max_instructions must be in 1..{MAX_SERVE_INSTRUCTIONS}",
+            [f"$.max_instructions: got {budget}"])
+
+    if has_benchmark:
+        name = payload["benchmark"]
+    else:
+        # The display name flows into job ids and worker scratch-file
+        # names, so restrict it to a filesystem-safe slug. Identity is
+        # unaffected: inline artifacts key on content, never name.
+        name = re.sub(r"[^A-Za-z0-9._-]+", "-",
+                      payload.get("name") or "inline").strip("-.")[:64]
+        name = name or "inline"
+    submission = {
+        "schema": SERVE_JOB_SCHEMA_VERSION,
+        "tenant": payload["tenant"],
+        "name": name,
+        "benchmark": payload.get("benchmark"),
+        "source": payload.get("source"),
+        "software": bool(payload.get("software", False)),
+        "machines": sorted(set(labels)),
+        "analysis": bool(payload.get("analysis", False)),
+        "priority": int(payload.get("priority", 0)),
+        "max_instructions": budget,
+    }
+    return submission, None

@@ -1,0 +1,262 @@
+"""The serve worker: one submission -> one farm sweep.
+
+:func:`plan_serve_graph` lowers a normalized submission onto the same
+build -> trace -> analysis/sim job graph ``repro farm run`` plans, with
+one addition: inline-source submissions carry their MiniC text on the
+:class:`~repro.farm.jobs.JobSpec` and fingerprint by content, so two
+tenants submitting the same program share every artifact.
+
+:func:`run_serve_job` is thread-side (the service calls it via
+``asyncio.to_thread``): it drives the farm scheduler with a private
+:class:`~repro.obs.events.EventBus` relayed into the job's
+:class:`JobEventLog`, collects the per-cell snapshots from the store,
+pins them across an optional size-budgeted gc (so trimming the cache
+between jobs can never evict the result being returned), and persists
+a ``repro.ledger/1`` manifest -- served runs show up in ``repro farm
+history`` and ``farm timeline`` like any sweep.
+
+Every log entry carries a per-job ``seq``; :func:`normalized_events`
+strips wall-clock and resource fields, leaving a byte-deterministic
+view (the SSE golden test and the load generator's no-drop/no-dup
+check both build on it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.farm import ledger as ledger_mod
+from repro.farm.jobs import Cell, JobGraph, JobSpec
+from repro.farm.scheduler import run_graph
+from repro.farm.store import ArtifactStore
+from repro.obs.events import Event, EventBus, subscribe_async
+from repro.obs.spans import SpanTracker
+
+#: Log-entry keys that legitimately differ between byte-identical runs
+#: (wall-clock stamps, resource usage, run identity).
+NONDETERMINISTIC_KEYS = frozenset({
+    "ts", "elapsed", "elapsed_seconds", "cpu_seconds", "max_rss_bytes",
+    "wall", "cpu", "max_rss", "run_id", "created", "updated",
+})
+
+
+# ------------------------------------------------------------------ #
+# serve lifecycle events (alongside the farm.* taxonomy)
+
+@dataclass(slots=True)
+class ServeJobQueued(Event):
+    """A submission was admitted to the queue."""
+
+    kind = "serve.job.queued"
+    job_id: str
+    tenant: str
+    name: str
+
+
+@dataclass(slots=True)
+class ServeJobStarted(Event):
+    """The worker picked the job up and is planning its sweep."""
+
+    kind = "serve.job.started"
+    job_id: str
+    tenant: str
+
+
+@dataclass(slots=True)
+class ServeJobFinished(Event):
+    """Terminal: the sweep completed (``status`` done or failed)."""
+
+    kind = "serve.job.finished"
+    job_id: str
+    status: str
+    hits: int
+    computed: int
+    failed: int
+
+
+# ------------------------------------------------------------------ #
+# per-job event log
+
+class JobEventLog:
+    """Append-only, seq-stamped event log of one served job.
+
+    Producers append from any thread (the farm scheduler's result pump,
+    the service's event loop); consumers take a consistent snapshot and
+    subscribe for the live tail in one atomic step, so an SSE stream
+    sees every event exactly once: entries up to the snapshot come from
+    replay, everything after arrives over the subscription, and the
+    boundary cannot lose or double an event because appends hold the
+    same lock the snapshot takes.
+
+    ``path`` (optional) persists each entry as one JSON line, letting a
+    restarted service replay the log of jobs it never saw run.
+    """
+
+    def __init__(self, path=None):
+        self.entries: list[dict] = []
+        self.lock = threading.Lock()
+        self.bus = EventBus()
+        self.path = path
+        if path is not None and path.is_file():
+            import json
+
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self.entries.append(json.loads(line))
+
+    def append(self, payload: dict) -> dict:
+        with self.lock:
+            entry = {"seq": len(self.entries),
+                     "ts": round(time.time(), 6), **payload}
+            self.entries.append(entry)
+            if self.path is not None:
+                import json
+
+                with open(self.path, "a") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True))
+                    handle.write("\n")
+            self.bus.emit(entry)
+        return entry
+
+    def append_event(self, event: Event) -> dict:
+        return self.append(event.as_dict())
+
+    def snapshot_and_subscribe(self, loop=None):
+        """``(entries_so_far, live_subscription)``, atomically."""
+        with self.lock:
+            return list(self.entries), subscribe_async(self.bus, loop=loop)
+
+    def handle(self, event) -> None:
+        """Sink protocol: lets the log sit directly on a farm bus."""
+        self.append(event.as_dict() if isinstance(event, Event) else event)
+
+
+def is_terminal(entry: dict) -> bool:
+    """Does this log entry end the stream?"""
+    return entry.get("event") == ServeJobFinished.kind
+
+
+def normalized_events(entries) -> list[dict]:
+    """The deterministic view: same submission, same bytes."""
+    return [{k: v for k, v in entry.items()
+             if k not in NONDETERMINISTIC_KEYS}
+            for entry in entries]
+
+
+# ------------------------------------------------------------------ #
+# planning and execution
+
+def plan_serve_graph(submission: dict, machines: dict) -> JobGraph:
+    """Lower one normalized submission onto a farm job graph."""
+    name = submission["name"]
+    software = submission["software"]
+    source = submission["source"]
+    budget = submission["max_instructions"]
+    tag = f"{name}+sw" if software else name
+
+    graph = JobGraph()
+    build_id = f"build:{tag}"
+    trace_id = f"trace:{tag}"
+    graph.jobs[build_id] = JobSpec(
+        job_id=build_id, kind="build", name=name, software=software,
+        max_instructions=budget, source=source)
+    graph.jobs[trace_id] = JobSpec(
+        job_id=trace_id, kind="trace", name=name, software=software,
+        max_instructions=budget, deps=(build_id,), source=source)
+    if submission["analysis"]:
+        job_id = f"analysis:{tag}"
+        graph.jobs[job_id] = JobSpec(
+            job_id=job_id, kind="analysis", name=name, software=software,
+            max_instructions=budget, deps=(trace_id,), source=source)
+        graph.cell_jobs[Cell("analysis", name, software)] = job_id
+    for label in submission["machines"]:
+        job_id = f"sim:{tag}:{label}"
+        graph.jobs[job_id] = JobSpec(
+            job_id=job_id, kind="sim", name=name, software=software,
+            max_instructions=budget, machine_label=label,
+            machine=machines[label], deps=(trace_id,), source=source)
+        graph.cell_jobs[Cell("sim", name, software, label)] = job_id
+    return graph
+
+
+def run_serve_job(store: ArtifactStore, record: dict, log: JobEventLog,
+                  machines: dict, jobs: int = 1,
+                  timeout: float | None = 300.0, retries: int = 1,
+                  gc_max_bytes: int | None = None) -> dict:
+    """Execute one queue record against the farm; returns the result doc.
+
+    Runs on a worker thread. Never raises: planning or execution
+    failures land in the result doc with ``status: "failed"``, and the
+    terminal ``serve.job.finished`` event is always appended.
+    """
+    submission = record["submission"]
+    start = time.monotonic()
+    try:
+        graph = plan_serve_graph(submission, machines)
+        bus = EventBus([log])
+        tracker = SpanTracker()
+        result = run_graph(graph, store, jobs=jobs, timeout=timeout,
+                           retries=retries, obs=bus, tracker=tracker)
+        summary = result.summary()
+
+        artifacts = []
+        results: dict = {"machines": {}}
+        for cell, job_id in sorted(graph.cell_jobs.items(),
+                                   key=lambda kv: kv[1]):
+            outcome = result.outcomes[job_id]
+            if not outcome.ok or outcome.key is None:
+                continue
+            artifacts.append({"kind": cell.kind, "key": outcome.key})
+            snapshot = store.get_json(cell.kind, outcome.key)
+            if cell.kind == "analysis":
+                results["analysis"] = snapshot
+            else:
+                results["machines"][cell.machine] = snapshot
+
+        # Keep this job's outputs warm across the between-jobs trim.
+        for ref in artifacts:
+            store.pin(ref["kind"], ref["key"])
+        try:
+            if gc_max_bytes is not None:
+                store.gc(max_bytes=gc_max_bytes)
+        finally:
+            for ref in artifacts:
+                store.unpin(ref["kind"], ref["key"])
+
+        run = ledger_mod.run_from_sweep(
+            ledger_mod.new_run_id(), graph, result, tracker,
+            meta={"serve": True, "job_id": record["job_id"],
+                  "tenant": submission["tenant"],
+                  "name": submission["name"]})
+        ledger_mod.write_run(store, run)
+
+        status = "done" if result.ok else "failed"
+        doc = {
+            "status": status,
+            "run_id": run.run_id,
+            "summary": summary,
+            "artifacts": artifacts,
+            "results": results,
+            "elapsed_seconds": round(time.monotonic() - start, 3),
+        }
+    except Exception as exc:  # noqa: BLE001 - reported in the result doc
+        doc = {
+            "status": "failed",
+            "run_id": None,
+            "summary": {"total": 0, "hits": 0, "computed": 0,
+                        "failed": ["plan"],
+                        "errors": {"plan": f"{type(exc).__name__}: {exc}"}},
+            "artifacts": [],
+            "results": {},
+            "elapsed_seconds": round(time.monotonic() - start, 3),
+        }
+    log.append_event(ServeJobFinished(
+        job_id=record["job_id"], status=doc["status"],
+        hits=doc["summary"].get("hits", 0),
+        computed=doc["summary"].get("computed", 0),
+        failed=len(doc["summary"].get("failed", []))))
+    return doc

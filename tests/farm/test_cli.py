@@ -41,6 +41,19 @@ class TestGc:
         assert main(["farm", "gc", "--store", store_dir, "--all"]) == 0
         assert "evicted 0" in capsys.readouterr().out
 
+    def test_gc_max_bytes_evicts_lru(self, store_dir, capsys):
+        from repro.farm.store import ArtifactStore
+
+        store = ArtifactStore(store_dir)
+        store.put("sim", "aa" * 32, {"i": 0})
+        store.put("sim", "bb" * 32, {"i": 1})
+        sizes = {i.key: i.size for i in store.ls()}
+        assert main(["farm", "gc", "--store", store_dir,
+                     "--max-bytes", str(sizes["bb" * 32])]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert not store.has("sim", "aa" * 32)
+        assert store.has("sim", "bb" * 32)
+
 
 class TestRunValidation:
     def test_unknown_figure(self, store_dir, capsys):

@@ -126,6 +126,96 @@ class TestGc:
         assert not staged.exists()
 
 
+class TestSharding:
+    def test_objects_land_in_two_level_shards(self, store):
+        key = "ab" + "cd" + "99" * 30
+        store.put("sim", key, {"i": 0})
+        home = store.root / "objects" / "sim" / "ab" / "cd" / key
+        assert (home / "meta.json").is_file()
+
+    def test_short_keys_use_placeholder_shards(self, store):
+        store.put("sim", "ab", {"i": 0})
+        home = store.root / "objects" / "sim" / "ab" / "__" / "ab"
+        assert (home / "meta.json").is_file()
+
+    def test_legacy_single_level_artifacts_still_read(self, store):
+        # hand-plant an artifact at the pre-sharding location
+        key = "fe" * 32
+        legacy = store.root / "objects" / "sim" / key[:2] / key
+        legacy.mkdir(parents=True)
+        (legacy / "meta.json").write_text(json.dumps({"vintage": True}))
+        (legacy / "snapshot.json").write_text(json.dumps({"cycles": 9}))
+        assert store.has("sim", key)
+        assert store.get_meta("sim", key) == {"vintage": True}
+        assert store.get_json("sim", key) == {"cycles": 9}
+
+    def test_legacy_artifacts_enumerate_and_evict(self, store):
+        key = "fe" * 32
+        legacy = store.root / "objects" / "sim" / key[:2] / key
+        legacy.mkdir(parents=True)
+        (legacy / "meta.json").write_text("{}")
+        store.put("sim", "ab" * 32, {})
+        assert {i.key for i in store.ls()} == {key, "ab" * 32}
+        assert store.stats()["total"]["count"] == 2
+        store.remove("sim", key)
+        assert not store.has("sim", key)
+        assert not legacy.exists()
+
+    def test_shard_stats(self, store):
+        for key in ("ab" * 32, "ac" + "aa" * 31, "ba" * 32):
+            store.put("sim", key, {})
+        legacy_key = "fe" * 32
+        legacy = store.root / "objects" / "sim" / legacy_key[:2] / legacy_key
+        legacy.mkdir(parents=True)
+        (legacy / "meta.json").write_text("{}")
+        stats = store.shard_stats()
+        assert stats["levels"] == 2
+        sim = stats["kinds"]["sim"]
+        assert sim["objects"] == 4
+        assert sim["legacy_objects"] == 1
+        assert sim["shards"] == 4  # the legacy dir counts as one shard
+        assert sim["max_per_shard"] == 1
+
+
+class TestPinning:
+    def test_pinned_artifacts_survive_clear(self, store):
+        store.put("sim", "aa" * 32, {})
+        store.put("sim", "bb" * 32, {})
+        store.pin("sim", "aa" * 32)
+        evicted, _ = store.gc(clear=True)
+        assert evicted == 1
+        assert store.has("sim", "aa" * 32)
+        assert not store.has("sim", "bb" * 32)
+
+    def test_pinned_artifacts_survive_budget_gc(self, store):
+        store.put("sim", "aa" * 32, {})
+        store.put("sim", "bb" * 32, {})
+        store.pin("sim", "aa" * 32)
+        evicted, _ = store.gc(max_bytes=1)
+        assert evicted == 1
+        assert store.has("sim", "aa" * 32)
+
+    def test_unpin_releases(self, store):
+        store.put("sim", "aa" * 32, {})
+        store.pin("sim", "aa" * 32)
+        assert store.pinned("sim", "aa" * 32)
+        store.unpin("sim", "aa" * 32)
+        assert not store.pinned("sim", "aa" * 32)
+        evicted, _ = store.gc(max_bytes=1)
+        assert evicted == 1
+
+    def test_unpin_without_pin_is_noop(self, store):
+        store.unpin("sim", "cc" * 32)  # must not raise
+
+    def test_max_bytes_and_max_size_are_aliases(self, store):
+        for key in ("aa" * 32, "bb" * 32):
+            store.put("sim", key, {"k": key})
+        sizes = {i.key: i.size for i in store.ls()}
+        assert store.gc(max_bytes=sum(sizes.values())) == (0, 0)
+        evicted, _ = store.gc(max_size=sizes["bb" * 32])
+        assert evicted == 1
+
+
 class TestEnvironment:
     def test_env_dir_wins(self, monkeypatch):
         monkeypatch.setenv(ENV_DIR, "/somewhere/else")

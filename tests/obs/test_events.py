@@ -1,4 +1,7 @@
-"""Event dataclasses and the bus."""
+"""Event dataclasses, the bus, and the asyncio subscription bridge."""
+
+import asyncio
+import threading
 
 import pytest
 
@@ -10,6 +13,7 @@ from repro.obs.events import (
     InstRetired,
     MemAccess,
     Syscall,
+    subscribe_async,
 )
 from repro.obs.sinks import CollectingSink, NullSink
 
@@ -58,3 +62,134 @@ class TestEventBus:
     def test_close_tolerates_sinks_without_close(self):
         bus = EventBus([NullSink(), CollectingSink()])
         bus.close()  # must not raise
+
+    def test_detach_stops_delivery(self):
+        bus = EventBus()
+        sink = CollectingSink()
+        bus.attach(sink)
+        bus.emit(FacReplay(pc=1, cycle=2, penalty=1))
+        bus.detach(sink)
+        bus.emit(FacReplay(pc=2, cycle=3, penalty=1))
+        assert len(sink.events) == 1
+
+    def test_detach_unknown_sink_is_ignored(self):
+        bus = EventBus([CollectingSink()])
+        bus.detach(CollectingSink())  # never attached: no-op
+        assert len(bus.sinks) == 1
+
+    def test_concurrent_publishers_and_churn(self):
+        """Emit from many threads while sinks attach/detach.
+
+        The bus swaps an immutable sink tuple under a lock, so
+        publishers never observe a half-updated list. Every event
+        delivered to the stable sink must arrive exactly once.
+        """
+        bus = EventBus()
+        stable = CollectingSink()
+        bus.attach(stable)
+        per_thread, threads = 200, 8
+        stop = threading.Event()
+
+        def publish(worker: int) -> None:
+            for i in range(per_thread):
+                bus.emit(FacReplay(pc=worker, cycle=i, penalty=1))
+
+        def churn() -> None:
+            while not stop.is_set():
+                sink = CollectingSink()
+                bus.attach(sink)
+                bus.detach(sink)
+
+        churner = threading.Thread(target=churn)
+        publishers = [threading.Thread(target=publish, args=(w,))
+                      for w in range(threads)]
+        churner.start()
+        for thread in publishers:
+            thread.start()
+        for thread in publishers:
+            thread.join()
+        stop.set()
+        churner.join()
+
+        assert len(stable.events) == per_thread * threads
+        for worker in range(threads):
+            cycles = [e.cycle for e in stable.events if e.pc == worker]
+            assert cycles == list(range(per_thread))  # per-thread order
+        assert bus.sinks == (stable,)
+
+
+class TestSubscribeAsync:
+    def test_bridge_preserves_order(self):
+        async def scenario():
+            bus = EventBus()
+            sub = subscribe_async(bus)
+            for i in range(5):
+                bus.emit(FacReplay(pc=i, cycle=i, penalty=1))
+            got = [await sub.get() for _ in range(5)]
+            sub.close()
+            return got
+
+        events = asyncio.run(scenario())
+        assert [e.pc for e in events] == list(range(5))
+
+    def test_close_ends_iteration_and_detaches(self):
+        async def scenario():
+            bus = EventBus()
+            sub = subscribe_async(bus)
+            bus.emit(FacReplay(pc=1, cycle=1, penalty=1))
+            sub.close()
+            drained = []
+            async for event in sub:
+                drained.append(event)
+            return bus.sinks, drained
+
+        sinks, drained = asyncio.run(scenario())
+        assert sinks == ()
+        assert [e.pc for e in drained] == [1]  # buffered before close
+
+    def test_get_returns_none_after_close(self):
+        async def scenario():
+            bus = EventBus()
+            sub = subscribe_async(bus)
+            sub.close()
+            sub.close()  # idempotent
+            return await sub.get()
+
+        assert asyncio.run(scenario()) is None
+
+    def test_events_from_worker_threads_cross_the_bridge(self):
+        """The farm publishes from threads; asyncio consumes them all."""
+        per_thread, threads = 100, 4
+
+        async def scenario():
+            bus = EventBus()
+            sub = subscribe_async(bus)
+
+            def publish(worker: int) -> None:
+                for i in range(per_thread):
+                    bus.emit(FacReplay(pc=worker, cycle=i, penalty=1))
+
+            workers = [threading.Thread(target=publish, args=(w,))
+                       for w in range(threads)]
+            for thread in workers:
+                thread.start()
+            await asyncio.to_thread(lambda: [t.join() for t in workers])
+            got = [await sub.get() for _ in range(per_thread * threads)]
+            sub.close()
+            return got
+
+        events = asyncio.run(scenario())
+        assert len(events) == per_thread * threads
+        for worker in range(threads):
+            cycles = [e.cycle for e in events if e.pc == worker]
+            assert cycles == list(range(per_thread))
+
+    def test_emit_after_close_is_dropped(self):
+        async def scenario():
+            bus = EventBus()
+            sub = subscribe_async(bus)
+            sub.close()
+            bus.emit(FacReplay(pc=9, cycle=9, penalty=1))
+            return await sub.get()
+
+        assert asyncio.run(scenario()) is None

@@ -1,0 +1,213 @@
+"""Serve worker: planning, execution, content-addressed sharing."""
+
+import pytest
+
+from repro.experiments.common import MACHINES
+from repro.farm.store import ArtifactStore
+from repro.serve.queue import PersistentQueue
+from repro.serve.schemas import SERVE_JOB_SCHEMA_VERSION, normalize_submission
+from repro.serve.worker import (
+    JobEventLog,
+    normalized_events,
+    plan_serve_graph,
+    run_serve_job,
+)
+from repro.workloads.suite import BENCHMARKS
+
+SOURCE = """\
+int data[16];
+int acc = 0;
+
+int main() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        data[i] = i * 3;
+    }
+    for (i = 0; i < 16; i++) {
+        acc = acc + data[i];
+    }
+    print_str("acc=");
+    print_int(acc);
+    print_char(10);
+    return 0;
+}
+"""
+
+
+def normalized(payload: dict) -> dict:
+    submission, error = normalize_submission(payload, MACHINES,
+                                             set(BENCHMARKS))
+    assert error is None, error
+    return submission
+
+
+def inline_payload(**overrides) -> dict:
+    payload = {
+        "schema": SERVE_JOB_SCHEMA_VERSION,
+        "tenant": "alice",
+        "source": SOURCE,
+        "machines": ["base"],
+    }
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def queue_record(tmp_path, payload: dict) -> dict:
+    queue = PersistentQueue(tmp_path / "queue", quota=8)
+    return queue.submit(normalized(payload))
+
+
+class TestPlanning:
+    def test_inline_source_graph(self):
+        graph = plan_serve_graph(normalized(inline_payload()), MACHINES)
+        kinds = sorted(spec.kind for spec in graph.jobs.values())
+        assert kinds == ["build", "sim", "trace"]
+        assert all(spec.source == SOURCE for spec in graph.jobs.values())
+
+    def test_benchmark_graph_carries_no_source(self):
+        graph = plan_serve_graph(
+            normalized({"schema": SERVE_JOB_SCHEMA_VERSION,
+                        "tenant": "t", "benchmark": "compress"}),
+            MACHINES)
+        assert all(spec.source is None for spec in graph.jobs.values())
+        assert all(spec.name == "compress" for spec in graph.jobs.values())
+
+    def test_pathlike_names_are_sanitized(self):
+        """A display name flows into job ids and worker scratch-file
+        names; a path submitted as the name must not produce scratch
+        paths in nonexistent directories (regression: the trace job of
+        a submission named "/tmp/prog.mc" failed on its scratch open).
+        """
+        submission = normalized(inline_payload(name="/tmp/my prog.mc"))
+        assert submission["name"] == "tmp-my-prog.mc"
+        graph = plan_serve_graph(submission, MACHINES)
+        assert "trace:tmp-my-prog.mc" in graph.jobs
+
+    def test_analysis_and_machines_fan_out(self):
+        graph = plan_serve_graph(
+            normalized(inline_payload(machines=["base", "fac32"],
+                                      analysis=True)),
+            MACHINES)
+        kinds = sorted(spec.kind for spec in graph.jobs.values())
+        assert kinds == ["analysis", "build", "sim", "sim", "trace"]
+        assert len(graph.cell_jobs) == 3
+
+
+class TestExecution:
+    def test_cold_run_computes_and_returns_snapshots(self, store, tmp_path):
+        record = queue_record(tmp_path, inline_payload())
+        log = JobEventLog()
+        doc = run_serve_job(store, record, log, MACHINES)
+        assert doc["status"] == "done"
+        assert doc["summary"]["computed"] == 3
+        assert doc["summary"]["hits"] == 0
+        snapshot = doc["results"]["machines"]["base"]
+        assert snapshot["schema"] == "repro.metrics/1"
+        # the run is in the ledger: served sweeps join farm history
+        from repro.farm.ledger import find_run
+
+        run = find_run(store, doc["run_id"])
+        assert run is not None
+        assert run.meta["serve"] is True
+        assert run.meta["tenant"] == "alice"
+
+    def test_warm_rerun_is_all_hits(self, store, tmp_path):
+        first = queue_record(tmp_path, inline_payload())
+        run_serve_job(store, first, JobEventLog(), MACHINES)
+        second = queue_record(tmp_path / "q2", inline_payload(tenant="bob"))
+        doc = run_serve_job(store, second, JobEventLog(), MACHINES)
+        assert doc["summary"]["hits"] == doc["summary"]["total"] == 3
+        assert doc["summary"]["computed"] == 0
+
+    def test_different_sources_never_alias(self, store, tmp_path):
+        """Two inline programs with the same opcode sequence (only
+        immediates differ) must not share trace/sim artifacts.
+
+        Regression: the program CRC hashes opcodes, not operands, and
+        every inline job shares the name "inline" -- downstream keys
+        must fold in the source digest or such pairs collide and one
+        program is served the other's simulation results.
+        """
+        from repro.serve.loadgen import tiny_source
+
+        docs = []
+        for i, src in enumerate((tiny_source(0), tiny_source(1))):
+            record = queue_record(tmp_path / f"q{i}",
+                                  inline_payload(source=src))
+            docs.append(run_serve_job(store, record, JobEventLog(),
+                                      MACHINES))
+        keys = [{(r["kind"], r["key"]) for r in doc["artifacts"]}
+                for doc in docs]
+        assert not (keys[0] & keys[1])
+        assert all(doc["summary"]["hits"] == 0 for doc in docs)
+
+    def test_same_source_shares_artifacts_across_names(self, store,
+                                                       tmp_path):
+        first = queue_record(tmp_path, inline_payload(name="mine"))
+        doc1 = run_serve_job(store, first, JobEventLog(), MACHINES)
+        second = queue_record(tmp_path / "q2",
+                              inline_payload(name="mine", tenant="bob"))
+        doc2 = run_serve_job(store, second, JobEventLog(), MACHINES)
+        assert doc1["artifacts"] == doc2["artifacts"]
+
+    def test_warm_logs_are_deterministic(self, store, tmp_path):
+        run_serve_job(store, queue_record(tmp_path, inline_payload()),
+                      JobEventLog(), MACHINES)
+        logs = []
+        for i in (2, 3):
+            log = JobEventLog()
+            run_serve_job(
+                store,
+                queue_record(tmp_path / f"q{i}", inline_payload()),
+                log, MACHINES)
+            logs.append(normalized_events(log.entries))
+        assert logs[0] == logs[1]
+
+    def test_failing_source_reports_failure(self, store, tmp_path):
+        record = queue_record(
+            tmp_path, inline_payload(source="int main( {{ broken"))
+        log = JobEventLog()
+        doc = run_serve_job(store, record, log, MACHINES)
+        assert doc["status"] == "failed"
+        assert log.entries[-1]["event"] == "serve.job.finished"
+        assert log.entries[-1]["status"] == "failed"
+
+    def test_gc_budget_never_evicts_fresh_results(self, store, tmp_path):
+        record = queue_record(tmp_path, inline_payload())
+        # a 1-byte budget would evict everything -- except the pinned
+        # artifacts this very job just produced
+        doc = run_serve_job(store, record, JobEventLog(), MACHINES,
+                            gc_max_bytes=1)
+        assert doc["status"] == "done"
+        for ref in doc["artifacts"]:
+            assert store.has(ref["kind"], ref["key"])
+            assert not store.pinned(ref["kind"], ref["key"])
+
+
+class TestEventLog:
+    def test_seq_is_contiguous(self, store, tmp_path):
+        log = JobEventLog()
+        run_serve_job(store, queue_record(tmp_path, inline_payload()),
+                      log, MACHINES)
+        assert [e["seq"] for e in log.entries] == \
+            list(range(len(log.entries)))
+
+    def test_persisted_log_reloads(self, store, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JobEventLog(path=path)
+        run_serve_job(store, queue_record(tmp_path, inline_payload()),
+                      log, MACHINES)
+        reloaded = JobEventLog(path=path)
+        assert reloaded.entries == log.entries
+
+    def test_normalized_strips_timestamps(self):
+        log = JobEventLog()
+        log.append({"event": "x", "value": 1})
+        entry = normalized_events(log.entries)[0]
+        assert "ts" not in entry
+        assert entry == {"seq": 0, "event": "x", "value": 1}

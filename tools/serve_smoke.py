@@ -1,0 +1,104 @@
+"""CI smoke for the serve subsystem (the ``serve-smoke`` workflow job).
+
+Boots a service on an ephemeral port against ``--store``, drives a
+small mixed load through the real HTTP surface, then asserts the two
+properties the job exists to guard:
+
+1. a second identical submission is a **100% store hit** (the farm
+   recomputes nothing for a repeated request), and
+2. every SSE stream was lossless and warm event logs deterministic.
+
+Finally it submits one more repeat and verifies the serve run landed in
+the ledger, so ``repro farm history``/``farm timeline`` (run next by
+the workflow) cover served traffic. Exits non-zero on any violation;
+prints a one-line JSON summary to stdout for the job log.
+
+Usage::
+
+    python tools/serve_smoke.py --store .repro-farm [--clients 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.farm.ledger import list_runs  # noqa: E402
+from repro.farm.store import ArtifactStore  # noqa: E402
+from repro.serve import client as serve_client  # noqa: E402
+from repro.serve.loadgen import make_submission, run_load  # noqa: E402
+from repro.serve.service import ServeConfig, start_in_background  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--store", default=".repro-farm", metavar="DIR")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--warm-rounds", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    store = ArtifactStore(args.store)
+    server = start_in_background(
+        store, ServeConfig(quota=args.clients * (args.warm_rounds + 2)))
+    try:
+        stats = run_load(server.base_url, clients=args.clients,
+                         warm_rounds=args.warm_rounds)
+
+        failures = []
+        if stats["warm"]["hit_ratio"] != 1.0:
+            failures.append(
+                f"repeat submissions not fully store-served: "
+                f"hit ratio {stats['warm']['hit_ratio']}")
+        if not stats["events_ok"]:
+            failures.append("an SSE stream dropped or duplicated events")
+        if not stats["deterministic"]:
+            failures.append("warm event logs were not deterministic")
+
+        # one more explicit repeat, checked end to end: 202 -> done ->
+        # all hits -> its run id resolvable in the ledger
+        status, record = serve_client.submit(
+            server.base_url, make_submission(0, "smoke"))
+        if status != 202:
+            failures.append(f"final submit rejected ({status}): {record}")
+        else:
+            record = serve_client.wait_job(server.base_url,
+                                           record["job_id"], timeout=60)
+            summary = record["result"]["summary"]
+            if summary["hits"] != summary["total"]:
+                failures.append(f"final repeat recomputed: {summary}")
+            run_ids = {run.run_id for run in list_runs(store)}
+            if record["result"]["run_id"] not in run_ids:
+                failures.append(
+                    f"serve run {record['result']['run_id']} "
+                    f"missing from ledger")
+
+        status_code, health = serve_client.get_health(server.base_url)
+        if status_code != 200:
+            failures.append(f"health endpoint returned {status_code}")
+    finally:
+        server.stop()
+
+    print(json.dumps({
+        "cold_p99": stats["cold"]["p99"],
+        "warm_p99": stats["warm"]["p99"],
+        "warm_hit_ratio": stats["warm"]["hit_ratio"],
+        "events_ok": stats["events_ok"],
+        "deterministic": stats["deterministic"],
+        "queue": health.get("queue"),
+        "shards": health.get("store", {}).get("shards", {}).get("kinds"),
+        "failures": failures,
+    }, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"serve-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
