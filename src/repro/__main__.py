@@ -332,7 +332,8 @@ def cmd_explain(args) -> int:
             return 2
         pcs = set(matches)
     report = explain_program(program, config, pcs=pcs,
-                             max_instructions=args.max_instructions)
+                             max_instructions=args.max_instructions,
+                             sweep=args.sweep)
     if pcs is not None and not report.sites:
         print("the selected instructions performed no memory accesses",
               file=sys.stderr)
@@ -555,6 +556,9 @@ def main(argv=None) -> int:
                            help="explain the site(s) at this source line")
     p_explain.add_argument("--json", action="store_true",
                            help="emit the machine-readable report")
+    p_explain.add_argument("--sweep", action="store_true",
+                           help="predict per-site miss ratios across block "
+                                "sizes 8-128 with the analytical cache model")
     p_explain.add_argument("--software-support", action="store_true",
                            help="compile with the paper's Section 4 support")
     p_explain.add_argument("--cache-size", type=int, default=16 * 1024)

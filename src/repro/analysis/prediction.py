@@ -238,13 +238,32 @@ def analyze_program(program: Program, block_sizes: tuple[int, ...] = (16, 32),
 def analyze_trace(program: Program, trace_path: str,
                   block_sizes: tuple[int, ...] = (16, 32),
                   per_pc: bool = False, memory_usage: int = 0,
-                  stdout: str = "") -> TraceAnalysis:
+                  stdout: str = "", engine: str = "columnar") -> TraceAnalysis:
     """Collect the full analysis from a recorded trace
     (:mod:`repro.cpu.tracefile`) instead of a live execution.
 
     One functional capture drives any number of analyzer geometries
     without re-interpreting the program; ``memory_usage`` and ``stdout``
-    come from the trace artifact's metadata when available."""
+    come from the trace artifact's metadata when available.
+
+    ``engine="columnar"`` (default) decodes the trace into column
+    arrays and runs the vectorized batch analyzer
+    (:mod:`repro.analysis.batch`); ``engine="records"`` replays the
+    stream through the scalar :class:`TraceAnalyzer` one record at a
+    time. Both produce snapshot-identical analyses -- the equivalence
+    suite asserts it on every benchmark -- so ``records`` exists as the
+    oracle, not a fallback."""
+    if engine == "columnar":
+        from repro.analysis.batch import analyze_trace_columns
+        from repro.cpu.coltrace import decode_tracefile
+
+        cols = decode_tracefile(program, trace_path)
+        return analyze_trace_columns(
+            program, cols, block_sizes=block_sizes, per_pc=per_pc,
+            memory_usage=memory_usage, stdout=stdout)
+    if engine != "records":
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "choose 'columnar' or 'records'")
     from repro.cpu.tracefile import replay_into
 
     analyzer = TraceAnalyzer(block_sizes, per_pc=per_pc)

@@ -8,7 +8,8 @@ Layout (all under one root directory, default ``.repro-farm/``)::
     <root>/serve/                                      # repro.serve state
     <root>/tmp/                                        # staging area
 
-``kind`` is one of ``build``, ``trace``, ``analysis``, ``sim``; ``key``
+``kind`` is one of ``build``, ``trace``, ``coltrace``, ``analysis``,
+``sim``; ``key``
 is a fingerprint hex digest (see :mod:`repro.farm.fingerprint`), and
 ``<k2>``/``<k4>`` are its first and second byte (``key[:2]``,
 ``key[2:4]``) -- two-level fan-out keeps directories small when
@@ -37,7 +38,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 _META = "meta.json"
-KINDS = ("build", "trace", "analysis", "sim")
+KINDS = ("build", "trace", "coltrace", "analysis", "sim")
+
+#: Kinds that are cheap re-derivations of another stored artifact
+#: (a ``coltrace`` is decoded from its parent ``trace`` in tens of
+#: milliseconds). The size-budgeted gc evicts these before anything
+#: it would be expensive to recompute.
+DERIVED_KINDS = ("coltrace",)
 
 #: Environment variable naming the store root.
 ENV_DIR = "REPRO_FARM_DIR"
@@ -381,7 +388,11 @@ class ArtifactStore:
         if max_bytes is None:
             return 0, 0
         total = sum(info.size for info in artifacts)
-        for info in sorted(artifacts, key=lambda i: (i.mtime, i.key)):
+        # derived artifacts first (they are cheap to recompute from
+        # their parents), then least-recently-used within each class
+        for info in sorted(artifacts,
+                           key=lambda i: (i.kind not in DERIVED_KINDS,
+                                          i.mtime, i.key)):
             if total <= max_bytes:
                 break
             if (info.kind, info.key) in self._pins:

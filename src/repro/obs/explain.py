@@ -78,6 +78,9 @@ class ExplainSite:
     static_possible: frozenset = frozenset()
     static_certain: frozenset = frozenset()
     diagnostics: list = field(default_factory=list)
+    # analytical model: {block_size: predicted miss ratio} for this
+    # site's reference stream (``repro explain --sweep``)
+    sweep: dict[int, float] | None = None
 
     @property
     def replay_cycles(self) -> int:
@@ -117,6 +120,10 @@ class ExplainSite:
             "static_certain": sorted(self.static_certain),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "consistent": self.consistent,
+            "sweep": None if self.sweep is None else {
+                str(bs): round(ratio, 6)
+                for bs, ratio in sorted(self.sweep.items())
+            },
             "example": None if self.example is None else {
                 "base": self.example.base,
                 "offset": self.example.offset,
@@ -144,10 +151,13 @@ class ExplainReport:
 class _Collector:
     """run_trace consumer: only ``trace_mem``, everything else free."""
 
-    def __init__(self, fac: FastAddressCalculator, want: set[int] | None):
+    def __init__(self, fac: FastAddressCalculator, want: set[int] | None,
+                 collect_eas: bool = False):
         self.fac = fac
         self.want = want
         self.sites: dict[int, ExplainSite] = {}
+        # per-site effective-address streams for the analytical sweep
+        self.eas: dict[int, list[int]] | None = {} if collect_eas else None
 
     def trace_mem(self, rec) -> None:
         pc = rec.pc
@@ -161,6 +171,8 @@ class _Collector:
                 mode=info.mem_mode, is_store=info.is_store,
             )
             self.sites[pc] = site
+        if self.eas is not None:
+            self.eas.setdefault(pc, []).append(rec.ea)
         site.accesses += 1
         mode = info.mem_mode
         if mode == "p":
@@ -214,13 +226,29 @@ def explain_program(
     fac_config: FacConfig | None = None,
     pcs: set[int] | None = None,
     max_instructions: int = 50_000_000,
+    sweep: bool = False,
 ) -> ExplainReport:
-    """Run ``program`` and build the per-site explanation report."""
+    """Run ``program`` and build the per-site explanation report.
+
+    With ``sweep=True`` each site also gets predicted direct-mapped
+    miss ratios across block sizes 8-128 for its own reference stream,
+    from the reuse-profile model
+    (:class:`repro.cache.analytical.AnalyticalCacheModel`) -- no
+    per-geometry replays.
+    """
     config = fac_config or FacConfig()
     fac = FastAddressCalculator(config)
-    collector = _Collector(fac, pcs)
+    collector = _Collector(fac, pcs, collect_eas=sweep)
     cpu = CPU(program)
     retired = cpu.run_trace(collector, max_instructions)
+
+    if sweep:
+        from repro.cache.analytical import AnalyticalCacheModel
+
+        for pc, stream in collector.eas.items():
+            model = AnalyticalCacheModel(stream)
+            collector.sites[pc].sweep = model.sweep(
+                cache_size=config.cache_size)
 
     analysis = analyze_static(program, config)
     lint = lint_program(program, config, analysis=analysis)
@@ -293,6 +321,12 @@ def render_site(site: ExplainSite, fac: FastAddressCalculator) -> str:
                                 *split_fields(ex.predicted, b, s)))
         lines.append(f"    fired: {', '.join(ex.signals)} "
                      f"(primary: {ex.primary})")
+    if site.sweep:
+        cells = [f"{bs}B {100.0 * ratio:.2f}%"
+                 for bs, ratio in sorted(site.sweep.items())]
+        lines.append(f"  predicted miss ratio (analytical model, "
+                     f"{fac.config.cache_size >> 10}K direct-mapped): "
+                     + "  ".join(cells))
     if site.static_possible or site.static_certain:
         lines.append(
             f"  static: possible={{{', '.join(sorted(site.static_possible))}}}"

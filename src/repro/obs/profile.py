@@ -324,6 +324,36 @@ def _load_use_distances(program: Program, analyzer: TraceAnalyzer,
     return cpu
 
 
+def _functional_pass_columnar(program: Program,
+                              block_sizes: tuple[int, ...],
+                              cache_size: int, distances: Histogram,
+                              max_instructions: int) -> TraceAnalysis:
+    """Columnar twin of the scalar functional pass: record the trace
+    once (keeping the CPU for memory usage / stdout), decode it into
+    columns, and run the vectorized analyzer and load-use kernel.
+    Produces the same analysis and histogram as the scalar pass."""
+    import os
+    import tempfile
+
+    from repro.analysis.batch import analyze_trace_columns, load_use_distances
+    from repro.cpu.coltrace import decode_tracefile
+    from repro.cpu.tracefile import record_trace
+
+    handle, path = tempfile.mkstemp(suffix=".fact.gz", prefix="repro-prof-")
+    os.close(handle)
+    try:
+        cpu = CPU(program)
+        record_trace(program, path, max_instructions, cpu=cpu)
+        cols = decode_tracefile(program, path)
+    finally:
+        os.unlink(path)
+    analysis = analyze_trace_columns(
+        program, cols, block_sizes=block_sizes, cache_size=cache_size,
+        per_pc=True, memory_usage=cpu.memory_usage, stdout=cpu.stdout())
+    load_use_distances(program, cols, distances)
+    return analysis
+
+
 def profile_program(
     program: Program,
     name: str = "program",
@@ -331,17 +361,35 @@ def profile_program(
     primary_block_size: int = 32,
     cache_size: int = 16 * 1024,
     max_instructions: int = 50_000_000,
+    engine: str = "columnar",
 ) -> ProfileResult:
-    """Profile every load/store site of ``program``. See module docstring."""
+    """Profile every load/store site of ``program``. See module docstring.
+
+    ``engine`` selects the functional pass: ``"columnar"`` (default)
+    records + decodes the trace and runs the vectorized batch analyzer,
+    ``"records"`` streams execution through the scalar
+    :class:`TraceAnalyzer`. Identical results either way (the profiler
+    equivalence test asserts it); the timing and static passes are
+    engine-independent.
+    """
     if primary_block_size not in block_sizes:
         block_sizes = tuple(sorted(set(block_sizes) | {primary_block_size}))
+    if engine not in ("columnar", "records"):
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "choose 'columnar' or 'records'")
 
     # 1. functional pass: exact per-PC prediction counts + load-use hist
-    analyzer = TraceAnalyzer(block_sizes, cache_size=cache_size, per_pc=True)
     registry = MetricsRegistry()
     distances = registry.histogram("profile.load_use_distance")
-    cpu = _load_use_distances(program, analyzer, distances, max_instructions)
-    analysis = analyzer.finish(cpu)
+    if engine == "columnar":
+        analysis = _functional_pass_columnar(
+            program, block_sizes, cache_size, distances, max_instructions)
+    else:
+        analyzer = TraceAnalyzer(block_sizes, cache_size=cache_size,
+                                 per_pc=True)
+        cpu = _load_use_distances(program, analyzer, distances,
+                                  max_instructions)
+        analysis = analyzer.finish(cpu)
 
     # 2. timing pass: replay cycles, dcache misses, latency distribution
     sink = ProfileSink()

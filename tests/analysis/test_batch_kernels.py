@@ -1,0 +1,168 @@
+"""Randomized equivalence of the vectorized analysis kernels.
+
+Each numpy kernel in :mod:`repro.analysis.batch` mirrors a scalar
+reference implementation elsewhere in the tree. Hypothesis drives
+randomized columns through both and asserts elementwise agreement:
+
+* ``failure_signal_columns`` vs ``FastAddressCalculator.predict()``
+* ``prediction_failed_column`` vs ``FastAddressCalculator.fails()``
+* ``direct_mapped_misses`` vs the exact :class:`Cache`
+* ``tlb_misses`` vs the exact :class:`TLB`
+* ``_offset_buckets`` vs ``refclass._bucket_key``
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.batch import (
+    _SIGNALS,
+    _miss_ratio,
+    _offset_buckets,
+    direct_mapped_misses,
+    failure_signal_columns,
+    prediction_failed_column,
+    tlb_misses,
+)
+from repro.analysis.refclass import _bucket_key
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.tlb import TLB
+from repro.fac.config import FacConfig
+from repro.fac.predictor import FastAddressCalculator
+
+# Bias toward the interesting boundaries: small magnitudes around the
+# block/index field widths, plus fully random 32-bit values.
+_bases = st.one_of(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=255),
+    st.builds(lambda t, low: (t << 5) | low,
+              st.integers(min_value=0, max_value=(1 << 27) - 1),
+              st.integers(min_value=0, max_value=31)),
+)
+_offsets = st.one_of(
+    st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+    st.integers(min_value=-64, max_value=64),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+)
+_accesses = st.lists(
+    st.tuples(_bases, _offsets, st.booleans()), min_size=1, max_size=64)
+
+
+class TestFailureSignals:
+    @settings(max_examples=200, deadline=None)
+    @given(accesses=_accesses,
+           block_size=st.sampled_from([8, 16, 32, 64, 128]),
+           full_tag_add=st.booleans())
+    def test_signals_match_predict(self, accesses, block_size, full_tag_add):
+        fac = FastAddressCalculator(FacConfig(
+            block_size=block_size, full_tag_add=full_tag_add))
+        base = np.array([a[0] for a in accesses], dtype=np.int64)
+        offset = np.array([a[1] for a in accesses], dtype=np.int64)
+        is_reg = np.array([a[2] for a in accesses], dtype=bool)
+        cols = failure_signal_columns(
+            base, offset, is_reg, block_size=block_size,
+            full_tag_add=full_tag_add)
+        for i, (b, o, r) in enumerate(accesses):
+            signals = fac.predict(b, o, r).signals
+            for name in _SIGNALS:
+                assert bool(cols[name][i]) == getattr(signals, name), (
+                    f"signal {name} diverges at row {i}: "
+                    f"base={b:#x} offset={o} reg={r}")
+
+    @settings(max_examples=200, deadline=None)
+    @given(accesses=_accesses,
+           block_size=st.sampled_from([16, 32]),
+           full_tag_add=st.booleans())
+    def test_failed_matches_fails(self, accesses, block_size, full_tag_add):
+        fac = FastAddressCalculator(FacConfig(
+            block_size=block_size, full_tag_add=full_tag_add))
+        base = np.array([a[0] for a in accesses], dtype=np.int64)
+        offset = np.array([a[1] for a in accesses], dtype=np.int64)
+        is_reg = np.array([a[2] for a in accesses], dtype=bool)
+        failed = prediction_failed_column(
+            base, offset, is_reg, block_size=block_size,
+            full_tag_add=full_tag_add)
+        for i, (b, o, r) in enumerate(accesses):
+            assert bool(failed[i]) == fac.fails(b, o, r)
+
+    def test_failed_is_or_of_signals(self):
+        rng = np.random.default_rng(7)
+        base = rng.integers(0, 2 ** 32, size=512)
+        offset = rng.integers(-(2 ** 15), 2 ** 15, size=512)
+        is_reg = rng.integers(0, 2, size=512).astype(bool)
+        signals = failure_signal_columns(
+            base, offset, is_reg, block_size=32, full_tag_add=False)
+        failed = prediction_failed_column(
+            base, offset, is_reg, block_size=32, full_tag_add=False)
+        expected = np.zeros(512, dtype=bool)
+        for name in _SIGNALS:
+            expected |= signals[name]
+        assert np.array_equal(failed, expected)
+
+
+class TestCachePasses:
+    @settings(max_examples=100, deadline=None)
+    @given(addresses=st.lists(
+               st.integers(min_value=0, max_value=(1 << 18) - 1),
+               min_size=0, max_size=200),
+           block_size=st.sampled_from([16, 32, 64]),
+           cache_size=st.sampled_from([1024, 4096, 16 * 1024]))
+    def test_direct_mapped_matches_cache(self, addresses, block_size,
+                                         cache_size):
+        cache = Cache(CacheConfig(size=cache_size, block_size=block_size))
+        for addr in addresses:
+            cache.access(addr)
+        batch = direct_mapped_misses(
+            np.array(addresses, dtype=np.int64),
+            block_size=block_size, cache_size=cache_size)
+        assert batch == cache.misses
+
+    @settings(max_examples=60, deadline=None)
+    @given(pages=st.lists(
+               st.integers(min_value=0, max_value=11), min_size=0,
+               max_size=300),
+           entries=st.sampled_from([4, 8]))
+    def test_tlb_matches_scalar(self, pages, entries):
+        """Footprints above capacity exercise the PRNG-replay path;
+        small entry counts make eviction easy to reach."""
+        addresses = [p << 12 for p in pages]
+        tlb = TLB(entries=entries)
+        for addr in addresses:
+            tlb.access(addr)
+        batch = tlb_misses(np.array(addresses, dtype=np.int64),
+                           entries=entries)
+        assert batch == tlb.misses
+
+    def test_tlb_fast_path_when_footprint_fits(self):
+        addresses = np.array([p << 12 for p in [1, 2, 3, 1, 2, 3, 1]],
+                             dtype=np.int64)
+        assert tlb_misses(addresses, entries=64) == 3
+
+    def test_miss_ratio_formula_is_bit_identical(self):
+        # RatioStat computes 1 - hits/total; a naive misses/total differs
+        # in the last ulp for some operand combinations.
+        assert _miss_ratio(1, 3) == 1.0 - 2 / 3
+        assert _miss_ratio(0, 0) == 0.0
+        assert _miss_ratio(7, 7) == 1.0
+
+
+class TestOffsetBuckets:
+    @settings(max_examples=200, deadline=None)
+    @given(offsets=st.lists(
+        st.one_of(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+                  st.integers(min_value=-3, max_value=3),
+                  st.sampled_from([(1 << k) - 1 for k in range(1, 18)]
+                                  + [1 << k for k in range(18)])),
+        min_size=1, max_size=64))
+    def test_buckets_match_scalar(self, offsets):
+        keys = _offset_buckets(np.array(offsets, dtype=np.int64))
+        for i, offset in enumerate(offsets):
+            assert int(keys[i]) == _bucket_key(offset)
+
+    @pytest.mark.parametrize("offset,key", [
+        (-1, -1), (0, 0), (1, 1), (2, 2), (3, 2), (4, 3),
+        (32767, 15), (32768, 16), (1 << 20, 16),
+    ])
+    def test_bucket_boundaries(self, offset, key):
+        assert int(_offset_buckets(np.array([offset]))[0]) == key

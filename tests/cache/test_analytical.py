@@ -1,0 +1,170 @@
+"""Analytical cache model tests (:mod:`repro.cache.analytical`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.analytical import (
+    DEFAULT_GRID,
+    DEFAULT_TOLERANCE,
+    SWEEP_BLOCK_SIZES,
+    AnalyticalCacheModel,
+    AnalyticalModelError,
+    _check_cache_oracle,
+    exact_lru_misses,
+    exact_miss_ratio,
+    stack_distances,
+    validate_model,
+)
+from repro.cpu.coltrace import decode_tracefile
+from repro.cpu.tracefile import record_trace
+from repro.workloads import build_benchmark
+
+
+def _brute_force_distances(blocks):
+    """Reference LRU stack distances via an explicit recency list."""
+    stack, out = [], []
+    for block in blocks:
+        if block in stack:
+            position = stack.index(block)
+            out.append(position)
+            stack.pop(position)
+        else:
+            out.append(-1)
+        stack.insert(0, block)
+    return out
+
+
+@pytest.fixture(scope="module")
+def ea_stream(tmp_path_factory):
+    """Effective addresses of a real benchmark's memory accesses."""
+    program = build_benchmark("compress")
+    path = str(tmp_path_factory.mktemp("analytical") / "compress.fact.gz")
+    record_trace(program, path, max_instructions=10_000_000)
+    cols = decode_tracefile(program, path)
+    return cols.ea[cols.is_mem].astype(np.int64)
+
+
+class TestStackDistances:
+    @settings(max_examples=120, deadline=None)
+    @given(blocks=st.lists(st.integers(min_value=0, max_value=12),
+                           min_size=0, max_size=150))
+    def test_matches_brute_force(self, blocks):
+        got = stack_distances(np.array(blocks, dtype=np.int64))
+        assert got.tolist() == _brute_force_distances(blocks)
+
+    def test_cold_accesses_are_minus_one(self):
+        assert stack_distances(np.array([5, 6, 7])).tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances(np.array([9, 9, 9])).tolist() == [-1, 0, 0]
+
+    def test_empty(self):
+        assert len(stack_distances(np.array([], dtype=np.int64))) == 0
+
+
+class TestExactLru:
+    @settings(max_examples=60, deadline=None)
+    @given(addresses=st.lists(
+               st.integers(min_value=0, max_value=(1 << 14) - 1),
+               min_size=0, max_size=150),
+           geometry=st.sampled_from([
+               (1024, 16, 1), (1024, 16, 2), (1024, 32, 4),
+               (4096, 32, 1), (4096, 64, 2), (512, 32, 16),
+           ]))
+    def test_matches_cache(self, addresses, geometry):
+        cache_size, block_size, assoc = geometry
+        assert _check_cache_oracle(
+            np.array(addresses, dtype=np.int64), cache_size=cache_size,
+            block_size=block_size, assoc=assoc)
+
+    def test_fully_associative_degenerate(self):
+        # cache of one set: num_sets == 1, distances on the raw stream
+        addresses = np.array([0, 64, 128, 0, 64, 128] * 3, dtype=np.int64)
+        assert _check_cache_oracle(addresses, cache_size=256, block_size=32,
+                                   assoc=8)
+
+    def test_empty_stream(self):
+        assert exact_lru_misses(np.array([], dtype=np.int64),
+                                block_size=32, cache_size=1024, assoc=2) == 0
+        assert exact_miss_ratio([], cache_size=1024, block_size=32,
+                                assoc=2) == 0.0
+
+
+class TestProfileEstimator:
+    def test_exact_on_real_stream_across_grid(self, ea_stream):
+        """The default estimator is exact: zero error on every point of
+        the acceptance grid against the exact simulator."""
+        report = validate_model(ea_stream, grid=DEFAULT_GRID,
+                                tolerance=DEFAULT_TOLERANCE)
+        assert len(report) == len(DEFAULT_GRID)
+        worst = max(entry["error"] for entry in report)
+        assert worst == 0.0
+
+    def test_profiles_are_cached_per_family(self, ea_stream):
+        model = AnalyticalCacheModel(ea_stream)
+        model.miss_ratio(16 * 1024, block_size=32, assoc=1)
+        cached = len(model._profiles)
+        # same (block_size, num_sets) family: capacity folds, no new pass
+        model.miss_ratio(16 * 1024, block_size=32, assoc=1)
+        assert len(model._profiles) == cached
+
+    def test_sweep_shape(self, ea_stream):
+        sweep = AnalyticalCacheModel(ea_stream).sweep()
+        assert tuple(sweep) == SWEEP_BLOCK_SIZES
+        assert all(0.0 <= ratio <= 1.0 for ratio in sweep.values())
+        # larger blocks exploit the suite's spatial locality
+        assert sweep[128] <= sweep[8]
+
+    def test_accesses_property(self, ea_stream):
+        assert AnalyticalCacheModel(ea_stream).accesses == len(ea_stream)
+
+    def test_empty_stream_ratio_is_zero(self):
+        model = AnalyticalCacheModel(np.array([], dtype=np.int64))
+        assert model.miss_ratio(16 * 1024) == 0.0
+        assert model.miss_ratio(16 * 1024, estimator="uniform") == 0.0
+
+    def test_unknown_estimator_rejected(self, ea_stream):
+        with pytest.raises(ValueError, match="estimator"):
+            AnalyticalCacheModel(ea_stream).miss_ratio(
+                16 * 1024, estimator="montecarlo")
+
+
+class TestUniformEstimatorViolation:
+    def test_conflict_aliased_stream_raises(self):
+        """Three blocks that map to the *same* set of a direct-mapped
+        cache thrash it (miss ratio ~1) while the uniform assumption
+        predicts nearly all hits -- the model must refuse, not shrug."""
+        cache_size, block_size = 4 * 1024, 32
+        num_sets = cache_size // block_size
+        stride = num_sets * block_size
+        addresses = np.tile(
+            np.array([0, stride, 2 * stride], dtype=np.int64), 400)
+        with pytest.raises(AnalyticalModelError) as excinfo:
+            validate_model(addresses,
+                           grid=((cache_size, block_size, 1),),
+                           estimator="uniform")
+        (violation,) = excinfo.value.violations
+        assert violation["error"] > 0.5
+        assert "outside tolerance" in str(excinfo.value)
+
+    def test_profile_estimator_handles_same_stream(self):
+        cache_size, block_size = 4 * 1024, 32
+        stride = (cache_size // block_size) * block_size
+        addresses = np.tile(
+            np.array([0, stride, 2 * stride], dtype=np.int64), 400)
+        report = validate_model(addresses,
+                                grid=((cache_size, block_size, 1),))
+        assert report[0]["error"] == 0.0
+
+    def test_uniform_estimator_on_real_stream_within_loose_bound(
+            self, ea_stream):
+        """The uniform estimator is approximate but not arbitrary: on
+        the fully-associative family it degenerates to the exact fold."""
+        model = AnalyticalCacheModel(ea_stream)
+        # num_sets == 1: both estimators answer from the same profile
+        fa_profile = model.miss_ratio(1024, block_size=32, assoc=32)
+        fa_uniform = model.miss_ratio(1024, block_size=32, assoc=32,
+                                      estimator="uniform")
+        assert fa_uniform == pytest.approx(fa_profile, abs=1e-12)

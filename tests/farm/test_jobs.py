@@ -146,3 +146,90 @@ class TestEnsure:
                                  max_instructions=MAX_INSTRUCTIONS)
         with pytest.raises(ValueError, match="mystery"):
             farm_jobs.execute_job(spec, store)
+
+
+class TestColtrace:
+    """The derived columnar-trace artifact and the columnar analysis
+    cell built on it."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return ArtifactStore(tmp_path_factory.mktemp("coltrace-store"))
+
+    def test_coltrace_artifact_stored_with_meta(self, store):
+        key, meta = farm_jobs.ensure_coltrace(store, BENCH, False,
+                                              MAX_INSTRUCTIONS)
+        assert meta["kind"] == "coltrace"
+        assert meta["format"] == "repro.coltrace/1"
+        assert meta["records"] > 0
+        assert store.has("trace", meta["trace_key"])
+        assert store.payload_path("coltrace", key,
+                                  farm_jobs.COLTRACE_PAYLOAD)
+
+    def test_decoded_exactly_once(self, store, monkeypatch):
+        farm_jobs.ensure_coltrace(store, BENCH, False, MAX_INSTRUCTIONS)
+        import repro.cpu.coltrace as coltrace_mod
+
+        def boom(program, path):  # pragma: no cover - must not run
+            raise AssertionError("re-decoded a cached coltrace")
+
+        monkeypatch.setattr(coltrace_mod, "decode_tracefile", boom)
+        key, meta = farm_jobs.ensure_coltrace(store, BENCH, False,
+                                              MAX_INSTRUCTIONS)
+        assert meta["records"] > 0
+
+    def test_engines_share_key_and_snapshot(self, store):
+        key_c, snap_c = farm_jobs.ensure_analysis(
+            store, BENCH, False, MAX_INSTRUCTIONS, engine="columnar")
+        # evict the cached snapshot so the records engine recomputes
+        store.remove("analysis", key_c)
+        key_r, snap_r = farm_jobs.ensure_analysis(
+            store, BENCH, False, MAX_INSTRUCTIONS, engine="records")
+        assert key_c == key_r
+        assert snap_c == snap_r
+
+    def test_inputs_pinned_while_analysis_in_flight(self, store,
+                                                    monkeypatch):
+        """A size-budgeted gc that fires mid-cell must not evict the
+        trace or coltrace the analysis is reading."""
+        key, _ = farm_jobs.ensure_coltrace(store, BENCH, False,
+                                           MAX_INSTRUCTIONS)
+        akey = farm_jobs.ensure_analysis(
+            store, BENCH, False, MAX_INSTRUCTIONS)[0]
+        store.remove("analysis", akey)
+
+        import repro.analysis.batch as batch_mod
+
+        real = batch_mod.analyze_trace_columns
+        fired = {}
+
+        def gc_mid_flight(*args, **kwargs):
+            fired["evicted"] = store.gc(max_bytes=0)[0]
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batch_mod, "analyze_trace_columns",
+                            gc_mid_flight)
+        tkey = farm_jobs.trace_key(
+            BENCH, False,
+            farm_jobs.ensure_manifest(store, BENCH, False)["program_crc"],
+            MAX_INSTRUCTIONS)
+        farm_jobs.ensure_analysis(store, BENCH, False, MAX_INSTRUCTIONS)
+        assert "evicted" in fired
+        assert store.has("trace", tkey)
+        assert store.has("coltrace", key)
+        # pins were released afterwards: nothing survives a clear now
+        store.gc(clear=True)
+        assert not store.has("coltrace", key)
+
+    def test_no_pins_leak(self, store):
+        farm_jobs.ensure_analysis(store, BENCH, False, MAX_INSTRUCTIONS)
+        assert not store.pinned("trace", "x")  # sanity: API present
+        for info in store.ls():
+            assert not store.pinned(info.kind, info.key)
+
+    def test_coltrace_key_differs_from_trace_key(self):
+        crc = 1
+        assert farm_jobs.coltrace_key(BENCH, False, crc, 1000) != \
+            farm_jobs.trace_key(BENCH, False, crc, 1000)
+        assert farm_jobs.coltrace_key(BENCH, False, crc, 1000) != \
+            farm_jobs.coltrace_key(BENCH, False, crc, 2000)

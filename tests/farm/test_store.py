@@ -216,6 +216,60 @@ class TestPinning:
         assert evicted == 1
 
 
+class TestDerivedKinds:
+    """Columnar trace artifacts are derived caches: cheap to rebuild
+    from their parent tracefile, so budget GC sheds them first."""
+
+    def test_coltrace_is_a_registered_derived_kind(self):
+        from repro.farm.store import DERIVED_KINDS, KINDS
+
+        assert "coltrace" in KINDS
+        assert set(DERIVED_KINDS) <= set(KINDS)
+        assert "coltrace" in DERIVED_KINDS
+
+    def test_derived_evicted_before_newer_parents(self, store):
+        store.put("coltrace", "aa" * 32, {})
+        store.put("trace", "bb" * 32, {})
+        # make the trace the LRU-oldest artifact: without the derived
+        # rule it would be the first eviction candidate
+        meta = store._object_dir("trace", "bb" * 32) / "meta.json"
+        os.utime(meta, (meta.stat().st_mtime - 500,) * 2)
+        evicted, _ = store.gc(max_bytes=1)
+        assert evicted == 2
+        # but with a budget that only needs one eviction, the derived
+        # coltrace goes and the older tracefile stays
+        store.put("coltrace", "aa" * 32, {})
+        store.put("trace", "bb" * 32, {})
+        meta = store._object_dir("trace", "bb" * 32) / "meta.json"
+        os.utime(meta, (meta.stat().st_mtime - 500,) * 2)
+        sizes = {(i.kind, i.key): i.size for i in store.ls()}
+        evicted, _ = store.gc(
+            max_bytes=sum(sizes.values()) - 1)
+        assert evicted == 1
+        assert store.has("trace", "bb" * 32)
+        assert not store.has("coltrace", "aa" * 32)
+
+    def test_derived_keep_lru_order_among_themselves(self, store):
+        for age, key in ((300, "aa" * 32), (100, "bb" * 32)):
+            store.put("coltrace", key, {})
+            meta = store._object_dir("coltrace", key) / "meta.json"
+            os.utime(meta, (meta.stat().st_mtime - age,) * 2)
+        sizes = {i.key: i.size for i in store.ls()}
+        evicted, _ = store.gc(max_bytes=sum(sizes.values()) - 1)
+        assert evicted == 1
+        assert not store.has("coltrace", "aa" * 32)
+        assert store.has("coltrace", "bb" * 32)
+
+    def test_pinned_coltrace_survives_budget_gc(self, store):
+        store.put("coltrace", "aa" * 32, {})
+        store.put("trace", "bb" * 32, {})
+        store.pin("coltrace", "aa" * 32)
+        evicted, _ = store.gc(max_bytes=1)
+        assert evicted == 1
+        assert store.has("coltrace", "aa" * 32)
+        assert not store.has("trace", "bb" * 32)
+
+
 class TestEnvironment:
     def test_env_dir_wins(self, monkeypatch):
         monkeypatch.setenv(ENV_DIR, "/somewhere/else")

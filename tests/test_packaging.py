@@ -1,0 +1,55 @@
+"""Packaging metadata consistency.
+
+setup.cfg is the canonical metadata source (the local PEP 517 backend
+reads it); pyproject.toml carries a mirror ``[project]`` table for
+tools that only read pyproject. This test keeps the two in sync --
+in particular the numpy runtime dependency the columnar analysis path
+relies on (see docs/performance.md).
+"""
+
+import configparser
+import tomllib
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load():
+    pyproject = tomllib.loads((ROOT / "pyproject.toml").read_text())
+    cfg = configparser.ConfigParser()
+    cfg.read(ROOT / "setup.cfg")
+    return pyproject["project"], cfg
+
+
+def _cfg_list(raw: str) -> list[str]:
+    return [line.strip() for line in raw.strip().splitlines() if line.strip()]
+
+
+def test_name_and_version_agree():
+    project, cfg = _load()
+    assert project["name"] == cfg["metadata"]["name"]
+    assert project["version"] == cfg["metadata"]["version"]
+
+
+def test_python_requirement_agrees():
+    project, cfg = _load()
+    assert project["requires-python"] == \
+        cfg["options"]["python_requires"].strip()
+
+
+def test_runtime_dependencies_agree():
+    project, cfg = _load()
+    assert _cfg_list(cfg["options"]["install_requires"]) == \
+        project["dependencies"]
+
+
+def test_numpy_is_a_declared_runtime_dependency():
+    project, _ = _load()
+    assert any(dep.startswith("numpy") for dep in project["dependencies"])
+
+
+def test_test_extras_agree():
+    project, cfg = _load()
+    cfg_extras = _cfg_list(cfg["options.extras_require"]["test"])
+    assert sorted(cfg_extras) == \
+        sorted(project["optional-dependencies"]["test"])
