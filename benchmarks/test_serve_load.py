@@ -13,7 +13,12 @@ same program for ``WARM_ROUNDS`` more rounds. The gates:
 - every SSE stream is gap-free and duplicate-free, and each job's
   stream is byte-identical when read twice (``events_ok``);
 - warm event logs are deterministic across repeats of the same
-  submission, timestamps aside (``deterministic``).
+  submission, timestamps aside (``deterministic``);
+- the observability stack (request metrics, timing histograms, the
+  access log, trace grafting) adds at most
+  :data:`OVERHEAD_CEILING_FRACTION` to the warm p99 against an
+  instance running with ``metrics_enabled=False`` and no access log
+  (min-over-rounds on both sides to cut scheduler noise).
 
 Run directly::
 
@@ -81,3 +86,61 @@ def test_sse_streams_are_lossless(load_stats):
 
 def test_warm_event_logs_deterministic(load_stats):
     assert load_stats["deterministic"], load_stats
+
+
+# ------------------------------------------------------------------ #
+# observability overhead gate
+
+OVERHEAD_CLIENTS = 4
+OVERHEAD_ROUNDS = 3          # best-of-N per configuration
+#: Metrics + tracing may cost at most 5% of warm p99, plus a small
+#: absolute floor so sub-50ms baselines don't gate on scheduler jitter.
+OVERHEAD_CEILING_FRACTION = 0.05
+OVERHEAD_ABSOLUTE_FLOOR = 0.02
+
+
+def _best_warm_p99(metrics_enabled: bool, access_log: str | None,
+                   tmp_path_factory) -> float:
+    best = float("inf")
+    for round_no in range(OVERHEAD_ROUNDS):
+        store = ArtifactStore(
+            tmp_path_factory.mktemp(
+                f"overhead-{metrics_enabled}-{round_no}") / "store")
+        server = start_in_background(store, ServeConfig(
+            quota=OVERHEAD_CLIENTS * (WARM_ROUNDS + 2),
+            metrics_enabled=metrics_enabled,
+            access_log=access_log))
+        try:
+            stats = run_load(server.base_url, clients=OVERHEAD_CLIENTS,
+                             warm_rounds=WARM_ROUNDS)
+        finally:
+            server.stop()
+        best = min(best, stats["warm"]["p99"])
+    return best
+
+
+@pytest.fixture(scope="module")
+def overhead_p99s(tmp_path_factory):
+    off = _best_warm_p99(False, None, tmp_path_factory)
+    log_dir = tmp_path_factory.mktemp("overhead-log")
+    on = _best_warm_p99(True, str(log_dir / "access.jsonl"),
+                        tmp_path_factory)
+    print(f"\n[serve-overhead] warm p99 metrics-off {off:.3f}s, "
+          f"metrics-on {on:.3f}s "
+          f"(+{(on - off) / off * 100 if off else 0:.1f}%)")
+    return off, on
+
+
+def test_observability_overhead_bounded(overhead_p99s):
+    off, on = overhead_p99s
+    ceiling = off * (1 + OVERHEAD_CEILING_FRACTION) \
+        + OVERHEAD_ABSOLUTE_FLOOR
+    assert on <= ceiling, (
+        f"metrics+tracing overhead: warm p99 {on:.3f}s vs baseline "
+        f"{off:.3f}s exceeds {OVERHEAD_CEILING_FRACTION:.0%} "
+        f"+ {OVERHEAD_ABSOLUTE_FLOOR}s")
+
+
+def test_instrumented_run_still_meets_ceiling(overhead_p99s):
+    _, on = overhead_p99s
+    assert on <= WARM_P99_CEILING

@@ -30,9 +30,14 @@ Commands:
                           (``farm run``, ``farm status``, ``farm top``,
                           ``farm history``, ``farm timeline``, ``farm gc``)
 * ``serve``            -- simulation-as-a-service HTTP server on top of
-                          the farm (``--check`` for offline health)
+                          the farm (``--check`` for offline health,
+                          ``serve trace JOB_ID`` for one request's
+                          span tree)
 * ``submit``           -- submit one job to a running serve instance
                           (``--follow`` streams its SSE events)
+* ``slo``              -- evaluate TOML service-level objectives over
+                          ``repro.serve-metrics/1`` snapshots with
+                          burn-rate math; exits 1 on breach
 """
 
 from __future__ import annotations
@@ -606,10 +611,11 @@ def main(argv=None) -> int:
     p_exp.set_defaults(func=cmd_experiment)
 
     from repro.farm.cli import add_farm_parser
-    from repro.serve.cli import add_serve_parser
+    from repro.serve.cli import add_serve_parser, add_slo_parser
 
     add_farm_parser(sub)
     add_serve_parser(sub)
+    add_slo_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -283,6 +283,15 @@ def find_run(store, run_id: str) -> LedgerRun | None:
     return None
 
 
+def find_run_by_job(store, job_id: str) -> LedgerRun | None:
+    """The most recent run whose meta names this serve ``job_id``."""
+    best = None
+    for candidate in list_runs(store):
+        if candidate.meta.get("job_id") == job_id:
+            best = candidate
+    return best
+
+
 def previous_run(store, run: LedgerRun) -> LedgerRun | None:
     """The most recent earlier run with the same sweep key."""
     best = None
@@ -301,8 +310,16 @@ def previous_run(store, run: LedgerRun) -> LedgerRun | None:
 # normalization (determinism tests) and drift comparison
 
 _TIMING_SPAN_KEYS = ("t0", "t1")
-_TIMING_ATTRS = ("wall", "cpu", "max_rss", "elapsed")
+_TIMING_ATTRS = ("wall", "cpu", "max_rss", "elapsed",
+                 "queue_wait_seconds", "ingress_seconds")
 _TIMING_JOB_KEYS = ("wall", "cpu", "max_rss")
+#: Meta keys that name *this* request/run rather than the sweep -- two
+#: reruns of the same submission legitimately differ here.
+_IDENTITY_META_KEYS = ("job_id", "trace_id")
+#: Span attrs carrying request identity. Note the farm's own ``job_id``
+#: attr (the graph job id) is deterministic and deliberately *not* here;
+#: the serve layer uses ``serve_job_id`` on spans to stay distinct.
+_IDENTITY_ATTRS = ("trace_id", "serve_job_id")
 
 
 def normalized_lines(run: LedgerRun) -> list[str]:
@@ -310,18 +327,24 @@ def normalized_lines(run: LedgerRun) -> list[str]:
 
     Two reruns of the same sweep against warm (or equally cold) stores
     must normalize to byte-identical lines -- the ledger's structure is
-    a pure function of the sweep, only durations and ids vary.
+    a pure function of the sweep, only durations and ids vary. Request
+    identity (the serve layer's ``job_id``/``trace_id`` in meta and span
+    attrs) is normalized away for the same reason.
     """
+    meta = {k: ("X" if k in _IDENTITY_META_KEYS else v)
+            for k, v in run.meta.items()}
     clone = LedgerRun(
         run_id="RUN", sweep_key=run.sweep_key, created=0.0,
-        meta=dict(run.meta), summary=dict(run.summary),
+        meta=meta, summary=dict(run.summary),
     )
     for span in run.spans:
         span = dict(span)
         for key in _TIMING_SPAN_KEYS:
             span[key] = 0.0 if span[key] is not None else None
-        span["attrs"] = {k: (0 if k in _TIMING_ATTRS else v)
-                         for k, v in sorted(span["attrs"].items())}
+        span["attrs"] = {
+            k: (0 if k in _TIMING_ATTRS
+                else "X" if k in _IDENTITY_ATTRS else v)
+            for k, v in sorted(span["attrs"].items())}
         clone.spans.append(span)
     for job_id, job in run.jobs.items():
         job = dict(job)

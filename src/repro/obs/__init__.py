@@ -38,6 +38,7 @@ from repro.obs.events import (
     EventBus,
     FacPredict,
     FacReplay,
+    HttpRequestServed,
     InstRetired,
     MemAccess,
     StoreBufferFullStall,
@@ -52,9 +53,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     RatioStat,
+    TimingHistogram,
     safe_ratio,
 )
 from repro.obs.sinks import (
+    AccessLogSink,
     ChromeTraceSink,
     CollectingSink,
     JsonlSink,
@@ -70,6 +73,7 @@ __all__ = [
     "EventBus",
     "FacPredict",
     "FacReplay",
+    "HttpRequestServed",
     "InstRetired",
     "MemAccess",
     "StoreBufferFullStall",
@@ -82,7 +86,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RatioStat",
+    "TimingHistogram",
     "safe_ratio",
+    "AccessLogSink",
     "ChromeTraceSink",
     "CollectingSink",
     "JsonlSink",

@@ -268,6 +268,30 @@ class SpanEnded(Event):
     status: str         # 'ok' | 'error' | ...
 
 
+# --------------------------------------------------------------------- #
+# serving-layer events
+
+
+@dataclass(slots=True)
+class HttpRequestServed(Event):
+    """One HTTP request completed by ``repro serve`` (access-log line).
+
+    ``route`` is the template ("GET /v1/jobs/{id}"), ``path`` the
+    concrete URL path; ``tenant``/``job_id`` are empty strings when the
+    request has neither.
+    """
+
+    kind = "serve.http.request"
+    trace_id: str
+    method: str
+    route: str
+    path: str
+    status: int
+    duration_seconds: float
+    tenant: str
+    job_id: str
+
+
 #: kind -> event class, for sinks that reconstruct events.
 EVENT_TYPES = {
     cls.kind: cls
@@ -278,6 +302,7 @@ EVENT_TYPES = {
         FarmJobScheduled, FarmJobStarted, FarmJobFinished, FarmJobFailed,
         FarmJobCrashed, FarmJobTimeout, FarmJobRetry,
         SpanStarted, SpanEnded,
+        HttpRequestServed,
     )
 }
 

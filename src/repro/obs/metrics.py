@@ -8,14 +8,18 @@ Every metric implements the same small protocol:
                     (sharded / multi-run aggregation),
 * ``reset()``    -- zero the metric in place.
 
-Three concrete metrics cover everything the simulators need:
+Four concrete metrics cover everything the simulators and the serving
+layer need:
 
 * :class:`Counter`   -- a monotonically increasing event count,
 * :class:`RatioStat` -- hits over accesses (cache hit ratio,
                        prediction accuracy),
 * :class:`Histogram` -- sparse integer histogram with CDF support
                        (offset sizes, replay penalties, load-use
-                       distances).
+                       distances),
+* :class:`TimingHistogram` -- log-bucketed duration histogram with
+                       quantile estimates (request latency, queue
+                       wait); mergeable across shards like the rest.
 
 These are the canonical definitions; :mod:`repro.utils.stats` re-exports
 them for backwards compatibility.
@@ -31,6 +35,7 @@ unless the caller passes them explicitly in ``meta``.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Iterable, Iterator
 
@@ -205,7 +210,124 @@ class Histogram:
         return f"Histogram({self.name}, n={self.total}, bins={len(self)})"
 
 
-_METRIC_TYPES = {cls.kind: cls for cls in (Counter, RatioStat, Histogram)}
+class TimingHistogram:
+    """Log-bucketed duration histogram with conservative quantiles.
+
+    Durations (seconds) land in geometrically spaced buckets: bucket
+    ``i`` covers ``(BASE * GROWTH**(i-1), BASE * GROWTH**i]``, with a
+    dedicated underflow bucket for samples at or below :data:`BASE`.
+    With ``GROWTH = 2**0.25`` every bucket is ~19% wide, so quantile
+    estimates carry at most that relative error — and the estimate is
+    always the bucket's *upper* bound (clamped to the exact observed
+    min/max), i.e. it never understates a latency. That bias is what
+    makes it safe to gate SLOs on.
+
+    Count, sum, min, and max are tracked exactly. The sparse
+    ``{bucket_index: count}`` layout merges and snapshots like
+    :class:`Histogram`.
+    """
+
+    kind = "timing"
+
+    #: Lower edge of the first real bucket: 1 microsecond.
+    BASE = 1e-6
+    #: Geometric bucket growth factor (four buckets per octave).
+    GROWTH = 2 ** 0.25
+
+    _LOG_GROWTH = math.log(GROWTH)
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._counts: dict[int, int] = defaultdict(int)
+
+    @classmethod
+    def bucket_index(cls, seconds: float) -> int:
+        """Bucket index for a duration; 0 is the underflow bucket."""
+        if seconds <= cls.BASE:
+            return 0
+        return max(1, math.ceil(math.log(seconds / cls.BASE) / cls._LOG_GROWTH))
+
+    @classmethod
+    def bucket_upper_bound(cls, index: int) -> float:
+        """Inclusive upper edge of bucket ``index`` in seconds."""
+        return cls.BASE * cls.GROWTH ** index
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self._counts[self.bucket_index(seconds)] += 1
+
+    @property
+    def mean(self) -> float:
+        return safe_ratio(self.sum, self.count)
+
+    def quantile(self, q: float) -> float:
+        """Conservative quantile estimate in seconds (0.0 when empty).
+
+        Walks buckets in order until the cumulative count reaches
+        ``q * count`` and returns that bucket's upper bound, clamped to
+        the exact observed ``[min, max]`` range.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        rank = q * self.count
+        running = 0
+        for index, amount in sorted(self._counts.items()):
+            running += amount
+            if running >= rank:
+                estimate = self.bucket_upper_bound(index)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def buckets(self) -> Iterable[tuple[int, int]]:
+        """Sorted ``(bucket_index, count)`` pairs."""
+        return sorted(self._counts.items())
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._counts.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self._counts.items())},
+        }
+
+    def merge(self, other: "TimingHistogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        for index, amount in other._counts.items():
+            self._counts[index] += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TimingHistogram({self.name}, n={self.count})"
+
+
+_METRIC_TYPES = {
+    cls.kind: cls for cls in (Counter, RatioStat, Histogram, TimingHistogram)
+}
 
 
 class MetricsRegistry:
@@ -242,6 +364,9 @@ class MetricsRegistry:
 
     def histogram(self, path: str) -> Histogram:
         return self._get(path, Histogram)
+
+    def timing(self, path: str) -> TimingHistogram:
+        return self._get(path, TimingHistogram)
 
     # -------------------------------------------------------------- #
 
@@ -307,6 +432,13 @@ class MetricsRegistry:
             elif metric_cls is RatioStat:
                 metric.hits = int(payload["hits"])
                 metric.total = int(payload["total"])
+            elif metric_cls is TimingHistogram:
+                metric.count = int(payload["count"])
+                metric.sum = float(payload["sum"])
+                metric.min = float(payload["min"]) if metric.count else math.inf
+                metric.max = float(payload["max"])
+                for key, amount in payload["buckets"].items():
+                    metric._counts[int(key)] += int(amount)
             else:
                 for key, amount in payload["counts"].items():
                     metric.record(int(key), int(amount))

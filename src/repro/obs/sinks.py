@@ -9,10 +9,13 @@ dataclass field order, and no wall-clock values are recorded.
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 from repro.obs.events import (
     Event,
     FacReplay,
+    HttpRequestServed,
     InstRetired,
     MemAccess,
     Syscall,
@@ -65,6 +68,44 @@ class JsonlSink:
         self.stream.write(json.dumps(event.as_dict(), separators=(",", ":")))
         self.stream.write("\n")
         self.count += 1
+
+
+class AccessLogSink:
+    """Structured JSONL access log for the serving layer.
+
+    Handles only :class:`HttpRequestServed` events (everything else
+    passes through untouched), stamping each line with a wall-clock
+    ``ts`` — access logs are operational records, not deterministic
+    artifacts, so the no-wall-clock rule of the other sinks does not
+    apply here. Lines are flushed as written so ``tail -f`` works, and
+    writes are serialized under a lock because the asyncio server may
+    complete requests from multiple tasks interleaved with worker-thread
+    emissions.
+    """
+
+    __slots__ = ("path", "count", "_stream", "_lock", "_clock")
+
+    def __init__(self, path, clock=time.time):
+        self.path = path
+        self.count = 0
+        self._stream = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._clock = clock
+
+    def handle(self, event: Event) -> None:
+        if not isinstance(event, HttpRequestServed):
+            return
+        line = {"ts": round(self._clock(), 6), **event.as_dict()}
+        payload = json.dumps(line, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(payload + "\n")
+            self._stream.flush()
+            self.count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._stream.closed:
+                self._stream.close()
 
 
 class ChromeTraceSink:

@@ -1,11 +1,17 @@
-"""``repro serve`` / ``repro submit`` -- the service CLI surfaces.
+"""``repro serve`` / ``repro submit`` / ``repro slo`` -- service CLIs.
 
 * ``repro serve``          -- run the HTTP service in the foreground
                               (``--check`` prints the health document
                               and exits without binding a socket).
+* ``repro serve trace``    -- reconstruct one served request's full
+                              lifecycle (queue record, span tree from
+                              the run ledger) from its job id.
 * ``repro submit``         -- submit one job to a running service,
                               optionally following its SSE event stream
                               and waiting for the result.
+* ``repro slo``            -- evaluate a TOML objectives file against
+                              ``repro.serve-metrics/1`` snapshots;
+                              exits 1 on breach.
 """
 
 from __future__ import annotations
@@ -45,6 +51,8 @@ def cmd_serve(args) -> int:
         retries=args.retries,
         gc_max_bytes=(parse_size(args.gc_max_bytes)
                       if args.gc_max_bytes else None),
+        metrics_enabled=not args.no_metrics,
+        access_log=args.access_log,
     )
 
     async def _main() -> None:
@@ -64,6 +72,98 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("[serve] shutting down", file=sys.stderr)
     return 0
+
+
+def cmd_serve_trace(args) -> int:
+    """Print one served request's lifecycle: record + ledger span tree.
+
+    Reads the queue's record file directly (instantiating the live
+    queue would requeue RUNNING jobs under a running service) and finds
+    the job's run in the span ledger by meta.
+    """
+    from repro.farm import ledger as ledger_mod
+    from repro.serve.worker import normalized_events
+
+    store = _store_for(args)
+    record_path = (store.root / "serve" / "queue" / "jobs"
+                   / f"{args.job_id}.json")
+    if not record_path.is_file():
+        print(f"no job {args.job_id!r} under {store.root}", file=sys.stderr)
+        return 2
+    with open(record_path) as handle:
+        record = json.load(handle)
+    run = ledger_mod.find_run_by_job(store, args.job_id)
+
+    if args.json:
+        doc = {
+            "job_id": args.job_id,
+            "trace_id": record.get("trace_id"),
+            "record": record,
+            "run_id": run.run_id if run is not None else None,
+            "spans": run.spans if run is not None else [],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    print(f"job {args.job_id} (tenant {record.get('tenant')}, "
+          f"state {record.get('state')})")
+    print(f"trace_id: {record.get('trace_id', '?')}")
+    if record.get("ingress_seconds") is not None:
+        print(f"ingress: {record['ingress_seconds']:.6f}s")
+    result = record.get("result") or {}
+    if result.get("queue_wait_seconds") is not None:
+        print(f"queue wait: {result['queue_wait_seconds']:.6f}s")
+    if result.get("elapsed_seconds") is not None:
+        print(f"execution: {result['elapsed_seconds']:.3f}s "
+              f"(run {result.get('run_id')})")
+
+    events_path = store.root / "serve" / "events" / f"{args.job_id}.jsonl"
+    if events_path.is_file():
+        with open(events_path) as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        print(f"events ({len(entries)}):")
+        for entry in normalized_events(entries):
+            print(f"  [{entry.get('seq', '?'):>3}] {entry.get('event')}")
+
+    if run is None:
+        print("no ledger run recorded for this job (still queued, or "
+              "the run failed before the ledger write)")
+        return 0
+    by_parent: dict[int | None, list[dict]] = {}
+    for span in run.spans:
+        by_parent.setdefault(span["parent_id"], []).append(span)
+
+    def emit(span, depth):
+        dur = "   open  " if span["t1"] is None else \
+            f"{span['t1'] - span['t0']:>8.3f}s"
+        print(f"{dur}  {'  ' * depth}{span['name']}")
+        for child in sorted(by_parent.get(span["span_id"], []),
+                            key=lambda s: s["t0"]):
+            emit(child, depth + 1)
+
+    print(f"span tree (run {run.run_id}):")
+    for root in sorted(by_parent.get(None, []), key=lambda s: s["t0"]):
+        emit(root, 0)
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Evaluate SLOs; exit 0 healthy, 1 breached, 2 on bad input."""
+    from repro.serve import slo as slo_mod
+
+    try:
+        objectives = slo_mod.load_objectives(args.objectives)
+        snapshots = slo_mod.load_snapshots(args.from_metrics)
+        report = slo_mod.evaluate(objectives, snapshots,
+                                  window_override=args.window)
+    except (slo_mod.SloConfigError, OSError, ValueError) as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(slo_mod.format_report(report))
+    return 1 if report["breached"] else 0
 
 
 def cmd_submit(args) -> int:
@@ -147,7 +247,26 @@ def add_serve_parser(sub) -> None:
                               "(K/M/G suffixes; default: no trimming)")
     p_serve.add_argument("--check", action="store_true",
                          help="print the health document and exit")
+    p_serve.add_argument("--access-log", default=None, metavar="FILE",
+                         help="append structured JSONL access-log lines "
+                              "to FILE")
+    p_serve.add_argument("--no-metrics", action="store_true",
+                         help="disable the metrics registry and /metrics "
+                              "endpoints (overhead A/B runs)")
     p_serve.set_defaults(func=cmd_serve)
+
+    serve_sub = p_serve.add_subparsers(dest="serve_command",
+                                       required=False, metavar="")
+    p_trace = serve_sub.add_parser(
+        "trace", help="print one served request's trace (record, events, "
+                      "span tree)")
+    p_trace.add_argument("job_id", metavar="JOB_ID")
+    p_trace.add_argument("--store", default=None, metavar="DIR",
+                         help="artifact store root (default: "
+                              "$REPRO_FARM_DIR or .repro-farm/)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the full trace document as JSON")
+    p_trace.set_defaults(func=cmd_serve_trace)
 
     p_submit = sub.add_parser(
         "submit", help="submit one job to a running serve instance")
@@ -176,3 +295,27 @@ def add_serve_parser(sub) -> None:
     p_submit.add_argument("--json", action="store_true",
                           help="print the full job record as JSON")
     p_submit.set_defaults(func=cmd_submit)
+
+
+def add_slo_parser(sub) -> None:
+    """Register ``slo`` on a ``__main__`` subparser set."""
+    p_slo = sub.add_parser(
+        "slo", help="evaluate service-level objectives over metrics "
+                    "snapshots")
+    p_slo.add_argument("--objectives", required=True, metavar="TOML",
+                       help="TOML objectives file (see docs/serving.md)")
+    p_slo.add_argument("--from-metrics", required=True, nargs="+",
+                       metavar="JSON",
+                       help="one or more repro.serve-metrics/1 snapshots "
+                            "(a series enables windowed burn rates)")
+    p_slo.add_argument("--window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evaluate over the trailing SECONDS instead "
+                            "of the objectives file's windows")
+    p_slo.add_argument("--check", action="store_true",
+                       help="explicit gate mode (the default already "
+                            "exits 1 on breach; this flag documents "
+                            "intent in CI)")
+    p_slo.add_argument("--json", action="store_true",
+                       help="print the repro.slo-report/1 document")
+    p_slo.set_defaults(func=cmd_slo)

@@ -20,16 +20,21 @@ def _connect(base_url: str, timeout: float) -> http.client.HTTPConnection:
 
 
 def request_json(base_url: str, method: str, path: str, payload=None,
-                 timeout: float = 30.0) -> tuple[int, dict]:
-    """One JSON request/response; returns ``(status, document)``."""
+                 timeout: float = 30.0,
+                 headers: dict | None = None) -> tuple[int, dict]:
+    """One JSON request/response; returns ``(status, document)``.
+
+    ``headers`` lets callers propagate trace context
+    (``x-repro-trace-id`` / ``traceparent``).
+    """
     conn = _connect(base_url, timeout)
     try:
         body = None
-        headers = {}
+        send_headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload).encode()
-            headers["Content-Type"] = "application/json"
-        conn.request(method, path, body=body, headers=headers)
+            send_headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=send_headers)
         response = conn.getresponse()
         raw = response.read()
         doc = json.loads(raw.decode()) if raw else {}
@@ -38,10 +43,27 @@ def request_json(base_url: str, method: str, path: str, payload=None,
         conn.close()
 
 
+def request_text(base_url: str, path: str,
+                 timeout: float = 30.0) -> tuple[int, str]:
+    """One plain-text GET (the Prometheus ``/metrics`` endpoint)."""
+    conn = _connect(base_url, timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
 def submit(base_url: str, payload: dict,
-           timeout: float = 30.0) -> tuple[int, dict]:
+           timeout: float = 30.0,
+           headers: dict | None = None) -> tuple[int, dict]:
     return request_json(base_url, "POST", "/v1/jobs", payload,
-                        timeout=timeout)
+                        timeout=timeout, headers=headers)
+
+
+def get_metrics(base_url: str, timeout: float = 30.0) -> tuple[int, dict]:
+    return request_json(base_url, "GET", "/v1/metrics", timeout=timeout)
 
 
 def get_job(base_url: str, job_id: str,

@@ -1,0 +1,529 @@
+"""Server-wide metrics for ``repro serve``: registry, JSON, Prometheus.
+
+:class:`ServeMetrics` wraps one :class:`~repro.obs.metrics.MetricsRegistry`
+with the serving layer's vocabulary — request counts per route/status,
+per-route latency, end-to-end and queue-wait timings, farm cache hit
+ratio, per-tenant throttles, SSE stream churn — and exports it two ways:
+
+* ``GET /v1/metrics`` — a schema-tagged ``repro.serve-metrics/1`` JSON
+  document: live gauges (queue depth, SSE subscribers, worker liveness)
+  plus the full ``repro.metrics/1`` snapshot, machine-mergeable and
+  consumable by ``repro slo``;
+* ``GET /metrics`` — Prometheus text exposition (format 0.0.4), with
+  :class:`~repro.obs.metrics.TimingHistogram` rendered as native
+  cumulative ``_bucket``/``_sum``/``_count`` series.
+
+Route labels are *templates* ("GET /v1/jobs/{id}"), never concrete
+paths, so cardinality is bounded by the route table regardless of
+traffic. :func:`validate_prometheus_text` is the in-repo exposition
+linter shared by the tests, the smoke tool, and CI.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    TimingHistogram,
+)
+
+SERVE_METRICS_SCHEMA_VERSION = "repro.serve-metrics/1"
+
+#: Structural schema for the ``/v1/metrics`` document (the JSON-Schema
+#: subset understood by repro.analysis.reporting.validate_against_schema).
+SERVE_METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "meta", "gauges", "metrics"],
+    "properties": {
+        "schema": {"enum": [SERVE_METRICS_SCHEMA_VERSION]},
+        "meta": {
+            "type": "object",
+            "required": ["uptime_seconds"],
+            "properties": {"uptime_seconds": {"type": "number"}},
+        },
+        "gauges": {
+            "type": "object",
+            "required": ["queue", "tenants", "sse_active", "worker"],
+            "properties": {
+                "queue": {"type": "object"},
+                "tenants": {"type": "object"},
+                "sse_active": {"type": "integer"},
+                "worker": {"type": "object"},
+            },
+        },
+        "metrics": SNAPSHOT_SCHEMA,
+    },
+}
+
+#: The route templates the service can attribute a request to. Kept
+#: dot-free so they embed directly in registry paths.
+ROUTES = (
+    "POST /v1/jobs",
+    "GET /v1/jobs",
+    "GET /v1/jobs/{id}",
+    "GET /v1/jobs/{id}/events",
+    "GET /v1/artifacts/{kind}/{key}",
+    "GET /v1/health",
+    "GET /v1/metrics",
+    "GET /metrics",
+    "OTHER",
+)
+
+
+def _safe_label_part(value: str) -> str:
+    """A registry-path-safe token: dots would split the path."""
+    return value.replace(".", "_")
+
+
+class ServeMetrics:
+    """One service instance's metrics state.
+
+    All mutation happens on the service event loop or the single worker
+    coroutine; the underlying metric objects are simple enough that the
+    occasional cross-thread read (snapshot from a test) is benign.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self.registry = MetricsRegistry()
+        self.clock = clock
+        self.started = clock()
+        self.sse_active = 0
+
+    # ------------------------------------------------------------ #
+    # recording
+
+    def record_request(self, route: str, status: int,
+                       duration_seconds: float) -> None:
+        if route not in ROUTES:
+            route = "OTHER"
+        self.registry.counter(f"http.requests.{route}.{status}").incr()
+        self.registry.timing(f"http.latency.{route}").record(
+            duration_seconds)
+
+    def record_throttle(self, tenant: str) -> None:
+        self.registry.counter(
+            f"tenants.{_safe_label_part(tenant)}.throttled").incr()
+
+    def record_job(self, doc: dict, e2e_seconds: float) -> None:
+        """Account one finished job from its result doc."""
+        status = doc.get("status", "failed")
+        self.registry.counter(f"jobs.completed.{status}").incr()
+        summary = doc.get("summary") or {}
+        total = summary.get("total", 0)
+        hits = summary.get("hits", 0)
+        farm = self.registry.ratio("jobs.farm_cache")
+        farm.hits += hits
+        farm.total += total
+        phase = "warm" if total and hits == total else "cold"
+        self.registry.timing(f"jobs.e2e.{phase}").record(e2e_seconds)
+        self.registry.timing("jobs.queue_wait").record(
+            float(doc.get("queue_wait_seconds") or 0.0))
+
+    def sse_opened(self) -> None:
+        self.sse_active += 1
+        self.registry.counter("sse.opened").incr()
+
+    def sse_closed(self) -> None:
+        self.sse_active = max(0, self.sse_active - 1)
+        self.registry.counter("sse.closed").incr()
+
+    # ------------------------------------------------------------ #
+    # export
+
+    def uptime_seconds(self) -> float:
+        return self.clock() - self.started
+
+    def snapshot(self, gauges: dict | None = None,
+                 meta: dict | None = None) -> dict:
+        """The ``repro.serve-metrics/1`` document."""
+        doc_gauges = {
+            "queue": {}, "tenants": {}, "sse_active": self.sse_active,
+            "worker": {},
+        }
+        doc_gauges.update(gauges or {})
+        doc_meta = {"uptime_seconds": round(self.uptime_seconds(), 6)}
+        doc_meta.update(meta or {})
+        return {
+            "schema": SERVE_METRICS_SCHEMA_VERSION,
+            "meta": doc_meta,
+            "gauges": doc_gauges,
+            "metrics": self.registry.snapshot(),
+        }
+
+    def render_prometheus(self, gauges: dict | None = None) -> str:
+        return render_prometheus(self.snapshot(gauges))
+
+
+# ------------------------------------------------------------------ #
+# Prometheus text exposition
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels(pairs: dict) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"'
+                     for k, v in pairs.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Renderer:
+    """Accumulates HELP/TYPE/sample lines per metric family, in order."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict, value) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_format_value(value)}")
+
+    def timing(self, name: str, labels: dict, payload: dict) -> None:
+        """One TimingHistogram as cumulative bucket series."""
+        cumulative = 0
+        for index, amount in sorted(
+                (int(k), v) for k, v in payload["buckets"].items()):
+            cumulative += amount
+            bound = TimingHistogram.bucket_upper_bound(index)
+            self.sample(f"{name}_bucket",
+                        {**labels, "le": f"{bound:.9g}"}, cumulative)
+        self.sample(f"{name}_bucket", {**labels, "le": "+Inf"},
+                    payload["count"])
+        self.sample(f"{name}_sum", labels, payload["sum"])
+        self.sample(f"{name}_count", labels, payload["count"])
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a ``repro.serve-metrics/1`` document as exposition text."""
+    metrics = snapshot["metrics"]["metrics"]
+    gauges = snapshot["gauges"]
+    out = _Renderer()
+
+    out.family("repro_serve_uptime_seconds", "gauge",
+               "Seconds since this serve instance started.")
+    out.sample("repro_serve_uptime_seconds", {},
+               snapshot["meta"]["uptime_seconds"])
+
+    requests = [(path, payload) for path, payload in sorted(metrics.items())
+                if path.startswith("http.requests.")]
+    if requests:
+        out.family("repro_serve_requests_total", "counter",
+                   "HTTP requests served, by route template and status.")
+        for path, payload in requests:
+            route, _, status = path[len("http.requests."):].rpartition(".")
+            out.sample("repro_serve_requests_total",
+                       {"route": route, "status": status},
+                       payload["count"])
+
+    latencies = [(path, payload) for path, payload in sorted(metrics.items())
+                 if path.startswith("http.latency.")]
+    if latencies:
+        out.family("repro_serve_request_duration_seconds", "histogram",
+                   "HTTP request duration by route template.")
+        for path, payload in latencies:
+            route = path[len("http.latency."):]
+            out.timing("repro_serve_request_duration_seconds",
+                       {"route": route}, payload)
+
+    e2e = [(path, payload) for path, payload in sorted(metrics.items())
+           if path.startswith("jobs.e2e.")]
+    if e2e:
+        out.family("repro_serve_job_e2e_seconds", "histogram",
+                   "Submission-to-terminal-state latency, by cache phase.")
+        for path, payload in e2e:
+            out.timing("repro_serve_job_e2e_seconds",
+                       {"phase": path[len("jobs.e2e."):]}, payload)
+
+    queue_wait = metrics.get("jobs.queue_wait")
+    if queue_wait:
+        out.family("repro_serve_queue_wait_seconds", "histogram",
+                   "Time jobs spent queued before the worker picked them up.")
+        out.timing("repro_serve_queue_wait_seconds", {}, queue_wait)
+
+    completed = [(path, payload) for path, payload in sorted(metrics.items())
+                 if path.startswith("jobs.completed.")]
+    if completed:
+        out.family("repro_serve_jobs_total", "counter",
+                   "Jobs completed, by terminal status.")
+        for path, payload in completed:
+            out.sample("repro_serve_jobs_total",
+                       {"status": path[len("jobs.completed."):]},
+                       payload["count"])
+
+    farm = metrics.get("jobs.farm_cache")
+    if farm:
+        out.family("repro_serve_farm_jobs_total", "counter",
+                   "Farm jobs executed for served submissions.")
+        out.sample("repro_serve_farm_jobs_total", {}, farm["total"])
+        out.family("repro_serve_farm_cache_hits_total", "counter",
+                   "Farm jobs resolved from the artifact store.")
+        out.sample("repro_serve_farm_cache_hits_total", {}, farm["hits"])
+
+    throttled = [(path, payload) for path, payload in sorted(metrics.items())
+                 if path.startswith("tenants.")
+                 and path.endswith(".throttled")]
+    if throttled:
+        out.family("repro_serve_throttled_total", "counter",
+                   "429 quota rejections, by tenant.")
+        for path, payload in throttled:
+            tenant = path[len("tenants."):-len(".throttled")]
+            out.sample("repro_serve_throttled_total", {"tenant": tenant},
+                       payload["count"])
+
+    for name, help_text in (("opened", "SSE streams opened."),
+                            ("closed", "SSE streams closed.")):
+        payload = metrics.get(f"sse.{name}")
+        if payload:
+            out.family(f"repro_serve_sse_{name}_total", "counter", help_text)
+            out.sample(f"repro_serve_sse_{name}_total", {},
+                       payload["count"])
+    out.family("repro_serve_sse_active", "gauge",
+               "Currently connected SSE subscribers.")
+    out.sample("repro_serve_sse_active", {}, gauges.get("sse_active", 0))
+
+    queue = gauges.get("queue") or {}
+    if queue:
+        out.family("repro_serve_queue_depth", "gauge",
+                   "Jobs in the persistent queue, by state.")
+        for state, count in sorted(queue.items()):
+            out.sample("repro_serve_queue_depth", {"state": state}, count)
+    tenants = gauges.get("tenants") or {}
+    if tenants:
+        out.family("repro_serve_queue_depth_by_tenant", "gauge",
+                   "Per-tenant jobs in the persistent queue, by state.")
+        for tenant, states in sorted(tenants.items()):
+            for state, count in sorted(states.items()):
+                out.sample("repro_serve_queue_depth_by_tenant",
+                           {"tenant": tenant, "state": state}, count)
+
+    worker = gauges.get("worker") or {}
+    if worker:
+        out.family("repro_serve_worker_alive", "gauge",
+                   "1 when the worker heartbeat is fresh.")
+        out.sample("repro_serve_worker_alive", {},
+                   1 if worker.get("alive") else 0)
+        out.family("repro_serve_worker_jobs_total", "counter",
+                   "Jobs the worker loop has finished since start.")
+        out.sample("repro_serve_worker_jobs_total", {},
+                   worker.get("jobs_since_start", 0))
+        age = worker.get("last_heartbeat_age_seconds")
+        if age is not None:
+            out.family("repro_serve_worker_heartbeat_age_seconds", "gauge",
+                       "Seconds since the worker loop last made progress.")
+            out.sample("repro_serve_worker_heartbeat_age_seconds", {}, age)
+
+    return "\n".join(out.lines) + "\n"
+
+
+# ------------------------------------------------------------------ #
+# exposition linting (tests, smoke tool, CI)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_sample(line: str):
+    """``(name, raw_labels, raw_value, raw_ts)`` or None if malformed.
+
+    Not a single regex because label *values* may contain ``}`` (route
+    templates like ``GET /v1/jobs/{id}`` do) — the closing brace has to
+    be found with quote/escape awareness.
+    """
+    match = _NAME_RE.match(line)
+    if match is None or match.start() != 0:
+        return None
+    name = match.group(0)
+    rest = line[match.end():]
+    raw_labels = None
+    if rest.startswith("{"):
+        in_quotes = escaped = False
+        end = -1
+        for index in range(1, len(rest)):
+            char = rest[index]
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_quotes = not in_quotes
+            elif char == "}" and not in_quotes:
+                end = index
+                break
+        if end < 0:
+            return None
+        raw_labels = rest[1:end]
+        rest = rest[end + 1:]
+    if not rest.startswith(" "):
+        return None
+    fields = rest[1:].split(" ")
+    if len(fields) == 1:
+        return name, raw_labels, fields[0], None
+    if len(fields) == 2 and re.fullmatch(r"-?\d+", fields[1]):
+        return name, raw_labels, fields[0], fields[1]
+    return None
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Problems with an exposition document (empty list = valid).
+
+    Checks the 0.0.4 text format structurally: HELP/TYPE comment shape,
+    metric/label name grammar, parseable sample values, TYPE declared
+    before its samples, and — for histograms — the presence of ``+Inf``
+    bucket, ``_sum``/``_count`` series, and non-decreasing cumulative
+    bucket values with ``_count`` matching the ``+Inf`` bucket.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # histogram family -> labels-minus-le -> list of (le, value)
+    hist_buckets: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    hist_counts: dict[str, dict[str, float]] = {}
+    seen_families: set[str] = set()
+
+    if text and not text.endswith("\n"):
+        problems.append("document must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            name = parts[2]
+            if not _NAME_RE.fullmatch(name):
+                problems.append(
+                    f"line {lineno}: bad metric name {name!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                    problems.append(
+                        f"line {lineno}: bad TYPE line {line!r}")
+                elif name in seen_families:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its samples")
+                else:
+                    types[name] = parts[3]
+            continue
+
+        parsed = _parse_sample(line)
+        if parsed is None:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, raw_labels, raw_value, _ts = parsed
+        family = _family_of(name)
+        seen_families.add(family)
+        seen_families.add(name)
+        labels: dict[str, str] = {}
+        if raw_labels:
+            for pair in _split_labels(raw_labels):
+                if not _LABEL_RE.match(pair):
+                    problems.append(
+                        f"line {lineno}: malformed label {pair!r}")
+                    continue
+                key, _, value = pair.partition("=")
+                labels[key] = value[1:-1]
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparseable value {raw_value!r}")
+            continue
+
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            problems.append(
+                f"line {lineno}: sample {name} has no TYPE declaration")
+            continue
+        if declared == "histogram":
+            key = ",".join(f"{k}={v}" for k, v in sorted(labels.items())
+                           if k != "le")
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label")
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                hist_buckets.setdefault(family, {}) \
+                    .setdefault(key, []).append((bound, value))
+            elif name.endswith("_count"):
+                hist_counts.setdefault(family, {})[key] = value
+
+    for family, series in hist_buckets.items():
+        for key, buckets in series.items():
+            ordered = sorted(buckets)
+            bounds = [b for b, _ in ordered]
+            values = [v for _, v in ordered]
+            if not bounds or bounds[-1] != float("inf"):
+                problems.append(
+                    f"histogram {family}{{{key}}}: no +Inf bucket")
+                continue
+            if any(later < earlier
+                   for earlier, later in zip(values, values[1:])):
+                problems.append(
+                    f"histogram {family}{{{key}}}: buckets not cumulative")
+            count = hist_counts.get(family, {}).get(key)
+            if count is None:
+                problems.append(
+                    f"histogram {family}{{{key}}}: missing _count series")
+            elif count != values[-1]:
+                problems.append(
+                    f"histogram {family}{{{key}}}: _count {count} != "
+                    f"+Inf bucket {values[-1]}")
+    return problems
+
+
+def _split_labels(raw: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts

@@ -30,6 +30,8 @@ import os
 import time
 from pathlib import Path
 
+from repro.serve.tracing import new_trace_id
+
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
@@ -88,10 +90,24 @@ class PersistentQueue:
                     record = json.load(handle)
             except (OSError, ValueError):
                 continue
+            changed = False
             if record.get("state") == RUNNING:
                 # The previous process died mid-run; the farm layer is
                 # store-idempotent, so simply run it again.
                 record["state"] = QUEUED
+                changed = True
+            if "trace_id" not in record:
+                # Records predating request tracing get an id minted at
+                # reload so every downstream surface can rely on one.
+                record["trace_id"] = new_trace_id()
+                changed = True
+            if "enqueued_at" not in record or record.get("state") == QUEUED:
+                # Monotonic timestamps do not survive a process restart,
+                # so re-stamp anything still waiting: queue-wait restarts
+                # from "now", which under-reports rather than fabricates.
+                record["enqueued_at"] = time.monotonic()
+                changed = True
+            if changed:
                 self._persist(record)
             self.records[record["job_id"]] = record
             self._seq = max(self._seq, int(record.get("seq", 0)))
@@ -103,8 +119,16 @@ class PersistentQueue:
         return sum(1 for r in self.records.values()
                    if r["tenant"] == tenant and r["state"] in ACTIVE_STATES)
 
-    def submit(self, submission: dict) -> dict:
-        """Admit one normalized submission; raises :class:`QuotaExceeded`."""
+    def submit(self, submission: dict,
+               trace_id: str | None = None,
+               ingress_seconds: float | None = None) -> dict:
+        """Admit one normalized submission; raises :class:`QuotaExceeded`.
+
+        ``trace_id`` is the request-scoped id resolved at HTTP ingress
+        (one is minted for direct/CLI submissions); ``enqueued_at`` is a
+        *monotonic* timestamp so the worker can measure queue wait
+        rather than infer it from wall clocks.
+        """
         tenant = submission["tenant"]
         if self.active_jobs(tenant) >= self.quota:
             raise QuotaExceeded(tenant, self.quota)
@@ -117,9 +141,13 @@ class PersistentQueue:
             "state": QUEUED,
             "priority": submission["priority"],
             "created": time.time(),
+            "enqueued_at": time.monotonic(),
+            "trace_id": trace_id or new_trace_id(),
             "submission": submission,
             "result": None,
         }
+        if ingress_seconds is not None:
+            record["ingress_seconds"] = round(ingress_seconds, 6)
         self.records[job_id] = record
         self._persist(record)
         return record
@@ -169,6 +197,17 @@ class PersistentQueue:
             counts[record["state"]] = counts.get(record["state"], 0) + 1
         counts["total"] = len(self.records)
         return counts
+
+    def depth_by_tenant(self) -> dict:
+        """Per-tenant per-state counts, tenants sorted for determinism."""
+        tenants: dict[str, dict] = {}
+        for record in self.records.values():
+            row = tenants.setdefault(
+                record["tenant"],
+                {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, "total": 0})
+            row[record["state"]] = row.get(record["state"], 0) + 1
+            row["total"] += 1
+        return {t: tenants[t] for t in sorted(tenants)}
 
     def jobs(self, tenant: str | None = None) -> list[dict]:
         rows = [r for r in self.records.values()

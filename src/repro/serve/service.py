@@ -18,8 +18,15 @@ Endpoints (all responses JSON unless noted; errors are
 ``GET /v1/jobs/{id}``                      one job record + result
 ``GET /v1/jobs/{id}/events``               SSE stream, replay + live
 ``GET /v1/artifacts/{kind}/{key}``         snapshot from the store
-``GET /v1/health``                         schema/store/queue health
+``GET /v1/health``                         schema/store/queue/worker
+``GET /v1/metrics``                        ``repro.serve-metrics/1``
+``GET /metrics``                           Prometheus text (not JSON)
 =========================================  ==========================
+
+Every request resolves a ``trace_id`` at ingress (``traceparent`` or
+``x-repro-trace-id`` headers honored, one minted otherwise), echoes it
+as ``X-Repro-Trace-Id``, stamps it on the queue record, and accounts
+the request in the metrics registry and the JSONL access log.
 
 Connections are ``Connection: close`` -- one request per connection
 keeps the parser trivial and is plenty for the load profile (SSE
@@ -36,8 +43,11 @@ from dataclasses import dataclass
 from urllib.parse import parse_qs, unquote
 
 from repro.farm.ledger import LEDGER_SCHEMA
+from repro.obs.events import HttpRequestServed
 from repro.obs.metrics import SNAPSHOT_VERSION
+from repro.obs.sinks import AccessLogSink
 from repro.farm.store import ArtifactStore
+from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import DONE, FAILED, RUNNING, PersistentQueue, QuotaExceeded
 from repro.serve.schemas import (
     MAX_BODY_BYTES,
@@ -46,6 +56,11 @@ from repro.serve.schemas import (
     SERVE_JOB_SCHEMA_VERSION,
     error_doc,
     normalize_submission,
+)
+from repro.serve.tracing import (
+    RESPONSE_TRACE_HEADER,
+    RequestContext,
+    resolve_trace_id,
 )
 from repro.serve.worker import (
     JobEventLog,
@@ -74,11 +89,26 @@ class ServeConfig:
     retries: int = 1
     gc_max_bytes: int | None = None     # store budget, trimmed between jobs
     worker_enabled: bool = True         # False: accept only (tests)
+    metrics_enabled: bool = True        # False: no registry (overhead A/B)
+    access_log: str | None = None       # JSONL access-log path
+
+
+#: A worker whose heartbeat is older than this, with no job in flight,
+#: is reported as not alive (the idle loop beats every 0.5s).
+WORKER_STALE_SECONDS = 5.0
 
 
 def build_health(store: ArtifactStore, queue: PersistentQueue,
-                 started_at: float | None = None) -> dict:
-    """The ``/v1/health`` document (also ``repro serve --check``)."""
+                 started_at: float | None = None,
+                 worker: dict | None = None) -> dict:
+    """The ``/v1/health`` document (also ``repro serve --check``).
+
+    ``queue.tenants`` breaks depth down per tenant; ``worker`` (when the
+    caller has one) reports the job loop's liveness — a wedged worker
+    with a growing heartbeat age is visible here, not just a 200.
+    """
+    depth = queue.depth()
+    depth["tenants"] = queue.depth_by_tenant()
     doc = {
         "schema": SERVE_HEALTH_SCHEMA_VERSION,
         "schemas": {
@@ -92,9 +122,11 @@ def build_health(store: ArtifactStore, queue: PersistentQueue,
             "stats": store.stats(),
             "shards": store.shard_stats(),
         },
-        "queue": queue.depth(),
+        "queue": depth,
         "quota": queue.quota,
     }
+    if worker is not None:
+        doc["worker"] = worker
     if started_at is not None:
         doc["uptime_seconds"] = round(time.time() - started_at, 3)
     return doc
@@ -118,6 +150,14 @@ class ServeService:
         self.events_dir.mkdir(parents=True, exist_ok=True)
         self.logs: dict[str, JobEventLog] = {}
         self.started_at = time.time()
+        self.metrics = ServeMetrics() if self.config.metrics_enabled else None
+        self.access_log = AccessLogSink(self.config.access_log) \
+            if self.config.access_log else None
+        self.worker_stats = {
+            "jobs_since_start": 0,
+            "current_job": None,
+            "last_heartbeat": time.monotonic(),
+        }
         self.server = None
         self.port = None
         self._running = False
@@ -151,6 +191,8 @@ class ServeService:
             self.server.close()
             await self.server.wait_closed()
             self.server = None
+        if self.access_log is not None:
+            self.access_log.close()
 
     # ------------------------------------------------------------ #
     # worker
@@ -162,9 +204,32 @@ class ServeService:
             self.logs[job_id] = log
         return log
 
+    def _beat(self) -> None:
+        self.worker_stats["last_heartbeat"] = time.monotonic()
+
+    def worker_liveness(self) -> dict:
+        """The worker-loop liveness view for ``/v1/health`` and metrics.
+
+        ``alive`` means the loop beat recently *or* is legitimately
+        blocked running a job — only a loop that is idle-and-silent
+        (wedged, crashed, or never started) reports dead.
+        """
+        age = time.monotonic() - self.worker_stats["last_heartbeat"]
+        current = self.worker_stats["current_job"]
+        enabled = self.config.worker_enabled
+        return {
+            "enabled": enabled,
+            "alive": enabled and (current is not None
+                                  or age < WORKER_STALE_SECONDS),
+            "last_heartbeat_age_seconds": round(age, 3),
+            "current_job": current,
+            "jobs_since_start": self.worker_stats["jobs_since_start"],
+        }
+
     async def _worker_loop(self) -> None:
         config = self.config
         while self._running:
+            self._beat()
             record = self.queue.next_queued()
             if record is None:
                 self._wake.clear()
@@ -175,6 +240,8 @@ class ServeService:
                 continue
             job_id = record["job_id"]
             self.queue.mark(job_id, RUNNING)
+            self.worker_stats["current_job"] = job_id
+            self._beat()
             log = self.log_for(job_id)
             log.append_event(ServeJobStarted(
                 job_id=job_id, tenant=record["tenant"]))
@@ -185,31 +252,61 @@ class ServeService:
             self.queue.mark(job_id,
                             DONE if doc["status"] == "done" else FAILED,
                             result=doc)
+            self.worker_stats["current_job"] = None
+            self.worker_stats["jobs_since_start"] += 1
+            self._beat()
+            if self.metrics is not None:
+                enqueued_at = record.get("enqueued_at")
+                e2e = time.monotonic() - float(enqueued_at) \
+                    if enqueued_at is not None else \
+                    doc.get("elapsed_seconds", 0.0)
+                self.metrics.record_job(doc, e2e)
 
     # ------------------------------------------------------------ #
     # HTTP plumbing
 
     async def _handle_client(self, reader, writer) -> None:
+        ctx = RequestContext(started=time.monotonic())
         try:
-            request = await self._read_request(reader, writer)
+            request = await self._read_request(reader, writer, ctx)
             if request is not None:
-                await self._route(writer, *request)
+                method, path, query, body, headers = request
+                ctx.trace_id = resolve_trace_id(headers)
+                ctx.method, ctx.path = method, path
+                ctx.ingress_seconds = time.monotonic() - ctx.started
+                await self._route(reader, writer, ctx,
+                                  method, path, query, body)
         except (ConnectionResetError, BrokenPipeError):
             pass
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             try:
                 await self._send_json(writer, 500, error_doc(
-                    "internal", f"{type(exc).__name__}: {exc}"))
+                    "internal", f"{type(exc).__name__}: {exc}"), ctx)
             except (ConnectionResetError, BrokenPipeError, RuntimeError):
                 pass
         finally:
+            self._finish_request(ctx)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _read_request(self, reader, writer):
+    def _finish_request(self, ctx: RequestContext) -> None:
+        """Account one completed request: metrics and the access log."""
+        if not ctx.status:
+            return      # connection opened but no request/response
+        duration = time.monotonic() - ctx.started
+        if self.metrics is not None:
+            self.metrics.record_request(ctx.route, ctx.status, duration)
+        if self.access_log is not None:
+            self.access_log.handle(HttpRequestServed(
+                trace_id=ctx.trace_id, method=ctx.method, route=ctx.route,
+                path=ctx.path, status=ctx.status,
+                duration_seconds=round(duration, 6),
+                tenant=ctx.tenant, job_id=ctx.job_id))
+
+    async def _read_request(self, reader, writer, ctx: RequestContext):
         line = await reader.readline()
         if not line:
             return None
@@ -217,7 +314,7 @@ class ServeService:
             method, target, _version = line.decode("ascii").split()
         except ValueError:
             await self._send_json(writer, 400, error_doc(
-                "bad-request", "malformed request line"))
+                "bad-request", "malformed request line"), ctx)
             return None
         headers = {}
         while True:
@@ -230,18 +327,39 @@ class ServeService:
         if length > MAX_BODY_BYTES:
             await self._send_json(writer, 413, error_doc(
                 "payload-too-large",
-                f"body exceeds {MAX_BODY_BYTES} bytes"))
+                f"body exceeds {MAX_BODY_BYTES} bytes"), ctx)
             return None
         body = await reader.readexactly(length) if length else b""
         path, _, query = target.partition("?")
-        return method.upper(), unquote(path), parse_qs(query), body
+        return method.upper(), unquote(path), parse_qs(query), body, headers
 
-    async def _send_json(self, writer, status: int, doc) -> None:
+    async def _send_json(self, writer, status: int, doc,
+                         ctx: RequestContext | None = None) -> None:
+        if ctx is not None:
+            ctx.status = status
+        trace = f"{RESPONSE_TRACE_HEADER}: {ctx.trace_id}\r\n" \
+            if ctx is not None else ""
         payload = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode()
         writer.write(
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{trace}"
+            f"Connection: close\r\n\r\n".encode())
+        writer.write(payload)
+        await writer.drain()
+
+    async def _send_text(self, writer, status: int, text: str,
+                         ctx: RequestContext,
+                         content_type: str = "text/plain; version=0.0.4; "
+                                             "charset=utf-8") -> None:
+        ctx.status = status
+        payload = text.encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"{RESPONSE_TRACE_HEADER}: {ctx.trace_id}\r\n"
             f"Connection: close\r\n\r\n".encode())
         writer.write(payload)
         await writer.drain()
@@ -249,64 +367,86 @@ class ServeService:
     # ------------------------------------------------------------ #
     # routing
 
-    async def _route(self, writer, method, path, query, body) -> None:
+    async def _route(self, reader, writer, ctx: RequestContext,
+                     method, path, query, body) -> None:
         parts = [p for p in path.split("/") if p]
+        if parts == ["metrics"] and method == "GET":
+            ctx.route = "GET /metrics"
+            await self._get_metrics_text(writer, ctx)
+            return
         if parts[:1] != ["v1"]:
             await self._send_json(writer, 404, error_doc(
-                "not-found", f"no route {path!r}"))
+                "not-found", f"no route {path!r}"), ctx)
             return
         rest = parts[1:]
         if rest == ["jobs"]:
             if method == "POST":
-                await self._post_job(writer, body)
+                ctx.route = "POST /v1/jobs"
+                await self._post_job(writer, ctx, body)
             elif method == "GET":
-                await self._list_jobs(writer, query)
+                ctx.route = "GET /v1/jobs"
+                await self._list_jobs(writer, ctx, query)
             else:
                 await self._send_json(writer, 405, error_doc(
-                    "method-not-allowed", f"{method} {path}"))
+                    "method-not-allowed", f"{method} {path}"), ctx)
         elif len(rest) == 2 and rest[0] == "jobs" and method == "GET":
-            await self._get_job(writer, rest[1])
+            ctx.route = "GET /v1/jobs/{id}"
+            await self._get_job(writer, ctx, rest[1])
         elif len(rest) == 3 and rest[0] == "jobs" and rest[2] == "events" \
                 and method == "GET":
-            await self._stream_events(writer, rest[1])
+            ctx.route = "GET /v1/jobs/{id}/events"
+            await self._stream_events(reader, writer, ctx, rest[1])
         elif len(rest) == 3 and rest[0] == "artifacts" and method == "GET":
-            await self._get_artifact(writer, rest[1], rest[2])
+            ctx.route = "GET /v1/artifacts/{kind}/{key}"
+            await self._get_artifact(writer, ctx, rest[1], rest[2])
         elif rest == ["health"] and method == "GET":
+            ctx.route = "GET /v1/health"
             await self._send_json(writer, 200, build_health(
-                self.store, self.queue, self.started_at))
+                self.store, self.queue, self.started_at,
+                worker=self.worker_liveness()), ctx)
+        elif rest == ["metrics"] and method == "GET":
+            ctx.route = "GET /v1/metrics"
+            await self._get_metrics_json(writer, ctx)
         else:
             await self._send_json(writer, 404, error_doc(
-                "not-found", f"no route {method} {path!r}"))
+                "not-found", f"no route {method} {path!r}"), ctx)
 
     # ------------------------------------------------------------ #
     # handlers
 
-    async def _post_job(self, writer, body: bytes) -> None:
+    async def _post_job(self, writer, ctx: RequestContext,
+                        body: bytes) -> None:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             await self._send_json(writer, 400, error_doc(
-                "invalid-json", f"body is not valid JSON: {exc}"))
+                "invalid-json", f"body is not valid JSON: {exc}"), ctx)
             return
         submission, error = normalize_submission(
             payload, self.machines, self.benchmarks)
         if error is not None:
-            await self._send_json(writer, 400, error)
+            await self._send_json(writer, 400, error, ctx)
             return
+        ctx.tenant = submission["tenant"]
         try:
-            record = self.queue.submit(submission)
+            record = self.queue.submit(
+                submission, trace_id=ctx.trace_id,
+                ingress_seconds=time.monotonic() - ctx.started)
         except QuotaExceeded as exc:
+            if self.metrics is not None:
+                self.metrics.record_throttle(submission["tenant"])
             await self._send_json(writer, 429, error_doc(
-                "quota-exceeded", str(exc)))
+                "quota-exceeded", str(exc)), ctx)
             return
+        ctx.job_id = record["job_id"]
         self.log_for(record["job_id"]).append_event(ServeJobQueued(
             job_id=record["job_id"], tenant=record["tenant"],
             name=submission["name"]))
         if self._wake is not None:
             self._wake.set()
-        await self._send_json(writer, 202, record)
+        await self._send_json(writer, 202, record, ctx)
 
-    async def _list_jobs(self, writer, query) -> None:
+    async def _list_jobs(self, writer, ctx: RequestContext, query) -> None:
         tenant = (query.get("tenant") or [None])[0]
         rows = [
             {"job_id": r["job_id"], "tenant": r["tenant"],
@@ -314,26 +454,63 @@ class ServeService:
              "name": r["submission"]["name"], "seq": r["seq"]}
             for r in self.queue.jobs(tenant)
         ]
-        await self._send_json(writer, 200, {"jobs": rows})
+        await self._send_json(writer, 200, {"jobs": rows}, ctx)
 
-    async def _get_job(self, writer, job_id: str) -> None:
+    async def _get_job(self, writer, ctx: RequestContext,
+                       job_id: str) -> None:
         record = self.queue.get(job_id)
         if record is None:
             await self._send_json(writer, 404, error_doc(
-                "unknown-job", f"no job {job_id!r}"))
+                "unknown-job", f"no job {job_id!r}"), ctx)
             return
-        await self._send_json(writer, 200, record)
+        ctx.job_id = job_id
+        ctx.tenant = record["tenant"]
+        await self._send_json(writer, 200, record, ctx)
 
-    async def _get_artifact(self, writer, kind: str, key: str) -> None:
+    async def _get_artifact(self, writer, ctx: RequestContext,
+                            kind: str, key: str) -> None:
         meta = self.store.get_meta(kind, key) \
             if kind in ("build", "trace", "analysis", "sim") else None
         if meta is None:
             await self._send_json(writer, 404, error_doc(
-                "unknown-artifact", f"no {kind} artifact {key[:16]}..."))
+                "unknown-artifact", f"no {kind} artifact {key[:16]}..."),
+                ctx)
             return
         snapshot = self.store.get_json(kind, key)
         await self._send_json(writer, 200, {
-            "kind": kind, "key": key, "meta": meta, "snapshot": snapshot})
+            "kind": kind, "key": key, "meta": meta, "snapshot": snapshot},
+            ctx)
+
+    # ------------------------------------------------------------ #
+    # metrics endpoints
+
+    def _metric_gauges(self) -> dict:
+        return {
+            "queue": self.queue.depth(),
+            "tenants": self.queue.depth_by_tenant(),
+            "sse_active": self.metrics.sse_active
+            if self.metrics is not None else 0,
+            "worker": self.worker_liveness(),
+        }
+
+    async def _get_metrics_json(self, writer, ctx: RequestContext) -> None:
+        if self.metrics is None:
+            await self._send_json(writer, 404, error_doc(
+                "metrics-disabled",
+                "this instance runs with metrics_enabled=False"), ctx)
+            return
+        await self._send_json(
+            writer, 200, self.metrics.snapshot(self._metric_gauges()), ctx)
+
+    async def _get_metrics_text(self, writer, ctx: RequestContext) -> None:
+        if self.metrics is None:
+            await self._send_json(writer, 404, error_doc(
+                "metrics-disabled",
+                "this instance runs with metrics_enabled=False"), ctx)
+            return
+        await self._send_text(
+            writer, 200,
+            self.metrics.render_prometheus(self._metric_gauges()), ctx)
 
     @staticmethod
     def _sse_frame(entry: dict) -> bytes:
@@ -342,21 +519,36 @@ class ServeService:
                 f"event: {entry.get('event', 'message')}\n"
                 f"data: {data}\n\n").encode()
 
-    async def _stream_events(self, writer, job_id: str) -> None:
-        if self.queue.get(job_id) is None:
+    async def _stream_events(self, reader, writer, ctx: RequestContext,
+                             job_id: str) -> None:
+        record = self.queue.get(job_id)
+        if record is None:
             await self._send_json(writer, 404, error_doc(
-                "unknown-job", f"no job {job_id!r}"))
+                "unknown-job", f"no job {job_id!r}"), ctx)
             return
+        ctx.job_id = job_id
+        ctx.tenant = record["tenant"]
         log = self.log_for(job_id)
         # Atomic snapshot + subscribe: replay covers seq <= last, the
         # subscription everything after -- nothing dropped, nothing
         # doubled across the handoff.
         snapshot, sub = log.snapshot_and_subscribe()
+        if self.metrics is not None:
+            self.metrics.sse_opened()
+        ctx.status = 200
+        # The protocol is one-request-per-connection, so after the
+        # request is parsed the client sends nothing more: any read
+        # completing (EOF or stray bytes) means the client went away.
+        # Racing it against the subscription is what lets a disconnect
+        # tear the stream down *now* instead of on the next event.
+        eof_task = asyncio.ensure_future(reader.read(1))
+        get_task = None
         try:
-            writer.write(b"HTTP/1.1 200 OK\r\n"
-                         b"Content-Type: text/event-stream\r\n"
-                         b"Cache-Control: no-cache\r\n"
-                         b"Connection: close\r\n\r\n")
+            writer.write((f"HTTP/1.1 200 OK\r\n"
+                          f"Content-Type: text/event-stream\r\n"
+                          f"Cache-Control: no-cache\r\n"
+                          f"{RESPONSE_TRACE_HEADER}: {ctx.trace_id}\r\n"
+                          f"Connection: close\r\n\r\n").encode())
             last = -1
             done = False
             for entry in snapshot:
@@ -365,7 +557,15 @@ class ServeService:
                 done = done or is_terminal(entry)
             await writer.drain()
             while not done:
-                entry = await sub.get()
+                if get_task is None:
+                    get_task = asyncio.ensure_future(sub.get())
+                finished, _ = await asyncio.wait(
+                    {get_task, eof_task},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if eof_task in finished:
+                    break              # client disconnected mid-stream
+                entry = get_task.result()
+                get_task = None
                 if entry is None:      # subscription closed underneath us
                     break
                 if entry["seq"] <= last:
@@ -375,7 +575,12 @@ class ServeService:
                 last = entry["seq"]
                 done = is_terminal(entry)
         finally:
+            for task in (eof_task, get_task):
+                if task is not None and not task.done():
+                    task.cancel()
             sub.close()
+            if self.metrics is not None:
+                self.metrics.sse_closed()
 
 
 # ------------------------------------------------------------------ #

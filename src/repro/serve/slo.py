@@ -1,0 +1,329 @@
+"""Declarative SLOs over ``repro.serve-metrics/1`` snapshots.
+
+An objectives file is TOML::
+
+    [availability]
+    objective = 0.99                # success-fraction target
+
+    [[availability.windows]]        # multi-window burn-rate alerting
+    seconds = 3600
+    max_burn_rate = 14.4
+
+    [[availability.windows]]
+    seconds = 21600
+    max_burn_rate = 6.0
+
+    [[latency]]
+    name = "warm_p99"
+    metric = "jobs.e2e.warm"        # a TimingHistogram registry path
+    quantile = 0.99
+    threshold_seconds = 2.0
+
+**Burn rate** is the classic SRE ratio: ``error_rate / (1 - objective)``
+— burn 1.0 spends the error budget exactly at the objective's pace,
+burn N spends it N times too fast. An availability rule *breaches* only
+when **every** configured window exceeds its ``max_burn_rate`` (the
+multi-window AND filters blips: a short spike trips the short window
+but not the long one, a slow leak trips the long window but the short
+window has already recovered).
+
+Evaluation consumes one or more ``repro.serve-metrics/1`` documents
+(``GET /v1/metrics`` or the smoke tool's artifact). With a series, each
+window is computed from the *delta* between the newest snapshot and the
+oldest one inside the window, using ``meta.uptime_seconds`` as the time
+axis; a single snapshot means every window clamps to the whole run.
+Errors are HTTP 5xx — 429s are the quota system working as intended,
+not unavailability.
+
+``repro slo`` exits 0 when healthy, 1 on breach, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+
+from repro.obs.metrics import TimingHistogram
+
+SLO_REPORT_SCHEMA_VERSION = "repro.slo-report/1"
+
+SLO_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "breached", "results"],
+    "properties": {
+        "schema": {"enum": [SLO_REPORT_SCHEMA_VERSION]},
+        "breached": {"type": "boolean"},
+        "results": {"type": "array", "items": {"type": "object"}},
+    },
+}
+
+
+class SloConfigError(ValueError):
+    """The objectives file is malformed."""
+
+
+def load_objectives(path) -> dict:
+    """Parse and structurally validate one TOML objectives file."""
+    with open(path, "rb") as handle:
+        try:
+            doc = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise SloConfigError(f"{path}: invalid TOML: {exc}") from exc
+    availability = doc.get("availability")
+    if availability is not None:
+        objective = availability.get("objective")
+        if not isinstance(objective, (int, float)) \
+                or not 0.0 < float(objective) < 1.0:
+            raise SloConfigError(
+                f"{path}: availability.objective must be in (0, 1), "
+                f"got {objective!r}")
+        windows = availability.get("windows") or []
+        if not windows:
+            raise SloConfigError(
+                f"{path}: availability needs at least one [[availability"
+                ".windows]] entry")
+        for window in windows:
+            if float(window.get("seconds", 0)) <= 0:
+                raise SloConfigError(
+                    f"{path}: window seconds must be positive")
+            if float(window.get("max_burn_rate", 0)) <= 0:
+                raise SloConfigError(
+                    f"{path}: window max_burn_rate must be positive")
+    for rule in doc.get("latency") or []:
+        for field in ("name", "metric", "quantile", "threshold_seconds"):
+            if field not in rule:
+                raise SloConfigError(
+                    f"{path}: latency rule missing {field!r}: {rule!r}")
+        if not 0.0 < float(rule["quantile"]) <= 1.0:
+            raise SloConfigError(
+                f"{path}: latency quantile must be in (0, 1], "
+                f"got {rule['quantile']!r}")
+    if availability is None and not doc.get("latency"):
+        raise SloConfigError(f"{path}: no objectives defined")
+    return doc
+
+
+def load_snapshots(paths) -> list[dict]:
+    """Load serve-metrics documents, ordered by uptime (oldest first)."""
+    snapshots = []
+    for path in paths:
+        with open(path) as handle:
+            doc = json.load(handle)
+        if doc.get("schema") != "repro.serve-metrics/1":
+            raise SloConfigError(
+                f"{path}: not a repro.serve-metrics/1 document "
+                f"(schema={doc.get('schema')!r})")
+        snapshots.append(doc)
+    snapshots.sort(key=lambda d: d["meta"].get("uptime_seconds", 0.0))
+    return snapshots
+
+
+# ------------------------------------------------------------------ #
+# counter / histogram arithmetic over snapshot payloads
+
+def _request_totals(snapshot: dict) -> tuple[int, int]:
+    """(requests, errors) from the http.requests counter forest."""
+    requests = errors = 0
+    for path, payload in snapshot["metrics"]["metrics"].items():
+        if not path.startswith("http.requests."):
+            continue
+        count = int(payload.get("count", 0))
+        requests += count
+        status = path.rsplit(".", 1)[-1]
+        if status.isdigit() and int(status) >= 500:
+            errors += count
+    return requests, errors
+
+
+def _window_base(snapshots: list[dict], seconds: float) -> dict | None:
+    """Oldest snapshot inside ``seconds`` of the newest (None = from 0).
+
+    Returns None when the window spans the whole series — the delta is
+    then taken against an implicit empty snapshot at uptime 0.
+    """
+    latest = snapshots[-1]["meta"].get("uptime_seconds", 0.0)
+    cutoff = latest - seconds
+    base = None
+    for snapshot in snapshots[:-1]:
+        uptime = snapshot["meta"].get("uptime_seconds", 0.0)
+        if uptime <= cutoff:
+            base = snapshot        # newest snapshot at or before the cutoff
+    return base
+
+
+def _timing_payload(snapshot: dict, metric: str) -> dict | None:
+    payload = snapshot["metrics"]["metrics"].get(metric)
+    if payload is None or payload.get("type") != "timing":
+        return None
+    return payload
+
+
+def _timing_delta(new: dict, old: dict | None) -> dict:
+    """``new - old`` on a timing payload; conservative min/max.
+
+    Subtraction loses the exact min/max of the delta population, so the
+    result keeps ``new``'s bounds — quantiles stay upper-bound
+    conservative, which is the direction SLO gating needs.
+    """
+    if old is None:
+        return new
+    buckets = dict(new.get("buckets", {}))
+    for key, amount in (old.get("buckets") or {}).items():
+        buckets[key] = buckets.get(key, 0) - amount
+        if buckets[key] <= 0:
+            buckets.pop(key)
+    return {
+        "type": "timing",
+        "count": max(0, int(new["count"]) - int(old["count"])),
+        "sum": max(0.0, float(new["sum"]) - float(old["sum"])),
+        "min": new.get("min", 0.0),
+        "max": new.get("max", 0.0),
+        "buckets": buckets,
+    }
+
+
+def _payload_quantile(payload: dict, q: float) -> float:
+    """Conservative quantile straight from a timing payload."""
+    count = int(payload.get("count", 0))
+    if count == 0:
+        return 0.0
+    rank = q * count
+    running = 0
+    estimate = 0.0
+    for index, amount in sorted(
+            (int(k), v) for k, v in payload.get("buckets", {}).items()):
+        running += amount
+        if running >= rank:
+            estimate = TimingHistogram.bucket_upper_bound(index)
+            break
+    else:
+        estimate = float(payload.get("max", 0.0))
+    maximum = float(payload.get("max", 0.0))
+    if maximum:
+        estimate = min(estimate, maximum)
+    return estimate
+
+
+# ------------------------------------------------------------------ #
+# evaluation
+
+def evaluate(objectives: dict, snapshots: list[dict],
+             window_override: float | None = None) -> dict:
+    """Evaluate objectives against a snapshot series; the report doc."""
+    if not snapshots:
+        raise SloConfigError("no metrics snapshots to evaluate")
+    latest = snapshots[-1]
+    results: list[dict] = []
+
+    availability = objectives.get("availability")
+    if availability is not None:
+        objective = float(availability["objective"])
+        budget = 1.0 - objective
+        windows = availability.get("windows") or []
+        if window_override is not None:
+            windows = [{"seconds": window_override,
+                        "max_burn_rate":
+                            min(float(w["max_burn_rate"]) for w in windows)}]
+        rows = []
+        for window in windows:
+            seconds = float(window["seconds"])
+            max_burn = float(window["max_burn_rate"])
+            base = _window_base(snapshots, seconds)
+            total_new, errors_new = _request_totals(latest)
+            total_old, errors_old = _request_totals(base) if base else (0, 0)
+            requests = max(0, total_new - total_old)
+            errors = max(0, errors_new - errors_old)
+            error_rate = errors / requests if requests else 0.0
+            burn = error_rate / budget
+            rows.append({
+                "seconds": seconds,
+                "requests": requests,
+                "errors": errors,
+                "error_rate": round(error_rate, 6),
+                "burn_rate": round(burn, 4),
+                "max_burn_rate": max_burn,
+                "breached": requests > 0 and burn > max_burn,
+            })
+        results.append({
+            "name": "availability",
+            "kind": "availability",
+            "objective": objective,
+            "windows": rows,
+            # The multi-window AND: every window must be burning too
+            # fast before the rule counts as breached.
+            "breached": bool(rows) and all(r["breached"] for r in rows),
+        })
+
+    for rule in objectives.get("latency") or []:
+        metric = rule["metric"]
+        quantile = float(rule["quantile"])
+        threshold = float(rule["threshold_seconds"])
+        payload = _timing_payload(latest, metric)
+        if payload is None:
+            results.append({
+                "name": rule["name"],
+                "kind": "latency",
+                "metric": metric,
+                "quantile": quantile,
+                "threshold_seconds": threshold,
+                "observed_seconds": None,
+                "count": 0,
+                "breached": False,
+                "note": "metric absent from snapshot",
+            })
+            continue
+        if window_override is not None:
+            base = _window_base(snapshots, window_override)
+            payload = _timing_delta(
+                payload, _timing_payload(base, metric) if base else None)
+        observed = _payload_quantile(payload, quantile)
+        count = int(payload.get("count", 0))
+        results.append({
+            "name": rule["name"],
+            "kind": "latency",
+            "metric": metric,
+            "quantile": quantile,
+            "threshold_seconds": threshold,
+            "observed_seconds": round(observed, 6),
+            "count": count,
+            "breached": count > 0 and observed > threshold,
+        })
+
+    return {
+        "schema": SLO_REPORT_SCHEMA_VERSION,
+        "uptime_seconds": latest["meta"].get("uptime_seconds", 0.0),
+        "snapshots": len(snapshots),
+        "results": results,
+        "breached": any(r["breached"] for r in results),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable evaluation summary for the CLI."""
+    lines = [f"SLO report over {report['snapshots']} snapshot(s), "
+             f"uptime {report['uptime_seconds']:.1f}s"]
+    for result in report["results"]:
+        flag = "BREACH" if result["breached"] else "ok"
+        if result["kind"] == "availability":
+            lines.append(f"  [{flag}] availability >= "
+                         f"{result['objective']:.4g}")
+            for row in result["windows"]:
+                state = "over" if row["breached"] else "within"
+                lines.append(
+                    f"         window {row['seconds']:.0f}s: "
+                    f"{row['errors']}/{row['requests']} errors, "
+                    f"burn {row['burn_rate']:.2f} "
+                    f"({state} max {row['max_burn_rate']:.2f})")
+        else:
+            observed = result["observed_seconds"]
+            shown = "n/a" if observed is None else f"{observed:.4f}s"
+            lines.append(
+                f"  [{flag}] {result['name']}: p{result['quantile'] * 100:g} "
+                f"of {result['metric']} = {shown} "
+                f"(threshold {result['threshold_seconds']}s, "
+                f"n={result['count']})")
+            if result.get("note"):
+                lines.append(f"         note: {result['note']}")
+    lines.append("status: " + ("BREACHED" if report["breached"] else
+                               "all objectives met"))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Request-scoped trace identity for ``repro serve``.
+
+Every HTTP submission gets a ``trace_id`` at ingress — honoring an
+inbound W3C ``traceparent`` header (the 32-hex trace-id field) or an
+``x-repro-trace-id`` header, minting a fresh id otherwise — and the id
+rides along through the :class:`~repro.serve.queue.PersistentQueue`
+record, the worker's span tree, and the ``repro.ledger/1`` run meta, so
+one request's full lifecycle (ingress parse, queue wait, farm execution,
+SSE streaming) reconstructs as a single span tree in ``farm timeline``
+and ``repro serve trace JOB_ID``.
+
+The format here is deliberately looser than W3C trace-context: any
+8-64 char hex-ish token is accepted from ``x-repro-trace-id`` so curl
+users can pass ``deadbeefcafe1234`` without ceremony, while
+``traceparent`` is parsed strictly enough to reject the all-zero
+(invalid) trace id.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from dataclasses import dataclass, field
+
+#: Header consulted first: W3C trace-context, ``00-<32hex>-<16hex>-<2hex>``.
+TRACEPARENT_HEADER = "traceparent"
+#: Fallback header for hand-rolled clients: a bare hex token.
+TRACE_ID_HEADER = "x-repro-trace-id"
+#: Response header echoing the resolved trace id back to the caller.
+RESPONSE_TRACE_HEADER = "X-Repro-Trace-Id"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+_TRACE_TOKEN_RE = re.compile(r"^[0-9a-fA-F-]{8,64}$")
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 32-hex trace id."""
+    return uuid.uuid4().hex
+
+
+def parse_traceparent(value: str) -> str | None:
+    """Extract the trace-id field from a ``traceparent`` header.
+
+    Returns None for malformed headers and for the all-zero trace id,
+    which the W3C spec defines as invalid.
+    """
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    if trace_id == "0" * 32:
+        return None
+    return trace_id
+
+
+def resolve_trace_id(headers: dict[str, str]) -> str:
+    """Trace id for a request given its (lowercase-keyed) headers.
+
+    Precedence: valid ``traceparent`` > plausible ``x-repro-trace-id`` >
+    freshly minted. Never fails — a garbage header simply mints.
+    """
+    traceparent = headers.get(TRACEPARENT_HEADER)
+    if traceparent:
+        trace_id = parse_traceparent(traceparent)
+        if trace_id is not None:
+            return trace_id
+    token = headers.get(TRACE_ID_HEADER, "").strip()
+    if token and _TRACE_TOKEN_RE.match(token):
+        return token.lower()
+    return new_trace_id()
+
+
+@dataclass
+class RequestContext:
+    """Per-request state threaded through the serve request path.
+
+    Created at ingress (one per connection, since the server is
+    one-request-per-connection), populated as routing and handling
+    learn more, and consumed by the access log + metrics recorder when
+    the response is sent.
+    """
+
+    trace_id: str = field(default_factory=new_trace_id)
+    method: str = ""
+    path: str = ""
+    route: str = "OTHER"
+    status: int = 0
+    tenant: str = ""
+    job_id: str = ""
+    started: float = 0.0       # monotonic seconds at ingress
+    ingress_seconds: float = 0.0   # time spent reading/parsing the request

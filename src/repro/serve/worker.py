@@ -35,10 +35,10 @@ from repro.obs.events import Event, EventBus, subscribe_async
 from repro.obs.spans import SpanTracker
 
 #: Log-entry keys that legitimately differ between byte-identical runs
-#: (wall-clock stamps, resource usage, run identity).
+#: (wall-clock stamps, resource usage, run/request identity).
 NONDETERMINISTIC_KEYS = frozenset({
     "ts", "elapsed", "elapsed_seconds", "cpu_seconds", "max_rss_bytes",
-    "wall", "cpu", "max_rss", "run_id", "created", "updated",
+    "wall", "cpu", "max_rss", "run_id", "created", "updated", "trace_id",
 })
 
 
@@ -148,6 +148,55 @@ def normalized_events(entries) -> list[dict]:
 
 
 # ------------------------------------------------------------------ #
+# request-scoped span tree
+
+def graft_request_spans(tracker: SpanTracker, record: dict,
+                        picked_up: float) -> int:
+    """Wrap a sweep's span tree in a request-scoped root span.
+
+    The farm scheduler records the sweep as its own root; this grafts
+    that tree (and any other parentless spans) under one ``request``
+    span carrying the trace identity, with synthetic ``ingress`` and
+    ``queue.wait`` children reconstructed from the queue record's
+    monotonic ``enqueued_at`` / ``ingress_seconds``. The request root's
+    ``t0`` is backdated to ingress start so it is the earliest timestamp
+    in the run and the ledger's rebase keeps every span non-negative.
+
+    Returns the request root's span id.
+    """
+    enqueued_at = record.get("enqueued_at")
+    ingress = float(record.get("ingress_seconds") or 0.0)
+    queue_wait = max(0.0, picked_up - float(enqueued_at)) \
+        if enqueued_at is not None else 0.0
+    t_enqueue = picked_up - queue_wait
+    t_ingress0 = t_enqueue - ingress
+
+    sweep_roots = [s for s in tracker.spans.values()
+                   if s.parent_id is None]
+    root_id = tracker.start("request", cat="request", attrs={
+        "trace_id": record.get("trace_id", ""),
+        "serve_job_id": record["job_id"],
+        "tenant": record["submission"]["tenant"],
+        "name": record["submission"]["name"],
+        "queue_wait_seconds": round(queue_wait, 6),
+        "ingress_seconds": round(ingress, 6),
+    })
+    tracker.spans[root_id].t0 = t_ingress0
+    if ingress > 0.0:
+        span = tracker.end(tracker.start(
+            "ingress", parent=root_id, cat="serve"))
+        span.t0, span.t1 = t_ingress0, t_enqueue
+    span = tracker.end(tracker.start(
+        "queue.wait", parent=root_id, cat="serve",
+        attrs={"queue_wait_seconds": round(queue_wait, 6)}))
+    span.t0, span.t1 = t_enqueue, picked_up
+    for span in sweep_roots:
+        span.parent_id = root_id
+    tracker.end(root_id)
+    return root_id
+
+
+# ------------------------------------------------------------------ #
 # planning and execution
 
 def plan_serve_graph(submission: dict, machines: dict) -> JobGraph:
@@ -195,6 +244,9 @@ def run_serve_job(store: ArtifactStore, record: dict, log: JobEventLog,
     """
     submission = record["submission"]
     start = time.monotonic()
+    enqueued_at = record.get("enqueued_at")
+    queue_wait = max(0.0, start - float(enqueued_at)) \
+        if enqueued_at is not None else 0.0
     try:
         graph = plan_serve_graph(submission, machines)
         bus = EventBus([log])
@@ -202,6 +254,7 @@ def run_serve_job(store: ArtifactStore, record: dict, log: JobEventLog,
         result = run_graph(graph, store, jobs=jobs, timeout=timeout,
                            retries=retries, obs=bus, tracker=tracker)
         summary = result.summary()
+        graft_request_spans(tracker, record, start)
 
         artifacts = []
         results: dict = {"machines": {}}
@@ -230,6 +283,7 @@ def run_serve_job(store: ArtifactStore, record: dict, log: JobEventLog,
         run = ledger_mod.run_from_sweep(
             ledger_mod.new_run_id(), graph, result, tracker,
             meta={"serve": True, "job_id": record["job_id"],
+                  "trace_id": record.get("trace_id", ""),
                   "tenant": submission["tenant"],
                   "name": submission["name"]})
         ledger_mod.write_run(store, run)
@@ -238,20 +292,24 @@ def run_serve_job(store: ArtifactStore, record: dict, log: JobEventLog,
         doc = {
             "status": status,
             "run_id": run.run_id,
+            "trace_id": record.get("trace_id", ""),
             "summary": summary,
             "artifacts": artifacts,
             "results": results,
+            "queue_wait_seconds": round(queue_wait, 6),
             "elapsed_seconds": round(time.monotonic() - start, 3),
         }
     except Exception as exc:  # noqa: BLE001 - reported in the result doc
         doc = {
             "status": "failed",
             "run_id": None,
+            "trace_id": record.get("trace_id", ""),
             "summary": {"total": 0, "hits": 0, "computed": 0,
                         "failed": ["plan"],
                         "errors": {"plan": f"{type(exc).__name__}: {exc}"}},
             "artifacts": [],
             "results": {},
+            "queue_wait_seconds": round(queue_wait, 6),
             "elapsed_seconds": round(time.monotonic() - start, 3),
         }
     log.append_event(ServeJobFinished(

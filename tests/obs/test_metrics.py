@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     RatioStat,
+    TimingHistogram,
     safe_ratio,
 )
 from repro.pipeline.result import SimResult
@@ -57,6 +58,69 @@ class TestContainers:
         other.record(4)
         hist.merge(other)
         assert hist.count(4) == 3
+
+
+class TestTimingHistogram:
+    def test_bucket_edges_are_exclusive_inclusive(self):
+        # bucket i covers (BASE * G**(i-1), BASE * G**i]
+        base = TimingHistogram.BASE
+        growth = TimingHistogram.GROWTH
+        assert TimingHistogram.bucket_index(base) == 0  # underflow
+        assert TimingHistogram.bucket_index(base * growth) == 1
+        assert TimingHistogram.bucket_index(base * growth * 1.001) == 2
+        upper = TimingHistogram.bucket_upper_bound(4)
+        assert upper == pytest.approx(base * 2.0)  # 4 buckets per octave
+
+    def test_exact_moments_and_negative_clamp(self):
+        hist = TimingHistogram("t")
+        for value in (0.001, 0.002, 0.004, -1.0):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.007)
+        assert hist.min == 0.0 and hist.max == 0.004
+        assert hist.mean == pytest.approx(0.007 / 4)
+
+    def test_quantile_never_understates(self):
+        hist = TimingHistogram("t")
+        samples = [0.0001 * (i + 1) for i in range(100)]
+        for value in samples:
+            hist.record(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = samples[min(len(samples) - 1,
+                                int(q * len(samples)))]
+            estimate = hist.quantile(q)
+            assert estimate >= exact * 0.999  # conservative (upper bound)
+            assert estimate <= exact * TimingHistogram.GROWTH  # ~19% wide
+        assert hist.quantile(1.0) == hist.max
+        assert TimingHistogram("e").quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_merge_and_reset(self):
+        a, b = TimingHistogram("t"), TimingHistogram("t")
+        a.record(0.01)
+        b.record(0.02)
+        b.record(0.0000001)  # underflow bucket
+        a.merge(b)
+        assert a.count == 3
+        assert (a.min, a.max) == (0.0000001, 0.02)
+        assert dict(a.buckets())[0] == 1
+        a.merge(TimingHistogram("empty"))  # empty merge keeps min intact
+        assert a.min == 0.0000001
+        a.reset()
+        assert a.count == 0 and a.as_dict()["min"] == 0.0
+
+    def test_snapshot_round_trip_via_registry(self):
+        registry = MetricsRegistry()
+        timing = registry.timing("lat")
+        timing.record(0.005)
+        timing.record(0.150)
+        snapshot = registry.snapshot(meta={"workload": "unit-test"})
+        payload = snapshot["metrics"]["lat"]
+        assert payload["type"] == "timing"
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot(meta={"workload": "unit-test"}) == snapshot
+        assert rebuilt.timing("lat").quantile(0.5) == timing.quantile(0.5)
 
 
 class TestRegistry:

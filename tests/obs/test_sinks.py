@@ -9,11 +9,18 @@ from repro.obs.events import (
     EVENT_TYPES,
     EventBus,
     FacReplay,
+    HttpRequestServed,
     InstRetired,
     MemAccess,
     Syscall,
 )
-from repro.obs.sinks import ChromeTraceSink, CollectingSink, JsonlSink, NullSink
+from repro.obs.sinks import (
+    AccessLogSink,
+    ChromeTraceSink,
+    CollectingSink,
+    JsonlSink,
+    NullSink,
+)
 
 
 def sample_events():
@@ -67,6 +74,46 @@ class TestJsonlSink:
             cls = EVENT_TYPES[payload.pop("event")]
             rebuilt.append(cls(**payload))
         assert rebuilt == originals
+
+
+class TestAccessLogSink:
+    def _request(self, **overrides):
+        doc = dict(trace_id="a" * 32, method="POST", route="POST /v1/jobs",
+                   path="/v1/jobs", status=202, duration_seconds=0.0123,
+                   tenant="alice", job_id="job-000001")
+        doc.update(overrides)
+        return HttpRequestServed(**doc)
+
+    def test_one_jsonl_line_per_http_event(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        sink = AccessLogSink(path, clock=lambda: 1700000000.5)
+        sink.handle(self._request())
+        sink.handle(FacReplay(pc=1, cycle=2, penalty=1))  # ignored
+        sink.handle(self._request(status=404, route="OTHER"))
+        sink.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(lines) == sink.count == 2
+        assert lines[0]["ts"] == 1700000000.5
+        assert lines[0]["event"] == "serve.http.request"
+        assert lines[0]["trace_id"] == "a" * 32
+        assert lines[0]["status"] == 202
+        assert lines[1]["status"] == 404
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        first = AccessLogSink(path)
+        first.handle(self._request())
+        first.close()
+        second = AccessLogSink(path)
+        second.handle(self._request())
+        second.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = AccessLogSink(tmp_path / "a.jsonl")
+        sink.close()
+        sink.close()
 
 
 class TestChromeTraceSink:
